@@ -1,0 +1,32 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper: it
+computes the series with the library, prints it side by side with the
+published numbers, asserts the qualitative shape, and times the harness
+with pytest-benchmark.  Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one reproduced table in a fixed-width layout."""
+    rows = [["" if v is None else v for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(_fmt(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

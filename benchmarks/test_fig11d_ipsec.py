@@ -1,0 +1,42 @@
+"""Figure 11(d): IPsec gateway throughput (input Gbps), CPU vs CPU+GPU."""
+
+import pytest
+
+from conftest import print_table
+from repro import app_throughput_report
+from repro.apps.ipsec import IPsecGateway
+from repro.gen.workloads import EVAL_FRAME_SIZES, ipsec_workload
+
+
+def reproduce_figure11d():
+    app = IPsecGateway(ipsec_workload().sa)
+    rows = []
+    for size in EVAL_FRAME_SIZES:
+        cpu = app_throughput_report(app, size, use_gpu=False)
+        gpu = app_throughput_report(app, size, use_gpu=True)
+        rows.append((size, cpu.gbps, gpu.gbps, gpu.gbps / cpu.gbps))
+    return rows
+
+
+def test_figure11d_ipsec(benchmark):
+    rows = benchmark.pedantic(reproduce_figure11d, rounds=1, iterations=1)
+    print_table(
+        "Figure 11(d): IPsec gateway, input throughput (Gbps)",
+        ("frame B", "CPU-only", "CPU+GPU", "speedup"),
+        rows,
+    )
+    by_size = {row[0]: row for row in rows}
+    # Paper: 10.2 Gbps at 64B, 20.0 at 1514B with GPU; the CPU-only mode
+    # improves "by a factor of 3.5, regardless of packet sizes".
+    assert by_size[64][2] == pytest.approx(10.2, rel=0.10)
+    assert 18.0 <= by_size[1514][2] <= 24.0
+    # "by a factor of 3.5, regardless of packet sizes": the speedup
+    # stays within a narrow band across the whole sweep.
+    for size in EVAL_FRAME_SIZES:
+        assert 3.0 <= by_size[size][3] <= 5.2
+    # Paper: 5x RouteBricks (1.9 Gbps at 64B, 6.1 at large).
+    assert by_size[64][2] / 1.9 > 5.0
+    assert by_size[1514][2] / 6.1 > 3.0
+    # Throughput grows with frame size (per-packet costs amortise).
+    gpu_series = [row[2] for row in rows]
+    assert gpu_series == sorted(gpu_series)

@@ -1,0 +1,57 @@
+"""Figure 2: IPv6 lookup throughput of X5550 and GTX480 vs batch size.
+
+The motivating example of Section 2.3: lookup only, no packet I/O.  The
+published shape: the GPU curve rises with parallelism, crosses one
+quad-core X5550 past ~320 packets, two past ~640, and saturates around
+ten X5550s.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.apps.lookup_only import (
+    cpu_ipv6_lookup_rate_pps,
+    gpu_crossover_batch,
+    gpu_ipv6_lookup_rate_pps,
+)
+
+BATCH_SIZES = (32, 64, 128, 256, 320, 512, 640, 1024, 2048, 4096, 8192, 16384)
+
+
+def reproduce_figure2():
+    cpu1 = cpu_ipv6_lookup_rate_pps(1) / 1e6
+    cpu2 = cpu_ipv6_lookup_rate_pps(2) / 1e6
+    rows = [
+        (batch, gpu_ipv6_lookup_rate_pps(batch) / 1e6, cpu1, cpu2)
+        for batch in BATCH_SIZES
+    ]
+    return rows, cpu1, cpu2
+
+
+def test_figure2_lookup_throughput(benchmark):
+    (rows, cpu1, cpu2) = benchmark(reproduce_figure2)
+    print_table(
+        "Figure 2: IPv6 lookup throughput (Mpps)",
+        ("batch", "GTX480", "1x X5550", "2x X5550"),
+        rows,
+    )
+    gpu = {batch: rate for batch, rate, _, _ in rows}
+    # GPU throughput proportional to the level of parallelism.
+    assert gpu[16384] > gpu[1024] > gpu[128] > gpu[32]
+    # Crossovers where the paper reports them.
+    assert gpu[320] <= cpu1 * 1.05
+    assert gpu[512] >= cpu1
+    assert gpu[640] <= cpu2 * 1.05
+    assert gpu[1024] >= cpu2
+    # Peak "comparable to about ten X5550 processors".
+    assert 7.5 <= gpu[16384] / cpu1 <= 11.0
+
+
+def test_figure2_crossover_points(benchmark):
+    crossovers = benchmark(
+        lambda: (gpu_crossover_batch(1), gpu_crossover_batch(2))
+    )
+    print(f"\ncrossover vs 1 CPU: {crossovers[0]} packets (paper: >320)")
+    print(f"crossover vs 2 CPUs: {crossovers[1]} packets (paper: >640)")
+    assert 250 <= crossovers[0] <= 450
+    assert 600 <= crossovers[1] <= 1100

@@ -1,0 +1,58 @@
+"""Figure 6: performance of the packet I/O engine — RX, TX, forwarding,
+and node-crossing forwarding over the evaluation frame sizes."""
+
+import pytest
+
+from conftest import print_table
+from repro.gen.workloads import EVAL_FRAME_SIZES
+from repro.io_engine.engine import io_throughput_report
+
+PAPER_ANCHORS = {
+    # frame -> (rx, tx, forward) published points
+    64: (53.1, 79.3, 41.1),
+    1514: (59.9, 80.0, 40.0),
+}
+
+
+def reproduce_figure6():
+    rows = []
+    for size in EVAL_FRAME_SIZES:
+        rx = io_throughput_report(size, mode="rx").gbps
+        tx = io_throughput_report(size, mode="tx").gbps
+        forward = io_throughput_report(size, mode="forward").gbps
+        crossing = io_throughput_report(
+            size, mode="forward", node_crossing=True
+        ).gbps
+        rows.append((size, rx, tx, forward, crossing))
+    return rows
+
+
+def test_figure6_io_engine(benchmark):
+    rows = benchmark(reproduce_figure6)
+    print_table(
+        "Figure 6: packet I/O engine (Gbps)",
+        ("frame B", "RX", "TX", "forward", "node-crossing"),
+        rows,
+    )
+    by_size = {row[0]: row[1:] for row in rows}
+    for size, (paper_rx, paper_tx, paper_fwd) in PAPER_ANCHORS.items():
+        rx, tx, forward, crossing = by_size[size]
+        assert rx == pytest.approx(paper_rx, rel=0.02)
+        assert tx == pytest.approx(paper_tx, rel=0.02)
+        assert forward == pytest.approx(paper_fwd, rel=0.03)
+    for size, (rx, tx, forward, crossing) in by_size.items():
+        # TX > RX (the dual-IOH asymmetry), forwarding ~40+, crossing
+        # close behind.
+        assert tx > rx > forward
+        assert forward >= 39.9
+        assert forward * 0.97 <= crossing <= forward
+
+
+def test_figure6_mpps_headline(benchmark):
+    report = benchmark(lambda: io_throughput_report(64, mode="forward"))
+    print(
+        f"\nminimal forwarding @64B: {report.gbps:.1f} Gbps "
+        f"({report.mpps:.1f} Mpps) — paper: 41.1 Gbps / 58.4 Mpps; "
+        f"RouteBricks: 13.3 Gbps / 18.96 Mpps"
+    )
+    assert report.mpps == pytest.approx(58.4, rel=0.02)

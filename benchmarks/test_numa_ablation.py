@@ -1,0 +1,98 @@
+"""Section 4.5 / 5.4 ablations: NUMA awareness, gather/scatter, and
+chunk pipelining — the design choices DESIGN.md calls out."""
+
+import pytest
+
+from conftest import print_table
+from repro import app_throughput_report
+from repro.apps.ipv6 import IPv6Forwarder
+from repro.core.config import RouterConfig
+from repro.core.solver import gpu_batch_time_ns
+from repro.gen.workloads import ipv6_workload
+from repro.io_engine.engine import io_throughput_report
+
+
+def reproduce_numa_ablation():
+    aware = io_throughput_report(64, mode="forward", numa_aware=True).gbps
+    blind = io_throughput_report(64, mode="forward", numa_aware=False).gbps
+    return aware, blind
+
+
+def test_numa_aware_vs_blind(benchmark):
+    aware, blind = benchmark(reproduce_numa_ablation)
+    print_table(
+        "Section 4.5: NUMA-aware vs NUMA-blind forwarding @64B",
+        ("configuration", "Gbps"),
+        [("NUMA-aware", aware), ("NUMA-blind", blind)],
+    )
+    # Paper: blind stays below 25 Gbps, aware around 40 (+60%).
+    assert blind < 25.5
+    assert aware / blind == pytest.approx(1.6, rel=0.05)
+
+
+def test_gather_scatter_ablation(benchmark):
+    """Section 5.4: gathering multiple chunks per launch amortises the
+    per-launch overheads and raises GPU-stage throughput."""
+    app = IPv6Forwarder(ipv6_workload(num_routes=1000).table)
+
+    def compute():
+        gathered = RouterConfig(gather_scatter=True)
+        single = RouterConfig(gather_scatter=False)
+        rate = {}
+        for name, config in (("gather/scatter", gathered), ("single chunk", single)):
+            n = config.chunk_capacity * config.effective_gather_chunks()
+            rate[name] = n / gpu_batch_time_ns(app, 64, n) * 1e9 / 1e6
+        return rate
+
+    rates = benchmark(compute)
+    print_table(
+        "Section 5.4: GPU-stage rate per device (Mpps)",
+        ("configuration", "Mpps"),
+        list(rates.items()),
+    )
+    assert rates["gather/scatter"] > rates["single chunk"] * 1.2
+
+
+def test_streams_help_ipsec_not_lookups(benchmark):
+    """Section 5.4: concurrent copy & execution is enabled only for
+    IPsec; for lightweight kernels the per-call stream overhead loses."""
+    from repro.apps.ipsec import IPsecGateway
+    from repro.gen.workloads import ipsec_workload
+
+    ipsec = IPsecGateway(ipsec_workload().sa)
+    ipv6 = IPv6Forwarder(ipv6_workload(num_routes=1000).table)
+
+    def compute():
+        n = 3072
+        return {
+            "ipsec serial": n / gpu_batch_time_ns(ipsec, 1514, n, streams=False) * 1e9,
+            "ipsec streams": n / gpu_batch_time_ns(ipsec, 1514, n, streams=True) * 1e9,
+            "ipv6 serial": n / gpu_batch_time_ns(ipv6, 64, n, streams=False) * 1e9,
+            "ipv6 streams": n / gpu_batch_time_ns(ipv6, 64, n, streams=True) * 1e9,
+        }
+
+    rates = benchmark(compute)
+    print_table(
+        "Section 5.4: concurrent copy & execution (pps per GPU)",
+        ("configuration", "pps"),
+        [(k, f"{v/1e6:.2f}M") for k, v in rates.items()],
+    )
+    # Streams win for the transfer-heavy IPsec kernel...
+    assert rates["ipsec streams"] > rates["ipsec serial"]
+    # ...and lose for the lightweight IPv6 lookup kernel.
+    assert rates["ipv6 streams"] < rates["ipv6 serial"]
+
+
+def test_numa_blind_hurts_applications_too(benchmark):
+    app = IPv6Forwarder(ipv6_workload(num_routes=1000).table)
+
+    def compute():
+        aware = app_throughput_report(app, 64, use_gpu=True)
+        blind = app_throughput_report(
+            app, 64, use_gpu=True, config=RouterConfig(numa_aware=False)
+        )
+        return aware.gbps, blind.gbps
+
+    aware, blind = benchmark(compute)
+    print(f"\nIPv6 CPU+GPU: NUMA-aware {aware:.1f} vs blind {blind:.1f} Gbps")
+    assert blind < aware * 0.65

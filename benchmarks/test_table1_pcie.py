@@ -1,0 +1,65 @@
+"""Table 1: data transfer rate between host and device (MB/s), plus the
+Section 2.2 kernel-launch latency microbenchmark."""
+
+import pytest
+
+from conftest import print_table
+from repro.hw.gpu import GPUDevice
+from repro.hw.pcie import PCIeLink
+
+PAPER_TABLE_1 = {
+    256: (55, 63),
+    1024: (185, 211),
+    4096: (759, 786),
+    16384: (2069, 1743),
+    65536: (4046, 2848),
+    262144: (5142, 3242),
+    1048576: (5577, 3394),
+}
+
+
+def reproduce_table1():
+    link = PCIeLink()
+    rows = []
+    for size, (paper_h2d, paper_d2h) in sorted(PAPER_TABLE_1.items()):
+        rows.append(
+            (
+                size,
+                paper_h2d,
+                link.h2d_rate_mbps(size),
+                paper_d2h,
+                link.d2h_rate_mbps(size),
+            )
+        )
+    return rows
+
+
+def test_table1_pcie_transfer_rates(benchmark):
+    rows = benchmark(reproduce_table1)
+    print_table(
+        "Table 1: host<->device transfer rate (MB/s)",
+        ("bytes", "paper h2d", "model h2d", "paper d2h", "model d2h"),
+        rows,
+    )
+    for size, paper_h2d, model_h2d, paper_d2h, model_d2h in rows:
+        assert model_h2d == pytest.approx(paper_h2d, rel=0.20)
+        assert model_d2h == pytest.approx(paper_d2h, rel=0.20)
+        assert model_d2h <= model_h2d * 1.25  # the dual-IOH asymmetry
+
+
+def test_section22_kernel_launch_latency(benchmark):
+    device = GPUDevice()
+    rows = benchmark(
+        lambda: [
+            (n, device.launch_latency_ns(n) / 1000.0)
+            for n in (1, 64, 512, 4096, 32768)
+        ]
+    )
+    print_table(
+        "Section 2.2: kernel launch latency (us)",
+        ("threads", "latency us"),
+        rows,
+    )
+    by_threads = dict(rows)
+    assert by_threads[1] == pytest.approx(3.8, rel=0.01)
+    assert by_threads[4096] == pytest.approx(4.1, rel=0.01)

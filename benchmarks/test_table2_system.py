@@ -1,0 +1,35 @@
+"""Table 2: test system hardware specification and cost."""
+
+import pytest
+
+from conftest import print_table
+from repro.calib.constants import CPU, GPU, NIC, SYSTEM
+
+
+def reproduce_table2():
+    return [
+        ("CPU", f"Xeon X5550 ({CPU.cores} cores, {CPU.clock_hz/1e9:.2f} GHz)",
+         SYSTEM.num_nodes, SYSTEM.price_cpu),
+        ("RAM", "DDR3 ECC 2GB (1333 MHz)", SYSTEM.ram_modules, SYSTEM.price_ram),
+        ("M/B", "Super Micro X8DAH+F (dual IOH)", 1, SYSTEM.price_motherboard),
+        ("GPU", f"GTX480 ({GPU.total_cores} cores, {GPU.clock_hz/1e9:.1f} GHz, "
+         f"{GPU.device_memory >> 20} MB)", SYSTEM.num_nodes, SYSTEM.price_gpu),
+        ("NIC", "Intel X520-DA2 (dual-port 10GbE)",
+         SYSTEM.num_nodes * SYSTEM.nics_per_node, SYSTEM.price_nic),
+        ("misc", "chassis / PSU / storage", 1, SYSTEM.price_misc),
+    ]
+
+
+def test_table2_specification(benchmark):
+    rows = benchmark(reproduce_table2)
+    print_table(
+        f"Table 2: test system (total ${SYSTEM.total_cost})",
+        ("item", "specification", "qty", "unit $"),
+        rows,
+    )
+    assert SYSTEM.total_cost == pytest.approx(7000, rel=0.05)
+    assert GPU.total_cores == 480
+    assert SYSTEM.total_ports == 8
+    # The GPU price argument of Section 7: far cheaper compute than an
+    # extra dual-socket CPU.
+    assert SYSTEM.price_gpu < SYSTEM.price_cpu

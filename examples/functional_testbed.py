@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Drive the full functional stack: NIC rings -> engine -> router -> TX.
+
+Unlike the other examples (which enter at the framework), this one
+exercises the whole Figure 7 pipeline: frames are RSS-hashed into the
+ingress port's huge-packet-buffer RX rings, worker threads fetch batched
+chunks through their per-queue virtual interfaces under the
+interrupt/poll livelock contract, the router forwards, and TX rings
+drain to the sink.  Ring overflows show up as real drops.
+
+Usage::
+
+    python examples/functional_testbed.py
+"""
+
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.core.slowpath import SlowPathHandler
+from repro.gen.packetgen import PacketGenerator
+from repro.lookup.dir24_8 import Dir24_8
+from repro.net.packet import build_udp_ipv4, parse_packet
+from repro.testbed import Testbed
+
+
+def main() -> None:
+    fib = Dir24_8()
+    fib.add_routes([
+        (0x0A000000, 8, 1),    # 10/8        -> port 1
+        (0xC0A80000, 16, 2),   # 192.168/16  -> port 2
+        (0x0A0A0000, 16, 3),   # 10.10/16    -> port 3 (longer match wins)
+    ])
+    testbed = Testbed(
+        IPv4Forwarder(fib),
+        num_ports=4,
+        ring_size=256,
+        slow_path=SlowPathHandler(),
+    )
+
+    generator = PacketGenerator(seed=7)
+    traffic = []
+    for i in range(120):
+        traffic.append(build_udp_ipv4(
+            generator.rng.getrandbits(32), 0x0A000000 | (i << 8),
+            1000 + i, 2000, frame_len=96,
+        ))
+    for i in range(60):
+        traffic.append(build_udp_ipv4(
+            generator.rng.getrandbits(32), 0x0A0A0000 | i, 1000, 53,
+        ))
+    traffic += [generator.random_ipv4_frame() for _ in range(40)]  # mostly unroutable
+    traffic += [
+        build_udp_ipv4(0xC0A80000 | i, 0x0A000001, 5, 6, ttl=1) for i in range(5)
+    ]                                                              # TTL expired
+
+    accepted = testbed.inject(traffic)
+    sink = testbed.run_until_drained()
+
+    print("Functional testbed")
+    print("==================")
+    print(f"injected          : {testbed.stats.injected} (accepted {accepted}, "
+          f"RX-dropped {testbed.stats.rx_dropped})")
+    print(f"router received   : {testbed.router.stats.received}")
+    print(f"forwarded         : {testbed.router.stats.forwarded}")
+    print(f"unroutable drops  : {testbed.router.stats.dropped}")
+    print(f"slow path         : {testbed.router.stats.slow_path}")
+    print(f"transmitted       : {testbed.stats.transmitted}")
+    print()
+    print("per-port wire traffic:")
+    for port in sorted(sink):
+        icmp = sum(1 for f in sink[port] if len(f) > 34 and f[23] == 1)
+        note = f" ({icmp} ICMP)" if icmp else ""
+        print(f"  port {port}: {len(sink[port])} frames{note}")
+
+    # Longest-prefix-match sanity on the wire copies.
+    for frame in sink.get(3, []):
+        dst = parse_packet(frame).l3.dst
+        assert (dst >> 16) == 0x0A0A
+    print("\nlongest-prefix routing verified on the wire (10.10/16 beat 10/8).")
+
+
+if __name__ == "__main__":
+    main()

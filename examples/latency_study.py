@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Latency study: when is GPU offloading worth it?
+
+Sweeps offered load for IPv6 forwarding and prints the three Figure 12
+configurations side by side, then derives the Section 7 "opportunistic
+offloading" policy: serve light load on the CPU for latency, switch to
+the GPU once the CPU path nears saturation.
+
+Usage::
+
+    python examples/latency_study.py
+"""
+
+import math
+
+from repro import IPv6Forwarder, app_latency_ns
+from repro.gen.workloads import ipv6_workload
+from repro.sim.metrics import gbps_to_pps
+
+
+def fmt(latency_ns: float) -> str:
+    return "   sat" if math.isinf(latency_ns) else f"{latency_ns / 1000:6.0f}"
+
+
+def main() -> None:
+    app = IPv6Forwarder(ipv6_workload(num_routes=5_000).table)
+
+    print("IPv6 round-trip latency (us) vs offered load (64B frames)")
+    print("==========================================================")
+    print(" Gbps | CPU w/o batch | CPU w/ batch | CPU+GPU | best mode")
+    print("------+---------------+--------------+---------+----------")
+    switch_point = None
+    for gbps in (0.5, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 28):
+        pps = gbps_to_pps(gbps, 64)
+        no_batch = app_latency_ns(app, 64, pps, use_gpu=False, batching=False)
+        cpu = app_latency_ns(app, 64, pps, use_gpu=False)
+        gpu = app_latency_ns(app, 64, pps, use_gpu=True)
+        best = "cpu" if cpu <= gpu else "gpu"
+        if best == "gpu" and switch_point is None:
+            switch_point = gbps
+        print(
+            f"{gbps:5.1f} |        {fmt(no_batch)} |       {fmt(cpu)} |"
+            f"  {fmt(gpu)} | {best}"
+        )
+    print()
+    print(
+        "opportunistic offloading (Section 7): serve loads below "
+        f"~{switch_point} Gbps on the CPU for latency, offload beyond it "
+        "for throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""An OpenFlow edge switch in a small datacenter.
+
+Demonstrates the Section 6.2.3 data path end to end: a controller-style
+setup installs exact flows for established connections and wildcard
+policy rules (an ACL dropping a blocked subnet, a CIDR route for a
+service prefix); traffic then exercises exact hits, wildcard hits,
+priority, and controller punts.
+
+Usage::
+
+    python examples/openflow_datacenter.py
+"""
+
+from repro import OpenFlowApp, PacketShader
+from repro.net.addrs import ip4_from_str
+from repro.net.packet import build_udp_ipv4
+from repro.openflow.actions import Action, ActionType, drop, output
+from repro.openflow.flowkey import extract_flow_key
+from repro.openflow.flowtable import WildcardEntry
+from repro.openflow.switch import OpenFlowSwitch
+
+
+def main() -> None:
+    switch = OpenFlowSwitch()
+
+    # --- the "controller" installs policy -----------------------------
+    # 1. High-priority ACL: drop everything from the quarantined subnet.
+    switch.add_wildcard_flow(WildcardEntry(
+        priority=100,
+        fields={"nw_src": ip4_from_str("10.66.0.0")},
+        nw_src_mask=16,
+        actions=drop(),
+    ))
+    # 2. Service prefix 10.1.0.0/16 routes to the storage pod on port 3,
+    #    rewriting the destination MAC to the pod gateway.
+    switch.add_wildcard_flow(WildcardEntry(
+        priority=10,
+        fields={"nw_dst": ip4_from_str("10.1.0.0"), "dl_type": 0x0800},
+        nw_dst_mask=16,
+        actions=[
+            Action(ActionType.SET_DL_DST, 0x02AA00000003),
+            Action(ActionType.OUTPUT, 3),
+        ],
+    ))
+    # 3. An established connection gets a pinned exact-match entry.
+    elephant = build_udp_ipv4(
+        ip4_from_str("10.2.0.5"), ip4_from_str("10.3.0.9"), 40000, 9000
+    )
+    switch.add_exact_flow(extract_flow_key(bytes(elephant), in_port=0), output(5))
+
+    router = PacketShader(OpenFlowApp(switch))
+
+    # --- traffic -------------------------------------------------------
+    traffic = []
+    traffic += [bytearray(elephant) for _ in range(20)]               # exact hits
+    traffic += [
+        build_udp_ipv4(ip4_from_str("10.2.0.7"),
+                       ip4_from_str(f"10.1.{i}.1"), 1234, 80)
+        for i in range(15)
+    ]                                                                 # CIDR route
+    traffic += [
+        build_udp_ipv4(ip4_from_str(f"10.66.{i}.2"),
+                       ip4_from_str("10.1.0.1"), 5, 6)
+        for i in range(10)
+    ]                                                                 # ACL drops
+    traffic += [
+        build_udp_ipv4(ip4_from_str("10.9.0.1"),
+                       ip4_from_str(f"172.16.{i}.1"), 7, 8)
+        for i in range(5)
+    ]                                                                 # misses
+
+    egress = router.process_frames(traffic)
+
+    print("OpenFlow datacenter edge switch")
+    print("===============================")
+    print(f"packets in            : {len(traffic)}")
+    print(f"exact-match hits      : {switch.counters.exact_hits}")
+    print(f"wildcard hits         : {switch.counters.wildcard_hits}")
+    print(f"table misses          : {switch.counters.misses}")
+    print(f"punted to controller  : {len(switch.controller_queue)}")
+    print(f"dropped by ACL        : {router.stats.dropped}")
+    print()
+    for port in sorted(egress):
+        print(f"  port {port}: {len(egress[port])} packets")
+
+    # The storage-pod traffic must carry the rewritten gateway MAC.
+    rewritten = egress[3][0]
+    assert bytes(rewritten[0:6]) == (0x02AA00000003).to_bytes(6, "big")
+    print("\nMAC rewrite on the CIDR route verified.")
+
+    # The ACL wins over the service route by priority: quarantined
+    # sources headed to 10.1/16 were dropped, not forwarded.
+    assert router.stats.dropped == 10
+    print("ACL priority over the service route verified.")
+
+
+if __name__ == "__main__":
+    main()

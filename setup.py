@@ -1,0 +1,9 @@
+"""Setup shim; all metadata lives in pyproject.toml.
+
+Kept because this offline environment lacks the ``wheel`` package that
+PEP 660 editable installs require; ``python setup.py develop`` still works.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""PacketShader reproduction: a GPU-accelerated software router, simulated.
+
+A faithful Python reproduction of *PacketShader: a GPU-Accelerated
+Software Router* (Han, Jang, Park, Moon — SIGCOMM 2010).  Real
+algorithms (DIR-24-8 and binary-search-on-prefix-lengths lookup, Toeplitz
+RSS, OpenFlow matching, AES-128-CTR / HMAC-SHA1 / ESP) run over
+calibrated models of the paper's hardware (Xeon X5550 sockets, GTX480
+GPUs, 82599 NICs, the dual-IOH PCIe fabric), regenerating every table
+and figure of the paper's evaluation.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured numbers.
+
+Quick start::
+
+    from repro import IPv4Forwarder, PacketShader, ipv4_workload
+
+    workload = ipv4_workload(num_routes=10_000)
+    router = PacketShader(IPv4Forwarder(workload.table))
+    egress = router.process_frames(workload.generator.ipv4_burst(1_000))
+"""
+
+from repro.apps import (
+    IPsecGateway,
+    IPv4Forwarder,
+    IPv6Forwarder,
+    OpenFlowApp,
+)
+from repro.core import (
+    Chunk,
+    PacketShader,
+    RouterApplication,
+    RouterConfig,
+    app_latency_ns,
+    app_throughput_report,
+)
+from repro.gen import (
+    PacketGenerator,
+    ipsec_workload,
+    ipv4_workload,
+    ipv6_workload,
+    openflow_workload,
+)
+from repro.io_engine import PacketIOEngine
+from repro.sim import LatencySimulator, ThroughputReport
+from repro.testbed import Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chunk",
+    "IPsecGateway",
+    "IPv4Forwarder",
+    "IPv6Forwarder",
+    "OpenFlowApp",
+    "PacketGenerator",
+    "PacketIOEngine",
+    "LatencySimulator",
+    "PacketShader",
+    "RouterApplication",
+    "Testbed",
+    "RouterConfig",
+    "ThroughputReport",
+    "app_latency_ns",
+    "app_throughput_report",
+    "ipsec_workload",
+    "ipv4_workload",
+    "ipv6_workload",
+    "openflow_workload",
+]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro`` prints the headline report."""
+
+import sys
+
+from repro.report import main
+
+sys.exit(main())

@@ -1,0 +1,33 @@
+"""The four evaluated applications (paper Section 6.2).
+
+Each application implements the three-callback interface of
+:class:`repro.core.application.RouterApplication` twice over:
+
+* functionally — real frames in, real verdicts out, with the heavy work
+  (lookup, hashing, crypto) executed by the "GPU kernel" (a numpy/Python
+  function run through the GPU device model) in CPU+GPU mode, or inline
+  in CPU-only mode; both modes produce bit-identical results;
+* temporally — the cost hooks the solver turns into Figure 11's bars.
+
+:mod:`repro.apps.lookup_only` is the Section 2.3 microbenchmark (IPv6
+lookup without packet I/O — Figure 2).
+"""
+
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.apps.ipv6 import IPv6Forwarder
+from repro.apps.openflow import OpenFlowApp
+from repro.apps.ipsec import IPsecDecapGateway, IPsecGateway
+from repro.apps.lookup_only import (
+    cpu_ipv6_lookup_rate_pps,
+    gpu_ipv6_lookup_rate_pps,
+)
+
+__all__ = [
+    "IPsecDecapGateway",
+    "IPsecGateway",
+    "IPv4Forwarder",
+    "IPv6Forwarder",
+    "OpenFlowApp",
+    "cpu_ipv6_lookup_rate_pps",
+    "gpu_ipv6_lookup_rate_pps",
+]

@@ -1,0 +1,187 @@
+"""IPv4 forwarding (paper Section 6.2.1).
+
+Pre-shading: fetch a chunk, divert slow-path packets (destined to local,
+malformed, TTL expired, bad checksum) to the Linux stack, update TTL and
+checksum on the rest, and gather destination addresses into an array.
+Shading: the DIR-24-8 lookup over the gathered addresses (a vectorised
+numpy gather — the same two-level table walk the CUDA kernel performs).
+Post-shading: distribute packets to ports by next hop.
+
+The FIB-update hook (:meth:`IPv4Forwarder.swap_table`) implements the
+double-buffering update the paper sketches in Section 7: a new table is
+built off to the side and swapped in atomically between chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.calib.constants import APPS, GPU_KERNELS
+from repro.core.application import GPUWorkItem, RouterApplication
+from repro.core.chunk import Chunk
+from repro.hw.gpu import KernelSpec
+from repro.lookup.dir24_8 import Dir24_8, NO_ROUTE
+from repro.net.ethernet import ETHERNET_HEADER_LEN, ETHERTYPE_IPV4
+from repro.net.checksum import verify_checksum16
+from repro.net.ipv4 import IPV4_HEADER_LEN, decrement_ttl, extract_dst
+from repro.net.neighbors import NeighborTable
+
+
+class IPv4Forwarder(RouterApplication):
+    """The IPv4 application over a DIR-24-8 table."""
+
+    name = "ipv4"
+
+    def __init__(
+        self,
+        table: Dir24_8,
+        local_addresses: Optional[Set[int]] = None,
+        verify_checksums: bool = True,
+        neighbors: Optional[NeighborTable] = None,
+    ) -> None:
+        self.table = table
+        self.local_addresses = local_addresses or set()
+        self.verify_checksums = verify_checksums
+        #: Optional next-hop table; when set, post-shading rewrites the
+        #: Ethernet header (next-hop MAC in, egress-port MAC out) and
+        #: unresolved next hops divert to the slow path for ARP.
+        self.neighbors = neighbors
+        self.slow_path_reasons = {
+            "non-ip": 0,
+            "malformed": 0,
+            "ttl-expired": 0,
+            "bad-checksum": 0,
+            "local": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # FIB update (Section 7: incremental update / double buffering).
+    # ------------------------------------------------------------------
+
+    def swap_table(self, new_table: Dir24_8) -> Dir24_8:
+        """Atomically install a new FIB; returns the old one.
+
+        Chunks in flight finish against the table they started with (the
+        work item captures the table reference), so the data path never
+        observes a half-updated FIB.
+        """
+        old, self.table = self.table, new_table
+        return old
+
+    # ------------------------------------------------------------------
+    # Classification (the slow-path logic of Section 6.2.1).
+    # ------------------------------------------------------------------
+
+    def _classify(self, chunk: Chunk) -> np.ndarray:
+        """Set DROP/SLOW_PATH verdicts; returns gathered destinations.
+
+        Returns a uint32 array with one slot per packet; non-pending
+        packets hold zero (their lookup result is ignored).
+        """
+        dsts = np.zeros(len(chunk), dtype=np.uint32)
+        for index, (frame, verdict) in enumerate(zip(chunk.frames, chunk.verdicts)):
+            l3 = ETHERNET_HEADER_LEN
+            if len(frame) < l3 + IPV4_HEADER_LEN:
+                verdict.drop()
+                self.slow_path_reasons["malformed"] += 1
+                continue
+            ethertype = (frame[12] << 8) | frame[13]
+            if ethertype != ETHERTYPE_IPV4:
+                verdict.slow_path()
+                self.slow_path_reasons["non-ip"] += 1
+                continue
+            if frame[l3] != 0x45:  # version 4, no options
+                verdict.drop()
+                self.slow_path_reasons["malformed"] += 1
+                continue
+            if self.verify_checksums and not verify_checksum16(
+                bytes(frame[l3:l3 + IPV4_HEADER_LEN])
+            ):
+                verdict.drop()
+                self.slow_path_reasons["bad-checksum"] += 1
+                continue
+            dst = extract_dst(frame, l3)
+            if dst in self.local_addresses:
+                verdict.slow_path()
+                self.slow_path_reasons["local"] += 1
+                continue
+            if not decrement_ttl(frame, l3):
+                verdict.slow_path()
+                self.slow_path_reasons["ttl-expired"] += 1
+                continue
+            dsts[index] = dst
+        return dsts
+
+    def _apply_next_hops(self, chunk: Chunk, next_hops: np.ndarray) -> None:
+        for index in chunk.pending_indices():
+            next_hop = int(next_hops[index])
+            if next_hop == NO_ROUTE:
+                chunk.verdicts[index].drop()
+            elif self.neighbors is None:
+                chunk.verdicts[index].forward_to(next_hop)
+            else:
+                port = self.neighbors.rewrite(chunk.frames[index], next_hop)
+                if port is None:
+                    chunk.verdicts[index].slow_path()  # awaiting ARP
+                else:
+                    chunk.verdicts[index].forward_to(port)
+
+    # ------------------------------------------------------------------
+    # The three callbacks.
+    # ------------------------------------------------------------------
+
+    def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
+        dsts = self._classify(chunk)
+        if not chunk.pending_indices():
+            return None
+        table = self.table  # captured: FIB swaps don't affect in-flight work
+        spec = KernelSpec(
+            name="ipv4_dir24_8",
+            compute_cycles=GPU_KERNELS.ipv4_compute_cycles,
+            mem_accesses=GPU_KERNELS.ipv4_mem_accesses,
+            fn=lambda addrs=dsts: table.lookup_batch(addrs),
+        )
+        return GPUWorkItem(
+            spec=spec,
+            threads=len(chunk),
+            bytes_in=4 * len(chunk),
+            bytes_out=4 * len(chunk),
+        )
+
+    def post_shade(self, chunk: Chunk, gpu_output) -> None:
+        if gpu_output is None:
+            return
+        self._apply_next_hops(chunk, gpu_output)
+
+    def cpu_process(self, chunk: Chunk) -> None:
+        dsts = self._classify(chunk)
+        if chunk.pending_indices():
+            self._apply_next_hops(chunk, self.table.lookup_batch(dsts))
+
+    # ------------------------------------------------------------------
+    # Cost hooks (calibration notes in repro.calib.constants.AppCosts).
+    # ------------------------------------------------------------------
+
+    def cpu_cycles_per_packet(self, frame_len: int) -> float:
+        accesses = 1.0 + 0.03  # 3% of RouteViews prefixes are longer than /24
+        return (
+            APPS.fast_path_header_cycles
+            + accesses * APPS.ipv4_cpu_lookup_cycles
+            + APPS.routing_decision_cycles
+        )
+
+    def worker_cycles_per_packet(self, frame_len: int) -> float:
+        return APPS.fast_path_header_cycles
+
+    def kernel_cost(self, frame_len: int) -> Tuple[KernelSpec, float]:
+        spec = KernelSpec(
+            name="ipv4_dir24_8",
+            compute_cycles=GPU_KERNELS.ipv4_compute_cycles,
+            mem_accesses=GPU_KERNELS.ipv4_mem_accesses,
+        )
+        return spec, 1.0
+
+    def gpu_bytes_per_packet(self, frame_len: int) -> Tuple[float, float]:
+        return 4.0, 4.0

@@ -1,0 +1,147 @@
+"""IPv6 forwarding (paper Section 6.2.2).
+
+The memory-intensive showcase: the Waldvogel binary search needs seven
+dependent probes per lookup, so CPU throughput is latency-bound while the
+GPU hides the latency with thousands of threads.  The workflow mirrors
+IPv4 "except that a wide IPv6 address causes four times more data to be
+copied into the GPU memory" (16 B per destination instead of 4 B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.calib.constants import APPS, GPU_KERNELS
+from repro.core.application import GPUWorkItem, RouterApplication
+from repro.core.chunk import Chunk
+from repro.hw.gpu import KernelSpec
+from repro.lookup.ipv6_bsearch import IPv6BinarySearch
+from repro.net.ethernet import ETHERNET_HEADER_LEN, ETHERTYPE_IPV6
+from repro.net.ipv6 import IPV6_HEADER_LEN, decrement_hop_limit, extract_dst
+from repro.net.neighbors import NeighborTable
+
+
+class IPv6Forwarder(RouterApplication):
+    """The IPv6 application over the binary-search-on-lengths table."""
+
+    name = "ipv6"
+
+    def __init__(
+        self,
+        table: IPv6BinarySearch,
+        local_addresses: Optional[Set[int]] = None,
+        neighbors: Optional[NeighborTable] = None,
+    ) -> None:
+        self.table = table
+        self.local_addresses = local_addresses or set()
+        #: Optional next-hop table (see the IPv4 twin); unresolved hops
+        #: divert to the slow path for neighbor discovery.
+        self.neighbors = neighbors
+        self.slow_path_reasons = {
+            "non-ip": 0,
+            "malformed": 0,
+            "hop-limit": 0,
+            "local": 0,
+        }
+
+    def swap_table(self, new_table: IPv6BinarySearch) -> IPv6BinarySearch:
+        """Double-buffered FIB update (Section 7), as for IPv4."""
+        old, self.table = self.table, new_table
+        return old
+
+    def _classify(self, chunk: Chunk) -> List[int]:
+        """Verdicts for broken/local packets; gathered destinations."""
+        dsts = [0] * len(chunk)
+        for index, (frame, verdict) in enumerate(zip(chunk.frames, chunk.verdicts)):
+            l3 = ETHERNET_HEADER_LEN
+            if len(frame) < l3 + IPV6_HEADER_LEN:
+                verdict.drop()
+                self.slow_path_reasons["malformed"] += 1
+                continue
+            ethertype = (frame[12] << 8) | frame[13]
+            if ethertype != ETHERTYPE_IPV6:
+                verdict.slow_path()
+                self.slow_path_reasons["non-ip"] += 1
+                continue
+            if frame[l3] >> 4 != 6:
+                verdict.drop()
+                self.slow_path_reasons["malformed"] += 1
+                continue
+            dst = extract_dst(frame, l3)
+            if dst in self.local_addresses:
+                verdict.slow_path()
+                self.slow_path_reasons["local"] += 1
+                continue
+            if not decrement_hop_limit(frame, l3):
+                verdict.slow_path()
+                self.slow_path_reasons["hop-limit"] += 1
+                continue
+            dsts[index] = dst
+        return dsts
+
+    def _apply_next_hops(self, chunk: Chunk, next_hops: List[Optional[int]]) -> None:
+        for index in chunk.pending_indices():
+            next_hop = next_hops[index]
+            if next_hop is None:
+                chunk.verdicts[index].drop()
+            elif self.neighbors is None:
+                chunk.verdicts[index].forward_to(next_hop)
+            else:
+                port = self.neighbors.rewrite(chunk.frames[index], next_hop)
+                if port is None:
+                    chunk.verdicts[index].slow_path()  # awaiting ND
+                else:
+                    chunk.verdicts[index].forward_to(port)
+
+    def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
+        dsts = self._classify(chunk)
+        if not chunk.pending_indices():
+            return None
+        table = self.table
+        spec = KernelSpec(
+            name="ipv6_bsearch",
+            compute_cycles=GPU_KERNELS.ipv6_compute_cycles,
+            mem_accesses=GPU_KERNELS.ipv6_mem_accesses,
+            fn=lambda addrs=dsts: table.lookup_batch(addrs),
+        )
+        return GPUWorkItem(
+            spec=spec,
+            threads=len(chunk),
+            bytes_in=16 * len(chunk),
+            bytes_out=4 * len(chunk),
+        )
+
+    def post_shade(self, chunk: Chunk, gpu_output) -> None:
+        if gpu_output is None:
+            return
+        self._apply_next_hops(chunk, gpu_output)
+
+    def cpu_process(self, chunk: Chunk) -> None:
+        dsts = self._classify(chunk)
+        if chunk.pending_indices():
+            self._apply_next_hops(chunk, self.table.lookup_batch(dsts))
+
+    # ------------------------------------------------------------------
+    # Cost hooks.
+    # ------------------------------------------------------------------
+
+    def cpu_cycles_per_packet(self, frame_len: int) -> float:
+        return (
+            APPS.fast_path_header_cycles
+            + APPS.ipv6_probes * APPS.ipv6_cpu_probe_cycles
+            + APPS.routing_decision_cycles
+        )
+
+    def worker_cycles_per_packet(self, frame_len: int) -> float:
+        return APPS.fast_path_header_cycles + APPS.ipv6_gather_extra_cycles
+
+    def kernel_cost(self, frame_len: int) -> Tuple[KernelSpec, float]:
+        spec = KernelSpec(
+            name="ipv6_bsearch",
+            compute_cycles=GPU_KERNELS.ipv6_compute_cycles,
+            mem_accesses=GPU_KERNELS.ipv6_mem_accesses,
+        )
+        return spec, 1.0
+
+    def gpu_bytes_per_packet(self, frame_len: int) -> Tuple[float, float]:
+        return 16.0, 4.0

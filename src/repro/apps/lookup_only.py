@@ -1,0 +1,69 @@
+"""The Section 2.3 motivating microbenchmark (Figure 2).
+
+IPv6 forwarding-table lookup with CPU and GPU, "randomly generated IPv6
+addresses", "does not involve actual packet I/O via NICs".  The CPU line
+is flat in batch size (no per-batch cost); the GPU curve rises with the
+level of parallelism, crossing one quad-core X5550 past ~320 addresses
+and two past ~640, and saturating around an order of magnitude over one
+CPU.
+"""
+
+from __future__ import annotations
+
+from repro.calib.constants import APPS, CPU, GPU_KERNELS
+from repro.hw.gpu import GPUDevice, KernelSpec
+
+#: Per-address bytes moved for the lookup: 16 B address in, 4 B result out.
+ADDR_BYTES_IN = 16
+RESULT_BYTES_OUT = 4
+
+
+def cpu_ipv6_lookup_rate_pps(num_cpus: int = 1) -> float:
+    """Lookup-only rate of ``num_cpus`` quad-core X5550 sockets.
+
+    Seven dependent probes per lookup (hash + table access each); all
+    cores busy, so per-core rate is latency-bound and flat in batch size.
+    """
+    if num_cpus < 1:
+        raise ValueError("need at least one CPU")
+    cycles = APPS.ipv6_probes * APPS.ipv6_cpu_probe_cycles
+    return num_cpus * CPU.cores * CPU.clock_hz / cycles
+
+
+def ipv6_lookup_kernel_spec() -> KernelSpec:
+    """The GPU kernel cost of one IPv6 lookup thread."""
+    return KernelSpec(
+        name="ipv6_bsearch",
+        compute_cycles=GPU_KERNELS.ipv6_compute_cycles,
+        mem_accesses=GPU_KERNELS.ipv6_mem_accesses,
+    )
+
+
+def gpu_ipv6_lookup_rate_pps(
+    batch_size: int, device: GPUDevice = None
+) -> float:
+    """GPU lookup rate at a batch size: ``n / T(n)`` with back-to-back
+    batches (copy in, launch, execute, copy out, synchronise)."""
+    if batch_size < 1:
+        raise ValueError("batch size must be >= 1")
+    device = device or GPUDevice()
+    spec = ipv6_lookup_kernel_spec()
+    total_ns = (
+        device.model.sync_overhead_ns
+        + device.launch_latency_ns(batch_size)
+        + device.pcie.h2d_time_ns(batch_size * ADDR_BYTES_IN)
+        + device.execution_time_ns(spec, batch_size)
+        + device.pcie.d2h_time_ns(batch_size * RESULT_BYTES_OUT)
+    )
+    return batch_size / total_ns * 1e9
+
+
+def gpu_crossover_batch(num_cpus: int = 1, limit: int = 65536) -> int:
+    """Smallest batch where the GPU overtakes ``num_cpus`` X5550s."""
+    target = cpu_ipv6_lookup_rate_pps(num_cpus)
+    batch = 1
+    while batch <= limit:
+        if gpu_ipv6_lookup_rate_pps(batch) >= target:
+            return batch
+        batch += max(1, batch // 16)
+    raise RuntimeError(f"no crossover below {limit}")

@@ -1,0 +1,163 @@
+"""The OpenFlow switch application (paper Section 6.2.3).
+
+Division of labour, exactly as the paper describes: "we offload hash
+value calculation and the wildcard matching to GPU, while leaving others
+in CPU for load distribution".  The pre-shader extracts ten-field keys;
+the GPU kernel computes the key hashes and scans the wildcard table; the
+post-shader does the exact-match probe with the precomputed hash, picks
+exact-over-wildcard, applies actions, and queues misses for the
+controller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.calib.constants import APPS, GPU_KERNELS
+from repro.core.application import GPUWorkItem, RouterApplication
+from repro.core.chunk import Chunk
+from repro.hw.gpu import KernelSpec
+from repro.openflow.actions import PORT_CONTROLLER, apply_actions
+from repro.openflow.flowkey import FlowKey, extract_flow_key
+from repro.openflow.flowtable import WildcardEntry, fnv1a_hash
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class OpenFlowApp(RouterApplication):
+    """An OpenFlow 0.8.9 switch on the PacketShader framework."""
+
+    name = "openflow"
+
+    def __init__(self, switch: OpenFlowSwitch) -> None:
+        self.switch = switch
+
+    # ------------------------------------------------------------------
+    # Functional path.
+    # ------------------------------------------------------------------
+
+    def _gpu_classify(
+        self, keys: List[Optional[FlowKey]]
+    ) -> List[Optional[Tuple[int, Optional[WildcardEntry]]]]:
+        """The GPU kernel body: per-key hash + wildcard linear search.
+
+        Both halves are data-parallel over packets, which is why the
+        paper offloads exactly these.  Returns (hash, wildcard entry or
+        None) per key.
+        """
+        results: List[Optional[Tuple[int, Optional[WildcardEntry]]]] = []
+        for key in keys:
+            if key is None:
+                results.append(None)
+                continue
+            key_hash = fnv1a_hash(key.pack())
+            entry, _ = self.switch.wildcard.lookup(key)
+            results.append((key_hash, entry))
+        return results
+
+    def _extract_keys(self, chunk: Chunk) -> List[Optional[FlowKey]]:
+        keys: List[Optional[FlowKey]] = []
+        for frame, verdict in zip(chunk.frames, chunk.verdicts):
+            if len(frame) < 14:
+                verdict.drop()
+                keys.append(None)
+                continue
+            keys.append(extract_flow_key(bytes(frame), chunk.in_port))
+        return keys
+
+    def _apply(self, chunk: Chunk, keys, classifications) -> None:
+        """Post-shading: exact probe, precedence, actions."""
+        for index in chunk.pending_indices():
+            key = keys[index]
+            result = classifications[index]
+            if key is None or result is None:
+                chunk.verdicts[index].drop()
+                continue
+            key_hash, wildcard_entry = result
+            frame = chunk.frames[index]
+            actions, _ = self.switch.exact.lookup(
+                key, key_hash, frame_len=len(frame)
+            )
+            if actions is not None:
+                self.switch.counters.exact_hits += 1
+            elif wildcard_entry is not None:
+                self.switch.counters.wildcard_hits += 1
+                wildcard_entry.stats.count(len(frame))
+                actions = wildcard_entry.actions
+            else:
+                self.switch.counters.misses += 1
+                self.switch.controller_queue.append((key, bytes(frame)))
+                chunk.verdicts[index].slow_path()
+                continue
+            _, outputs = apply_actions(frame, actions)
+            if outputs and outputs[0] != PORT_CONTROLLER:
+                chunk.verdicts[index].forward_to(outputs[0])
+            elif outputs:
+                self.switch.controller_queue.append((key, bytes(frame)))
+                chunk.verdicts[index].slow_path()
+            else:
+                chunk.verdicts[index].drop()
+
+    def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
+        keys = self._extract_keys(chunk)
+        chunk.app_state = keys  # stashed for post-shading
+        if not chunk.pending_indices():
+            return None
+        spec, _ = self.kernel_cost(64)
+        spec = KernelSpec(
+            name=spec.name,
+            compute_cycles=spec.compute_cycles,
+            mem_accesses=spec.mem_accesses,
+            fn=lambda ks=keys: self._gpu_classify(ks),
+        )
+        work = GPUWorkItem(
+            spec=spec,
+            threads=len(chunk),
+            bytes_in=31 * len(chunk),  # packed ten-field keys
+            bytes_out=8 * len(chunk),  # hash + wildcard result index
+        )
+        return work
+
+    def post_shade(self, chunk: Chunk, gpu_output) -> None:
+        if gpu_output is None:
+            return
+        self._apply(chunk, chunk.app_state, gpu_output)
+
+    def cpu_process(self, chunk: Chunk) -> None:
+        keys = self._extract_keys(chunk)
+        if chunk.pending_indices():
+            self._apply(chunk, keys, self._gpu_classify(keys))
+
+    # ------------------------------------------------------------------
+    # Cost hooks.
+    # ------------------------------------------------------------------
+
+    def cpu_cycles_per_packet(self, frame_len: int) -> float:
+        return (
+            APPS.of_extract_cycles
+            + APPS.of_hash_cycles
+            + APPS.of_exact_probe_cpu_cycles
+            + len(self.switch.wildcard) * APPS.of_wildcard_entry_cycles
+            + APPS.of_action_cycles
+        )
+
+    def worker_cycles_per_packet(self, frame_len: int) -> float:
+        return (
+            APPS.of_extract_cycles
+            + APPS.of_exact_probe_gpu_mode_cycles
+            + APPS.of_action_cycles
+        )
+
+    def kernel_cost(self, frame_len: int) -> Tuple[KernelSpec, float]:
+        spec = KernelSpec(
+            name="openflow_hash_wildcard",
+            compute_cycles=(
+                GPU_KERNELS.of_compute_cycles
+                + len(self.switch.wildcard)
+                * GPU_KERNELS.of_wildcard_entry_cycles
+            ),
+            mem_accesses=GPU_KERNELS.of_mem_accesses,
+        )
+        return spec, 1.0
+
+    def gpu_bytes_per_packet(self, frame_len: int) -> Tuple[float, float]:
+        return 31.0, 8.0

@@ -1,0 +1,11 @@
+"""Calibrated performance-model constants.
+
+Every number the simulator charges for time comes from this subpackage, and
+every constant is annotated with the paper measurement it was fitted to.
+Centralising the fits keeps the rest of the code free of magic numbers and
+makes the calibration auditable against the paper.
+"""
+
+from repro.calib import constants
+
+__all__ = ["constants"]

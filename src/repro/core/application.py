@@ -1,0 +1,105 @@
+"""The application interface: pre-shader, shader, post-shader callbacks.
+
+"A packet processing application runs on top of the framework and is
+mainly driven by three callback functions (a pre-shader, a shader, and a
+post-shader)" (Section 5.1).  Concrete applications in
+:mod:`repro.apps` implement:
+
+* the **functional callbacks** — real per-packet work over real frames:
+  ``pre_shade`` classifies packets and builds the GPU input,
+  ``gpu_work`` describes (and performs) the kernel, ``post_shade``
+  applies results; ``cpu_process`` is the CPU-only mode's whole pipeline;
+* the **cost hooks** — per-packet CPU cycles, GPU kernel cost spec, and
+  PCIe bytes, which :mod:`repro.core.solver` assembles into the pipeline
+  model that yields the Figure 11 curves.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.chunk import Chunk
+from repro.hw.gpu import GPUDevice, KernelSpec
+
+
+@dataclass
+class GPUWorkItem:
+    """One chunk's shading work: the kernel plus its transfer sizes.
+
+    ``threads`` is the GPU thread count (one per packet for lookups; one
+    per 16 B AES block for IPsec).  ``run`` executes the real computation
+    and returns the output object the post-shader consumes.
+    """
+
+    spec: KernelSpec
+    threads: int
+    bytes_in: int
+    bytes_out: int
+    args: tuple = ()
+
+    def launch_on(self, device: GPUDevice):
+        """Execute on a device; returns the LaunchResult (with output)."""
+        return device.launch(
+            self.spec, self.threads, self.bytes_in, self.bytes_out, self.args
+        )
+
+
+class RouterApplication(abc.ABC):
+    """Base class for PacketShader applications."""
+
+    #: Short name used in reports ("ipv4", "ipsec", ...).
+    name: str = "app"
+    #: Whether the GPU-mode shading path uses CUDA streams (the paper
+    #: enables concurrent copy & execution only for IPsec).
+    use_streams: bool = False
+    #: Override for the IOH displacement factor (how strongly this app's
+    #: GPU DMA competes with NIC DMA).  None uses the calibrated default
+    #: (small gathered arrays); payload-shipping applications displace
+    #: NIC budget nearly byte-for-byte and set a higher value.
+    gpu_displacement_override: float = None
+
+    # ------------------------------------------------------------------
+    # Functional path.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
+        """Worker step: drop malformed packets, divert slow-path ones,
+        mutate headers, and build the GPU input for the rest.
+
+        Returns the chunk's GPU work item, or None if nothing needs the
+        GPU (the chunk is then complete after pre-shading).
+        """
+
+    @abc.abstractmethod
+    def post_shade(self, chunk: Chunk, gpu_output) -> None:
+        """Worker step: apply GPU results — set verdicts/ports, rewrite
+        or duplicate packets as the results dictate."""
+
+    @abc.abstractmethod
+    def cpu_process(self, chunk: Chunk) -> None:
+        """CPU-only mode: the whole pipeline on the worker, no GPU."""
+
+    # ------------------------------------------------------------------
+    # Cost hooks (consumed by repro.core.solver).
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def cpu_cycles_per_packet(self, frame_len: int) -> float:
+        """Application CPU cycles per packet in CPU-only mode
+        (excluding packet I/O, which the solver adds)."""
+
+    @abc.abstractmethod
+    def worker_cycles_per_packet(self, frame_len: int) -> float:
+        """Worker-side application cycles per packet in CPU+GPU mode:
+        the pre-/post-shading work that stays on the CPU."""
+
+    @abc.abstractmethod
+    def kernel_cost(self, frame_len: int) -> Tuple[KernelSpec, float]:
+        """(kernel spec, GPU threads per packet) for the cost model."""
+
+    @abc.abstractmethod
+    def gpu_bytes_per_packet(self, frame_len: int) -> Tuple[float, float]:
+        """(host-to-device, device-to-host) PCIe bytes per packet."""

@@ -1,0 +1,98 @@
+"""The chunk: PacketShader's unit of batched processing (Section 5.3).
+
+"We define chunk as a group of packets fetched in a batch of packet
+reception.  The chunk size is not fixed but only capped."  A chunk is
+also the minimum unit of GPU parallelism, and FIFO order within a chunk
+is preserved end to end (flow order is guaranteed by RSS + FIFO queues).
+
+Each packet in a chunk carries a verdict: forward (with an output port),
+drop (malformed), or slow path (destined to local, TTL expired, bad
+checksum — Section 6.2.1's classification).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Disposition(enum.Enum):
+    """What should happen to one packet."""
+
+    PENDING = "pending"
+    FORWARD = "forward"
+    DROP = "drop"
+    SLOW_PATH = "slow_path"
+
+
+@dataclass
+class PacketVerdict:
+    """Per-packet processing outcome."""
+
+    disposition: Disposition = Disposition.PENDING
+    out_port: Optional[int] = None
+
+    def forward_to(self, port: int) -> None:
+        self.disposition = Disposition.FORWARD
+        self.out_port = port
+
+    def drop(self) -> None:
+        self.disposition = Disposition.DROP
+        self.out_port = None
+
+    def slow_path(self) -> None:
+        self.disposition = Disposition.SLOW_PATH
+        self.out_port = None
+
+
+@dataclass
+class Chunk:
+    """A batch of packets moving through the three shading steps."""
+
+    #: Raw frames (mutable: the fast path rewrites TTLs and checksums).
+    frames: List[bytearray]
+    #: RX provenance: which worker fetched it, from which port/queue.
+    worker_id: int = 0
+    in_port: int = 0
+    queue_id: int = 0
+    #: Per-packet verdicts, parallel to ``frames``.
+    verdicts: List[PacketVerdict] = field(default_factory=list)
+    #: Application-specific GPU input staging (built in pre-shading).
+    gpu_input: object = None
+    #: GPU results placed back by the master (consumed in post-shading).
+    gpu_output: object = None
+    #: Application-private per-chunk state surviving from pre- to
+    #: post-shading (e.g. the OpenFlow app stashes extracted flow keys).
+    app_state: object = None
+    #: Simulated clock bookkeeping for latency accounting.
+    arrival_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.verdicts:
+            self.verdicts = [PacketVerdict() for _ in self.frames]
+        if len(self.verdicts) != len(self.frames):
+            raise ValueError("verdicts must parallel frames")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def pending_indices(self) -> List[int]:
+        """Packets still awaiting a verdict (the GPU-bound subset)."""
+        return [
+            i
+            for i, verdict in enumerate(self.verdicts)
+            if verdict.disposition is Disposition.PENDING
+        ]
+
+    def split_by_port(self) -> dict:
+        """Post-shading's final step: frames grouped by output port."""
+        by_port: dict = {}
+        for frame, verdict in zip(self.frames, self.verdicts):
+            if verdict.disposition is Disposition.FORWARD:
+                by_port.setdefault(verdict.out_port, []).append(frame)
+        return by_port
+
+    def count(self, disposition: Disposition) -> int:
+        """How many packets carry a given disposition."""
+        return sum(1 for v in self.verdicts if v.disposition is disposition)

@@ -1,0 +1,268 @@
+"""The PacketShader router: workers, masters, and the chunk workflow.
+
+A functional, deterministic implementation of Figure 9's collaboration:
+worker threads pre-shade chunks and enqueue them on their node's master
+input queue; the master gathers queued chunks (gather/scatter,
+Section 5.4), launches the GPU work, and scatters results to the
+per-worker output queues; workers post-shade and split packets to their
+destination ports.
+
+Threads are cooperative objects stepped by the framework in round-robin
+order (not OS threads): the paper's threads are hard-affinitized and
+communicate only through these queues, so a deterministic interleaving
+preserves all the observable behaviour while keeping tests reproducible.
+Every packet is a real frame; every application callback does its real
+work.  Timing lives in :mod:`repro.core.solver`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.application import RouterApplication
+from repro.core.chunk import Chunk, Disposition
+from repro.core.config import RouterConfig
+from repro.core.queues import MasterInputQueue, WorkerOutputQueue
+from repro.hw.gpu import GPUDevice
+from repro.core.slowpath import SlowPathHandler
+from repro.io_engine.rss import RSSHasher
+from repro.net.packet import parse_packet
+
+
+@dataclass
+class RouterStats:
+    """End-to-end packet accounting."""
+
+    received: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    slow_path: int = 0
+    chunks: int = 0
+    gpu_launches: int = 0
+    gathered_chunks: int = 0
+
+    @property
+    def accounted(self) -> int:
+        return self.forwarded + self.dropped + self.slow_path
+
+
+@dataclass
+class _Worker:
+    worker_id: int
+    node: int
+    output_queue: WorkerOutputQueue
+    #: Chunks pre-shaded and awaiting shading results (chunk pipelining:
+    #: the worker moves on to the next chunk instead of blocking).
+    in_flight: int = 0
+
+
+@dataclass
+class _Node:
+    node_id: int
+    workers: List[_Worker]
+    input_queue: MasterInputQueue
+    gpu: Optional[GPUDevice]
+
+
+class PacketShader:
+    """The router framework, parameterised by an application."""
+
+    def __init__(
+        self,
+        app: RouterApplication,
+        config: Optional[RouterConfig] = None,
+        slow_path: Optional[SlowPathHandler] = None,
+    ) -> None:
+        self.app = app
+        self.config = config or RouterConfig()
+        #: Diverted packets go here ("passes them onto Linux TCP/IP
+        #: stack", Section 6.2.1); its ICMP responses leave through the
+        #: ingress port, back toward the source.
+        self.slow_path = slow_path
+        self.stats = RouterStats()
+        self.nodes: List[_Node] = []
+        worker_id = 0
+        for node_id in range(self.config.system.num_nodes):
+            workers = []
+            for _ in range(self.config.workers_per_node):
+                workers.append(
+                    _Worker(
+                        worker_id=worker_id,
+                        node=node_id,
+                        output_queue=WorkerOutputQueue(worker_id),
+                    )
+                )
+                worker_id += 1
+            self.nodes.append(
+                _Node(
+                    node_id=node_id,
+                    workers=workers,
+                    input_queue=MasterInputQueue(),
+                    gpu=GPUDevice(device_id=node_id, node=node_id)
+                    if self.config.use_gpu
+                    else None,
+                )
+            )
+        self._rr_worker: Dict[int, int] = {n.node_id: 0 for n in self.nodes}
+        # One RSS indirection per node, mapping flows onto the node's
+        # workers only (the NUMA-aware steering of Section 4.5).
+        self._rss: Dict[int, RSSHasher] = {
+            n.node_id: RSSHasher(queue_map=list(range(len(n.workers))))
+            for n in self.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # Ingress.
+    # ------------------------------------------------------------------
+
+    def node_of_port(self, port: int) -> int:
+        """Which NUMA node hosts a NIC port (ports split evenly)."""
+        ports_per_node = self.config.system.total_ports // self.config.system.num_nodes
+        node = port // ports_per_node
+        if not 0 <= node < len(self.nodes):
+            raise ValueError(f"port {port} out of range")
+        return node
+
+    def _worker_of_frame(self, frame: bytearray, node: _Node) -> _Worker:
+        """RSS worker selection: flows stick to one worker (Section 4.4).
+
+        Frames carrying a 5-tuple hash to a worker of the ingress node
+        (the NUMA-steered RSS of Section 4.5: local-node queues only);
+        non-IP frames fall back to round-robin.  Flow stickiness is what
+        preserves intra-flow packet order end to end (Section 5.3).
+        """
+        flow = None
+        try:
+            flow = parse_packet(bytes(frame)).five_tuple()
+        except ValueError:
+            pass
+        if flow is None:
+            worker = node.workers[self._rr_worker[node.node_id]]
+            self._rr_worker[node.node_id] = (
+                self._rr_worker[node.node_id] + 1
+            ) % len(node.workers)
+            return worker
+        hasher = self._rss[node.node_id]
+        return node.workers[hasher.queue_for(flow)]
+
+    def _chunks_from(self, frames: List[bytearray], in_port: int) -> List[Chunk]:
+        """Distribute ingress frames to workers by RSS, then chunk.
+
+        Each worker's share is split into capped chunks; per-worker
+        arrival order is preserved (the RX queue is a FIFO).
+        """
+        node = self.nodes[self.node_of_port(in_port)]
+        per_worker: Dict[int, List[bytearray]] = {}
+        for frame in frames:
+            worker = self._worker_of_frame(frame, node)
+            per_worker.setdefault(worker.worker_id, []).append(frame)
+        chunks = []
+        cap = self.config.chunk_capacity
+        for worker in node.workers:
+            share = per_worker.get(worker.worker_id, [])
+            for start in range(0, len(share), cap):
+                chunks.append(
+                    Chunk(
+                        frames=share[start:start + cap],
+                        worker_id=worker.worker_id,
+                        in_port=in_port,
+                    )
+                )
+        return chunks
+
+    # ------------------------------------------------------------------
+    # The three-step workflow.
+    # ------------------------------------------------------------------
+
+    def _shade_node(self, node: _Node) -> None:
+        """Run the node's master: gather, launch, scatter (Section 5.4)."""
+        gather = self.config.effective_gather_chunks()
+        while len(node.input_queue):
+            chunks = node.input_queue.get_batch(gather)
+            self.stats.gathered_chunks += len(chunks)
+            for chunk in chunks:
+                work = chunk.gpu_input
+                if work is None:
+                    chunk.gpu_output = None
+                else:
+                    result = work.launch_on(node.gpu)
+                    self.stats.gpu_launches += 1
+                    chunk.gpu_output = result.output
+                worker = node.workers[
+                    chunk.worker_id - node.workers[0].worker_id
+                ]
+                worker.output_queue.put(chunk)
+
+    def _finish_chunk(self, chunk: Chunk, egress: Dict[int, List[bytearray]]) -> None:
+        """Account verdicts and split forwarded frames to ports."""
+        for port, frames in chunk.split_by_port().items():
+            egress.setdefault(port, []).extend(frames)
+        self.stats.forwarded += chunk.count(Disposition.FORWARD)
+        self.stats.dropped += chunk.count(Disposition.DROP)
+        self.stats.slow_path += chunk.count(Disposition.SLOW_PATH)
+        self.stats.chunks += 1
+        if self.slow_path is not None:
+            diverted = [
+                bytes(frame)
+                for frame, verdict in zip(chunk.frames, chunk.verdicts)
+                if verdict.disposition is Disposition.SLOW_PATH
+            ]
+            for response in self.slow_path.handle_batch(diverted):
+                # ICMP responses head back toward the source: out the
+                # ingress port, framed with the original source MAC.
+                reply_frame = bytearray(14 + len(response))
+                reply_frame[12:14] = (0x0800).to_bytes(2, "big")
+                reply_frame[14:] = response
+                egress.setdefault(chunk.in_port, []).append(reply_frame)
+
+    def process_frames(
+        self, frames: List[bytearray], in_port: int = 0
+    ) -> Dict[int, List[bytearray]]:
+        """Run a burst of ingress frames through the full workflow.
+
+        Returns the egress map ``port -> frames``.  In CPU+GPU mode the
+        chunks flow worker -> master -> worker exactly as in Figure 9; in
+        CPU-only mode workers do everything.
+        """
+        node = self.nodes[self.node_of_port(in_port)]
+        chunks = self._chunks_from(frames, in_port)
+        return self.process_chunks(chunks, node)
+
+    def process_chunks(
+        self, chunks: List[Chunk], node: Optional[_Node] = None
+    ) -> Dict[int, List[bytearray]]:
+        """Run pre-built chunks through the workflow on one node.
+
+        The entry point for callers that already did the RX side (the
+        functional testbed fetches chunks through the packet I/O engine
+        and hands them here); ``process_frames`` is the convenience
+        wrapper that builds the chunks itself.
+        """
+        node = node or self.nodes[0]
+        egress: Dict[int, List[bytearray]] = {}
+        for chunk in chunks:
+            self.stats.received += len(chunk)
+            if not self.config.use_gpu:
+                self.app.cpu_process(chunk)
+                self._finish_chunk(chunk, egress)
+                continue
+            chunk.gpu_input = self.app.pre_shade(chunk)
+            while not node.input_queue.put(chunk):
+                # Backpressure: drain the master before retrying.
+                self._shade_node(node)
+                self._drain_outputs(node, egress)
+        if self.config.use_gpu:
+            self._shade_node(node)
+            self._drain_outputs(node, egress)
+        return egress
+
+    def _drain_outputs(self, node: _Node, egress: Dict[int, List[bytearray]]) -> None:
+        """Workers pick up shaded chunks and post-shade them."""
+        for worker in node.workers:
+            while True:
+                chunk = worker.output_queue.get()
+                if chunk is None:
+                    break
+                self.app.post_shade(chunk, chunk.gpu_output)
+                self._finish_chunk(chunk, egress)

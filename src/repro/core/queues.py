@@ -1,0 +1,106 @@
+"""Worker<->master queues (paper Sections 5.1, 5.3, Figure 9).
+
+Two queue kinds with deliberately different sharing:
+
+* the **master's input queue** is shared by all of the node's workers —
+  "we do not apply the same technique to the input queue in order to
+  guarantee fairness between worker threads" — so it is a single FIFO;
+* each worker has a **private output queue** the master scatters results
+  into — "having per-worker output queues relaxes cache bouncing and
+  lock contention by avoiding 1-to-N sharing".
+
+Both are bounded (backpressure, not unbounded memory) and count the
+handoffs so the cost models can charge the per-chunk queue cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.chunk import Chunk
+
+
+class MasterInputQueue:
+    """The shared FIFO of chunks awaiting shading on one node."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: Deque[Chunk] = deque()
+        self.enqueued = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def put(self, chunk: Chunk) -> bool:
+        """Worker-side: hand a pre-shaded chunk to the master.
+
+        Returns False when the queue is full — the worker then keeps the
+        chunk and retries (backpressure slows RX fetch, which is how an
+        overloaded GPU path sheds load to the RX rings).
+        """
+        if self.full:
+            self.rejected += 1
+            return False
+        self._queue.append(chunk)
+        self.enqueued += 1
+        return True
+
+    def get_batch(self, max_chunks: int) -> List[Chunk]:
+        """Master-side: dequeue up to ``max_chunks`` (the gather step).
+
+        FIFO across workers — the fairness property the shared queue
+        exists for; chunks from different workers interleave in arrival
+        order, never favouring one worker.
+        """
+        if max_chunks < 1:
+            raise ValueError("max_chunks must be >= 1")
+        count = min(max_chunks, len(self._queue))
+        return [self._queue.popleft() for _ in range(count)]
+
+
+class WorkerOutputQueue:
+    """One worker's private queue of shaded chunks (the scatter target)."""
+
+    def __init__(self, worker_id: int, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.worker_id = worker_id
+        self.capacity = capacity
+        self._queue: Deque[Chunk] = deque()
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def put(self, chunk: Chunk) -> None:
+        """Master-side: scatter a finished chunk back to its worker.
+
+        The master never blocks here in the paper's design; the queue is
+        sized so that cannot happen (workers drain faster than one GPU
+        produces).  Overflow is therefore a programming error, not load.
+        """
+        if chunk.worker_id != self.worker_id:
+            raise ValueError(
+                f"chunk of worker {chunk.worker_id} scattered to queue "
+                f"{self.worker_id}"
+            )
+        if self.full:
+            raise OverflowError(f"output queue {self.worker_id} overflow")
+        self._queue.append(chunk)
+        self.enqueued += 1
+
+    def get(self) -> Optional[Chunk]:
+        """Worker-side: pick up one finished chunk (post-shading input)."""
+        return self._queue.popleft() if self._queue else None

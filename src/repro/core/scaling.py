@@ -1,0 +1,107 @@
+"""Horizontal scaling with Valiant Load Balancing (paper Section 7).
+
+"In case more capacity or a larger number of ports are needed, we can
+take a similar approach as suggested by RouteBricks and use Valiant
+Load Balancing (VLB) or direct VLB."
+
+This module models the RouteBricks-style cluster: N PacketShader boxes
+in a full mesh, external traffic entering any node and leaving any
+node.  Classic VLB routes every packet through a random intermediate
+node (two internal hops), so each node's internal capacity must be 2x
+its external rate; direct VLB sends the uniform component directly (one
+hop) and falls back to two hops only for skewed traffic, cutting the
+internal overhead toward 1x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VLBCluster:
+    """An N-node cluster of identical routers.
+
+    ``node_capacity_gbps`` is one box's total packet-processing
+    capacity (external + internal traffic); ``mesh_link_gbps`` the
+    capacity of each internal mesh link; ``direct`` selects direct VLB.
+    """
+
+    num_nodes: int
+    node_capacity_gbps: float = 40.0
+    mesh_link_gbps: float = 10.0
+    direct: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if self.node_capacity_gbps <= 0 or self.mesh_link_gbps <= 0:
+            raise ValueError("capacities must be positive")
+
+    @property
+    def internal_overhead(self) -> float:
+        """Internal traffic per unit of external traffic.
+
+        Classic VLB forwards every packet twice inside the cluster
+        (ingress -> intermediate -> egress): overhead 2.  Direct VLB
+        delivers the balanced component in one hop: overhead 1 for
+        uniform traffic, approaching 2 only under full skew; we model
+        the uniform case the paper's workloads correspond to.
+        A single node needs no internal hops at all.
+        """
+        if self.num_nodes == 1:
+            return 0.0
+        return 1.0 if self.direct else 2.0
+
+    def external_capacity_gbps(self) -> float:
+        """Aggregate external traffic the cluster sustains.
+
+        Each node splits its processing capacity between external I/O
+        and internal relaying: an external rate ``e`` per node costs
+        ``e x (1 + overhead)`` of node capacity.  The mesh links bound
+        the per-pair internal rate as a second constraint.
+        """
+        overhead = self.internal_overhead
+        per_node_external = self.node_capacity_gbps / (1.0 + overhead)
+        if self.num_nodes > 1 and overhead:
+            # Internal traffic from one node spreads over N-1 links.
+            link_bound = self.mesh_link_gbps * (self.num_nodes - 1) / overhead
+            per_node_external = min(per_node_external, link_bound)
+        return per_node_external * self.num_nodes
+
+    def nodes_for(self, target_external_gbps: float) -> int:
+        """Smallest cluster sustaining a target external rate."""
+        if target_external_gbps <= 0:
+            raise ValueError("target must be positive")
+        nodes = 1
+        while True:
+            cluster = VLBCluster(
+                num_nodes=nodes,
+                node_capacity_gbps=self.node_capacity_gbps,
+                mesh_link_gbps=self.mesh_link_gbps,
+                direct=self.direct,
+            )
+            if cluster.external_capacity_gbps() >= target_external_gbps:
+                return nodes
+            nodes += 1
+            if nodes > 10_000:
+                raise RuntimeError("target unreachable with this node type")
+
+
+def packetshader_vs_rb4() -> dict:
+    """The paper's closing comparison: "PacketShader could replace RB4,
+    a cluster of four RouteBricks machines, with a single machine with
+    better performance."
+
+    Returns the two configurations' external capacities.
+    """
+    packetshader = VLBCluster(num_nodes=1, node_capacity_gbps=40.0)
+    # RB4: four RouteBricks nodes at 13.3 Gbps (64B) each, classic VLB
+    # over the mesh as the RouteBricks paper describes.
+    rb4 = VLBCluster(
+        num_nodes=4, node_capacity_gbps=13.3, mesh_link_gbps=10.0, direct=True
+    )
+    return {
+        "packetshader_single_box": packetshader.external_capacity_gbps(),
+        "routebricks_rb4": rb4.external_capacity_gbps(),
+    }

@@ -1,0 +1,92 @@
+"""The slow-path handler: what "pass to the Linux TCP/IP stack" does.
+
+The fast path (Section 6.2.1) diverts packets that are "destined to
+local, malformed, TTL expired, or marked as wrong IP checksum" to the
+kernel stack.  For a router, the stack's observable behaviour is:
+originate ICMP errors for expired/unroutable packets, answer pings to
+the router's own addresses, and count everything.  This module is that
+behaviour, so the slow path is functional end to end rather than a
+counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.net import icmp
+from repro.net.ethernet import ETHERNET_HEADER_LEN, ETHERTYPE_IPV4
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header
+
+
+@dataclass
+class SlowPathCounters:
+    """Per-reason accounting, like /proc/net/snmp would show."""
+
+    ttl_expired: int = 0
+    echo_replied: int = 0
+    delivered_local: int = 0
+    unhandled: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.ttl_expired + self.echo_replied
+            + self.delivered_local + self.unhandled
+        )
+
+
+class SlowPathHandler:
+    """Processes diverted packets and originates the router's responses."""
+
+    def __init__(self, router_addresses: Optional[Set[int]] = None) -> None:
+        self.router_addresses = set(router_addresses or {0x0A0000FE})
+        self.counters = SlowPathCounters()
+        #: Locally-delivered payloads (what a BGP daemon would read).
+        self.local_delivery: List[bytes] = []
+
+    @property
+    def primary_address(self) -> int:
+        return min(self.router_addresses)
+
+    def handle_frame(self, frame: bytes) -> Optional[bytes]:
+        """Process one diverted Ethernet frame.
+
+        Returns a response *IP packet* to transmit (an ICMP error or
+        echo reply), or None when the packet is absorbed.
+        """
+        if len(frame) < ETHERNET_HEADER_LEN + IPV4_HEADER_LEN:
+            self.counters.unhandled += 1
+            return None
+        ethertype = (frame[12] << 8) | frame[13]
+        if ethertype != ETHERTYPE_IPV4:
+            self.counters.unhandled += 1
+            return None
+        packet = bytes(frame[ETHERNET_HEADER_LEN:])
+        try:
+            ip = IPv4Header.unpack(packet)
+        except ValueError:
+            self.counters.unhandled += 1
+            return None
+        if ip.dst in self.router_addresses:
+            reply = icmp.echo_reply(packet)
+            if reply is not None:
+                self.counters.echo_replied += 1
+                return reply
+            self.counters.delivered_local += 1
+            self.local_delivery.append(packet)
+            return None
+        if ip.ttl <= 1:
+            self.counters.ttl_expired += 1
+            return icmp.time_exceeded(self.primary_address, packet)
+        self.counters.unhandled += 1
+        return None
+
+    def handle_batch(self, frames: List[bytes]) -> List[bytes]:
+        """Process a batch of diverted frames; returns the responses."""
+        responses = []
+        for frame in frames:
+            response = self.handle_frame(frame)
+            if response is not None:
+                responses.append(response)
+        return responses

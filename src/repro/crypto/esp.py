@@ -1,0 +1,176 @@
+"""ESP tunnel-mode encapsulation (RFC 4303) with AES-CTR and HMAC-SHA1-96.
+
+The IPsec gateway (paper Section 6.2.4) runs "Encapsulation Security
+Payload (ESP) IPsec tunneling mode", which wraps the whole original IP
+packet: a new outer IPv4 header, the ESP header (SPI + sequence number),
+the per-packet IV, the encrypted inner packet plus ESP trailer (padding,
+pad length, next header), and the 12-byte truncated HMAC ICV.
+
+Encap and decap are both implemented so the tests can verify the
+round-trip bit-exactly and check anti-replay sequence behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.aes import AES128, aes_ctr_xor
+from repro.crypto.sha1 import hmac_sha1_96
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header
+
+#: IP protocol number of ESP.
+PROTO_ESP = 50
+#: Protocol number recorded in the ESP trailer for a tunnelled IPv4 packet.
+NEXT_HEADER_IPV4 = 4
+ESP_HEADER_LEN = 8  # SPI + sequence number
+ESP_IV_LEN = 8      # RFC 3686 explicit IV
+ESP_ICV_LEN = 12    # HMAC-SHA1-96
+#: AES-CTR needs no block alignment; ESP still pads to 4-byte alignment of
+#: the (payload | padlen | next header) region.
+ESP_ALIGN = 4
+
+
+@dataclass
+class SecurityAssociation:
+    """One IPsec SA: keys, SPI, tunnel endpoints, and sequence state."""
+
+    spi: int
+    encryption_key: bytes
+    nonce: bytes
+    auth_key: bytes
+    tunnel_src: int
+    tunnel_dst: int
+    seq: int = 0
+    replay_window: int = 64
+    _highest_seen: int = field(default=0, repr=False)
+    _window_bits: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.encryption_key) != 16:
+            raise ValueError("AES-128 key must be 16 bytes")
+        if len(self.nonce) != 4:
+            raise ValueError("CTR nonce must be 4 bytes")
+        if not self.auth_key:
+            raise ValueError("auth key must not be empty")
+        self._aes = AES128(self.encryption_key)
+
+    @property
+    def aes(self) -> AES128:
+        return self._aes
+
+    def next_seq(self) -> int:
+        """Advance and return the outbound sequence number."""
+        self.seq += 1
+        if self.seq > 0xFFFFFFFF:
+            raise OverflowError("ESP sequence number exhausted; rekey the SA")
+        return self.seq
+
+    def check_replay(self, seq: int) -> bool:
+        """Inbound anti-replay check; True if the sequence is acceptable.
+
+        Implements the RFC 4303 sliding window: sequences ahead of the
+        window advance it; those inside it are accepted once; older or
+        repeated ones are rejected.
+        """
+        if seq == 0:
+            return False
+        if seq > self._highest_seen:
+            shift = seq - self._highest_seen
+            self._window_bits = (
+                (self._window_bits << shift) | 1
+            ) & ((1 << self.replay_window) - 1)
+            self._highest_seen = seq
+            return True
+        offset = self._highest_seen - seq
+        if offset >= self.replay_window:
+            return False
+        mask = 1 << offset
+        if self._window_bits & mask:
+            return False
+        self._window_bits |= mask
+        return True
+
+    def iv_for_seq(self, seq: int) -> bytes:
+        """Deterministic per-packet IV (sequence-derived, RFC 3686 style)."""
+        return struct.pack(">II", self.spi & 0xFFFFFFFF, seq & 0xFFFFFFFF)
+
+
+def esp_overhead_bytes(inner_len: int) -> int:
+    """Total bytes ESP tunnel mode adds to an inner IP packet.
+
+    New outer IPv4 header + ESP header + IV + trailer (padding to 4-byte
+    alignment + pad-length + next-header) + ICV.  The cost models use
+    this to size the encrypted/authenticated regions.
+    """
+    if inner_len < 0:
+        raise ValueError("negative inner length")
+    pad = (-(inner_len + 2)) % ESP_ALIGN
+    return IPV4_HEADER_LEN + ESP_HEADER_LEN + ESP_IV_LEN + pad + 2 + ESP_ICV_LEN
+
+
+def esp_encapsulate(sa: SecurityAssociation, inner_packet: bytes,
+                    ttl: int = 64) -> bytes:
+    """Wrap an inner IPv4 packet into an ESP tunnel-mode outer packet.
+
+    Returns the complete outer IPv4 packet (no Ethernet framing).  The
+    encrypted region is (inner | padding | padlen | next header); the
+    ICV authenticates (ESP header | IV | ciphertext).
+    """
+    seq = sa.next_seq()
+    iv = sa.iv_for_seq(seq)
+    pad_len = (-(len(inner_packet) + 2)) % ESP_ALIGN
+    padding = bytes(range(1, pad_len + 1))  # RFC 4303 default pad pattern
+    trailer = padding + bytes([pad_len, NEXT_HEADER_IPV4])
+    ciphertext = aes_ctr_xor(sa.aes, sa.nonce, iv, inner_packet + trailer)
+    esp_header = struct.pack(">II", sa.spi, seq)
+    auth_region = esp_header + iv + ciphertext
+    icv = hmac_sha1_96(sa.auth_key, auth_region)
+    payload = auth_region + icv
+    outer = IPv4Header(
+        src=sa.tunnel_src,
+        dst=sa.tunnel_dst,
+        protocol=PROTO_ESP,
+        ttl=ttl,
+        total_length=IPV4_HEADER_LEN + len(payload),
+        identification=seq & 0xFFFF,
+    )
+    return outer.pack() + payload
+
+
+def esp_decapsulate(
+    sa: SecurityAssociation, outer_packet: bytes, check_replay: bool = True
+) -> Tuple[Optional[bytes], str]:
+    """Unwrap an ESP tunnel packet; returns (inner packet, status).
+
+    ``status`` is "ok" or the reason for rejection ("bad-icv",
+    "replay", "malformed", "bad-spi") — the counters an IPsec gateway
+    reports.
+    """
+    if len(outer_packet) < IPV4_HEADER_LEN + ESP_HEADER_LEN + ESP_IV_LEN + ESP_ICV_LEN:
+        return None, "malformed"
+    outer = IPv4Header.unpack(outer_packet)
+    if outer.protocol != PROTO_ESP:
+        return None, "malformed"
+    payload = outer_packet[IPV4_HEADER_LEN:outer.total_length]
+    spi, seq = struct.unpack(">II", payload[:ESP_HEADER_LEN])
+    if spi != sa.spi:
+        return None, "bad-spi"
+    auth_region = payload[:-ESP_ICV_LEN]
+    icv = payload[-ESP_ICV_LEN:]
+    if hmac_sha1_96(sa.auth_key, auth_region) != icv:
+        return None, "bad-icv"
+    if check_replay and not sa.check_replay(seq):
+        return None, "replay"
+    iv = payload[ESP_HEADER_LEN:ESP_HEADER_LEN + ESP_IV_LEN]
+    ciphertext = payload[ESP_HEADER_LEN + ESP_IV_LEN:-ESP_ICV_LEN]
+    plaintext = aes_ctr_xor(sa.aes, sa.nonce, iv, ciphertext)
+    if len(plaintext) < 2:
+        return None, "malformed"
+    pad_len = plaintext[-2]
+    next_header = plaintext[-1]
+    if next_header != NEXT_HEADER_IPV4 or pad_len + 2 > len(plaintext):
+        return None, "malformed"
+    inner = plaintext[:len(plaintext) - 2 - pad_len]
+    return inner, "ok"

@@ -1,0 +1,30 @@
+"""Traffic generation (paper Section 6.1).
+
+The paper built its own 80 Gbps generator on the same packet I/O engine;
+ours generates the same *workloads* deterministically: frames of the
+evaluation sizes with "random destination IP addresses and UDP port
+numbers (so that IP forwarding and OpenFlow look up a different entry for
+every packet)", plus the arrival processes (backlogged for throughput
+runs, Poisson for the latency sweep).
+"""
+
+from repro.gen.packetgen import PacketGenerator
+from repro.gen.workloads import (
+    EVAL_FRAME_SIZES,
+    ipv4_workload,
+    ipv6_workload,
+    openflow_workload,
+    ipsec_workload,
+)
+from repro.gen.arrivals import poisson_interarrivals_ns, constant_interarrivals_ns
+
+__all__ = [
+    "EVAL_FRAME_SIZES",
+    "PacketGenerator",
+    "constant_interarrivals_ns",
+    "ipsec_workload",
+    "ipv4_workload",
+    "ipv6_workload",
+    "openflow_workload",
+    "poisson_interarrivals_ns",
+]

@@ -1,0 +1,31 @@
+"""Arrival processes for the latency experiment (Figure 12).
+
+The throughput experiments offer backlogged traffic (constant
+interarrivals at line rate); the latency sweep offers a range of loads.
+Poisson arrivals model the generator's randomised send process and excite
+the queueing behaviour the figure shows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def constant_interarrivals_ns(rate_pps: float) -> Iterator[float]:
+    """Deterministic interarrival gaps at ``rate_pps`` packets/s."""
+    if rate_pps <= 0:
+        raise ValueError("rate must be positive")
+    gap = 1e9 / rate_pps
+    while True:
+        yield gap
+
+
+def poisson_interarrivals_ns(rate_pps: float, seed: int = 1) -> Iterator[float]:
+    """Exponential interarrival gaps with mean ``1/rate`` (Poisson process)."""
+    if rate_pps <= 0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    mean_ns = 1e9 / rate_pps
+    while True:
+        yield rng.expovariate(1.0) * mean_ns

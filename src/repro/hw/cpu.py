@@ -1,0 +1,120 @@
+"""CPU time model: cores, sockets, and memory-access costing.
+
+Models the Nehalem Xeon X5550 behaviour the paper leans on in Section 2.4:
+
+* out-of-order execution overlaps *independent* cache misses, but only up
+  to the Miss Status Holding Register (MSHR) limit — about 6 outstanding
+  misses for one busy core, 4 when all cores burst;
+* *dependent* accesses (pointer chasing, the IPv6 binary search where each
+  probe depends on the previous result) cannot overlap at all;
+* node-crossing accesses cost 40-50% more latency (Section 4.5).
+
+Application cost models (``repro.apps``) combine these with per-packet
+compute cycles to produce CPU-mode throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calib.constants import CPU, CPUModel
+
+
+def memory_access_time(
+    dependent_accesses: float,
+    independent_accesses: float = 0.0,
+    model: CPUModel = CPU,
+    all_cores_busy: bool = True,
+    remote: bool = False,
+) -> float:
+    """Modelled time (ns) for a mix of DRAM accesses from one core.
+
+    ``dependent_accesses`` serialize at full DRAM latency.  ``independent``
+    ones overlap up to the MSHR limit, so their effective latency divides
+    by the available miss parallelism.  ``remote`` applies the
+    node-crossing penalty of Section 4.5.
+    """
+    if dependent_accesses < 0 or independent_accesses < 0:
+        raise ValueError("access counts must be non-negative")
+    latency = model.dram_latency_ns
+    if remote:
+        latency *= model.remote_latency_factor
+    mshr = model.mshr_all_cores if all_cores_busy else model.mshr_single_core
+    return dependent_accesses * latency + independent_accesses * latency / mshr
+
+
+@dataclass
+class CPUCore:
+    """One core with a cycle accumulator.
+
+    The I/O engine and framework charge work to cores via
+    :meth:`charge_cycles`/:meth:`charge_ns`; the pipeline solver then turns
+    accumulated cycles per packet into sustainable rates.
+    """
+
+    core_id: int
+    node: int
+    model: CPUModel = field(default_factory=lambda: CPU)
+    busy_cycles: float = 0.0
+
+    def charge_cycles(self, cycles: float) -> float:
+        """Accumulate ``cycles`` of work; returns the equivalent ns."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge: {cycles}")
+        self.busy_cycles += cycles
+        return cycles * 1e9 / self.model.clock_hz
+
+    def charge_ns(self, ns: float) -> float:
+        """Accumulate ``ns`` of work expressed in time; returns cycles."""
+        if ns < 0:
+            raise ValueError(f"negative time charge: {ns}")
+        cycles = ns * self.model.clock_hz / 1e9
+        self.busy_cycles += cycles
+        return cycles
+
+    @property
+    def busy_ns(self) -> float:
+        """Accumulated busy time in ns."""
+        return self.busy_cycles * 1e9 / self.model.clock_hz
+
+    def reset(self) -> None:
+        """Zero the accumulator."""
+        self.busy_cycles = 0.0
+
+
+@dataclass
+class CPUSocket:
+    """A quad-core socket bound to one NUMA node."""
+
+    node: int
+    model: CPUModel = field(default_factory=lambda: CPU)
+    cores: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            self.cores = [
+                CPUCore(core_id=self.node * self.model.cores + i, node=self.node,
+                        model=self.model)
+                for i in range(self.model.cores)
+            ]
+
+    @property
+    def total_busy_cycles(self) -> float:
+        """Sum of busy cycles across the socket's cores."""
+        return sum(core.busy_cycles for core in self.cores)
+
+    def packets_per_second(self, cycles_per_packet: float, cores_used: int = 0) -> float:
+        """Sustainable packet rate given a per-packet cycle cost.
+
+        ``cores_used`` defaults to all cores in the socket.  This is the
+        basic CPU-capacity formula behind every CPU-only throughput figure.
+        """
+        if cycles_per_packet <= 0:
+            raise ValueError("cycles_per_packet must be positive")
+        cores = cores_used or self.model.cores
+        return cores * self.model.clock_hz / cycles_per_packet
+
+    def reset(self) -> None:
+        """Zero all core accumulators."""
+        for core in self.cores:
+            core.reset()

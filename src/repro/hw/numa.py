@@ -1,0 +1,187 @@
+"""NUMA topology and the dual-IOH I/O ceilings (paper Sections 3.1-3.2, 4.5).
+
+The test system (Figure 3) has two NUMA nodes, each with a quad-core
+socket, local DDR3, and an Intel 5520 IOH carrying two dual-port 10 GbE
+NICs (PCIe x8) and one GTX480 (PCIe x16).  The dual-IOH board shows
+asymmetric DMA throughput (device-to-host slower than host-to-device) that
+ultimately caps forwarding around 40 Gbps; the paper measures the ceilings
+(Figure 6) and attributes them to the chipset.  We encode exactly those
+measured ceilings per IOH.
+
+This module answers the capacity questions the pipeline solver asks:
+"at frame size S, with this much GPU PCIe traffic riding on the same IOHs,
+how many Gbps of RX / TX / RX+TX can the I/O subsystem move?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.calib.constants import CPU, IOH, NIC, SYSTEM, CPUModel, IOHModel, SystemSpec
+from repro.hw.cpu import CPUSocket
+from repro.hw.gpu import GPUDevice
+from repro.hw.nic import NICPort
+from repro.net.ethernet import wire_bits
+
+
+@dataclass
+class IOHub:
+    """One Intel 5520 I/O hub with its measured DMA ceilings."""
+
+    hub_id: int
+    model: IOHModel = field(default_factory=lambda: IOH)
+
+    def rx_efficiency(self, frame_len: int) -> float:
+        """Fraction of the RX ceiling usable at a given frame size.
+
+        Small frames pay proportionally more descriptor/completion DMA
+        (Figure 6: 53.1 Gbps @64 B vs 59.9 @1514 B over two hubs).
+        """
+        wire = frame_len + 24
+        return wire / (wire + self.model.rx_per_packet_overhead_bytes)
+
+    def tx_efficiency(self, frame_len: int) -> float:
+        """TX analogue; nearly 1.0 (79.3 vs 80.0 Gbps in Figure 6)."""
+        wire = frame_len + 24
+        return wire / (wire + self.model.tx_per_packet_overhead_bytes)
+
+    def rx_capacity_gbps(self, frame_len: int) -> float:
+        """Device-to-host (NIC RX) ceiling at this frame size, Gbps."""
+        return self.model.rx_ceiling_gbps * self.rx_efficiency(frame_len)
+
+    def tx_capacity_gbps(self, frame_len: int) -> float:
+        """Host-to-device (NIC TX) ceiling at this frame size, Gbps."""
+        return self.model.tx_ceiling_gbps * self.tx_efficiency(frame_len)
+
+    def bidir_capacity_gbps(self, frame_len: int) -> float:
+        """Simultaneous RX+TX (forwarding) ceiling at this frame size.
+
+        Forwarding peaks slightly *above* 40 Gbps at 64 B (41.1 in
+        Figure 6) and settles to ~40 for large frames; the small-frame
+        bonus term captures that.
+        """
+        wire = frame_len + 24
+        bonus = self.model.bidir_small_frame_bonus_gbps * (88.0 / wire)
+        return self.model.bidir_ceiling_gbps + bonus
+
+
+@dataclass
+class NUMANode:
+    """One NUMA node: socket + local memory + IOH + its PCIe devices."""
+
+    node_id: int
+    socket: CPUSocket
+    ioh: IOHub
+    gpus: List[GPUDevice] = field(default_factory=list)
+    ports: List[NICPort] = field(default_factory=list)
+
+
+class SystemTopology:
+    """The whole Figure 3 box: two NUMA nodes, eight ports, two GPUs."""
+
+    def __init__(
+        self,
+        spec: SystemSpec = SYSTEM,
+        cpu_model: CPUModel = CPU,
+        ioh_model: IOHModel = IOH,
+        queues_per_port: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.ioh_model = ioh_model
+        queues = queues_per_port or cpu_model.cores
+        self.nodes: List[NUMANode] = []
+        port_id = 0
+        for node_id in range(spec.num_nodes):
+            ports = []
+            for _ in range(spec.nics_per_node * spec.ports_per_nic):
+                ports.append(NICPort(port_id, node=node_id, num_queues=queues))
+                port_id += 1
+            self.nodes.append(
+                NUMANode(
+                    node_id=node_id,
+                    socket=CPUSocket(node=node_id, model=cpu_model),
+                    ioh=IOHub(node_id, model=ioh_model),
+                    gpus=[
+                        GPUDevice(device_id=node_id * spec.gpus_per_node + g,
+                                  node=node_id)
+                        for g in range(spec.gpus_per_node)
+                    ],
+                    ports=ports,
+                )
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_ports(self) -> int:
+        return sum(len(node.ports) for node in self.nodes)
+
+    @property
+    def all_gpus(self) -> List[GPUDevice]:
+        return [gpu for node in self.nodes for gpu in node.gpus]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(len(node.socket.cores) for node in self.nodes)
+
+    def line_rate_gbps(self) -> float:
+        """Aggregate 10 GbE line capacity (80 Gbps for eight ports)."""
+        return self.total_ports * 10.0
+
+    # ------------------------------------------------------------------
+    # System-wide I/O capacities (both IOHs together).
+    # ------------------------------------------------------------------
+
+    def rx_capacity_gbps(self, frame_len: int) -> float:
+        """System RX ceiling: min of line rate and the summed IOH caps."""
+        ioh_cap = sum(node.ioh.rx_capacity_gbps(frame_len) for node in self.nodes)
+        return min(self.line_rate_gbps(), ioh_cap)
+
+    def tx_capacity_gbps(self, frame_len: int) -> float:
+        """System TX ceiling."""
+        ioh_cap = sum(node.ioh.tx_capacity_gbps(frame_len) for node in self.nodes)
+        return min(self.line_rate_gbps(), ioh_cap)
+
+    def forwarding_capacity_gbps(
+        self,
+        frame_len: int,
+        gpu_pcie_bytes_per_packet: float = 0.0,
+        numa_aware: bool = True,
+        node_crossing: bool = False,
+        displacement_factor: Optional[float] = None,
+    ) -> float:
+        """Bidirectional (forwarding) I/O ceiling, Gbps of wire throughput.
+
+        ``gpu_pcie_bytes_per_packet`` is the extra host<->device DMA a
+        GPU-accelerated application ships per forwarded packet; it rides
+        the same IOHs and displaces NIC budget at the calibrated rate
+        (Section 6.3: IPv4/IPv6 forwarding dip from 41 to 39/38 Gbps
+        "because IOH gets more overloaded due to copying IP addresses and
+        lookup results").  ``numa_aware=False`` applies the Section 4.5
+        penalty (below 25 Gbps); ``node_crossing=True`` applies the small
+        Figure 6 node-crossing penalty.
+        """
+        if gpu_pcie_bytes_per_packet < 0:
+            raise ValueError("gpu_pcie_bytes_per_packet must be non-negative")
+        cap = sum(node.ioh.bidir_capacity_gbps(frame_len) for node in self.nodes)
+        wire_bytes = frame_len + 24
+        factor = (
+            self.ioh_model.gpu_displacement_factor
+            if displacement_factor is None
+            else displacement_factor
+        )
+        displacement = factor * gpu_pcie_bytes_per_packet / wire_bytes
+        cap = cap / (1.0 + displacement)
+        if not numa_aware:
+            cap *= self.ioh_model.numa_blind_factor
+        if node_crossing:
+            cap *= self.ioh_model.node_crossing_factor
+        return min(cap, self.line_rate_gbps() / 2.0 * 2.0)
+
+    def forwarding_capacity_pps(self, frame_len: int, **kwargs) -> float:
+        """Forwarding ceiling in packets/s at a frame size."""
+        gbps = self.forwarding_capacity_gbps(frame_len, **kwargs)
+        return gbps * 1e9 / wire_bits(frame_len)

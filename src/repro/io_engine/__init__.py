@@ -1,0 +1,48 @@
+"""The optimized packet I/O engine (paper Section 4).
+
+PacketShader's first contribution is a packet I/O engine that removes the
+per-packet costs of the stock Linux path.  This subpackage implements both
+sides of that comparison:
+
+* the **baseline**: Linux-style per-packet ``skb`` allocation through a
+  slab-model allocator (:mod:`repro.io_engine.skb`), whose cycle
+  accounting reproduces the Table 3 breakdown;
+* the **engine**: huge packet buffers with compact 8-byte metadata cells
+  (:mod:`repro.io_engine.hugebuf`), batched RX/TX with software prefetch
+  (:mod:`repro.io_engine.batching`, :mod:`repro.io_engine.driver`),
+  Toeplitz RSS with core-aware queues (:mod:`repro.io_engine.rss`),
+  user-level per-queue virtual interfaces
+  (:mod:`repro.io_engine.engine`), and the interrupt/poll livelock
+  avoidance scheme (:mod:`repro.io_engine.livelock`).
+"""
+
+from repro.io_engine.skb import LinuxSkb, SkbAllocator, RxCycleBreakdown
+from repro.io_engine.hugebuf import HugePacketBuffer, MetadataCell
+from repro.io_engine.rss import RSSHasher, MICROSOFT_RSS_KEY
+from repro.io_engine.batching import (
+    forwarding_cycles_per_packet,
+    rx_cycles_per_packet,
+    tx_cycles_per_packet,
+)
+from repro.io_engine.driver import OptimizedDriver, UnmodifiedDriver
+from repro.io_engine.engine import PacketIOEngine, VirtualInterface
+from repro.io_engine.livelock import PollState, LivelockAvoider
+
+__all__ = [
+    "HugePacketBuffer",
+    "LinuxSkb",
+    "LivelockAvoider",
+    "MICROSOFT_RSS_KEY",
+    "MetadataCell",
+    "OptimizedDriver",
+    "PacketIOEngine",
+    "PollState",
+    "RSSHasher",
+    "RxCycleBreakdown",
+    "SkbAllocator",
+    "UnmodifiedDriver",
+    "VirtualInterface",
+    "forwarding_cycles_per_packet",
+    "rx_cycles_per_packet",
+    "tx_cycles_per_packet",
+]

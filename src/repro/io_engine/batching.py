@@ -1,0 +1,122 @@
+"""Batch-processing cost model (paper Section 4.3, Figure 5).
+
+Batching amortises the per-batch costs — the system call, PCIe doorbell
+register writes, interrupt handling, bookkeeping — over many packets, and
+software prefetch of the *next* packet's descriptor and data eliminates
+the compulsory miss of the current one.  The paper's Figure 5 anchors the
+model: a single core with two 10 GbE ports forwards 0.78 Gbps of 64 B
+frames packet-by-packet and 10.5 Gbps with 64-packet batches (x13.5).
+
+The central formula is::
+
+    cycles/packet = per_batch_cycles / batch_size + per_packet_cycles
+
+with the two constants fitted through the Figure 5 endpoints (see
+:class:`repro.calib.constants.IOEngineCosts`).  Options model the
+ablations: disabling prefetch returns the compulsory miss to every packet;
+disabling the Section 4.4 alignment/per-queue-counter fixes adds the
+multi-core scaling penalty.
+"""
+
+from __future__ import annotations
+
+from repro.calib.constants import CPU, IO_ENGINE, CPUModel, IOEngineCosts
+
+
+def _validate(batch_size: int) -> None:
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+
+
+def forwarding_cycles_per_packet(
+    batch_size: int,
+    costs: IOEngineCosts = IO_ENGINE,
+    prefetch: bool = True,
+    aligned_queues: bool = True,
+    num_cores: int = 1,
+) -> float:
+    """Per-packet CPU cycles for minimal forwarding (RX + TX, no lookup).
+
+    ``prefetch=False`` charges the per-packet compulsory cache miss the
+    software prefetch otherwise hides (Section 4.3).  ``aligned_queues=
+    False`` applies the up-to-20% multi-core penalty from false sharing
+    and shared statistics counters (Section 4.4), growing with core count.
+    """
+    _validate(batch_size)
+    cycles = costs.per_batch_cycles / batch_size + costs.per_packet_cycles
+    if not prefetch:
+        cycles += costs.no_prefetch_extra_cycles
+    if not aligned_queues and num_cores > 1:
+        # Linear ramp to the full 20% penalty at 8 cores, as measured.
+        penalty = costs.unaligned_scaling_penalty * min(1.0, (num_cores - 1) / 7.0)
+        cycles *= 1.0 + penalty
+    return cycles
+
+
+def rx_cycles_per_packet(
+    batch_size: int,
+    costs: IOEngineCosts = IO_ENGINE,
+    prefetch: bool = True,
+) -> float:
+    """Per-packet cycles for RX-only (receive and drop)."""
+    _validate(batch_size)
+    # RX pays the batch overhead alone; TX-side bookkeeping is absent.
+    cycles = costs.per_batch_cycles / (2 * batch_size) + costs.rx_only_per_packet_cycles
+    if not prefetch:
+        cycles += costs.no_prefetch_extra_cycles
+    return cycles
+
+
+def tx_cycles_per_packet(
+    batch_size: int,
+    costs: IOEngineCosts = IO_ENGINE,
+) -> float:
+    """Per-packet cycles for TX-only (transmit pre-built frames)."""
+    _validate(batch_size)
+    return costs.per_batch_cycles / (2 * batch_size) + costs.tx_only_per_packet_cycles
+
+
+def forwarding_pps_single_core(
+    batch_size: int,
+    cpu: CPUModel = CPU,
+    costs: IOEngineCosts = IO_ENGINE,
+    **kwargs,
+) -> float:
+    """Packets/s one core forwards at a batch size — the Figure 5 y-axis
+    (converted to Gbps by the caller at the experiment's frame size)."""
+    cycles = forwarding_cycles_per_packet(batch_size, costs, **kwargs)
+    return cpu.clock_hz / cycles
+
+
+def effective_batch_size(
+    offered_pps_per_core: float,
+    cap: int,
+    cpu: CPUModel = CPU,
+    costs: IOEngineCosts = IO_ENGINE,
+) -> float:
+    """Average packets found per fetch when a core polls back-to-back.
+
+    The engine never waits for a full batch (Section 5.3: "we do not
+    intentionally wait").  A fetch that processes ``b`` packets takes
+    ``(per_batch + b * per_packet)`` cycles, during which ``offered * t``
+    new packets accumulate; the steady-state batch is the fixed point
+
+        b = offered * (per_batch + b * per_packet) / clock
+
+    capped by the configured maximum.  This reproduces the paper's
+    observation that "the CPU usage is elastic with the number of packets
+    for each fetch" — average batch 13.6 with 8 cores vs 63.0 with 4
+    cores at the same offered load (Section 4.6): fewer cores each see
+    more packets per fetch.
+    """
+    if offered_pps_per_core < 0:
+        raise ValueError("offered load must be non-negative")
+    if cap < 1:
+        raise ValueError("batch cap must be >= 1")
+    denominator = cpu.clock_hz - offered_pps_per_core * costs.per_packet_cycles
+    if denominator <= 0:
+        # The core cannot keep up even with infinite batching; it always
+        # finds a full ring.
+        return float(cap)
+    batch = offered_pps_per_core * costs.per_batch_cycles / denominator
+    return max(1.0, min(float(cap), batch))

@@ -1,0 +1,155 @@
+"""User-level packet I/O: virtual per-queue interfaces and capacities.
+
+Two layers live here:
+
+* the **functional API** (:class:`PacketIOEngine`, :class:`VirtualInterface`)
+  — the Section 5.2 user-level interface.  A virtual interface is a
+  ``(NIC id, RX queue id)`` pair dedicated to one user thread, so queues
+  are never shared across cores (Figure 8b); a thread fetches from its
+  interfaces round-robin "for fairness".  Chunks of real frames flow
+  through real huge-buffer cells.
+* the **capacity model** (:func:`io_throughput_report`) — computes the
+  Figure 5/6 numbers by combining the per-core cycle model of
+  :mod:`repro.io_engine.batching` with the IOH ceilings of
+  :mod:`repro.hw.numa` and identifying the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.calib.constants import CPU, FRAMEWORK
+from repro.hw.numa import SystemTopology
+from repro.io_engine.batching import (
+    forwarding_cycles_per_packet,
+    rx_cycles_per_packet,
+    tx_cycles_per_packet,
+)
+from repro.io_engine.driver import OptimizedDriver
+from repro.io_engine.livelock import LivelockAvoider, PollState
+from repro.sim.metrics import ThroughputReport, gbps_to_pps
+
+
+@dataclass
+class VirtualInterface:
+    """A (NIC id, RX queue id) pair owned by exactly one user thread."""
+
+    nic_id: int
+    queue_id: int
+    owner_thread: int
+    livelock: LivelockAvoider = field(default_factory=LivelockAvoider)
+
+
+class PacketIOEngine:
+    """The user-mode packet API over one or more optimized drivers.
+
+    ``attach`` dedicates a queue to a thread; ``recv_chunk`` fetches a
+    batched chunk from the thread's interfaces in round-robin order;
+    ``send_chunk`` posts frames to a port's TX queue.  Double-attaching a
+    queue is rejected — the no-sharing guarantee is the whole point of
+    the multiqueue-aware interface (Figure 8).
+    """
+
+    def __init__(self, drivers: Dict[int, OptimizedDriver]) -> None:
+        if not drivers:
+            raise ValueError("engine needs at least one driver")
+        self.drivers = drivers
+        self._interfaces: Dict[Tuple[int, int], VirtualInterface] = {}
+        self._by_thread: Dict[int, List[VirtualInterface]] = {}
+        self._rr_cursor: Dict[int, int] = {}
+
+    def attach(self, nic_id: int, queue_id: int, thread: int) -> VirtualInterface:
+        """Dedicate (nic, queue) to ``thread``; returns the interface."""
+        key = (nic_id, queue_id)
+        if key in self._interfaces:
+            raise ValueError(f"queue {key} is already attached")
+        if nic_id not in self.drivers:
+            raise KeyError(f"unknown NIC {nic_id}")
+        if not 0 <= queue_id < len(self.drivers[nic_id].buffers):
+            raise ValueError(f"NIC {nic_id} has no queue {queue_id}")
+        interface = VirtualInterface(nic_id, queue_id, thread)
+        self._interfaces[key] = interface
+        self._by_thread.setdefault(thread, []).append(interface)
+        self._rr_cursor.setdefault(thread, 0)
+        return interface
+
+    def interfaces_of(self, thread: int) -> List[VirtualInterface]:
+        return list(self._by_thread.get(thread, []))
+
+    def recv_chunk(self, thread: int, max_packets: int = 0) -> List[bytes]:
+        """Fetch one chunk for ``thread``, round-robin over its queues.
+
+        The chunk size is capped, never waited for (Section 5.3).  Walks
+        the thread's interfaces starting after the last one served and
+        returns the first non-empty fetch; an empty list means all queues
+        are drained (the caller would block per the livelock scheme).
+        """
+        interfaces = self._by_thread.get(thread)
+        if not interfaces:
+            raise KeyError(f"thread {thread} has no attached queues")
+        cap = max_packets or FRAMEWORK.chunk_capacity
+        start = self._rr_cursor[thread]
+        for step in range(len(interfaces)):
+            interface = interfaces[(start + step) % len(interfaces)]
+            driver = self.drivers[interface.nic_id]
+            if interface.livelock.state is PollState.BLOCKED:
+                if not driver.buffers[interface.queue_id]:
+                    continue
+                # Pending packets: the interrupt path wakes the thread.
+                if interface.livelock.on_interrupt():
+                    interface.livelock.resume()
+            elif interface.livelock.state is PollState.WAKING:
+                interface.livelock.resume()
+            frames = driver.fetch_batch(interface.queue_id, cap)
+            remaining = len(driver.buffers[interface.queue_id])
+            interface.livelock.on_fetch(len(frames), remaining)
+            if frames:
+                self._rr_cursor[thread] = (start + step + 1) % len(interfaces)
+                return frames
+        return []
+
+    @staticmethod
+    def send_chunk(port, frames: List[bytes], queue_id: int = 0) -> int:
+        """Post a chunk to a port's TX queue; returns packets accepted."""
+        return port.tx_queues[queue_id].post_batch(frames)
+
+
+def io_throughput_report(
+    frame_len: int,
+    topology: Optional[SystemTopology] = None,
+    mode: str = "forward",
+    batch_size: int = 64,
+    cores: int = 0,
+    node_crossing: bool = False,
+    numa_aware: bool = True,
+) -> ThroughputReport:
+    """Throughput of the bare I/O engine — the Figure 6 generator.
+
+    ``mode`` is ``rx`` (receive and drop), ``tx`` (transmit prebuilt
+    frames), or ``forward`` (RX + TX without IP lookup).  The result is
+    the min of the CPU capacity (cores x clock / cycles-per-packet) and
+    the relevant I/O ceiling, annotated with whichever bound.
+    """
+    topology = topology or SystemTopology()
+    cores = cores or topology.total_cores
+    if mode == "rx":
+        cycles = rx_cycles_per_packet(batch_size)
+        io_gbps = topology.rx_capacity_gbps(frame_len)
+    elif mode == "tx":
+        cycles = tx_cycles_per_packet(batch_size)
+        io_gbps = topology.tx_capacity_gbps(frame_len)
+    elif mode == "forward":
+        cycles = forwarding_cycles_per_packet(
+            batch_size, aligned_queues=True, num_cores=cores
+        )
+        io_gbps = topology.forwarding_capacity_gbps(
+            frame_len, numa_aware=numa_aware, node_crossing=node_crossing
+        )
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    cpu_pps = cores * CPU.clock_hz / cycles
+    io_pps = gbps_to_pps(io_gbps, frame_len)
+    if cpu_pps <= io_pps:
+        return ThroughputReport(frame_len, cpu_pps, bottleneck="cpu")
+    return ThroughputReport(frame_len, io_pps, bottleneck="io")

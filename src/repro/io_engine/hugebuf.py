@@ -1,0 +1,160 @@
+"""Huge packet buffer (paper Section 4.2, Figure 4b).
+
+Instead of allocating an skb and a data buffer per packet, the modified
+driver allocates *two huge buffers per RX queue*: one of fixed 2048-byte
+data cells (fits a 1518-byte frame and satisfies the NIC's 1024-byte
+alignment requirement) and one of compact 8-byte metadata cells (down from
+Linux's 208 bytes — the fast path needs only length and offset/status).
+Cells are recycled in ring order as the circular RX queue wraps; nothing
+is ever allocated per packet, and the whole region is DMA-mapped once.
+
+The implementation is genuinely circular: writing packet ``i + ring_size``
+reuses the cell of packet ``i``, and the class enforces the invariant that
+a cell is not reused while the host still holds it (an un-fetched cell
+being overwritten is an RX ring overflow, reported as a drop — exactly
+the hardware behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.calib.constants import NIC, NICModel
+
+
+@dataclass
+class MetadataCell:
+    """The 8-byte metadata cell: frame length + status bits.
+
+    The real cell packs into 8 bytes; we keep named fields and provide
+    :meth:`pack` to prove they fit.
+    """
+
+    length: int = 0
+    status: int = 0
+
+    #: Status flag bits the NIC sets (82599 RX descriptor write-back).
+    STATUS_DONE = 0x1
+    STATUS_BAD_CHECKSUM = 0x2
+
+    def pack(self) -> bytes:
+        """Serialise to exactly 8 bytes (2-byte length, 2-byte status,
+        4 bytes reserved) — demonstrating the compact layout."""
+        if not 0 <= self.length <= 0xFFFF:
+            raise ValueError(f"length {self.length} does not fit the cell")
+        if not 0 <= self.status <= 0xFFFF:
+            raise ValueError(f"status {self.status} does not fit the cell")
+        return (
+            self.length.to_bytes(2, "little")
+            + self.status.to_bytes(2, "little")
+            + bytes(4)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MetadataCell":
+        if len(data) != 8:
+            raise ValueError("metadata cell must be exactly 8 bytes")
+        return cls(
+            length=int.from_bytes(data[0:2], "little"),
+            status=int.from_bytes(data[2:4], "little"),
+        )
+
+
+class HugePacketBuffer:
+    """One RX queue's pair of huge buffers with circular cell reuse."""
+
+    def __init__(self, ring_size: int = 0, model: NICModel = NIC) -> None:
+        self.model = model
+        self.ring_size = ring_size or model.rx_ring_size
+        if self.ring_size <= 0:
+            raise ValueError("ring size must be positive")
+        self.cell_size = model.buffer_cell_size
+        # The single contiguous data region, DMA-mapped once.
+        self.data = bytearray(self.ring_size * self.cell_size)
+        self.metadata: List[MetadataCell] = [
+            MetadataCell() for _ in range(self.ring_size)
+        ]
+        # NIC-side write cursor and host-side read cursor (ring indices
+        # grow without bound; cell index is cursor % ring_size).
+        self._write_cursor = 0
+        self._read_cursor = 0
+        self.drops = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        """Packets received but not yet fetched by the host."""
+        return self._write_cursor - self._read_cursor
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.ring_size
+
+    def cell_offset(self, cursor: int) -> int:
+        """Byte offset of a cursor's cell in the data region."""
+        return (cursor % self.ring_size) * self.cell_size
+
+    def write(self, frame: bytes, status: int = MetadataCell.STATUS_DONE) -> bool:
+        """NIC-side: DMA a received frame into the next cell.
+
+        Returns False and counts a drop when the ring is full (the host
+        has not consumed the oldest cell yet) — cells are never clobbered.
+        """
+        if len(frame) > self.cell_size:
+            raise ValueError(
+                f"frame of {len(frame)}B exceeds the {self.cell_size}B cell"
+            )
+        if self.full:
+            self.drops += 1
+            return False
+        offset = self.cell_offset(self._write_cursor)
+        self.data[offset:offset + len(frame)] = frame
+        cell = self.metadata[self._write_cursor % self.ring_size]
+        cell.length = len(frame)
+        cell.status = status
+        self._write_cursor += 1
+        self.writes += 1
+        return True
+
+    def fetch(self, max_packets: int) -> List[Tuple[int, MetadataCell]]:
+        """Host-side: consume up to ``max_packets`` cells in ring order.
+
+        Returns ``(data_offset, metadata)`` pairs; the caller copies the
+        bytes out (the Section 4.3 kernel-to-user copy) after which the
+        cells are implicitly recycled — the cursor advance *is* the
+        recycling, no deallocation happens.
+        """
+        if max_packets <= 0:
+            raise ValueError("max_packets must be positive")
+        count = min(max_packets, len(self))
+        out = []
+        for _ in range(count):
+            offset = self.cell_offset(self._read_cursor)
+            cell = self.metadata[self._read_cursor % self.ring_size]
+            out.append((offset, cell))
+            self._read_cursor += 1
+        return out
+
+    def read_frame(self, offset: int, cell: MetadataCell) -> bytes:
+        """Copy one frame out of its cell (the user-buffer copy)."""
+        return bytes(self.data[offset:offset + cell.length])
+
+    def copy_batch_to_user(self, fetched) -> Tuple[bytearray, List[Tuple[int, int]]]:
+        """Copy a fetched batch into one consecutive user buffer.
+
+        Mirrors the engine's user API: "we copy the data in the huge
+        packet buffer into a consecutive user-level buffer along with an
+        array of offset and length for each packet" (Section 4.3).
+        Returns the user buffer and the (offset, length) array.
+        """
+        total = sum(cell.length for _, cell in fetched)
+        user_buffer = bytearray(total)
+        index = []
+        cursor = 0
+        for offset, cell in fetched:
+            user_buffer[cursor:cursor + cell.length] = self.data[
+                offset:offset + cell.length
+            ]
+            index.append((cursor, cell.length))
+            cursor += cell.length
+        return user_buffer, index

@@ -1,0 +1,38 @@
+"""Longest-prefix-match lookup structures.
+
+Three real implementations:
+
+* :mod:`repro.lookup.trie` — a binary trie: the obviously-correct
+  reference every other structure is tested against, and the helper that
+  precomputes best-matching prefixes during the Waldvogel build;
+* :mod:`repro.lookup.dir24_8` — DIR-24-8-BASIC [Gupta, Lin, McKeown,
+  INFOCOM 1998], the paper's IPv4 structure (Section 6.2.1): one memory
+  access for prefixes up to /24, two beyond;
+* :mod:`repro.lookup.ipv6_bsearch` — binary search on prefix lengths
+  with markers and best-match precomputation [Waldvogel et al., SIGCOMM
+  1997], the paper's IPv6 structure (Section 6.2.2): at most
+  ceil(log2 128) = 7 hash probes.
+
+:mod:`repro.lookup.routeviews` generates the synthetic forwarding tables:
+a RouteViews-2009-shaped IPv4 table (282,797 prefixes, 3% longer than
+/24) and the 200,000 random IPv6 prefixes of Section 6.2.2.
+"""
+
+from repro.lookup.trie import BinaryTrie
+from repro.lookup.dir24_8 import Dir24_8, NO_ROUTE
+from repro.lookup.ipv6_bsearch import IPv6BinarySearch
+from repro.lookup.routeviews import (
+    synthetic_bgp_table,
+    random_ipv6_table,
+    ROUTEVIEWS_PREFIX_COUNT,
+)
+
+__all__ = [
+    "BinaryTrie",
+    "Dir24_8",
+    "IPv6BinarySearch",
+    "NO_ROUTE",
+    "ROUTEVIEWS_PREFIX_COUNT",
+    "random_ipv6_table",
+    "synthetic_bgp_table",
+]

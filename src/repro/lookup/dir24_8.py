@@ -1,0 +1,146 @@
+"""DIR-24-8-BASIC IPv4 lookup (Gupta, Lin, McKeown, INFOCOM 1998).
+
+The paper's IPv4 structure (Section 6.2.1): a 2^24-entry first table
+indexed by the top 24 address bits, holding either a next hop or a pointer
+into a second table of 256-entry blocks indexed by the low 8 bits.  One
+memory access resolves any prefix up to /24; prefixes longer than 24 bits
+(3% of the RouteViews snapshot) cost a second access.
+
+Stored as numpy arrays — the same flat-array layout a GPU kernel wants —
+so the "GPU kernel" for IPv4 (:mod:`repro.apps.ipv4`) is literally a
+vectorised gather over these arrays.
+
+Encoding (as in the original paper): ``tbl24`` entries with the top bit
+clear hold a next hop directly; with the top bit set, the low 15 bits are
+the index of a 256-entry block in ``tbl_long``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Sentinel next hop meaning "no route".
+NO_ROUTE = 0x7FFF
+_LONG_FLAG = 0x8000
+_MAX_BLOCKS = 0x7FFF
+
+
+class Dir24_8:
+    """The two-level DIR-24-8-BASIC table."""
+
+    def __init__(self) -> None:
+        self.tbl24 = np.full(1 << 24, NO_ROUTE, dtype=np.uint16)
+        self.tbl_long = np.zeros(0, dtype=np.uint16)
+        self._blocks: List[np.ndarray] = []
+        self._routes = 0
+        self._built = False
+
+    def __len__(self) -> int:
+        return self._routes
+
+    @property
+    def memory_bytes(self) -> int:
+        """Footprint of both tables (the paper's 32 MB + spillover)."""
+        return self.tbl24.nbytes + 256 * 2 * len(self._blocks)
+
+    def add_routes(self, routes: Iterable[Tuple[int, int, int]]) -> None:
+        """Bulk-insert (prefix, length, next_hop) routes and build.
+
+        Routes are applied in ascending length order so longer prefixes
+        overwrite shorter ones in their covered range — the standard
+        DIR-24-8 construction.  Next hops must fit in 15 bits and must
+        not equal the NO_ROUTE sentinel.
+        """
+        ordered = sorted(routes, key=lambda r: r[1])
+        for prefix, length, next_hop in ordered:
+            self._insert(prefix, length, next_hop)
+        self._finalize()
+
+    def _insert(self, prefix: int, length: int, next_hop: int) -> None:
+        if not 0 <= length <= 32:
+            raise ValueError(f"IPv4 prefix length {length} out of range")
+        if not 0 <= prefix < (1 << 32):
+            raise ValueError("prefix out of IPv4 range")
+        if length < 32 and prefix & ((1 << (32 - length)) - 1):
+            raise ValueError(f"{prefix:#x}/{length} has host bits set")
+        if not 0 <= next_hop < NO_ROUTE:
+            raise ValueError(f"next hop {next_hop} does not fit in 15 bits")
+        self._routes += 1
+        if length <= 24:
+            start = prefix >> 8
+            span = 1 << (24 - length)
+            # Ranges already expanded to a long block keep their block but
+            # its uncovered entries inherit the new shorter route.
+            segment = self.tbl24[start:start + span]
+            plain = (segment & _LONG_FLAG) == 0
+            segment[plain] = next_hop
+            for index in np.nonzero(~plain)[0]:
+                block = self._blocks[int(segment[index]) & _MAX_BLOCKS]
+                block[block == NO_ROUTE] = next_hop
+        else:
+            index24 = prefix >> 8
+            entry = int(self.tbl24[index24])
+            if entry & _LONG_FLAG:
+                block = self._blocks[entry & _MAX_BLOCKS]
+            else:
+                if len(self._blocks) >= _MAX_BLOCKS:
+                    raise MemoryError("tbl_long block space exhausted")
+                # New block inherits the covering short route (or NO_ROUTE).
+                block = np.full(256, entry, dtype=np.uint16)
+                self._blocks.append(block)
+                self.tbl24[index24] = _LONG_FLAG | (len(self._blocks) - 1)
+            low = prefix & 0xFF
+            span = 1 << (32 - length)
+            block[low:low + span] = next_hop
+
+    def _finalize(self) -> None:
+        """Concatenate blocks into the flat second-level array."""
+        if self._blocks:
+            self.tbl_long = np.concatenate(self._blocks)
+        else:
+            self.tbl_long = np.zeros(0, dtype=np.uint16)
+        self._built = True
+
+    def lookup(self, addr: int) -> Tuple[Optional[int], int]:
+        """Scalar lookup; returns (next_hop or None, memory_accesses).
+
+        The access count is the quantity the CPU/GPU cost models consume:
+        1 for a /24-resolved address, 2 when the long table is consulted.
+        """
+        if not self._built:
+            raise RuntimeError("table not built; call add_routes first")
+        if not 0 <= addr < (1 << 32):
+            raise ValueError("address out of IPv4 range")
+        entry = int(self.tbl24[addr >> 8])
+        if entry & _LONG_FLAG:
+            block = entry & _MAX_BLOCKS
+            value = int(self.tbl_long[block * 256 + (addr & 0xFF)])
+            return (None if value == NO_ROUTE else value), 2
+        return (None if entry == NO_ROUTE else entry), 1
+
+    def lookup_batch(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorised lookup — the IPv4 "GPU kernel".
+
+        ``addrs`` is a uint32 array; returns a uint16 array of next hops
+        (NO_ROUTE where unrouted).  Two gathers, exactly the memory
+        behaviour the GPU model charges for.
+        """
+        if not self._built:
+            raise RuntimeError("table not built; call add_routes first")
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        entries = self.tbl24[addrs >> np.uint32(8)]
+        result = entries.copy()
+        long_mask = (entries & _LONG_FLAG) != 0
+        if long_mask.any():
+            blocks = (entries[long_mask] & _MAX_BLOCKS).astype(np.int64)
+            offsets = (addrs[long_mask] & np.uint32(0xFF)).astype(np.int64)
+            result[long_mask] = self.tbl_long[blocks * 256 + offsets]
+        return result
+
+    def expected_accesses(self, addrs: np.ndarray) -> float:
+        """Mean memory accesses per lookup over an address sample."""
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        entries = self.tbl24[addrs >> np.uint32(8)]
+        return float(1.0 + ((entries & _LONG_FLAG) != 0).mean())

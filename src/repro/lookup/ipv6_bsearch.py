@@ -1,0 +1,158 @@
+"""Binary search on prefix lengths (Waldvogel et al., SIGCOMM 1997).
+
+The paper's IPv6 structure (Section 6.2.2): hash tables keyed by prefix,
+one per prefix length, searched by binary search — *over the set of
+distinct prefix lengths present*, as the original algorithm prescribes.
+Markers placed at the search levels that branch toward a longer prefix
+steer the search; each marker precomputes its *best matching prefix* so
+a failed lower half never backtracks.
+
+The probe bound is the depth of the balanced search tree over the
+levels: at most ``ceil(log2(W))`` = 7 for 128-bit addresses — the
+paper's "seven memory accesses" per IPv6 lookup.  Every lookup reports
+its actual probe count for the cost models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lookup.trie import BinaryTrie
+
+
+class _Entry:
+    """One hash-table slot: a real prefix, a marker, or both."""
+
+    __slots__ = ("next_hop", "bmp")
+
+    def __init__(self) -> None:
+        #: Next hop if a real route ends at this prefix, else None.
+        self.next_hop: Optional[int] = None
+        #: Precomputed best-matching-prefix next hop along this string
+        #: (what the search remembers before descending right).
+        self.bmp: Optional[int] = None
+
+
+class IPv6BinarySearch:
+    """Longest-prefix match by binary search over prefix lengths."""
+
+    def __init__(self, width: int = 128) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        #: Distinct route lengths, sorted — the binary search domain.
+        self.levels: List[int] = []
+        self.tables: Dict[int, Dict[int, _Entry]] = {}
+        self.default_next_hop: Optional[int] = None
+        self._trie = BinaryTrie(width)
+        self._built = False
+
+    @property
+    def max_probes(self) -> int:
+        """Worst-case hash probes per lookup.
+
+        After :meth:`build`, the depth of the balanced search tree over
+        the distinct lengths; before it, the width-derived bound
+        ``ceil(log2(width))`` (7 for IPv6, the number the paper charges).
+        """
+        if self._built and self.levels:
+            return max(1, math.ceil(math.log2(len(self.levels) + 1)))
+        return max(1, math.ceil(math.log2(self.width)))
+
+    def _branch_right_levels(self, length: int) -> List[int]:
+        """Levels where the search branches right on its way to ``length``
+        — exactly where markers for a length-``length`` route belong."""
+        lo, hi = 0, len(self.levels) - 1
+        path = []
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            level = self.levels[mid]
+            if level == length:
+                break
+            if level < length:
+                path.append(level)
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return path
+
+    @staticmethod
+    def _truncate(prefix: int, width: int, length: int) -> int:
+        """The top ``length`` bits of a left-aligned prefix, as the key."""
+        return prefix >> (width - length)
+
+    def build(self, routes: Iterable[Tuple[int, int, int]]) -> None:
+        """Construct the per-length hash tables with markers and BMPs.
+
+        ``routes`` are (left-aligned prefix, length, next_hop) triples;
+        length-0 entries set the default route.  Markers are placed at
+        the branch-right levels of each route's search path, and every
+        entry's best-matching prefix is precomputed from the route trie.
+        """
+        routes = list(routes)
+        for prefix, length, next_hop in routes:
+            if not 0 <= length <= self.width:
+                raise ValueError(f"prefix length {length} out of range")
+            if length == 0:
+                self.default_next_hop = next_hop
+                continue
+            self._trie.insert(prefix, length, next_hop)
+        self.levels = sorted(
+            {length for _, length, _ in routes if length > 0}
+        )
+        for prefix, length, next_hop in routes:
+            if length == 0:
+                continue
+            table = self.tables.setdefault(length, {})
+            key = self._truncate(prefix, self.width, length)
+            entry = table.setdefault(key, _Entry())
+            entry.next_hop = next_hop
+            for level in self._branch_right_levels(length):
+                marker_key = self._truncate(prefix, self.width, level)
+                self.tables.setdefault(level, {}).setdefault(marker_key, _Entry())
+        # Precompute BMPs: markers and real prefixes both remember the
+        # best real route along their string.
+        for length, table in self.tables.items():
+            for key, entry in table.items():
+                aligned = key << (self.width - length)
+                entry.bmp = self._trie.lookup_prefix(aligned, length)
+        self._built = True
+
+    def lookup(self, addr: int) -> Tuple[Optional[int], int]:
+        """Longest-prefix match; returns (next_hop or None, probes).
+
+        ``probes`` counts hash-table accesses — bounded by
+        :attr:`max_probes` (7 for the paper's IPv6 configuration), the
+        number the CPU/GPU cost models charge as dependent accesses.
+        """
+        if not self._built:
+            raise RuntimeError("call build() before lookup()")
+        if not 0 <= addr < (1 << self.width):
+            raise ValueError("address out of range")
+        best = self.default_next_hop
+        lo, hi = 0, len(self.levels) - 1
+        probes = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            level = self.levels[mid]
+            probes += 1
+            entry = self.tables[level].get(
+                self._truncate(addr, self.width, level)
+            )
+            if entry is not None:
+                if entry.bmp is not None:
+                    best = entry.bmp
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best, probes
+
+    def lookup_batch(self, addrs) -> List[Optional[int]]:
+        """Lookup a batch of addresses — the IPv6 "GPU kernel" body."""
+        return [self.lookup(addr)[0] for addr in addrs]
+
+    @property
+    def table_sizes(self) -> Dict[int, int]:
+        """Entries (prefixes + markers) per length table, for reports."""
+        return {length: len(table) for length, table in sorted(self.tables.items())}

@@ -1,0 +1,119 @@
+"""Binary trie: the reference longest-prefix-match structure.
+
+One bit per level, so lookups walk up to ``width`` nodes — far too slow
+for a fast path (that is the point of DIR-24-8 and the Waldvogel search),
+but trivially correct.  Used by the tests as the ground truth and by the
+Waldvogel builder to precompute each marker's best-matching prefix.
+
+Works for any address width (32 for IPv4, 128 for IPv6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("children", "next_hop")
+
+    def __init__(self) -> None:
+        self.children: List[Optional[_Node]] = [None, None]
+        self.next_hop: Optional[int] = None
+
+
+class BinaryTrie:
+    """A binary (unibit) trie keyed by (prefix value, prefix length)."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"address width must be positive, got {width}")
+        self.width = width
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _check(self, prefix: int, length: int) -> None:
+        if not 0 <= length <= self.width:
+            raise ValueError(f"prefix length {length} out of [0, {self.width}]")
+        if not 0 <= prefix < (1 << self.width):
+            raise ValueError(f"prefix value out of range for width {self.width}")
+        if length < self.width and prefix & ((1 << (self.width - length)) - 1):
+            raise ValueError(
+                f"prefix {prefix:#x}/{length} has bits set beyond its length"
+            )
+
+    def insert(self, prefix: int, length: int, next_hop: int) -> None:
+        """Insert or replace a route.  ``prefix`` is left-aligned (the
+        address with host bits zero), as in textbook notation."""
+        self._check(prefix, length)
+        node = self._root
+        for depth in range(length):
+            bit = (prefix >> (self.width - 1 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if node.next_hop is None:
+            self._count += 1
+        node.next_hop = next_hop
+
+    def lookup(self, addr: int) -> Optional[int]:
+        """Longest-prefix match; returns the next hop or None."""
+        if not 0 <= addr < (1 << self.width):
+            raise ValueError(f"address out of range for width {self.width}")
+        node = self._root
+        best = node.next_hop
+        for depth in range(self.width):
+            bit = (addr >> (self.width - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+    def best_match_length(self, addr: int) -> Optional[Tuple[int, int]]:
+        """Like :meth:`lookup` but returns (next_hop, matched_length)."""
+        node = self._root
+        best = (node.next_hop, 0) if node.next_hop is not None else None
+        for depth in range(self.width):
+            bit = (addr >> (self.width - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = (node.next_hop, depth + 1)
+        return best
+
+    def lookup_prefix(self, prefix: int, length: int) -> Optional[int]:
+        """Longest-prefix match of a *prefix string* of ``length`` bits.
+
+        The Waldvogel builder uses this to compute a marker's best
+        matching prefix: the longest real route that is a prefix of the
+        marker.
+        """
+        self._check(prefix, length)
+        node = self._root
+        best = node.next_hop
+        for depth in range(length):
+            bit = (prefix >> (self.width - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+    def items(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (prefix, length, next_hop) for every stored route."""
+
+        def walk(node: _Node, prefix: int, depth: int):
+            if node.next_hop is not None:
+                yield (prefix << (self.width - depth), depth, node.next_hop)
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, (prefix << 1) | bit, depth + 1)
+
+        yield from walk(self._root, 0, 0)

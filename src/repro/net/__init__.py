@@ -1,0 +1,73 @@
+"""Packet formats and header manipulation.
+
+This subpackage is the wire-format substrate of the reproduction: byte-exact
+Ethernet/IPv4/IPv6/UDP/TCP header construction and parsing, Internet
+checksums (including RFC 1624 incremental update, which the IPv4 forwarding
+path uses when it decrements TTL), and address helpers.
+
+Everything here operates on real bytes; nothing is mocked.  The rest of the
+system (I/O engine, applications, traffic generator) moves these packets
+around as ``bytes``/``bytearray`` payloads exactly as PacketShader moves
+DMA'd frames through its huge packet buffer.
+"""
+
+from repro.net.addrs import (
+    ip4_from_str,
+    ip4_to_str,
+    ip6_from_str,
+    ip6_to_str,
+    mac_from_str,
+    mac_to_str,
+)
+from repro.net.checksum import checksum16, incremental_update16, verify_checksum16
+from repro.net.ethernet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERNET_HEADER_LEN,
+    ETHERNET_OVERHEAD,
+    EthernetHeader,
+)
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header
+from repro.net.ipv6 import IPV6_HEADER_LEN, IPv6Header
+from repro.net.udp import UDP_HEADER_LEN, UDPHeader
+from repro.net.tcp import TCP_HEADER_LEN, TCPHeader
+from repro.net.packet import Packet, FiveTuple, parse_packet
+from repro.net.ethernet import VLANTag, add_vlan_tag, parse_ethernet
+from repro.net.neighbors import Neighbor, NeighborTable
+from repro.net.pcap import CapturedFrame, read_pcap, write_pcap
+
+__all__ = [
+    "CapturedFrame",
+    "ETHERNET_HEADER_LEN",
+    "Neighbor",
+    "NeighborTable",
+    "VLANTag",
+    "add_vlan_tag",
+    "parse_ethernet",
+    "read_pcap",
+    "write_pcap",
+    "ETHERNET_OVERHEAD",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_IPV6",
+    "EthernetHeader",
+    "FiveTuple",
+    "IPV4_HEADER_LEN",
+    "IPV6_HEADER_LEN",
+    "IPv4Header",
+    "IPv6Header",
+    "Packet",
+    "TCP_HEADER_LEN",
+    "TCPHeader",
+    "UDP_HEADER_LEN",
+    "UDPHeader",
+    "checksum16",
+    "incremental_update16",
+    "ip4_from_str",
+    "ip4_to_str",
+    "ip6_from_str",
+    "ip6_to_str",
+    "mac_from_str",
+    "mac_to_str",
+    "parse_packet",
+    "verify_checksum16",
+]

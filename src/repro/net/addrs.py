@@ -1,0 +1,132 @@
+"""Address helpers: IPv4/IPv6 addresses and MAC addresses as plain integers.
+
+Addresses are carried as unsigned integers (32-bit for IPv4, 128-bit for
+IPv6, 48-bit for MAC) throughout the library.  Integers are the natural form
+for the lookup structures (DIR-24-8 indexes by the top 24 bits; the IPv6
+binary search hashes fixed-width prefixes) and avoid the overhead of
+``ipaddress`` objects on hot paths.
+"""
+
+from __future__ import annotations
+
+IP4_MAX = (1 << 32) - 1
+IP6_MAX = (1 << 128) - 1
+MAC_MAX = (1 << 48) - 1
+
+
+def ip4_from_str(text: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer.
+
+    >>> hex(ip4_from_str("10.0.0.1"))
+    '0xa000001'
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet {part!r} in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip4_to_str(addr: int) -> str:
+    """Format a 32-bit integer as dotted-quad notation."""
+    if not 0 <= addr <= IP4_MAX:
+        raise ValueError(f"IPv4 address out of range: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip6_from_str(text: str) -> int:
+    """Parse RFC 4291 textual IPv6 notation into a 128-bit integer.
+
+    Supports the ``::`` zero-run abbreviation and an embedded IPv4 tail
+    (``::ffff:10.0.0.1``).
+    """
+    if text.count("::") > 1:
+        raise ValueError(f"more than one '::' in {text!r}")
+    head_text, sep, tail_text = text.partition("::")
+    head = _parse_groups(head_text, text)
+    tail = _parse_groups(tail_text, text) if sep else []
+    if sep:
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise ValueError(f"'::' must replace at least one group in {text!r}")
+        groups = head + [0] * missing + tail
+    else:
+        groups = head
+    if len(groups) != 8:
+        raise ValueError(f"invalid IPv6 address {text!r}")
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _parse_groups(text: str, original: str) -> list:
+    """Parse a '::'-free run of colon-separated groups, with IPv4 tail."""
+    if not text:
+        return []
+    groups = []
+    parts = text.split(":")
+    for index, part in enumerate(parts):
+        if "." in part:
+            if index != len(parts) - 1:
+                raise ValueError(f"embedded IPv4 must be last in {original!r}")
+            v4 = ip4_from_str(part)
+            groups.append(v4 >> 16)
+            groups.append(v4 & 0xFFFF)
+            continue
+        if not 1 <= len(part) <= 4:
+            raise ValueError(f"invalid IPv6 group {part!r} in {original!r}")
+        groups.append(int(part, 16))
+    return groups
+
+
+def ip6_to_str(addr: int) -> str:
+    """Format a 128-bit integer in canonical RFC 5952 IPv6 notation.
+
+    The longest run of two or more zero groups is compressed to ``::`` and
+    hex digits are lowercase, as RFC 5952 requires.
+    """
+    if not 0 <= addr <= IP6_MAX:
+        raise ValueError(f"IPv6 address out of range: {addr}")
+    groups = [(addr >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start = i
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+def mac_from_str(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` notation into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {text!r}")
+    value = 0
+    for part in parts:
+        if not 1 <= len(part) <= 2:
+            raise ValueError(f"invalid MAC byte {part!r} in {text!r}")
+        value = (value << 8) | int(part, 16)
+    return value
+
+
+def mac_to_str(addr: int) -> str:
+    """Format a 48-bit integer as colon-separated hex."""
+    if not 0 <= addr <= MAC_MAX:
+        raise ValueError(f"MAC address out of range: {addr}")
+    return ":".join(f"{(addr >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))

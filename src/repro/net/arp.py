@@ -1,0 +1,147 @@
+"""ARP (RFC 826): the resolution protocol behind the neighbor table.
+
+The fast path diverts packets with unresolved next hops to the slow
+path (:mod:`repro.net.neighbors`); in a real router the slow path then
+ARPs for the next hop and installs the answer.  This module provides
+the byte-exact ARP request/reply frames and a resolver state machine
+that drives the neighbor table — so the "awaiting ARP" loop closes
+functionally.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.ethernet import ETHERNET_HEADER_LEN, EthernetHeader
+from repro.net.neighbors import NeighborTable
+
+ETHERTYPE_ARP = 0x0806
+ARP_REQUEST = 1
+ARP_REPLY = 2
+BROADCAST_MAC = 0xFFFFFFFFFFFF
+
+_STRUCT = struct.Struct("!HHBBH6sI6sI")
+
+
+@dataclass(frozen=True)
+class ARPPacket:
+    """An Ethernet/IPv4 ARP payload."""
+
+    opcode: int
+    sender_mac: int
+    sender_ip: int
+    target_mac: int
+    target_ip: int
+
+    def pack(self) -> bytes:
+        """The 28-byte ARP payload (HTYPE=1, PTYPE=0x0800)."""
+        return _STRUCT.pack(
+            1, 0x0800, 6, 4, self.opcode,
+            self.sender_mac.to_bytes(6, "big"), self.sender_ip,
+            self.target_mac.to_bytes(6, "big"), self.target_ip,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ARPPacket":
+        if len(data) < _STRUCT.size:
+            raise ValueError(f"short ARP payload: {len(data)} bytes")
+        htype, ptype, hlen, plen, opcode, smac, sip, tmac, tip = (
+            _STRUCT.unpack_from(data)
+        )
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError("not an Ethernet/IPv4 ARP packet")
+        return cls(
+            opcode=opcode,
+            sender_mac=int.from_bytes(smac, "big"),
+            sender_ip=sip,
+            target_mac=int.from_bytes(tmac, "big"),
+            target_ip=tip,
+        )
+
+
+def arp_request_frame(sender_mac: int, sender_ip: int, target_ip: int) -> bytes:
+    """A broadcast who-has frame."""
+    eth = EthernetHeader(dst=BROADCAST_MAC, src=sender_mac,
+                        ethertype=ETHERTYPE_ARP)
+    payload = ARPPacket(
+        opcode=ARP_REQUEST, sender_mac=sender_mac, sender_ip=sender_ip,
+        target_mac=0, target_ip=target_ip,
+    ).pack()
+    return eth.pack() + payload
+
+
+def arp_reply_frame(request: ARPPacket, my_mac: int) -> bytes:
+    """The unicast is-at answer to a request for our address."""
+    eth = EthernetHeader(dst=request.sender_mac, src=my_mac,
+                        ethertype=ETHERTYPE_ARP)
+    payload = ARPPacket(
+        opcode=ARP_REPLY, sender_mac=my_mac, sender_ip=request.target_ip,
+        target_mac=request.sender_mac, target_ip=request.sender_ip,
+    ).pack()
+    return eth.pack() + payload
+
+
+class ARPResolver:
+    """Resolves next-hop IPs into the neighbor table.
+
+    ``resolve`` emits a request frame for an unknown IP (deduplicated
+    while outstanding); ``on_frame`` consumes replies (and requests for
+    our own address, which it answers) and installs learned mappings
+    into the bound :class:`NeighborTable`.
+    """
+
+    def __init__(
+        self,
+        neighbors: NeighborTable,
+        my_mac: int,
+        my_ip: int,
+        ip_to_next_hop: Optional[Dict[int, int]] = None,
+        next_hop_ports: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.neighbors = neighbors
+        self.my_mac = my_mac
+        self.my_ip = my_ip
+        #: Which next-hop index each gateway IP backs (set by the RIB).
+        self.ip_to_next_hop = ip_to_next_hop or {}
+        #: Which port each next hop is reachable through.
+        self.next_hop_ports = next_hop_ports or {}
+        self.outstanding: Dict[int, int] = {}  # target ip -> requests sent
+        self.resolved: Dict[int, int] = {}     # ip -> mac
+
+    def resolve(self, target_ip: int) -> Optional[bytes]:
+        """Kick off resolution; returns the request frame to send, or
+        None if the address is already resolved or in flight."""
+        if target_ip in self.resolved:
+            return None
+        if target_ip in self.outstanding:
+            self.outstanding[target_ip] += 1
+            return None
+        self.outstanding[target_ip] = 1
+        return arp_request_frame(self.my_mac, self.my_ip, target_ip)
+
+    def on_frame(self, frame: bytes) -> Optional[bytes]:
+        """Process an inbound ARP frame.
+
+        Returns a reply frame when the input was a request for our own
+        IP; learns sender mappings either way (standard ARP gleaning).
+        """
+        if len(frame) < ETHERNET_HEADER_LEN + _STRUCT.size:
+            return None
+        eth = EthernetHeader.unpack(frame)
+        if eth.ethertype != ETHERTYPE_ARP:
+            return None
+        packet = ARPPacket.unpack(frame[ETHERNET_HEADER_LEN:])
+        self._learn(packet.sender_ip, packet.sender_mac)
+        if packet.opcode == ARP_REQUEST and packet.target_ip == self.my_ip:
+            return arp_reply_frame(packet, self.my_mac)
+        return None
+
+    def _learn(self, ip: int, mac: int) -> None:
+        self.resolved[ip] = mac
+        self.outstanding.pop(ip, None)
+        next_hop = self.ip_to_next_hop.get(ip)
+        if next_hop is not None:
+            port = self.next_hop_ports.get(next_hop, 0)
+            self.neighbors.add(next_hop=next_hop, port=port, mac=mac)

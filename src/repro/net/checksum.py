@@ -1,0 +1,81 @@
+"""Internet checksum (RFC 1071) and incremental update (RFC 1624).
+
+The IPv4 forwarding fast path in PacketShader updates TTL and checksum in
+the pre-shading step (paper Section 6.2.1).  Recomputing the full header
+checksum per packet would waste cycles, so real routers — and this
+reproduction — use the RFC 1624 incremental update, which folds only the
+changed 16-bit word into the existing checksum.
+"""
+
+from __future__ import annotations
+
+
+def checksum16(data: bytes, initial: int = 0) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    ``initial`` may carry a partial sum (e.g. a pseudo-header sum for
+    UDP/TCP).  Returns the checksum value to *store in the header* — i.e.
+    the one's complement of the one's-complement sum.
+    """
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words; int.from_bytes over 2-byte slices is the
+    # clearest correct formulation and fast enough for header-sized inputs.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum16(data: bytes, initial: int = 0) -> bool:
+    """Return True if ``data`` (checksum field included) sums to zero.
+
+    A correct Internet checksum makes the one's-complement sum of the whole
+    covered region equal 0xFFFF, i.e. ``checksum16`` over it returns 0.
+    """
+    return checksum16(data, initial) == 0
+
+
+def incremental_update16(old_checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 (eqn. 3) incremental checksum update.
+
+    Given the stored header checksum and a 16-bit word that changed from
+    ``old_word`` to ``new_word``, return the new stored checksum:
+
+        HC' = ~(~HC + ~m + m')
+
+    This is how the forwarding path fixes the IPv4 header checksum after
+    decrementing TTL without touching the other nine header words.
+    """
+    if not 0 <= old_checksum <= 0xFFFF:
+        raise ValueError(f"checksum out of range: {old_checksum}")
+    if not 0 <= old_word <= 0xFFFF or not 0 <= new_word <= 0xFFFF:
+        raise ValueError("words must be 16-bit")
+    total = (~old_checksum & 0xFFFF) + (~old_word & 0xFFFF) + new_word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header_sum_v4(src: int, dst: int, protocol: int, length: int) -> int:
+    """Partial sum of the IPv4 pseudo-header used by UDP/TCP checksums."""
+    return (
+        (src >> 16)
+        + (src & 0xFFFF)
+        + (dst >> 16)
+        + (dst & 0xFFFF)
+        + protocol
+        + length
+    )
+
+
+def pseudo_header_sum_v6(src: int, dst: int, next_header: int, length: int) -> int:
+    """Partial sum of the IPv6 pseudo-header (RFC 8200 section 8.1)."""
+    total = next_header + length
+    for addr in (src, dst):
+        for shift in range(112, -16, -16):
+            total += (addr >> shift) & 0xFFFF
+    return total

@@ -1,0 +1,126 @@
+"""Ethernet II framing.
+
+The paper accounts throughput with a 24-byte per-frame Ethernet overhead
+(preamble 7 B + SFD 1 B + FCS 4 B + inter-frame gap 12 B; footnote 1 of the
+paper).  ``ETHERNET_OVERHEAD`` encodes that convention and is used by
+``repro.sim.metrics`` so our Gbps figures are directly comparable with the
+paper's.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ETHERNET_HEADER_LEN = 14
+#: Preamble + SFD + FCS + inter-frame gap, charged per frame on the wire.
+ETHERNET_OVERHEAD = 24
+#: Minimum/maximum Ethernet frame sizes used throughout the evaluation.
+MIN_FRAME_LEN = 64
+MAX_FRAME_LEN = 1514
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_VLAN = 0x8100
+
+_STRUCT = struct.Struct("!6s6sH")
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header (dst MAC, src MAC, EtherType)."""
+
+    dst: int
+    src: int
+    ethertype: int
+
+    def pack(self) -> bytes:
+        """Serialise to the 14-byte wire format."""
+        return _STRUCT.pack(
+            self.dst.to_bytes(6, "big"),
+            self.src.to_bytes(6, "big"),
+            self.ethertype,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        """Parse the first 14 bytes of ``data`` as an Ethernet header."""
+        if len(data) < ETHERNET_HEADER_LEN:
+            raise ValueError(f"short Ethernet header: {len(data)} bytes")
+        dst, src, ethertype = _STRUCT.unpack_from(data)
+        return cls(
+            dst=int.from_bytes(dst, "big"),
+            src=int.from_bytes(src, "big"),
+            ethertype=ethertype,
+        )
+
+
+@dataclass
+class VLANTag:
+    """An 802.1Q tag: priority (PCP), drop-eligible (DEI), VLAN id."""
+
+    vid: int
+    pcp: int = 0
+    dei: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid < 4096:
+            raise ValueError(f"VLAN id {self.vid} out of range")
+        if not 0 <= self.pcp < 8 or self.dei not in (0, 1):
+            raise ValueError("bad PCP/DEI")
+
+    def pack(self) -> bytes:
+        """The 2-byte TCI field."""
+        tci = (self.pcp << 13) | (self.dei << 12) | self.vid
+        return tci.to_bytes(2, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "VLANTag":
+        if len(data) < 2:
+            raise ValueError("short VLAN TCI")
+        tci = int.from_bytes(data[:2], "big")
+        return cls(vid=tci & 0xFFF, pcp=tci >> 13, dei=(tci >> 12) & 1)
+
+
+def parse_ethernet(frame: bytes):
+    """Parse an Ethernet header, following one 802.1Q tag if present.
+
+    Returns ``(header, vlan_tag_or_None, l3_offset)`` where ``header``
+    carries the *inner* EtherType when tagged, so callers see through
+    the tag the way the OpenFlow flow-key extraction must.
+    """
+    header = EthernetHeader.unpack(frame)
+    if header.ethertype != ETHERTYPE_VLAN:
+        return header, None, ETHERNET_HEADER_LEN
+    if len(frame) < ETHERNET_HEADER_LEN + 4:
+        raise ValueError("truncated 802.1Q tag")
+    tag = VLANTag.unpack(frame[ETHERNET_HEADER_LEN:])
+    inner_type = int.from_bytes(
+        frame[ETHERNET_HEADER_LEN + 2:ETHERNET_HEADER_LEN + 4], "big"
+    )
+    untagged = EthernetHeader(dst=header.dst, src=header.src,
+                              ethertype=inner_type)
+    return untagged, tag, ETHERNET_HEADER_LEN + 4
+
+
+def add_vlan_tag(frame: bytes, tag: VLANTag) -> bytes:
+    """Insert an 802.1Q tag into an untagged frame."""
+    header = EthernetHeader.unpack(frame)
+    tagged = EthernetHeader(dst=header.dst, src=header.src,
+                            ethertype=ETHERTYPE_VLAN)
+    return (
+        tagged.pack()
+        + tag.pack()
+        + header.ethertype.to_bytes(2, "big")
+        + frame[ETHERNET_HEADER_LEN:]
+    )
+
+
+def wire_bits(frame_len: int) -> int:
+    """Bits a frame of ``frame_len`` bytes occupies on the wire.
+
+    Includes the 24-byte overhead, matching the paper's throughput metric.
+    """
+    if frame_len <= 0:
+        raise ValueError(f"frame length must be positive, got {frame_len}")
+    return (frame_len + ETHERNET_OVERHEAD) * 8

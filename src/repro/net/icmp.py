@@ -1,0 +1,130 @@
+"""ICMP (RFC 792): the slow-path responses a router must originate.
+
+The pre-shading step diverts TTL-expired, unroutable-from-slow-path and
+locally-destined packets to "the Linux TCP/IP stack" (Section 6.2.1).
+This module is the part of that stack a *router* actually exercises:
+generating Time Exceeded and Destination Unreachable messages (carrying
+the offending IP header + 8 payload bytes, per the RFC) and answering
+Echo Requests.  The slow-path handler in :mod:`repro.core.slowpath`
+drives it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.checksum import checksum16, verify_checksum16
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_ICMP
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+CODE_NET_UNREACHABLE = 0
+CODE_HOST_UNREACHABLE = 1
+CODE_TTL_EXCEEDED = 0
+
+ICMP_HEADER_LEN = 8
+#: RFC 792: error messages quote the offending IP header + 64 bits.
+QUOTED_PAYLOAD_BYTES = 8
+
+
+@dataclass
+class ICMPMessage:
+    """An ICMP header plus payload."""
+
+    type: int
+    code: int
+    rest: int = 0
+    payload: bytes = b""
+
+    def pack(self) -> bytes:
+        """Serialise with the checksum computed over the whole message."""
+        header = struct.pack("!BBHI", self.type, self.code, 0, self.rest)
+        value = checksum16(header + self.payload)
+        header = struct.pack("!BBHI", self.type, self.code, value, self.rest)
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ICMPMessage":
+        if len(data) < ICMP_HEADER_LEN:
+            raise ValueError(f"short ICMP message: {len(data)} bytes")
+        if not verify_checksum16(data):
+            raise ValueError("ICMP checksum mismatch")
+        type_, code, _, rest = struct.unpack_from("!BBHI", data)
+        return cls(type=type_, code=code, rest=rest,
+                   payload=data[ICMP_HEADER_LEN:])
+
+
+def _error_payload(offending_packet: bytes) -> bytes:
+    """The quoted region: offending IP header + first 8 payload bytes."""
+    return offending_packet[:IPV4_HEADER_LEN + QUOTED_PAYLOAD_BYTES]
+
+
+def _error_message(
+    icmp_type: int, code: int, router_addr: int, offending_packet: bytes
+) -> bytes:
+    """Build the full outer IP packet carrying an ICMP error."""
+    offending = IPv4Header.unpack(offending_packet)
+    message = ICMPMessage(
+        type=icmp_type, code=code, payload=_error_payload(offending_packet)
+    ).pack()
+    outer = IPv4Header(
+        src=router_addr,
+        dst=offending.src,
+        protocol=PROTO_ICMP,
+        ttl=64,
+        total_length=IPV4_HEADER_LEN + len(message),
+    )
+    return outer.pack() + message
+
+
+def time_exceeded(router_addr: int, offending_packet: bytes) -> bytes:
+    """ICMP Time Exceeded for a TTL-expired packet (RFC 792)."""
+    return _error_message(
+        ICMP_TIME_EXCEEDED, CODE_TTL_EXCEEDED, router_addr, offending_packet
+    )
+
+
+def destination_unreachable(
+    router_addr: int, offending_packet: bytes, code: int = CODE_NET_UNREACHABLE
+) -> bytes:
+    """ICMP Destination Unreachable for an unroutable packet."""
+    return _error_message(
+        ICMP_DEST_UNREACHABLE, code, router_addr, offending_packet
+    )
+
+
+def echo_reply(request_packet: bytes) -> Optional[bytes]:
+    """Answer an Echo Request aimed at the router itself.
+
+    Returns the full reply IP packet, or None if the input is not a
+    well-formed Echo Request.
+    """
+    try:
+        ip = IPv4Header.unpack(request_packet)
+    except ValueError:
+        return None
+    if ip.protocol != PROTO_ICMP:
+        return None
+    try:
+        request = ICMPMessage.unpack(request_packet[IPV4_HEADER_LEN:ip.total_length])
+    except ValueError:
+        return None
+    if request.type != ICMP_ECHO_REQUEST:
+        return None
+    reply = ICMPMessage(
+        type=ICMP_ECHO_REPLY, code=0, rest=request.rest,
+        payload=request.payload,
+    ).pack()
+    outer = IPv4Header(
+        src=ip.dst,
+        dst=ip.src,
+        protocol=PROTO_ICMP,
+        ttl=64,
+        total_length=IPV4_HEADER_LEN + len(reply),
+    )
+    return outer.pack() + reply

@@ -1,0 +1,148 @@
+"""IPv4 header (RFC 791) with the forwarding-path operations.
+
+Besides pack/unpack, this module carries the two per-packet mutations the
+IPv4 data path performs in PacketShader's pre-shading step: TTL decrement
+with RFC 1624 incremental checksum update, and sanity checks that divert
+packets to the slow path (bad version, bad checksum, TTL expired, destined
+to local — paper Section 6.2.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import checksum16, incremental_update16, verify_checksum16
+
+IPV4_HEADER_LEN = 20
+IPV4_VERSION = 4
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ESP = 50
+
+_STRUCT = struct.Struct("!BBHHHBBHII")
+
+
+@dataclass
+class IPv4Header:
+    """A 20-byte IPv4 header without options.
+
+    Options are intentionally unsupported: PacketShader's fast path treats
+    packets with options as slow-path traffic, and so do we (see
+    ``repro.apps.ipv4``).
+    """
+
+    src: int
+    dst: int
+    protocol: int = PROTO_UDP
+    ttl: int = 64
+    total_length: int = IPV4_HEADER_LEN
+    identification: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    dscp_ecn: int = 0
+    checksum: int = field(default=0)
+
+    def pack(self, fill_checksum: bool = True) -> bytes:
+        """Serialise; by default compute and embed the header checksum."""
+        header = self._pack_with_checksum(0)
+        if fill_checksum:
+            self.checksum = checksum16(header)
+            header = self._pack_with_checksum(self.checksum)
+        else:
+            header = self._pack_with_checksum(self.checksum)
+        return header
+
+    def _pack_with_checksum(self, checksum: int) -> bytes:
+        version_ihl = (IPV4_VERSION << 4) | (IPV4_HEADER_LEN // 4)
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        return _STRUCT.pack(
+            version_ihl,
+            self.dscp_ecn,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            checksum,
+            self.src,
+            self.dst,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Parse the first 20 bytes of ``data`` as an IPv4 header."""
+        if len(data) < IPV4_HEADER_LEN:
+            raise ValueError(f"short IPv4 header: {len(data)} bytes")
+        (
+            version_ihl,
+            dscp_ecn,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _STRUCT.unpack_from(data)
+        version = version_ihl >> 4
+        ihl = version_ihl & 0x0F
+        if version != IPV4_VERSION:
+            raise ValueError(f"not an IPv4 header (version={version})")
+        if ihl != IPV4_HEADER_LEN // 4:
+            raise ValueError(f"IPv4 options unsupported (ihl={ihl})")
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            ttl=ttl,
+            total_length=total_length,
+            identification=identification,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            dscp_ecn=dscp_ecn,
+            checksum=checksum,
+        )
+
+    @property
+    def header_ok(self) -> bool:
+        """True if the embedded checksum verifies."""
+        return verify_checksum16(self.pack(fill_checksum=False))
+
+
+def decrement_ttl(buffer: bytearray, offset: int) -> bool:
+    """Decrement TTL in-place at ``offset`` and patch the checksum.
+
+    This is the fast-path mutation the pre-shading step performs on every
+    forwarded IPv4 packet.  Returns False (and leaves the buffer untouched)
+    if the TTL is already <= 1, in which case the packet belongs on the slow
+    path (ICMP Time Exceeded territory).
+
+    The checksum update uses RFC 1624: TTL lives in the high byte of the
+    word at header offset 8 (TTL | protocol), so the changed 16-bit word is
+    ``(ttl << 8) | protocol``.
+    """
+    ttl = buffer[offset + 8]
+    if ttl <= 1:
+        return False
+    protocol = buffer[offset + 9]
+    old_word = (ttl << 8) | protocol
+    new_word = ((ttl - 1) << 8) | protocol
+    old_checksum = (buffer[offset + 10] << 8) | buffer[offset + 11]
+    new_checksum = incremental_update16(old_checksum, old_word, new_word)
+    buffer[offset + 8] = ttl - 1
+    buffer[offset + 10] = new_checksum >> 8
+    buffer[offset + 11] = new_checksum & 0xFF
+    return True
+
+
+def extract_dst(buffer: bytes, offset: int) -> int:
+    """Read the destination address without a full header parse.
+
+    The pre-shading step gathers only the 4-byte destination addresses into
+    the GPU input array (paper Section 5.3); this helper is that gather.
+    """
+    return int.from_bytes(buffer[offset + 16:offset + 20], "big")

@@ -1,0 +1,84 @@
+"""Next-hop neighbor table: the L2 rewrite forwarding implies.
+
+A real router's forwarding decision names a *next hop*, not just an
+output port: the post-shading step must rewrite the Ethernet header
+(destination MAC = next hop's, source MAC = the egress port's) before
+transmission, or the downstream switch drops the frame.  The paper's
+fast path folds this into "modifies ... the packets in the chunk
+depending on the processing results" (Section 5.3); this module makes
+it explicit so the applications can do the rewrite for real.
+
+Entries are static here (the paper assumes static tables — Section 6:
+"we ... assume IP lookup tables, flow tables, and cipher keys are
+static"); an ARP/ND daemon would maintain them in deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One resolved next hop: egress port plus MAC addresses."""
+
+    port: int
+    mac: int
+    port_mac: int
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ValueError("port must be non-negative")
+        for value in (self.mac, self.port_mac):
+            if not 0 <= value < (1 << 48):
+                raise ValueError("MAC out of range")
+
+
+class NeighborTable:
+    """Maps next-hop indices (the lookup results) to L2 destinations."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Neighbor] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, next_hop: int, port: int, mac: int,
+            port_mac: int = 0x02AB00000000) -> None:
+        """Register or update the neighbor behind a next-hop index."""
+        if next_hop < 0:
+            raise ValueError("next hop index must be non-negative")
+        self._entries[next_hop] = Neighbor(
+            port=port, mac=mac, port_mac=port_mac | port
+        )
+
+    def resolve(self, next_hop: int) -> Optional[Neighbor]:
+        """The neighbor for a next-hop index, or None if unresolved."""
+        return self._entries.get(next_hop)
+
+    def rewrite(self, frame: bytearray, next_hop: int) -> Optional[int]:
+        """Apply the L2 rewrite for a next hop; returns the egress port.
+
+        Returns None (frame untouched) when the next hop is unresolved —
+        the caller should divert to the slow path, where ARP resolution
+        would happen.
+        """
+        neighbor = self.resolve(next_hop)
+        if neighbor is None:
+            return None
+        frame[0:6] = neighbor.mac.to_bytes(6, "big")
+        frame[6:12] = neighbor.port_mac.to_bytes(6, "big")
+        return neighbor.port
+
+    @classmethod
+    def flat(cls, num_ports: int, base_mac: int = 0x02EE00000000) -> "NeighborTable":
+        """The evaluation topology: next hop *i* sits behind port *i*.
+
+        Matches the paper's setup where the generator terminates all
+        eight ports, so next-hop indices and ports coincide.
+        """
+        table = cls()
+        for port in range(num_ports):
+            table.add(next_hop=port, port=port, mac=base_mac | port)
+        return table

@@ -1,0 +1,103 @@
+"""Classic pcap (libpcap 2.4) reading and writing.
+
+The functional router moves real Ethernet frames; this module lets you
+dump any of them — generator traffic, the testbed sink, ESP tunnels —
+into a file Wireshark/tcpdump open directly, and read captures back in
+as test inputs.  Pure struct code, no dependencies.
+
+Timestamps are simulated nanoseconds; the writer stores them with
+microsecond resolution (the classic format's granularity).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+#: Standard snap length (enough for any frame this library builds).
+SNAPLEN = 65535
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One record: frame bytes plus its capture timestamp."""
+
+    data: bytes
+    timestamp_ns: int = 0
+
+
+def write_pcap(
+    path: str,
+    frames: Iterable[Union[bytes, bytearray, CapturedFrame]],
+    linktype: int = LINKTYPE_ETHERNET,
+) -> int:
+    """Write frames to a classic pcap file; returns the record count.
+
+    Bare ``bytes`` get sequential 1 µs timestamps so Wireshark orders
+    them; :class:`CapturedFrame` carries its own clock.
+    """
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(
+            _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, SNAPLEN, linktype)
+        )
+        for index, frame in enumerate(frames):
+            if isinstance(frame, CapturedFrame):
+                data = frame.data
+                timestamp_us = frame.timestamp_ns // 1000
+            else:
+                data = bytes(frame)
+                timestamp_us = index
+            seconds, microseconds = divmod(timestamp_us, 1_000_000)
+            captured = data[:SNAPLEN]
+            handle.write(
+                _RECORD_HEADER.pack(
+                    seconds, microseconds, len(captured), len(data)
+                )
+            )
+            handle.write(captured)
+            count += 1
+    return count
+
+
+def read_pcap(path: str) -> List[CapturedFrame]:
+    """Read every record of a classic pcap file.
+
+    Handles both byte orders; rejects pcapng and truncated files with
+    ``ValueError``.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            endian = ">"
+        else:
+            raise ValueError(f"not a classic pcap file (magic {magic:#x})")
+        record = struct.Struct(endian + "IIII")
+        frames: List[CapturedFrame] = []
+        while True:
+            raw = handle.read(record.size)
+            if not raw:
+                return frames
+            if len(raw) < record.size:
+                raise ValueError("truncated pcap record header")
+            seconds, microseconds, captured_len, _ = record.unpack(raw)
+            data = handle.read(captured_len)
+            if len(data) < captured_len:
+                raise ValueError("truncated pcap record body")
+            frames.append(
+                CapturedFrame(
+                    data=data,
+                    timestamp_ns=(seconds * 1_000_000 + microseconds) * 1000,
+                )
+            )

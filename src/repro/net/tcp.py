@@ -1,0 +1,79 @@
+"""TCP header (RFC 793), options-free.
+
+Present for flow-key extraction and generator variety; the router data path
+never terminates TCP (PacketShader forwards, it does not serve).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+TCP_HEADER_LEN = 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+
+_STRUCT = struct.Struct("!HHIIBBHHH")
+
+
+@dataclass
+class TCPHeader:
+    """A 20-byte TCP header without options."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = FLAG_ACK
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+
+    def pack(self) -> bytes:
+        """Serialise to the 20-byte wire format."""
+        data_offset = (TCP_HEADER_LEN // 4) << 4
+        return _STRUCT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        """Parse the first 20 bytes of ``data`` as a TCP header."""
+        if len(data) < TCP_HEADER_LEN:
+            raise ValueError(f"short TCP header: {len(data)} bytes")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            data_offset,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = _STRUCT.unpack_from(data)
+        if (data_offset >> 4) < 5:
+            raise ValueError("TCP data offset below minimum")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            checksum=checksum,
+            urgent=urgent,
+        )

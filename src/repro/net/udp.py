@@ -1,0 +1,48 @@
+"""UDP header (RFC 768).
+
+The evaluation traffic is UDP with random ports (paper Section 6.1), so the
+generator and the OpenFlow flow-key extractor both go through this module.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import checksum16, pseudo_header_sum_v4
+
+UDP_HEADER_LEN = 8
+
+_STRUCT = struct.Struct("!HHHH")
+
+
+@dataclass
+class UDPHeader:
+    """An 8-byte UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+    checksum: int = 0
+
+    def pack(self) -> bytes:
+        """Serialise to the 8-byte wire format."""
+        return _STRUCT.pack(self.src_port, self.dst_port, self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        """Parse the first 8 bytes of ``data`` as a UDP header."""
+        if len(data) < UDP_HEADER_LEN:
+            raise ValueError(f"short UDP header: {len(data)} bytes")
+        src_port, dst_port, length, checksum = _STRUCT.unpack_from(data)
+        return cls(src_port=src_port, dst_port=dst_port, length=length, checksum=checksum)
+
+    def fill_checksum_v4(self, src: int, dst: int, payload: bytes) -> None:
+        """Compute the UDP checksum over the IPv4 pseudo-header + payload.
+
+        A computed value of zero is transmitted as 0xFFFF per RFC 768.
+        """
+        self.checksum = 0
+        partial = pseudo_header_sum_v4(src, dst, 17, self.length)
+        value = checksum16(self.pack() + payload, initial=partial)
+        self.checksum = value if value != 0 else 0xFFFF

@@ -1,0 +1,39 @@
+"""OpenFlow switch data path (OpenFlow 0.8.9, paper Section 6.2.3).
+
+The switch keeps two tables: an exact-match hash table over the ten-field
+flow key, and a priority-ordered wildcard table searched linearly — "as
+the reference implementation does" (hardware switches use TCAM instead).
+An exact match always wins over any wildcard match; unmatched packets go
+to the controller queue.
+
+Modules: :mod:`repro.openflow.flowkey` (the ten-tuple and its extraction
+from real frames), :mod:`repro.openflow.flowtable` (both tables),
+:mod:`repro.openflow.actions` (the 0.8.9 action list applied to real
+frames), :mod:`repro.openflow.switch` (the forwarding pipeline).
+"""
+
+from repro.openflow.flowkey import FlowKey, extract_flow_key
+from repro.openflow.flowtable import ExactMatchTable, WildcardTable, WildcardEntry
+from repro.openflow.actions import Action, ActionType, apply_actions
+from repro.openflow.switch import OpenFlowSwitch, SwitchCounters
+from repro.openflow.controller import (
+    LearningSwitchPolicy,
+    ReactiveController,
+    acl_policy,
+)
+
+__all__ = [
+    "Action",
+    "LearningSwitchPolicy",
+    "ReactiveController",
+    "acl_policy",
+    "ActionType",
+    "ExactMatchTable",
+    "FlowKey",
+    "OpenFlowSwitch",
+    "SwitchCounters",
+    "WildcardEntry",
+    "WildcardTable",
+    "apply_actions",
+    "extract_flow_key",
+]

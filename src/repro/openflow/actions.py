@@ -1,0 +1,111 @@
+"""OpenFlow 0.8.9 actions, applied to real frames.
+
+The action subset the data path needs: output to a port (or FLOOD /
+CONTROLLER), drop (an empty action list), and the header-rewrite actions
+(set VLAN, set Ethernet/IP addresses, set transport ports).  Rewrites
+mutate the frame bytes and fix the IPv4 checksum, so the tests can verify
+them byte-exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.net.checksum import checksum16
+from repro.net.ethernet import ETHERNET_HEADER_LEN, ETHERTYPE_IPV4
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_TCP, PROTO_UDP
+
+#: 0.8.9 pseudo-ports.
+PORT_FLOOD = 0xFFFB
+PORT_CONTROLLER = 0xFFFD
+
+
+class ActionType(enum.Enum):
+    OUTPUT = "output"
+    SET_DL_SRC = "set_dl_src"
+    SET_DL_DST = "set_dl_dst"
+    SET_NW_SRC = "set_nw_src"
+    SET_NW_DST = "set_nw_dst"
+    SET_TP_SRC = "set_tp_src"
+    SET_TP_DST = "set_tp_dst"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One action: a type and its argument (port number or field value)."""
+
+    type: ActionType
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("action value must be non-negative")
+
+
+def _refresh_ipv4_checksum(frame: bytearray) -> None:
+    """Recompute the IPv4 header checksum after a rewrite."""
+    offset = ETHERNET_HEADER_LEN
+    frame[offset + 10:offset + 12] = b"\x00\x00"
+    value = checksum16(bytes(frame[offset:offset + IPV4_HEADER_LEN]))
+    frame[offset + 10] = value >> 8
+    frame[offset + 11] = value & 0xFF
+
+
+def _is_ipv4(frame: bytearray) -> bool:
+    ethertype = (frame[12] << 8) | frame[13]
+    return ethertype == ETHERTYPE_IPV4 and len(frame) >= (
+        ETHERNET_HEADER_LEN + IPV4_HEADER_LEN
+    )
+
+
+def apply_actions(
+    frame: bytearray, actions: List[Action]
+) -> Tuple[bytearray, List[int]]:
+    """Apply an action list to a frame; returns (frame, output ports).
+
+    An empty action list is a drop (no output ports).  Field rewrites
+    happen in list order before outputs, per the spec's sequential
+    semantics; IPv4 rewrites patch the header checksum.
+    """
+    outputs: List[int] = []
+    for action in actions:
+        if action.type is ActionType.OUTPUT:
+            outputs.append(action.value)
+        elif action.type is ActionType.SET_DL_SRC:
+            frame[6:12] = action.value.to_bytes(6, "big")
+        elif action.type is ActionType.SET_DL_DST:
+            frame[0:6] = action.value.to_bytes(6, "big")
+        elif action.type is ActionType.SET_NW_SRC:
+            if _is_ipv4(frame):
+                offset = ETHERNET_HEADER_LEN
+                frame[offset + 12:offset + 16] = action.value.to_bytes(4, "big")
+                _refresh_ipv4_checksum(frame)
+        elif action.type is ActionType.SET_NW_DST:
+            if _is_ipv4(frame):
+                offset = ETHERNET_HEADER_LEN
+                frame[offset + 16:offset + 20] = action.value.to_bytes(4, "big")
+                _refresh_ipv4_checksum(frame)
+        elif action.type in (ActionType.SET_TP_SRC, ActionType.SET_TP_DST):
+            if _is_ipv4(frame):
+                ip = IPv4Header.unpack(bytes(frame[ETHERNET_HEADER_LEN:]))
+                if ip.protocol in (PROTO_TCP, PROTO_UDP):
+                    l4 = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN
+                    field_offset = 0 if action.type is ActionType.SET_TP_SRC else 2
+                    frame[l4 + field_offset:l4 + field_offset + 2] = (
+                        action.value.to_bytes(2, "big")
+                    )
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unhandled action {action.type}")
+    return frame, outputs
+
+
+def output(port: int) -> List[Action]:
+    """Convenience: the single-action "forward to port" list."""
+    return [Action(ActionType.OUTPUT, port)]
+
+
+def drop() -> List[Action]:
+    """Convenience: the empty (drop) action list."""
+    return []

@@ -1,0 +1,108 @@
+"""A reactive OpenFlow controller (paper Section 6.2.3, control side).
+
+"OpenFlow consists of two components, the OpenFlow controller and the
+OpenFlow switch ... The OpenFlow controller, connected via secure
+channels to switches, updates the flow tables and takes the
+responsibility of handling unmatched packets from the switches."
+
+The evaluation needs only the switch data path, but the architecture is
+incomplete without the controller loop; this module provides it in its
+classic reactive form: drain the switch's punt queue, decide with a
+policy, install an exact flow (with an idle timeout, so the tables
+self-clean), and re-inject the packet.  A learning-switch policy — the
+canonical first OpenFlow application — is included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.openflow.actions import Action, ActionType, PORT_FLOOD, output
+from repro.openflow.flowkey import FlowKey
+from repro.openflow.switch import OpenFlowSwitch
+
+#: A policy maps a punted (key, frame) to an action list, or None to drop.
+Policy = Callable[[FlowKey, bytes], Optional[List[Action]]]
+
+
+@dataclass
+class ControllerStats:
+    packet_ins: int = 0
+    flows_installed: int = 0
+    dropped_by_policy: int = 0
+
+
+class ReactiveController:
+    """Reactive flow setup over a switch's controller queue."""
+
+    def __init__(
+        self,
+        switch: OpenFlowSwitch,
+        policy: Policy,
+        idle_timeout_ns: float = 10e9,
+    ) -> None:
+        self.switch = switch
+        self.policy = policy
+        self.idle_timeout_ns = idle_timeout_ns
+        self.stats = ControllerStats()
+
+    def service(self, now_ns: float = 0.0) -> List[Tuple[bytes, List[Action]]]:
+        """Handle every queued packet-in; returns (frame, actions) pairs
+        for the packets the switch should now forward (packet-out)."""
+        packet_outs = []
+        queued, self.switch.controller_queue = (
+            self.switch.controller_queue, [],
+        )
+        for key, frame in queued:
+            self.stats.packet_ins += 1
+            actions = self.policy(key, frame)
+            if actions is None:
+                self.stats.dropped_by_policy += 1
+                continue
+            self.switch.add_exact_flow(
+                key, actions,
+                idle_timeout_ns=self.idle_timeout_ns, now_ns=now_ns,
+            )
+            self.stats.flows_installed += 1
+            packet_outs.append((frame, actions))
+        return packet_outs
+
+
+class LearningSwitchPolicy:
+    """The canonical reactive application: a MAC-learning L2 switch.
+
+    Learns source MAC -> ingress port from every packet-in; forwards to
+    the learned port for the destination, flooding when unknown.
+    """
+
+    def __init__(self) -> None:
+        self.mac_table: Dict[int, int] = {}
+
+    def __call__(self, key: FlowKey, frame: bytes) -> Optional[List[Action]]:
+        self.mac_table[key.dl_src] = key.in_port
+        out_port = self.mac_table.get(key.dl_dst)
+        if out_port is None:
+            return [Action(ActionType.OUTPUT, PORT_FLOOD)]
+        if out_port == key.in_port:
+            return None  # hairpin: drop
+        return output(out_port)
+
+
+def acl_policy(blocked_subnets: List[Tuple[int, int]],
+               default_port: int) -> Policy:
+    """A simple policy: drop sources in blocked CIDR subnets, forward
+    everything else to a default port.
+
+    ``blocked_subnets`` holds (prefix, mask_length) pairs.
+    """
+
+    def policy(key: FlowKey, frame: bytes) -> Optional[List[Action]]:
+        for prefix, mask_len in blocked_subnets:
+            if mask_len and (key.nw_src >> (32 - mask_len)) == (
+                prefix >> (32 - mask_len)
+            ):
+                return None
+        return output(default_port)
+
+    return policy

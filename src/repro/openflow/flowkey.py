@@ -1,0 +1,111 @@
+"""The OpenFlow 0.8.9 ten-field flow key.
+
+"Exact-match entries specify all ten fields in a tuple, which is used as
+the flow key" (paper Section 6.2.3).  The ten fields of the 0.8.9
+``ofp_match`` (minus the wildcards word) are: ingress port, Ethernet
+source/destination/VLAN/type, IP source/destination/protocol, and
+transport source/destination ports.
+
+``extract_flow_key`` builds the key from a real frame — this is the
+per-packet work the paper leaves on the CPU ("flow key extraction"),
+while hashing is offloaded to the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.ethernet import (
+    ETHERNET_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    parse_ethernet,
+)
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_TCP, PROTO_UDP
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+#: 0.8.9 "no VLAN" marker.
+VLAN_NONE = 0xFFFF
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The ten-field tuple, hashable for the exact-match table."""
+
+    in_port: int
+    dl_src: int
+    dl_dst: int
+    dl_vlan: int
+    dl_type: int
+    nw_src: int
+    nw_dst: int
+    nw_proto: int
+    tp_src: int
+    tp_dst: int
+
+    #: Field names in wildcard-bit order (for WildcardEntry masks).
+    FIELD_NAMES = (
+        "in_port", "dl_src", "dl_dst", "dl_vlan", "dl_type",
+        "nw_src", "nw_dst", "nw_proto", "tp_src", "tp_dst",
+    )
+
+    def as_tuple(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.FIELD_NAMES)
+
+    def pack(self) -> bytes:
+        """Serialise the key to the byte layout the GPU hash kernel sees.
+
+        Fixed widths: port 2, MACs 6 each, VLAN 2, type 2, IPs 4 each,
+        proto 1, tports 2 each = 31 bytes per key.
+        """
+        return (
+            self.in_port.to_bytes(2, "big")
+            + self.dl_src.to_bytes(6, "big")
+            + self.dl_dst.to_bytes(6, "big")
+            + self.dl_vlan.to_bytes(2, "big")
+            + self.dl_type.to_bytes(2, "big")
+            + self.nw_src.to_bytes(4, "big")
+            + self.nw_dst.to_bytes(4, "big")
+            + self.nw_proto.to_bytes(1, "big")
+            + self.tp_src.to_bytes(2, "big")
+            + self.tp_dst.to_bytes(2, "big")
+        )
+
+
+def extract_flow_key(frame: bytes, in_port: int) -> FlowKey:
+    """Extract the ten-field key from a real Ethernet frame.
+
+    Sees through one 802.1Q tag (the VID lands in ``dl_vlan``; untagged
+    frames carry the 0.8.9 VLAN_NONE marker).  Non-IP frames leave the
+    network/transport fields zero; IP frames without TCP/UDP leave the
+    transport ports zero — matching the 0.8.9 normalisation rules.
+    """
+    eth, vlan_tag, l3_start = parse_ethernet(frame)
+    dl_vlan = vlan_tag.vid if vlan_tag is not None else VLAN_NONE
+    nw_src = nw_dst = nw_proto = tp_src = tp_dst = 0
+    if eth.ethertype == ETHERTYPE_IPV4 and len(frame) >= (
+        l3_start + IPV4_HEADER_LEN
+    ):
+        ip = IPv4Header.unpack(frame[l3_start:])
+        nw_src, nw_dst, nw_proto = ip.src, ip.dst, ip.protocol
+        l4_offset = l3_start + IPV4_HEADER_LEN
+        rest = frame[l4_offset:]
+        if nw_proto == PROTO_UDP and len(rest) >= 8:
+            udp = UDPHeader.unpack(bytes(rest))
+            tp_src, tp_dst = udp.src_port, udp.dst_port
+        elif nw_proto == PROTO_TCP and len(rest) >= 20:
+            tcp = TCPHeader.unpack(bytes(rest))
+            tp_src, tp_dst = tcp.src_port, tcp.dst_port
+    return FlowKey(
+        in_port=in_port,
+        dl_src=eth.src,
+        dl_dst=eth.dst,
+        dl_vlan=dl_vlan,
+        dl_type=eth.ethertype,
+        nw_src=nw_src,
+        nw_dst=nw_dst,
+        nw_proto=nw_proto,
+        tp_src=tp_src,
+        tp_dst=tp_dst,
+    )

@@ -1,0 +1,190 @@
+"""OpenFlow flow tables: exact-match hash table + priority wildcard table.
+
+Exact-match lookup hashes the packed ten-field key (the hash the paper
+offloads to the GPU) into bucket chains.  Wildcard lookup is a linear
+scan in descending priority order, "as the reference implementation
+does" — the O(n) behaviour that makes large wildcard tables expensive on
+the CPU (Figure 11c) and embarrassingly parallel on the GPU.
+
+Wildcard entries support per-field wildcard bits plus CIDR masks on the
+IP fields ("bitmask is also available for IP addresses", Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.openflow.flowkey import FlowKey
+
+
+def fnv1a_hash(data: bytes) -> int:
+    """FNV-1a 32-bit — a simple, GPU-friendly key hash.
+
+    Deliberately a pure streaming byte hash: it vectorises trivially (the
+    GPU kernel computes it per packet) and the CPU/GPU implementations in
+    the apps layer share this exact function, so offloaded results are
+    bit-identical.
+    """
+    value = 0x811C9DC5
+    for byte in data:
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+@dataclass
+class FlowStats:
+    """Per-entry packet/byte counters OpenFlow exposes to the controller."""
+
+    packets: int = 0
+    bytes: int = 0
+    #: Wall-clock bookkeeping for flow expiry (0.8.9 idle/hard timeouts).
+    installed_ns: float = 0.0
+    last_used_ns: float = 0.0
+
+    def count(self, frame_len: int, now_ns: float = 0.0) -> None:
+        self.packets += 1
+        self.bytes += frame_len
+        if now_ns:
+            self.last_used_ns = now_ns
+
+
+class ExactMatchTable:
+    """Bucketed hash table over exact ten-field keys.
+
+    Bucket-chained rather than a plain dict so the lookup exposes its
+    probe count — the memory-access number the cost models charge.
+    """
+
+    def __init__(self, num_buckets: int = 1 << 16) -> None:
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.num_buckets = num_buckets
+        self._buckets: List[List[Tuple[FlowKey, object, FlowStats]]] = [
+            [] for _ in range(num_buckets)
+        ]
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _bucket_of(self, key: FlowKey, key_hash: Optional[int] = None) -> int:
+        if key_hash is None:
+            key_hash = fnv1a_hash(key.pack())
+        return key_hash % self.num_buckets
+
+    def add(self, key: FlowKey, actions: object) -> None:
+        """Insert or replace the entry for an exact key."""
+        bucket = self._buckets[self._bucket_of(key)]
+        for index, (existing, _, stats) in enumerate(bucket):
+            if existing == key:
+                bucket[index] = (key, actions, stats)
+                return
+        bucket.append((key, actions, FlowStats()))
+        self._count += 1
+
+    def remove(self, key: FlowKey) -> bool:
+        """Delete an entry; True if it existed."""
+        bucket = self._buckets[self._bucket_of(key)]
+        for index, (existing, _, _) in enumerate(bucket):
+            if existing == key:
+                del bucket[index]
+                self._count -= 1
+                return True
+        return False
+
+    def lookup(
+        self, key: FlowKey, key_hash: Optional[int] = None, frame_len: int = 0
+    ) -> Tuple[Optional[object], int]:
+        """Find the actions for a key; returns (actions or None, probes).
+
+        ``key_hash`` may be supplied by the GPU hash kernel (the paper's
+        offload); otherwise it is computed here (the CPU-only mode).
+        """
+        bucket = self._buckets[self._bucket_of(key, key_hash)]
+        probes = 1  # the bucket head access
+        for existing, actions, stats in bucket:
+            if existing == key:
+                if frame_len:
+                    stats.count(frame_len)
+                return actions, probes
+            probes += 1
+        return None, probes
+
+
+@dataclass
+class WildcardEntry:
+    """One wildcard rule: per-field match-or-wildcard plus IP CIDR masks.
+
+    ``fields`` maps field name -> required value; any field absent is
+    wildcarded.  ``nw_src_mask``/``nw_dst_mask`` give CIDR prefix lengths
+    for the IP fields (0 = fully wildcarded, 32 = exact).
+    """
+
+    priority: int
+    fields: Dict[str, int]
+    actions: object
+    nw_src_mask: int = 0
+    nw_dst_mask: int = 0
+    stats: FlowStats = field(default_factory=FlowStats)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.fields) - set(FlowKey.FIELD_NAMES)
+        if unknown:
+            raise ValueError(f"unknown flow-key fields: {sorted(unknown)}")
+        for mask in (self.nw_src_mask, self.nw_dst_mask):
+            if not 0 <= mask <= 32:
+                raise ValueError(f"CIDR mask {mask} out of range")
+
+    def matches(self, key: FlowKey) -> bool:
+        """Does this rule match the key?  (The GPU kernel's inner loop.)"""
+        for name, required in self.fields.items():
+            if name == "nw_src" and self.nw_src_mask:
+                shift = 32 - self.nw_src_mask
+                if (key.nw_src >> shift) != (required >> shift):
+                    return False
+            elif name == "nw_dst" and self.nw_dst_mask:
+                shift = 32 - self.nw_dst_mask
+                if (key.nw_dst >> shift) != (required >> shift):
+                    return False
+            elif getattr(key, name) != required:
+                return False
+        return True
+
+
+class WildcardTable:
+    """Priority-ordered wildcard rules with linear-search lookup."""
+
+    def __init__(self) -> None:
+        self._entries: List[WildcardEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry: WildcardEntry) -> None:
+        """Insert keeping descending priority (stable for equal priority)."""
+        index = 0
+        while (
+            index < len(self._entries)
+            and self._entries[index].priority >= entry.priority
+        ):
+            index += 1
+        self._entries.insert(index, entry)
+
+    def lookup(self, key: FlowKey, frame_len: int = 0) -> Tuple[Optional[WildcardEntry], int]:
+        """Highest-priority matching rule; returns (entry or None, compared).
+
+        ``compared`` is the number of entries examined — the linear-search
+        cost that grows with table size in Figure 11(c).  The scan cannot
+        stop early on priority alone; it stops at the first match because
+        entries are kept in priority order.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry.matches(key):
+                if frame_len:
+                    entry.stats.count(frame_len)
+                return entry, index + 1
+        return None, len(self._entries)
+
+    def entries(self) -> List[WildcardEntry]:
+        return list(self._entries)

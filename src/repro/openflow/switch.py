@@ -1,0 +1,165 @@
+"""The OpenFlow switch forwarding pipeline (paper Section 6.2.3).
+
+Per packet: extract the ten-field key, hash it, probe the exact-match
+table; on miss, linear-search the wildcard table; on double miss, queue
+the packet for the controller.  Exact matches take precedence over any
+wildcard entry, regardless of priority.
+
+The processing cost of each packet (hash, exact probes, wildcard entries
+compared) is returned alongside the action so the CPU/GPU cost models
+charge exactly what the real lookup did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.openflow.actions import Action, apply_actions
+from repro.openflow.flowkey import FlowKey, extract_flow_key
+from repro.openflow.flowtable import (
+    ExactMatchTable,
+    WildcardEntry,
+    WildcardTable,
+    fnv1a_hash,
+)
+
+
+@dataclass
+class SwitchCounters:
+    """Data-path counters: how each packet was disposed of."""
+
+    exact_hits: int = 0
+    wildcard_hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.exact_hits + self.wildcard_hits + self.misses
+
+
+@dataclass
+class LookupCost:
+    """Work one lookup performed (consumed by the cost models)."""
+
+    hashed: bool = True
+    exact_probes: int = 0
+    wildcard_compared: int = 0
+
+
+class OpenFlowSwitch:
+    """An OpenFlow 0.8.9 switch data path."""
+
+    def __init__(self, num_buckets: int = 1 << 16) -> None:
+        self.exact = ExactMatchTable(num_buckets)
+        self.wildcard = WildcardTable()
+        self.counters = SwitchCounters()
+        #: Packets queued for the controller (table misses).
+        self.controller_queue: List[Tuple[FlowKey, bytes]] = []
+        #: Per-exact-key timeouts: key -> (idle_timeout_ns, hard_timeout_ns);
+        #: zero means "never" (the 0.8.9 permanent-flow convention).
+        self._timeouts: dict = {}
+        #: Expired entries reported to the controller (flow-removed
+        #: messages the 0.8.9 spec sends on expiry).
+        self.removed_flows: List[FlowKey] = []
+
+    # ------------------------------------------------------------------
+    # Table management (what the controller connection would drive).
+    # ------------------------------------------------------------------
+
+    def add_exact_flow(
+        self,
+        key: FlowKey,
+        actions: List[Action],
+        idle_timeout_ns: float = 0.0,
+        hard_timeout_ns: float = 0.0,
+        now_ns: float = 0.0,
+    ) -> None:
+        """Install an exact flow; zero timeouts mean a permanent entry."""
+        self.exact.add(key, actions)
+        if idle_timeout_ns or hard_timeout_ns:
+            self._timeouts[key] = (idle_timeout_ns, hard_timeout_ns)
+            stats = self._exact_stats(key)
+            if stats is not None:
+                stats.installed_ns = now_ns
+                stats.last_used_ns = now_ns
+
+    def _exact_stats(self, key: FlowKey):
+        bucket = self.exact._buckets[self.exact._bucket_of(key)]
+        for existing, _, stats in bucket:
+            if existing == key:
+                return stats
+        return None
+
+    def expire_flows(self, now_ns: float) -> List[FlowKey]:
+        """Evict exact entries past their idle or hard timeout.
+
+        Returns (and records) the removed keys — the data for the
+        flow-removed notifications a controller receives.  Run this the
+        way the reference implementation does: periodically, off the
+        fast path.
+        """
+        expired = []
+        for key, (idle_ns, hard_ns) in list(self._timeouts.items()):
+            stats = self._exact_stats(key)
+            if stats is None:
+                del self._timeouts[key]
+                continue
+            idle_deadline = stats.last_used_ns + idle_ns if idle_ns else None
+            hard_deadline = stats.installed_ns + hard_ns if hard_ns else None
+            if (idle_deadline is not None and now_ns >= idle_deadline) or (
+                hard_deadline is not None and now_ns >= hard_deadline
+            ):
+                self.exact.remove(key)
+                del self._timeouts[key]
+                expired.append(key)
+        self.removed_flows.extend(expired)
+        return expired
+
+    def add_wildcard_flow(self, entry: WildcardEntry) -> None:
+        self.wildcard.add(entry)
+
+    # ------------------------------------------------------------------
+    # Data path.
+    # ------------------------------------------------------------------
+
+    def classify(
+        self, key: FlowKey, key_hash: Optional[int] = None, frame_len: int = 0
+    ) -> Tuple[Optional[List[Action]], LookupCost]:
+        """Find the action list for a key; None means controller-bound.
+
+        ``key_hash`` may come from the GPU hash kernel (CPU+GPU mode); in
+        CPU-only mode it is computed here and the cost records it.
+        """
+        cost = LookupCost(hashed=key_hash is None)
+        if key_hash is None:
+            key_hash = fnv1a_hash(key.pack())
+        actions, probes = self.exact.lookup(key, key_hash, frame_len)
+        cost.exact_probes = probes
+        if actions is not None:
+            self.counters.exact_hits += 1
+            return actions, cost
+        entry, compared = self.wildcard.lookup(key, frame_len)
+        cost.wildcard_compared = compared
+        if entry is not None:
+            self.counters.wildcard_hits += 1
+            return entry.actions, cost
+        self.counters.misses += 1
+        return None, cost
+
+    def process_frame(
+        self, frame: bytearray, in_port: int, key_hash: Optional[int] = None
+    ) -> Tuple[List[int], LookupCost]:
+        """Full per-packet pipeline; returns (output ports, lookup cost).
+
+        A miss queues the frame for the controller and outputs nowhere
+        ("the OpenFlow controller ... takes the responsibility of
+        handling unmatched packets").
+        """
+        key = extract_flow_key(bytes(frame), in_port)
+        actions, cost = self.classify(key, key_hash, frame_len=len(frame))
+        if actions is None:
+            self.controller_queue.append((key, bytes(frame)))
+            return [], cost
+        _, outputs = apply_actions(frame, actions)
+        return outputs, cost

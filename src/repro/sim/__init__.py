@@ -1,0 +1,40 @@
+"""Simulation machinery.
+
+Two complementary engines drive the evaluation:
+
+* :mod:`repro.sim.pipeline` — a steady-state solver: each data-path stage
+  (worker pre-shading, PCIe, GPU, post-shading, I/O ceilings) exposes a
+  packet-rate capacity, the sustainable throughput is the bottleneck
+  stage, and per-packet latency is the sum of stage delays.  All
+  throughput figures (Figures 5, 6, 11) come from this engine.
+* :mod:`repro.sim.events` — a discrete-event simulator for the latency
+  experiment (Figure 12), where queueing under offered load, batching
+  delays, and interrupt moderation interact and a closed-form answer would
+  hide the mechanics.
+
+:mod:`repro.sim.metrics` holds the unit conventions, including the paper's
+24-byte-per-frame Ethernet overhead accounting.
+"""
+
+from repro.sim.metrics import (
+    gbps_to_pps,
+    mpps,
+    pps_to_gbps,
+    ThroughputReport,
+)
+from repro.sim.pipeline import Stage, PipelineModel
+from repro.sim.events import Event, EventLoop
+from repro.sim.latency import LatencySimulator, LatencyStats
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "LatencySimulator",
+    "LatencyStats",
+    "PipelineModel",
+    "Stage",
+    "ThroughputReport",
+    "gbps_to_pps",
+    "mpps",
+    "pps_to_gbps",
+]

@@ -1,0 +1,92 @@
+"""A minimal discrete-event simulation kernel.
+
+Drives the Figure 12 latency experiment (:mod:`repro.sim.latency`), where
+the interactions between Poisson arrivals, batch accumulation, server busy
+periods, and GPU pipeline stages produce the latency-vs-load curves.  The
+kernel is a classic binary-heap event loop with deterministic FIFO
+tie-breaking (events at equal timestamps fire in schedule order), which the
+property tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, sequence number)."""
+
+    time_ns: float
+    seq: int
+    action: Callable = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """Binary-heap event loop with simulated nanosecond time."""
+
+    def __init__(self) -> None:
+        self._heap = []
+        self._counter = itertools.count()
+        self.now_ns = 0.0
+        self.processed = 0
+
+    def schedule(self, delay_ns: float, action: Callable) -> Event:
+        """Schedule ``action`` to run ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past: {delay_ns}")
+        if not math.isfinite(delay_ns):
+            raise ValueError("delay must be finite")
+        event = Event(self.now_ns + delay_ns, next(self._counter), action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time_ns: float, action: Callable) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        return self.schedule(time_ns - self.now_ns, action)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (lazy removal)."""
+        event.cancelled = True
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ns if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time_ns < self.now_ns:
+                raise RuntimeError("event loop time went backwards")
+            self.now_ns = event.time_ns
+            self.processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until_ns: float = math.inf, max_events: int = 10_000_000) -> None:
+        """Run until the horizon, the queue drains, or the event budget.
+
+        ``max_events`` is a guard against accidental infinite self-
+        rescheduling; hitting it raises rather than spinning silently.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until_ns:
+                self.now_ns = max(self.now_ns, min(until_ns, self.now_ns))
+                return
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(f"event budget exhausted ({max_events})")

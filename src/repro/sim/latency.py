@@ -1,0 +1,281 @@
+"""Event-driven latency simulation of the PacketShader data path.
+
+The analytic model in :mod:`repro.core.solver` composes the Figure 12
+latency from closed forms (adaptive-batch fixed point, M/D/1 queueing,
+moderation decay).  This module *simulates* the same data path packet by
+packet on the event loop — Poisson arrivals, the interrupt/poll state
+machine of Section 5.2, batched worker fetches, the master's
+gather/launch/scatter cycle — and measures sojourn times directly.  The
+test suite cross-validates the two: the simulation is the ground truth
+for the analytic shortcuts.
+
+Scope: one NUMA node's worth of the router under symmetric load (the
+two nodes are independent by design — Section 5.1), with the node's
+workers sharing one master/GPU exactly as in Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.calib.constants import CPU, IO_ENGINE, NIC
+from repro.hw.nic import effective_itr_ns
+from repro.core.application import RouterApplication
+from repro.core.config import RouterConfig
+from repro.core.solver import (
+    _cpu_only_cycles_per_packet,
+    _worker_cycles_per_packet,
+    gpu_batch_time_ns,
+)
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class LatencyStats:
+    """Measured sojourn-time statistics (one-way through the router)."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, latency_ns: float) -> None:
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_ns(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(self.samples) / len(self.samples)
+
+    def percentile_ns(self, fraction: float) -> float:
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+class _Packet:
+    __slots__ = ("arrival_ns",)
+
+    def __init__(self, arrival_ns: float) -> None:
+        self.arrival_ns = arrival_ns
+
+
+class _Chunk:
+    __slots__ = ("packets", "worker")
+
+    def __init__(self, packets: List[_Packet], worker: "_SimWorker") -> None:
+        self.packets = packets
+        self.worker = worker
+
+
+class _SimWorker:
+    """One worker thread: RX queue + interrupt/poll loop + pre-shading."""
+
+    def __init__(self, sim: "LatencySimulator", index: int) -> None:
+        self.sim = sim
+        self.index = index
+        self.queue: List[_Packet] = []
+        self.busy = False
+        #: Earliest time the NIC may deliver the next RX interrupt
+        #: (the moderation timer).
+        self.next_interrupt_ns = 0.0
+
+    # -- arrivals -------------------------------------------------------
+
+    def on_arrival(self, packet: _Packet) -> None:
+        self.queue.append(packet)
+        if self.busy:
+            return  # polling mode: the running loop will pick it up
+        # Blocked with interrupts enabled: the wakeup is gated by the
+        # moderation timer (Section 6.4's latency source at low load).
+        loop = self.sim.loop
+        fire_at = max(loop.now_ns, self.next_interrupt_ns)
+        self.busy = True
+        loop.schedule_at(fire_at, self.fetch)
+
+    def poke(self) -> None:
+        """Backpressure released: resume fetching if work is pending."""
+        if not self.busy and self.queue:
+            self.busy = True
+            self.sim.loop.schedule(0, self.fetch)
+
+    # -- the polling loop -----------------------------------------------
+
+    def fetch(self) -> None:
+        loop = self.sim.loop
+        self.next_interrupt_ns = loop.now_ns + self.sim.itr_ns
+        if not self.queue:
+            self.busy = False
+            return
+        if self.sim.use_gpu and self.sim.master.backlogged:
+            # The master's input queue is full: keep the packets in the
+            # RX ring and retry when the master drains (the Section 5.3
+            # backpressure that grows chunks — and GPU batches — under
+            # load).
+            self.busy = False
+            self.sim.master.wait(self)
+            return
+        batch = self.queue[: self.sim.chunk_cap]
+        del self.queue[: len(batch)]
+        service_ns = self.sim.worker_service_ns(len(batch))
+        loop.schedule(service_ns, lambda b=batch: self.finish_fetch(b))
+
+    def finish_fetch(self, batch: List[_Packet]) -> None:
+        if self.sim.use_gpu:
+            self.sim.master.submit(_Chunk(batch, self))
+        else:
+            self.sim.depart(batch)
+        # Keep polling while packets are pending; otherwise block and
+        # re-enable the interrupt (the livelock-avoidance contract).
+        if self.queue:
+            self.fetch()
+        else:
+            self.busy = False
+
+
+class _SimMaster:
+    """The node's master thread: gather, launch, scatter."""
+
+    #: Chunks the input queue holds before backpressure engages.
+    INPUT_CAPACITY = 6
+
+    def __init__(self, sim: "LatencySimulator") -> None:
+        self.sim = sim
+        self.input: List[_Chunk] = []
+        self.busy = False
+        self._waiting: List[_SimWorker] = []
+        self.launches = 0
+        self.launched_packets = 0
+
+    @property
+    def backlogged(self) -> bool:
+        return len(self.input) >= self.INPUT_CAPACITY
+
+    def wait(self, worker: _SimWorker) -> None:
+        if worker not in self._waiting:
+            self._waiting.append(worker)
+
+    def submit(self, chunk: _Chunk) -> None:
+        self.input.append(chunk)
+        if not self.busy:
+            self.launch()
+
+    def launch(self) -> None:
+        if not self.input:
+            self.busy = False
+            return
+        self.busy = True
+        gathered = self.input[: self.sim.gather]
+        del self.input[: len(gathered)]
+        n_packets = sum(len(chunk.packets) for chunk in gathered)
+        self.launches += 1
+        self.launched_packets += n_packets
+        transit = gpu_batch_time_ns(
+            self.sim.app,
+            self.sim.frame_len,
+            n_packets,
+            streams=self.sim.app.use_streams and self.sim.config.concurrent_copy,
+        )
+        self.sim.loop.schedule(transit, lambda g=gathered: self.finish(g))
+
+    def finish(self, gathered: List[_Chunk]) -> None:
+        for chunk in gathered:
+            # Post-shading back on the worker (its cost is inside the
+            # worker service model; the scatter itself is the handoff).
+            self.sim.depart(chunk.packets)
+        waiting, self._waiting = self._waiting, []
+        for worker in waiting:
+            worker.poke()
+        self.launch()
+
+
+class LatencySimulator:
+    """Simulate one node of the router at an offered load."""
+
+    def __init__(
+        self,
+        app: RouterApplication,
+        frame_len: int = 64,
+        use_gpu: bool = True,
+        batching: bool = True,
+        config: Optional[RouterConfig] = None,
+        seed: int = 1,
+    ) -> None:
+        if use_gpu and not batching:
+            raise ValueError("the GPU path requires batched I/O")
+        self.app = app
+        self.frame_len = frame_len
+        self.use_gpu = use_gpu
+        self.batching = batching
+        self.config = config or RouterConfig(
+            use_gpu=use_gpu, concurrent_copy=getattr(app, "use_streams", False)
+        )
+        self.seed = seed
+        self.chunk_cap = self.config.chunk_capacity if batching else 1
+        self.gather = self.config.effective_gather_chunks()
+        self.loop = EventLoop()
+        self.stats = LatencyStats()
+        workers = self.config.workers_per_node
+        self.workers = [_SimWorker(self, i) for i in range(workers)]
+        self.master = _SimMaster(self)
+        self._rng = random.Random(seed)
+
+    # -- service-time models (shared with the analytic solver) ----------
+
+    def worker_service_ns(self, batch: int) -> float:
+        """Time a worker spends on one fetched batch."""
+        if self.use_gpu:
+            per_packet = _worker_cycles_per_packet(self.app, self.frame_len)
+            cycles = IO_ENGINE.per_batch_cycles + batch * per_packet
+        else:
+            per_packet = _cpu_only_cycles_per_packet(self.app, self.frame_len)
+            cycles = IO_ENGINE.per_batch_cycles + batch * per_packet
+        return cycles * 1e9 / CPU.clock_hz
+
+    # -- measurement ------------------------------------------------------
+
+    def depart(self, packets: List[_Packet]) -> None:
+        now = self.loop.now_ns
+        if now < self._warmup_ns:
+            return
+        for packet in packets:
+            self.stats.record(now - packet.arrival_ns)
+
+    def run(
+        self,
+        offered_pps: float,
+        duration_ns: float = 30e6,
+        warmup_ns: float = 5e6,
+    ) -> LatencyStats:
+        """Offer node-share Poisson traffic and measure sojourn times.
+
+        ``offered_pps`` is the *system* rate; this node receives half
+        (Section 5.1's symmetric partitioning).  Returns the statistics
+        over packets departing after the warmup.
+        """
+        if offered_pps <= 0:
+            raise ValueError("offered load must be positive")
+        self._warmup_ns = warmup_ns
+        node_rate = offered_pps / self.config.system.num_nodes
+        # The dynamic moderation window at this per-worker rate.
+        self.itr_ns = effective_itr_ns(node_rate / len(self.workers))
+        mean_gap_ns = 1e9 / node_rate
+
+        def arrive():
+            worker = self._rng.randrange(len(self.workers))
+            packet = _Packet(self.loop.now_ns)
+            self.workers[worker].on_arrival(packet)
+            gap = self._rng.expovariate(1.0) * mean_gap_ns
+            if self.loop.now_ns + gap < duration_ns:
+                self.loop.schedule(gap, arrive)
+
+        self.loop.schedule(self._rng.expovariate(1.0) * mean_gap_ns, arrive)
+        self.loop.run(until_ns=duration_ns * 1.5, max_events=5_000_000)
+        return self.stats

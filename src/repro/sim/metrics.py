@@ -1,0 +1,61 @@
+"""Throughput metrics with the paper's accounting conventions.
+
+The paper (footnote 1) charges the 24-byte Ethernet overhead (preamble,
+SFD, FCS, inter-frame gap) when converting packet rates to Gbps, and
+translates other papers' numbers to the same metric.  All conversions in
+this reproduction go through this module so the convention is applied
+exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.ethernet import wire_bits
+
+
+def pps_to_gbps(pps: float, frame_len: int) -> float:
+    """Packets/s -> Gbps of wire throughput (24 B overhead included)."""
+    if pps < 0:
+        raise ValueError(f"negative packet rate: {pps}")
+    return pps * wire_bits(frame_len) / 1e9
+
+
+def gbps_to_pps(gbps: float, frame_len: int) -> float:
+    """Gbps of wire throughput -> packets/s."""
+    if gbps < 0:
+        raise ValueError(f"negative throughput: {gbps}")
+    return gbps * 1e9 / wire_bits(frame_len)
+
+
+def mpps(pps: float) -> float:
+    """Packets/s -> millions of packets/s (the paper's Mpps)."""
+    return pps / 1e6
+
+
+@dataclass
+class ThroughputReport:
+    """One measured operating point: rate, frame size, and the bottleneck.
+
+    ``bottleneck`` names the stage that limits throughput — the quantity
+    the paper spends Section 4.6 and 6.3 identifying ("we conclude that
+    the bottleneck lies in I/O").
+    """
+
+    frame_len: int
+    pps: float
+    bottleneck: str = ""
+
+    @property
+    def gbps(self) -> float:
+        return pps_to_gbps(self.pps, self.frame_len)
+
+    @property
+    def mpps(self) -> float:
+        return mpps(self.pps)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.frame_len}B: {self.gbps:6.2f} Gbps "
+            f"({self.mpps:6.2f} Mpps), bottleneck={self.bottleneck}"
+        )

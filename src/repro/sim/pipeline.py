@@ -1,0 +1,110 @@
+"""Steady-state pipeline throughput solver.
+
+A router data path is a pipeline of stages (RX DMA, worker pre-shading,
+PCIe h2d, GPU kernel, PCIe d2h, post-shading, TX DMA...).  In steady state
+the sustainable packet rate is the capacity of the slowest stage, and the
+base one-way latency of a packet is the sum of the per-chunk stage delays
+it traverses plus its queueing delay.
+
+Stages are deliberately simple — a name, a packets/s capacity, and a
+per-packet transit delay — because the interesting modelling lives in how
+the applications *derive* those capacities from the hardware models.  The
+solver's job is bottleneck identification (which the paper does by hand in
+Sections 4.6 and 6.3) and latency composition (Figure 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.metrics import ThroughputReport
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage.
+
+    ``capacity_pps`` is the maximum sustained packet rate through the
+    stage; ``transit_ns`` is the time one packet (or its chunk) spends in
+    the stage when uncontended.  ``parallelism`` scales capacity (e.g. two
+    GPUs, six worker cores) but not transit time.
+    """
+
+    name: str
+    capacity_pps: float
+    transit_ns: float = 0.0
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_pps <= 0:
+            raise ValueError(f"stage {self.name}: capacity must be positive")
+        if self.transit_ns < 0:
+            raise ValueError(f"stage {self.name}: negative transit time")
+        if self.parallelism < 1:
+            raise ValueError(f"stage {self.name}: parallelism must be >= 1")
+
+    @property
+    def effective_capacity_pps(self) -> float:
+        return self.capacity_pps * self.parallelism
+
+
+class PipelineModel:
+    """A chain of stages with bottleneck and latency analysis."""
+
+    def __init__(self, stages: List[Stage], frame_len: int) -> None:
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages = list(stages)
+        self.frame_len = frame_len
+
+    @property
+    def bottleneck(self) -> Stage:
+        """The stage with the lowest effective capacity."""
+        return min(self.stages, key=lambda s: s.effective_capacity_pps)
+
+    @property
+    def capacity_pps(self) -> float:
+        """Sustainable packet rate of the whole pipeline."""
+        return self.bottleneck.effective_capacity_pps
+
+    def report(self) -> ThroughputReport:
+        """Throughput at saturation, annotated with the bottleneck stage."""
+        return ThroughputReport(
+            frame_len=self.frame_len,
+            pps=self.capacity_pps,
+            bottleneck=self.bottleneck.name,
+        )
+
+    def base_latency_ns(self) -> float:
+        """Uncontended one-way latency: sum of stage transit times."""
+        return sum(stage.transit_ns for stage in self.stages)
+
+    def latency_ns(self, offered_pps: float) -> float:
+        """One-way latency at an offered load, queueing included.
+
+        Each stage is treated as an M/D/1 queue at utilisation
+        ``rho = offered / capacity``; the mean queueing delay is
+        ``rho / (2 (1 - rho))`` service times (Pollaczek-Khinchine with
+        deterministic service).  Offered loads at or beyond saturation
+        return ``inf`` — the latency figure's hockey stick.
+        """
+        if offered_pps < 0:
+            raise ValueError("offered load must be non-negative")
+        if offered_pps >= self.capacity_pps:
+            return math.inf
+        total = 0.0
+        for stage in self.stages:
+            service_ns = 1e9 / stage.effective_capacity_pps
+            rho = offered_pps / stage.effective_capacity_pps
+            queueing = rho / (2.0 * (1.0 - rho)) * service_ns
+            total += stage.transit_ns + queueing
+        return total
+
+    def utilization(self, offered_pps: float) -> dict:
+        """Per-stage utilisation at an offered load (for reports/tests)."""
+        return {
+            stage.name: offered_pps / stage.effective_capacity_pps
+            for stage in self.stages
+        }

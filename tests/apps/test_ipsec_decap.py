@@ -1,0 +1,127 @@
+"""The IPsec decapsulation gateway: the tunnel's receiving end."""
+
+import pytest
+
+from repro.apps.ipsec import IPsecDecapGateway, IPsecGateway
+from repro.core.chunk import Chunk, Disposition
+from repro.core.framework import PacketShader
+from repro.crypto.esp import SecurityAssociation
+from repro.gen.workloads import ipsec_workload
+from repro.net.packet import build_udp_ipv4, build_udp_ipv6
+
+
+def chunk_of(frames):
+    return Chunk(frames=[bytearray(f) for f in frames])
+
+
+def tunnel_pair():
+    tx_sa = ipsec_workload().sa
+    rx_sa = SecurityAssociation(
+        spi=tx_sa.spi, encryption_key=tx_sa.encryption_key,
+        nonce=tx_sa.nonce, auth_key=tx_sa.auth_key,
+        tunnel_src=tx_sa.tunnel_src, tunnel_dst=tx_sa.tunnel_dst,
+    )
+    return IPsecGateway(tx_sa, out_port=0), IPsecDecapGateway(rx_sa, out_port=5)
+
+
+class TestDataPath:
+    def test_full_tunnel_roundtrip(self):
+        encap, decap = tunnel_pair()
+        frames = [build_udp_ipv4(i + 1, i + 2, 3, 4, frame_len=100)
+                  for i in range(6)]
+        originals = [bytes(f) for f in frames]
+        tunnel = chunk_of(frames)
+        encap.cpu_process(tunnel)
+        clear = chunk_of(tunnel.frames)
+        decap.cpu_process(clear)
+        assert all(v.disposition is Disposition.FORWARD for v in clear.verdicts)
+        assert all(v.out_port == 5 for v in clear.verdicts)
+        assert [bytes(f) for f in clear.frames] == originals
+
+    def test_tampered_packet_dropped_as_bad_icv(self):
+        encap, decap = tunnel_pair()
+        tunnel = chunk_of([build_udp_ipv4(1, 2, 3, 4, frame_len=100)])
+        encap.cpu_process(tunnel)
+        tunnel.frames[0][60] ^= 1
+        clear = chunk_of(tunnel.frames)
+        decap.cpu_process(clear)
+        assert clear.verdicts[0].disposition is Disposition.DROP
+        assert decap.drop_reasons["bad-icv"] == 1
+
+    def test_replay_dropped(self):
+        encap, decap = tunnel_pair()
+        tunnel = chunk_of([build_udp_ipv4(1, 2, 3, 4, frame_len=100)])
+        encap.cpu_process(tunnel)
+        first = chunk_of(tunnel.frames)
+        decap.cpu_process(first)
+        replayed = chunk_of(tunnel.frames)
+        decap.cpu_process(replayed)
+        assert replayed.verdicts[0].disposition is Disposition.DROP
+        assert decap.drop_reasons["replay"] == 1
+
+    def test_non_esp_traffic_to_slow_path(self):
+        _, decap = tunnel_pair()
+        chunk = chunk_of([
+            build_udp_ipv4(1, 2, 3, 4),   # plain UDP, not ESP
+            build_udp_ipv6(1, 2, 3, 4),
+        ])
+        decap.cpu_process(chunk)
+        assert all(
+            v.disposition is Disposition.SLOW_PATH for v in chunk.verdicts
+        )
+
+    def test_gpu_and_cpu_paths_agree(self):
+        encap_a, decap_a = tunnel_pair()
+        encap_b, decap_b = tunnel_pair()
+        frames = [build_udp_ipv4(i + 1, 9, 3, 4, frame_len=90) for i in range(5)]
+        tunnel_a = chunk_of(frames)
+        encap_a.cpu_process(tunnel_a)
+        tunnel_b = chunk_of(frames)
+        encap_b.cpu_process(tunnel_b)
+
+        cpu_clear = chunk_of(tunnel_a.frames)
+        decap_a.cpu_process(cpu_clear)
+        gpu_clear = chunk_of(tunnel_b.frames)
+        work = decap_b.pre_shade(gpu_clear)
+        decap_b.post_shade(gpu_clear, work.spec.fn())
+        assert [bytes(f) for f in cpu_clear.frames] == [
+            bytes(f) for f in gpu_clear.frames
+        ]
+
+    def test_two_routers_back_to_back(self):
+        """Encap router -> decap router, through the framework."""
+        encap, decap = tunnel_pair()
+        tx_router = PacketShader(encap)
+        rx_router = PacketShader(decap)
+        frames = [build_udp_ipv4(i + 1, 99, 3, 4, frame_len=128)
+                  for i in range(20)]
+        originals = sorted(bytes(f) for f in frames)
+        tunnel_out = tx_router.process_frames([bytearray(f) for f in frames])
+        clear_out = rx_router.process_frames(
+            [bytearray(f) for f in tunnel_out[0]]
+        )
+        assert rx_router.stats.forwarded == 20
+        assert sorted(bytes(f) for f in clear_out[5]) == originals
+
+
+class TestCostHooks:
+    def test_mirrors_encap_costs(self):
+        encap, decap = tunnel_pair()
+        assert decap.cpu_cycles_per_packet(256) == encap.cpu_cycles_per_packet(256)
+        assert decap.worker_cycles_per_packet(256) == pytest.approx(
+            encap.worker_cycles_per_packet(256)
+        )
+
+    def test_transfers_swap_direction(self):
+        encap, decap = tunnel_pair()
+        e_in, e_out = encap.gpu_bytes_per_packet(256)
+        d_in, d_out = decap.gpu_bytes_per_packet(256)
+        assert (d_in, d_out) == (e_out, e_in)
+
+    def test_throughput_comparable_to_encap(self):
+        from repro import app_throughput_report
+
+        encap, decap = tunnel_pair()
+        e = app_throughput_report(encap, 256, use_gpu=True).gbps
+        d = app_throughput_report(decap, 256, use_gpu=True).gbps
+        assert d == pytest.approx(e, rel=0.10)

@@ -1,0 +1,44 @@
+"""Chunks and per-packet verdicts."""
+
+import pytest
+
+from repro.core.chunk import Chunk, Disposition, PacketVerdict
+
+
+def chunk_of(n=4):
+    return Chunk(frames=[bytearray(64) for _ in range(n)])
+
+
+class TestVerdicts:
+    def test_initial_state_pending(self):
+        chunk = chunk_of(3)
+        assert chunk.pending_indices() == [0, 1, 2]
+        assert len(chunk) == 3
+
+    def test_forward_drop_slowpath(self):
+        chunk = chunk_of(3)
+        chunk.verdicts[0].forward_to(5)
+        chunk.verdicts[1].drop()
+        chunk.verdicts[2].slow_path()
+        assert chunk.pending_indices() == []
+        assert chunk.count(Disposition.FORWARD) == 1
+        assert chunk.count(Disposition.DROP) == 1
+        assert chunk.count(Disposition.SLOW_PATH) == 1
+        assert chunk.verdicts[0].out_port == 5
+        assert chunk.verdicts[1].out_port is None
+
+    def test_split_by_port_preserves_order(self):
+        chunk = chunk_of(4)
+        chunk.frames[0][0] = 1
+        chunk.frames[2][0] = 2
+        chunk.verdicts[0].forward_to(7)
+        chunk.verdicts[2].forward_to(7)
+        chunk.verdicts[1].drop()
+        chunk.verdicts[3].slow_path()
+        by_port = chunk.split_by_port()
+        assert list(by_port) == [7]
+        assert [f[0] for f in by_port[7]] == [1, 2]  # FIFO within the chunk
+
+    def test_verdicts_must_parallel_frames(self):
+        with pytest.raises(ValueError):
+            Chunk(frames=[bytearray(64)], verdicts=[PacketVerdict(), PacketVerdict()])

@@ -1,0 +1,45 @@
+"""Router configuration and thread layout."""
+
+import pytest
+
+from repro.core.config import RouterConfig, ThreadRole
+
+
+class TestThreadLayout:
+    def test_gpu_mode_is_3_plus_1_per_node(self):
+        # Section 5.1: "a quad-core CPU runs three worker threads and
+        # one master thread" per node.
+        config = RouterConfig(use_gpu=True)
+        assert config.workers_per_node == 3
+        assert config.masters_per_node == 1
+        assert config.total_workers == 6
+        assert config.total_masters == 2
+
+    def test_cpu_mode_is_8_workers(self):
+        # Section 6.1: "the CPU-only mode runs eight worker threads".
+        config = RouterConfig(use_gpu=False)
+        assert config.workers_per_node == 4
+        assert config.total_workers == 8
+        assert config.total_masters == 0
+
+    def test_core_assignment_one_thread_per_core(self):
+        config = RouterConfig(use_gpu=True)
+        assignment = config.core_assignment()
+        assert len(assignment) == 8
+        # Each (node, core) pair is unique: hard affinity.
+        assert len({(n, c) for n, c, _ in assignment}) == 8
+        masters = [a for a in assignment if a[2] is ThreadRole.MASTER]
+        assert len(masters) == 2
+        assert {m[0] for m in masters} == {0, 1}
+
+
+class TestOptimizationKnobs:
+    def test_gather_disabled_means_one_chunk(self):
+        assert RouterConfig(gather_scatter=False).effective_gather_chunks() == 1
+        assert RouterConfig(gather_scatter=True).effective_gather_chunks() >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterConfig(chunk_capacity=0)
+        with pytest.raises(ValueError):
+            RouterConfig(max_gather_chunks=0)

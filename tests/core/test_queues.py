@@ -1,0 +1,63 @@
+"""Worker/master queues: fairness FIFO in, per-worker out."""
+
+import pytest
+
+from repro.core.chunk import Chunk
+from repro.core.queues import MasterInputQueue, WorkerOutputQueue
+
+
+def chunk_from(worker_id):
+    return Chunk(frames=[bytearray(64)], worker_id=worker_id)
+
+
+class TestMasterInputQueue:
+    def test_fifo_across_workers(self):
+        """Fairness (Section 5.3): chunks dequeue in arrival order, not
+        grouped or prioritised by worker."""
+        queue = MasterInputQueue()
+        order = [0, 1, 2, 0, 1, 2]
+        for worker in order:
+            assert queue.put(chunk_from(worker))
+        batch = queue.get_batch(6)
+        assert [c.worker_id for c in batch] == order
+
+    def test_gather_batch_limit(self):
+        queue = MasterInputQueue()
+        for _ in range(5):
+            queue.put(chunk_from(0))
+        assert len(queue.get_batch(3)) == 3
+        assert len(queue) == 2
+
+    def test_backpressure_when_full(self):
+        queue = MasterInputQueue(capacity=2)
+        assert queue.put(chunk_from(0))
+        assert queue.put(chunk_from(0))
+        assert not queue.put(chunk_from(0))
+        assert queue.rejected == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MasterInputQueue(capacity=0)
+        with pytest.raises(ValueError):
+            MasterInputQueue().get_batch(0)
+
+
+class TestWorkerOutputQueue:
+    def test_put_get(self):
+        queue = WorkerOutputQueue(worker_id=3)
+        chunk = chunk_from(3)
+        queue.put(chunk)
+        assert queue.get() is chunk
+        assert queue.get() is None
+
+    def test_rejects_foreign_chunk(self):
+        """1-to-1 scatter: a chunk must return to its own worker."""
+        queue = WorkerOutputQueue(worker_id=3)
+        with pytest.raises(ValueError):
+            queue.put(chunk_from(4))
+
+    def test_overflow_is_a_programming_error(self):
+        queue = WorkerOutputQueue(worker_id=0, capacity=1)
+        queue.put(chunk_from(0))
+        with pytest.raises(OverflowError):
+            queue.put(chunk_from(0))

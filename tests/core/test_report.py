@@ -1,0 +1,14 @@
+"""The headline report CLI."""
+
+from repro.report import main
+
+
+def test_report_runs_and_prints_headlines(capsys):
+    assert main([]) == 0
+    output = capsys.readouterr().out
+    assert "41.1 Gbps" in output
+    assert "Fig 11" in output
+    assert "$6979" in output
+    # Every application appears.
+    for name in ("ipv4", "ipv6", "openflow", "ipsec"):
+        assert name in output

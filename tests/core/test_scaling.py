@@ -1,0 +1,58 @@
+"""VLB horizontal scaling (the Section 7 sketch)."""
+
+import pytest
+
+from repro.core.scaling import VLBCluster, packetshader_vs_rb4
+
+
+class TestVLBCluster:
+    def test_single_node_is_the_box(self):
+        cluster = VLBCluster(num_nodes=1, node_capacity_gbps=40.0)
+        assert cluster.external_capacity_gbps() == 40.0
+
+    def test_direct_vlb_halves_the_overhead(self):
+        classic = VLBCluster(num_nodes=4, node_capacity_gbps=40.0,
+                             mesh_link_gbps=40.0, direct=False)
+        direct = VLBCluster(num_nodes=4, node_capacity_gbps=40.0,
+                            mesh_link_gbps=40.0, direct=True)
+        assert classic.internal_overhead == 2.0
+        assert direct.internal_overhead == 1.0
+        assert direct.external_capacity_gbps() > classic.external_capacity_gbps()
+
+    def test_capacity_scales_with_nodes(self):
+        capacities = [
+            VLBCluster(num_nodes=n, mesh_link_gbps=40.0).external_capacity_gbps()
+            for n in (1, 2, 4, 8)
+        ]
+        assert capacities == sorted(capacities)
+
+    def test_mesh_links_can_bind(self):
+        roomy = VLBCluster(num_nodes=4, node_capacity_gbps=40.0,
+                           mesh_link_gbps=100.0)
+        starved = VLBCluster(num_nodes=4, node_capacity_gbps=40.0,
+                             mesh_link_gbps=1.0)
+        assert starved.external_capacity_gbps() < roomy.external_capacity_gbps()
+
+    def test_nodes_for_target(self):
+        cluster = VLBCluster(num_nodes=1, node_capacity_gbps=40.0,
+                             mesh_link_gbps=40.0)
+        assert cluster.nodes_for(40.0) == 1
+        assert cluster.nodes_for(41.0) > 1
+        assert cluster.nodes_for(160.0) <= 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VLBCluster(num_nodes=0)
+        with pytest.raises(ValueError):
+            VLBCluster(num_nodes=1, node_capacity_gbps=-1)
+        with pytest.raises(ValueError):
+            VLBCluster(num_nodes=1).nodes_for(0)
+
+
+class TestPaperComparison:
+    def test_one_box_replaces_rb4(self):
+        """Section 8: "PacketShader could replace RB4, a cluster of four
+        RouteBricks machines, with a single machine with better
+        performance."""
+        result = packetshader_vs_rb4()
+        assert result["packetshader_single_box"] > result["routebricks_rb4"]

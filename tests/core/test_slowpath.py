@@ -1,0 +1,89 @@
+"""The slow-path handler and its framework integration."""
+
+import pytest
+
+from repro.core.slowpath import SlowPathHandler
+from repro.core.framework import PacketShader
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.net import icmp
+from repro.net.checksum import checksum16
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_ICMP
+from repro.net.packet import build_udp_ipv4
+from repro.lookup.dir24_8 import Dir24_8
+
+
+def expired_frame():
+    return build_udp_ipv4(0xC0A80001, 0x0A010101, 5, 6, frame_len=80, ttl=1)
+
+
+class TestHandler:
+    def test_ttl_expired_generates_time_exceeded(self):
+        handler = SlowPathHandler()
+        response = handler.handle_frame(bytes(expired_frame()))
+        assert response is not None
+        message = icmp.ICMPMessage.unpack(response[IPV4_HEADER_LEN:])
+        assert message.type == icmp.ICMP_TIME_EXCEEDED
+        assert handler.counters.ttl_expired == 1
+
+    def test_ping_to_router_answered(self):
+        handler = SlowPathHandler(router_addresses={0x0A0000FE})
+        request = icmp.ICMPMessage(
+            type=icmp.ICMP_ECHO_REQUEST, code=0, payload=b"x"
+        ).pack()
+        ip = IPv4Header(
+            src=1, dst=0x0A0000FE, protocol=PROTO_ICMP,
+            total_length=IPV4_HEADER_LEN + len(request),
+        )
+        frame = bytearray(14) + bytearray(ip.pack() + request)
+        frame[12:14] = (0x0800).to_bytes(2, "big")
+        response = handler.handle_frame(bytes(frame))
+        assert response is not None
+        assert handler.counters.echo_replied == 1
+
+    def test_local_udp_delivered(self):
+        handler = SlowPathHandler(router_addresses={0x0A0000FE})
+        frame = build_udp_ipv4(1, 0x0A0000FE, 5, 179, frame_len=80)  # "BGP"
+        assert handler.handle_frame(bytes(frame)) is None
+        assert handler.counters.delivered_local == 1
+        assert len(handler.local_delivery) == 1
+
+    def test_garbage_counted_unhandled(self):
+        handler = SlowPathHandler()
+        assert handler.handle_frame(bytes(10)) is None
+        assert handler.counters.unhandled == 1
+
+    def test_batch(self):
+        handler = SlowPathHandler()
+        responses = handler.handle_batch(
+            [bytes(expired_frame()), bytes(10), bytes(expired_frame())]
+        )
+        assert len(responses) == 2
+        assert handler.counters.total == 3
+
+
+class TestFrameworkIntegration:
+    def test_router_emits_icmp_out_the_ingress_port(self):
+        table = Dir24_8()
+        table.add_routes([(0, 0, 1)])
+        handler = SlowPathHandler()
+        router = PacketShader(IPv4Forwarder(table), slow_path=handler)
+        egress = router.process_frames([expired_frame()], in_port=2)
+        assert router.stats.slow_path == 1
+        # The Time Exceeded response leaves through port 2.
+        responses = [
+            f for f in egress.get(2, [])
+            if len(f) > 34 and f[14 + 9] == PROTO_ICMP
+        ]
+        assert len(responses) == 1
+        message = icmp.ICMPMessage.unpack(bytes(responses[0][34:]))
+        assert message.type == icmp.ICMP_TIME_EXCEEDED
+
+    def test_router_without_handler_just_counts(self):
+        table = Dir24_8()
+        table.add_routes([(0, 0, 1)])
+        router = PacketShader(IPv4Forwarder(table))
+        egress = router.process_frames([expired_frame()])
+        assert router.stats.slow_path == 1
+        assert all(
+            f[14 + 9] != PROTO_ICMP for frames in egress.values() for f in frames
+        )

@@ -1,0 +1,130 @@
+"""AES-128 against FIPS-197 and RFC 3686 test vectors."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import (
+    AES128,
+    SBOX,
+    INV_SBOX,
+    aes_ctr_keystream,
+    aes_ctr_xor,
+)
+
+
+class TestSBox:
+    def test_known_entries(self):
+        # FIPS-197 Figure 7 corners.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_inverts(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+
+class TestBlockCipher:
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_key_schedule_first_round_key_is_key(self):
+        key = bytes(range(16))
+        aes = AES128(key)
+        words = aes.round_keys[:4]
+        rebuilt = b"".join(w.to_bytes(4, "big") for w in words)
+        assert rebuilt == key
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(15))
+
+    def test_rejects_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES128(bytes(16)).encrypt_block(bytes(15))
+
+    def test_vectorised_matches_scalar(self):
+        aes = AES128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        rng = np.random.default_rng(7)
+        blocks = rng.integers(0, 2**32, size=(64, 4), dtype=np.uint32)
+        batch = aes.encrypt_states(blocks)
+        for i in range(64):
+            block = b"".join(int(w).to_bytes(4, "big") for w in blocks[i])
+            expected = aes.encrypt_block(block)
+            got = b"".join(int(w).to_bytes(4, "big") for w in batch[i])
+            assert got == expected
+
+    def test_encrypt_states_shape_validation(self):
+        aes = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            aes.encrypt_states(np.zeros((4, 3), dtype=np.uint32))
+
+
+class TestCTR:
+    def test_counter_block_layout_is_rfc3686(self):
+        # The first keystream block must be AES(nonce | IV | 0x00000001).
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        nonce = bytes.fromhex("00000030")
+        iv = bytes.fromhex("0001020304050607")
+        aes = AES128(key)
+        counter_block = nonce + iv + (1).to_bytes(4, "big")
+        assert aes_ctr_keystream(aes, nonce, iv, 1) == aes.encrypt_block(
+            counter_block
+        )
+
+    def test_rfc3686_vector_2(self):
+        key = bytes.fromhex("7E24067817FAE0D743D6CE1F32539163")
+        nonce = bytes.fromhex("006CB6DB")
+        iv = bytes.fromhex("C0543B59DA48D90B")
+        plaintext = bytes.fromhex(
+            "000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F"
+        )
+        expected = bytes.fromhex(
+            "5104A106168A72D9790D41EE8EDAD388EB2E1EFC46DA57C8FCE630DF9141BE28"
+        )
+        aes = AES128(key)
+        assert aes_ctr_xor(aes, nonce, iv, plaintext) == expected
+
+    def test_ctr_is_its_own_inverse(self):
+        aes = AES128(bytes(range(16)))
+        nonce, iv = b"\x01\x02\x03\x04", bytes(8)
+        data = bytes(range(256)) * 3 + b"tail"
+        assert aes_ctr_xor(aes, nonce, iv, aes_ctr_xor(aes, nonce, iv, data)) == data
+
+    def test_partial_block(self):
+        aes = AES128(bytes(16))
+        out = aes_ctr_xor(aes, bytes(4), bytes(8), b"abc")
+        assert len(out) == 3
+
+    def test_empty_data(self):
+        aes = AES128(bytes(16))
+        assert aes_ctr_xor(aes, bytes(4), bytes(8), b"") == b""
+
+    def test_keystream_counter_increments(self):
+        aes = AES128(bytes(16))
+        two = aes_ctr_keystream(aes, bytes(4), bytes(8), 2)
+        first = aes_ctr_keystream(aes, bytes(4), bytes(8), 1)
+        second = aes_ctr_keystream(aes, bytes(4), bytes(8), 1, initial_counter=2)
+        assert two == first + second
+
+    def test_keystream_validates_sizes(self):
+        aes = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            aes_ctr_keystream(aes, bytes(3), bytes(8), 1)
+        with pytest.raises(ValueError):
+            aes_ctr_keystream(aes, bytes(4), bytes(7), 1)
+        with pytest.raises(ValueError):
+            aes_ctr_keystream(aes, bytes(4), bytes(8), 0)

@@ -1,0 +1,78 @@
+"""SHA-1 and HMAC against FIPS-180 / RFC 2202 vectors and stdlib."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+
+from repro.crypto.sha1 import (
+    hmac_sha1,
+    hmac_sha1_96,
+    sha1,
+    sha1_block_count,
+)
+
+
+class TestSHA1:
+    def test_fips180_abc(self):
+        assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_fips180_two_block(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha1(message).hex() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_empty(self):
+        assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    @pytest.mark.parametrize("length", [0, 1, 55, 56, 63, 64, 65, 127, 128, 1000])
+    def test_matches_hashlib_at_padding_boundaries(self, length):
+        message = bytes((i * 7 + 3) & 0xFF for i in range(length))
+        assert sha1(message) == hashlib.sha1(message).digest()
+
+    def test_block_count(self):
+        # <=55 bytes fit one padded block; 56 spills to two.
+        assert sha1_block_count(0) == 1
+        assert sha1_block_count(55) == 1
+        assert sha1_block_count(56) == 2
+        assert sha1_block_count(119) == 2
+        assert sha1_block_count(120) == 3
+
+    def test_block_count_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sha1_block_count(-1)
+
+
+class TestHMAC:
+    def test_rfc2202_case_1(self):
+        key = bytes([0x0B] * 20)
+        assert (
+            hmac_sha1(key, b"Hi There").hex()
+            == "b617318655057264e28bc0b6fb378c8ef146be00"
+        )
+
+    def test_rfc2202_case_2(self):
+        assert (
+            hmac_sha1(b"Jefe", b"what do ya want for nothing?").hex()
+            == "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        )
+
+    def test_rfc2202_case_6_long_key(self):
+        key = bytes([0xAA] * 80)
+        message = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        assert (
+            hmac_sha1(key, message).hex()
+            == "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        )
+
+    @pytest.mark.parametrize("key_len", [1, 20, 64, 65, 100])
+    def test_matches_stdlib(self, key_len):
+        key = bytes(range(key_len % 256))[:key_len] or b"\x00"
+        message = b"packet" * 37
+        assert hmac_sha1(key, message) == std_hmac.new(
+            key, message, hashlib.sha1
+        ).digest()
+
+    def test_hmac96_is_truncation(self):
+        key, message = b"k" * 20, b"m" * 100
+        assert hmac_sha1_96(key, message) == hmac_sha1(key, message)[:12]
+        assert len(hmac_sha1_96(key, message)) == 12

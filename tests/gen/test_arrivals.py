@@ -1,0 +1,38 @@
+"""Arrival processes."""
+
+import itertools
+import statistics
+
+import pytest
+
+from repro.gen.arrivals import constant_interarrivals_ns, poisson_interarrivals_ns
+
+
+class TestConstant:
+    def test_gap_is_inverse_rate(self):
+        gaps = list(itertools.islice(constant_interarrivals_ns(1e6), 5))
+        assert gaps == [1000.0] * 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next(constant_interarrivals_ns(0))
+
+
+class TestPoisson:
+    def test_mean_matches_rate(self):
+        gaps = list(itertools.islice(poisson_interarrivals_ns(1e6, seed=1), 20000))
+        assert statistics.mean(gaps) == pytest.approx(1000.0, rel=0.05)
+
+    def test_exponential_variance(self):
+        # For an exponential distribution, stdev == mean.
+        gaps = list(itertools.islice(poisson_interarrivals_ns(1e6, seed=2), 20000))
+        assert statistics.stdev(gaps) == pytest.approx(1000.0, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = list(itertools.islice(poisson_interarrivals_ns(1e6, seed=3), 10))
+        b = list(itertools.islice(poisson_interarrivals_ns(1e6, seed=3), 10))
+        assert a == b
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next(poisson_interarrivals_ns(-1))

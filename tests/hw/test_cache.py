@@ -1,0 +1,118 @@
+"""The cache model: compulsory misses, prefetch, DMA, false sharing."""
+
+import pytest
+
+from repro.hw.cache import CacheModel
+
+
+class TestBasics:
+    def test_first_access_is_compulsory_miss(self):
+        cache = CacheModel(num_cores=1)
+        assert not cache.access(0, 0x1000)
+        assert cache.stats[0].compulsory_misses == 1
+
+    def test_second_access_hits(self):
+        cache = CacheModel(num_cores=1)
+        cache.access(0, 0x1000)
+        assert cache.access(0, 0x1000)
+        assert cache.stats[0].hits == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = CacheModel(num_cores=1, line_size=64)
+        cache.access(0, 0x1000)
+        assert cache.access(0, 0x1000 + 63)
+        assert not cache.access(0, 0x1000 + 64)
+
+    def test_capacity_eviction(self):
+        cache = CacheModel(num_cores=1, num_sets=1, associativity=2)
+        cache.access(0, 0 * 64)
+        cache.access(0, 1 * 64)
+        cache.access(0, 2 * 64)  # evicts line 0 (LRU)
+        assert not cache.access(0, 0 * 64)
+        assert cache.stats[0].capacity_misses == 1
+
+    def test_lru_order(self):
+        cache = CacheModel(num_cores=1, num_sets=1, associativity=2)
+        cache.access(0, 0)
+        cache.access(0, 64)
+        cache.access(0, 0)      # refresh line 0
+        cache.access(0, 128)    # evicts line 64, not line 0
+        assert cache.access(0, 0)
+        assert not cache.access(0, 64)
+
+    def test_access_range_counts_lines(self):
+        cache = CacheModel(num_cores=1)
+        hits = cache.access_range(0, 0, 128)  # two lines, both cold
+        assert hits == 0
+        assert cache.access_range(0, 0, 128) == 2
+
+    def test_validation(self):
+        cache = CacheModel(num_cores=2)
+        with pytest.raises(ValueError):
+            cache.access(5, 0)
+        with pytest.raises(ValueError):
+            cache.access_range(0, 0, 0)
+        with pytest.raises(ValueError):
+            CacheModel(line_size=48)
+        with pytest.raises(ValueError):
+            CacheModel(num_sets=3)
+
+
+class TestPrefetch:
+    def test_prefetch_turns_miss_into_hit(self):
+        cache = CacheModel(num_cores=1)
+        cache.prefetch(0, 0x2000, 64)
+        assert cache.access(0, 0x2000)
+        assert cache.stats[0].misses == 0
+        assert cache.stats[0].prefetch_hits == 1
+
+
+class TestDMA:
+    def test_dma_invalidation_causes_compulsory_miss_again(self):
+        cache = CacheModel(num_cores=1)
+        cache.access(0, 0x3000)
+        cache.dma_invalidate(0x3000, 64)
+        assert not cache.access(0, 0x3000)
+        # The re-miss counts as compulsory: DMA rewrote the memory.
+        assert cache.stats[0].compulsory_misses == 2
+
+
+class TestCoherence:
+    def test_write_invalidates_other_cores(self):
+        cache = CacheModel(num_cores=2)
+        cache.access(0, 0x4000)
+        cache.access(1, 0x4000)
+        cache.access(1, 0x4000, write=True)
+        assert not cache.access(0, 0x4000)
+        assert cache.stats[0].coherence_misses == 1
+
+    def test_false_sharing_demonstration(self):
+        """Two queues' counters in one line bounce; aligned ones do not.
+
+        This is the Section 4.4 experiment in miniature: per-queue data
+        packed at 24 B strides shares cache lines, so each core's counter
+        write invalidates the other core's copy.
+        """
+        shared = CacheModel(num_cores=2)
+        q0_addr, q1_addr = 0x5000, 0x5000 + 24  # same 64B line
+        for _ in range(100):
+            shared.access(0, q0_addr, write=True)
+            shared.access(1, q1_addr, write=True)
+        bouncy = shared.stats[0].coherence_misses + shared.stats[1].coherence_misses
+
+        aligned = CacheModel(num_cores=2)
+        q0_addr, q1_addr = 0x5000, 0x5000 + 64  # separate lines
+        for _ in range(100):
+            aligned.access(0, q0_addr, write=True)
+            aligned.access(1, q1_addr, write=True)
+        clean = aligned.stats[0].coherence_misses + aligned.stats[1].coherence_misses
+
+        assert bouncy > 150  # almost every access bounces
+        assert clean == 0
+
+    def test_reset_stats_keeps_contents(self):
+        cache = CacheModel(num_cores=1)
+        cache.access(0, 0)
+        cache.reset_stats()
+        assert cache.stats[0].accesses == 0
+        assert cache.access(0, 0)  # still cached

@@ -1,0 +1,88 @@
+"""CPU cycle accounting and the Section 2.4 memory-access model."""
+
+import pytest
+
+from repro.calib.constants import CPU
+from repro.hw.cpu import CPUCore, CPUSocket, memory_access_time
+
+
+class TestMemoryAccessTime:
+    def test_dependent_accesses_serialize(self):
+        one = memory_access_time(1.0)
+        seven = memory_access_time(7.0)
+        assert seven == pytest.approx(7 * one)
+
+    def test_independent_accesses_overlap_by_mshr(self):
+        dependent = memory_access_time(4.0)
+        independent = memory_access_time(0.0, independent_accesses=4.0)
+        assert independent == pytest.approx(dependent / CPU.mshr_all_cores)
+
+    def test_single_core_gets_more_mshrs(self):
+        busy = memory_access_time(0.0, independent_accesses=6.0, all_cores_busy=True)
+        alone = memory_access_time(0.0, independent_accesses=6.0, all_cores_busy=False)
+        assert alone < busy
+
+    def test_remote_penalty_is_40_to_50_percent(self):
+        local = memory_access_time(1.0)
+        remote = memory_access_time(1.0, remote=True)
+        assert 1.40 <= remote / local <= 1.50
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            memory_access_time(-1.0)
+
+
+class TestCPUCore:
+    def test_charge_cycles_accumulates(self):
+        core = CPUCore(core_id=0, node=0)
+        ns = core.charge_cycles(2660.0)
+        assert ns == pytest.approx(1000.0)  # 2660 cycles at 2.66 GHz = 1 us
+        assert core.busy_cycles == 2660.0
+
+    def test_charge_ns_converts(self):
+        core = CPUCore(core_id=0, node=0)
+        cycles = core.charge_ns(1000.0)
+        assert cycles == pytest.approx(2660.0)
+        assert core.busy_ns == pytest.approx(1000.0)
+
+    def test_reset(self):
+        core = CPUCore(core_id=0, node=0)
+        core.charge_cycles(10)
+        core.reset()
+        assert core.busy_cycles == 0
+
+    def test_rejects_negative_charge(self):
+        core = CPUCore(core_id=0, node=0)
+        with pytest.raises(ValueError):
+            core.charge_cycles(-1)
+
+
+class TestCPUSocket:
+    def test_has_four_cores(self):
+        socket = CPUSocket(node=0)
+        assert len(socket.cores) == 4
+        assert {c.node for c in socket.cores} == {0}
+
+    def test_core_ids_globally_unique(self):
+        node0 = CPUSocket(node=0)
+        node1 = CPUSocket(node=1)
+        ids = [c.core_id for c in node0.cores + node1.cores]
+        assert len(set(ids)) == 8
+
+    def test_packets_per_second(self):
+        socket = CPUSocket(node=0)
+        # 4 cores x 2.66 GHz / 1000 cycles = 10.64 Mpps.
+        assert socket.packets_per_second(1000.0) == pytest.approx(10.64e6)
+        assert socket.packets_per_second(1000.0, cores_used=1) == pytest.approx(2.66e6)
+
+    def test_packets_per_second_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CPUSocket(node=0).packets_per_second(0)
+
+    def test_total_busy_and_reset(self):
+        socket = CPUSocket(node=0)
+        for core in socket.cores:
+            core.charge_cycles(100)
+        assert socket.total_busy_cycles == 400
+        socket.reset()
+        assert socket.total_busy_cycles == 0

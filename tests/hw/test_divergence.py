@@ -1,0 +1,101 @@
+"""Warp divergence analysis and the Section 5.5 sort mitigation."""
+
+import random
+
+import pytest
+
+from repro.hw.divergence import (
+    divergence_report,
+    divergent_execution_factor,
+    sort_for_warps,
+    warp_divergence_fraction,
+)
+from repro.hw.gpu import GPUDevice, KernelSpec
+
+
+class TestMeasurement:
+    def test_uniform_batch_has_no_divergence(self):
+        labels = ["aes"] * 256
+        assert warp_divergence_fraction(labels) == 0.0
+        assert divergent_execution_factor(labels) == 1.0
+
+    def test_alternating_batch_fully_divergent(self):
+        labels = ["aes", "3des"] * 128
+        assert warp_divergence_fraction(labels) == 1.0
+        assert divergent_execution_factor(labels) == 2.0
+
+    def test_empty_batch(self):
+        assert warp_divergence_fraction([]) == 0.0
+        assert divergent_execution_factor([]) == 1.0
+
+    def test_partial_warp_counts(self):
+        # 40 packets = 2 warps (32 + 8); make only the first divergent.
+        labels = ["a"] * 31 + ["b"] + ["a"] * 8
+        assert warp_divergence_fraction(labels) == 0.5
+
+    def test_factor_counts_paths_not_just_divergence(self):
+        four_way = (["a", "b", "c", "d"] * 8)  # every warp has 4 paths
+        two_way = (["a", "b"] * 16)
+        assert divergent_execution_factor(four_way) == 4.0
+        assert divergent_execution_factor(two_way) == 2.0
+
+
+class TestSortMitigation:
+    def test_sort_is_a_permutation(self):
+        rng = random.Random(5)
+        labels = [rng.choice("abc") for _ in range(200)]
+        order = sort_for_warps(labels)
+        assert sorted(order) == list(range(200))
+
+    def test_sort_is_stable_within_a_path(self):
+        labels = ["x", "y", "x", "y", "x"]
+        order = sort_for_warps(labels)
+        x_positions = [i for i in order if labels[i] == "x"]
+        assert x_positions == sorted(x_positions)
+
+    def test_sorting_removes_almost_all_divergence(self):
+        rng = random.Random(6)
+        labels = [rng.choice(("aes", "3des", "null")) for _ in range(1024)]
+        report = divergence_report(labels)
+        assert report["unsorted_fraction"] > 0.9
+        # Only the (paths - 1) boundary warps can still diverge.
+        assert report["sorted_fraction"] <= 2 / 32
+        assert report["sorted_factor"] < report["unsorted_factor"] / 1.5
+
+
+class TestGPUIntegration:
+    def test_divergence_slows_issue_bound_kernels(self):
+        device = GPUDevice()
+        uniform = KernelSpec(name="u", compute_cycles=500.0)
+        divergent = KernelSpec(name="d", compute_cycles=500.0,
+                               divergence_factor=2.0)
+        n = 32 * 15 * 8
+        assert device.execution_time_ns(divergent, n) == pytest.approx(
+            2 * device.execution_time_ns(uniform, n)
+        )
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", divergence_factor=0.5)
+
+    def test_sorted_batch_recovers_throughput(self):
+        """The end-to-end Section 5.5 story: a mixed-cipher batch run
+        as-is vs classify-and-sorted."""
+        rng = random.Random(7)
+        labels = [rng.choice(("aes", "3des")) for _ in range(3072)]
+        device = GPUDevice()
+        n = len(labels)
+        as_is = device.execution_time_ns(
+            KernelSpec(name="mixed", compute_cycles=400.0,
+                       divergence_factor=divergent_execution_factor(labels)),
+            n,
+        )
+        sorted_labels = [labels[i] for i in sort_for_warps(labels)]
+        sorted_time = device.execution_time_ns(
+            KernelSpec(
+                name="sorted", compute_cycles=400.0,
+                divergence_factor=divergent_execution_factor(sorted_labels),
+            ),
+            n,
+        )
+        assert sorted_time < as_is / 1.8

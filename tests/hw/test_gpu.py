@@ -1,0 +1,150 @@
+"""The GPU device model: launch latency, SIMT execution, allocator."""
+
+import pytest
+
+from repro.calib.constants import GPU
+from repro.hw.gpu import GPUDevice, KernelSpec
+
+
+def lookup_spec(**overrides) -> KernelSpec:
+    params = dict(name="test", compute_cycles=100.0, mem_accesses=7.0)
+    params.update(overrides)
+    return KernelSpec(**params)
+
+
+class TestLaunchLatency:
+    def test_paper_anchor_one_thread(self):
+        # Section 2.2: 3.8 us for a single thread.
+        assert GPUDevice().launch_latency_ns(1) == pytest.approx(3800, rel=0.01)
+
+    def test_paper_anchor_4096_threads(self):
+        # Section 2.2: 4.1 us for 4096 threads (only 10% increase).
+        assert GPUDevice().launch_latency_ns(4096) == pytest.approx(4100, rel=0.01)
+
+    def test_amortized_cost_decreases(self):
+        device = GPUDevice()
+        per_thread = [
+            device.launch_latency_ns(n) / n for n in (1, 64, 1024, 65536)
+        ]
+        assert per_thread == sorted(per_thread, reverse=True)
+
+
+class TestExecutionModel:
+    def test_zero_threads_is_free(self):
+        assert GPUDevice().execution_time_ns(lookup_spec(), 0) == 0.0
+
+    def test_small_batches_latency_bound_and_flat(self):
+        # Below one warp per SM, memory latency is fully exposed and the
+        # execution time is constant in n (underutilization).
+        device = GPUDevice()
+        t32 = device.execution_time_ns(lookup_spec(), 32)
+        t320 = device.execution_time_ns(lookup_spec(), 320)
+        assert t320 == pytest.approx(t32, rel=0.25)
+
+    def test_large_batches_scale_linearly(self):
+        device = GPUDevice()
+        t8k = device.execution_time_ns(lookup_spec(), 8192)
+        t16k = device.execution_time_ns(lookup_spec(), 16384)
+        assert t16k == pytest.approx(2 * t8k, rel=0.10)
+
+    def test_throughput_rises_with_parallelism(self):
+        # The Figure 2 shape: n / T(n) monotone increasing.
+        device = GPUDevice()
+        rates = [
+            n / device.execution_time_ns(lookup_spec(), n)
+            for n in (32, 128, 512, 2048, 8192)
+        ]
+        assert rates == sorted(rates)
+
+    def test_compute_only_kernel_issue_bound(self):
+        device = GPUDevice()
+        spec = lookup_spec(compute_cycles=1000.0, mem_accesses=0.0)
+        n = GPU.num_sms * GPU.warp_size  # exactly one warp per SM
+        expected = 1000.0 * GPU.cycle_ns
+        assert device.execution_time_ns(spec, n) == pytest.approx(expected)
+
+    def test_memory_latency_hiding(self):
+        """More resident warps hide latency: per-thread time shrinks as
+        warps fill the SM, up to the bandwidth floor (Section 2.1)."""
+        device = GPUDevice()
+        spec = lookup_spec(compute_cycles=0.0, mem_accesses=7.0)
+        tiny = device.execution_time_ns(spec, 32) / 32
+        big = device.execution_time_ns(spec, 32 * 32 * GPU.num_sms) / (
+            32 * 32 * GPU.num_sms
+        )
+        # Per-thread time collapses once enough warps hide the latency.
+        assert big < tiny / 5
+
+    def test_stream_kernel_bandwidth_bound(self):
+        device = GPUDevice()
+        spec = KernelSpec(name="s", stream_bytes=1024.0, stream_efficiency=0.8)
+        n = 100_000
+        expected = n * 1024 * 1e9 / (GPU.mem_bandwidth * 0.8)
+        assert device.execution_time_ns(spec, n) == pytest.approx(expected)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", compute_cycles=-1.0)
+
+
+class TestLaunch:
+    def test_launch_runs_the_real_function(self):
+        device = GPUDevice()
+        spec = KernelSpec(name="double", fn=lambda xs: [2 * x for x in xs])
+        result = device.launch(spec, 4, bytes_in=16, bytes_out=16, args=([1, 2, 3, 4],))
+        assert result.output == [2, 4, 6, 8]
+
+    def test_launch_breakdown_sums(self):
+        device = GPUDevice()
+        result = device.launch(lookup_spec(), 256, bytes_in=4096, bytes_out=1024)
+        assert result.total_ns == pytest.approx(
+            result.h2d_ns + result.launch_ns + result.exec_ns
+            + result.d2h_ns + result.sync_ns
+        )
+        assert device.launches == 1
+        assert device.busy_ns == pytest.approx(result.total_ns)
+        assert device.pcie.bytes_h2d == 4096
+
+    def test_launch_validation(self):
+        with pytest.raises(ValueError):
+            GPUDevice().launch(lookup_spec(), -1, 0, 0)
+
+    def test_streamed_beats_serial_for_many_batches(self):
+        device = GPUDevice()
+        spec = KernelSpec(name="s", stream_bytes=64.0)
+        serial = 8 * (
+            device.model.sync_overhead_ns
+            + device.launch_latency_ns(1024)
+            + device.pcie.h2d_time_ns(65536)
+            + device.execution_time_ns(spec, 1024)
+            + device.pcie.d2h_time_ns(65536)
+        )
+        streamed = device.streamed_time_ns(spec, 1024, 65536, 65536, 8)
+        assert streamed < serial
+
+
+class TestAllocator:
+    def test_alloc_and_free(self):
+        device = GPUDevice()
+        handle = device.alloc(64 * 1024 * 1024)
+        assert device.allocated_bytes == 64 * 1024 * 1024
+        device.free(handle)
+        assert device.allocated_bytes == 0
+
+    def test_out_of_memory(self):
+        device = GPUDevice()
+        device.alloc(GPU.device_memory - 100)
+        with pytest.raises(MemoryError):
+            device.alloc(200)
+
+    def test_double_free_rejected(self):
+        device = GPUDevice()
+        handle = device.alloc(100)
+        device.free(handle)
+        with pytest.raises(KeyError):
+            device.free(handle)
+
+    def test_dir24_8_table_fits(self):
+        # The paper's 32 MB DIR-24-8 table easily fits a GTX480.
+        device = GPUDevice()
+        device.alloc(32 * 1024 * 1024)

@@ -1,0 +1,106 @@
+"""NUMA topology and the dual-IOH capacity model vs Figure 6."""
+
+import pytest
+
+from repro.hw.numa import IOHub, SystemTopology
+
+
+class TestIOHub:
+    def test_rx_efficiency_grows_with_frame_size(self):
+        hub = IOHub(0)
+        assert hub.rx_efficiency(64) < hub.rx_efficiency(1514) < 1.0
+
+    def test_bidir_small_frame_bonus(self):
+        hub = IOHub(0)
+        assert hub.bidir_capacity_gbps(64) > hub.bidir_capacity_gbps(1514)
+
+
+class TestFigure6Anchors:
+    """The paper's measured I/O engine ceilings (Section 4.6)."""
+
+    def setup_method(self):
+        self.topo = SystemTopology()
+
+    def test_rx_64b(self):
+        # Paper: 53.1 Gbps RX for 64B frames.
+        assert self.topo.rx_capacity_gbps(64) == pytest.approx(53.1, rel=0.02)
+
+    def test_rx_1514b(self):
+        # Paper: 59.9 Gbps RX for large frames.
+        assert self.topo.rx_capacity_gbps(1514) == pytest.approx(59.9, rel=0.02)
+
+    def test_tx_64b(self):
+        # Paper: 79.3 Gbps TX for 64B frames.
+        assert self.topo.tx_capacity_gbps(64) == pytest.approx(79.3, rel=0.02)
+
+    def test_tx_large_hits_line_rate(self):
+        # Paper: 80.0 Gbps for 128B or larger (line rate of 8 ports).
+        assert self.topo.tx_capacity_gbps(1514) == pytest.approx(80.0, rel=0.01)
+
+    def test_forwarding_64b(self):
+        # Paper: 41.1 Gbps minimal forwarding at 64B.
+        assert self.topo.forwarding_capacity_gbps(64) == pytest.approx(41.1, rel=0.02)
+
+    def test_forwarding_above_40_for_all_sizes(self):
+        # Paper: "stays above 40 Gbps for all packet sizes".
+        for size in (64, 128, 256, 512, 1024, 1514):
+            assert self.topo.forwarding_capacity_gbps(size) >= 40.0
+
+    def test_node_crossing_still_above_40(self):
+        # Paper: the worst case (all packets cross nodes) stays above 40
+        # at 64 B, and within a whisker of it for every size.
+        assert self.topo.forwarding_capacity_gbps(64, node_crossing=True) >= 40.0
+        for size in (128, 256, 512, 1024, 1514):
+            assert self.topo.forwarding_capacity_gbps(
+                size, node_crossing=True
+            ) >= 39.8
+
+    def test_numa_blind_below_25(self):
+        # Section 4.5: NUMA-blind I/O limits forwarding below 25 Gbps.
+        blind = self.topo.forwarding_capacity_gbps(64, numa_aware=False)
+        assert blind < 25.5
+        aware = self.topo.forwarding_capacity_gbps(64)
+        assert aware / blind == pytest.approx(1.6, rel=0.05)  # "about 60%"
+
+
+class TestGPUDisplacement:
+    def test_gpu_traffic_reduces_forwarding_capacity(self):
+        topo = SystemTopology()
+        base = topo.forwarding_capacity_gbps(64)
+        with_gpu = topo.forwarding_capacity_gbps(64, gpu_pcie_bytes_per_packet=8)
+        assert with_gpu < base
+        # IPv4's 8 B/packet costs about 2 Gbps (41 -> 39, Section 6.3).
+        assert base - with_gpu == pytest.approx(1.3, abs=0.8)
+
+    def test_more_gpu_bytes_cost_more(self):
+        topo = SystemTopology()
+        ipv4 = topo.forwarding_capacity_gbps(64, gpu_pcie_bytes_per_packet=8)
+        ipv6 = topo.forwarding_capacity_gbps(64, gpu_pcie_bytes_per_packet=20)
+        assert ipv6 < ipv4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SystemTopology().forwarding_capacity_gbps(
+                64, gpu_pcie_bytes_per_packet=-1
+            )
+
+
+class TestTopologyShape:
+    def test_figure3_inventory(self):
+        topo = SystemTopology()
+        assert topo.num_nodes == 2
+        assert topo.total_ports == 8
+        assert len(topo.all_gpus) == 2
+        assert topo.total_cores == 8
+        assert topo.line_rate_gbps() == 80.0
+
+    def test_ports_split_across_nodes(self):
+        topo = SystemTopology()
+        assert len(topo.nodes[0].ports) == 4
+        assert len(topo.nodes[1].ports) == 4
+        assert {p.node for p in topo.nodes[1].ports} == {1}
+
+    def test_forwarding_pps(self):
+        topo = SystemTopology()
+        pps = topo.forwarding_capacity_pps(64)
+        assert pps == pytest.approx(41.1e9 / 704, rel=0.02)

@@ -1,0 +1,74 @@
+"""PCIe transfer model against the paper's Table 1."""
+
+import pytest
+
+from repro.hw.pcie import PCIeLink
+
+#: Table 1 of the paper: buffer size -> (h2d MB/s, d2h MB/s).
+TABLE_1 = {
+    256: (55, 63),
+    1024: (185, 211),
+    4096: (759, 786),
+    16384: (2069, 1743),
+    65536: (4046, 2848),
+    262144: (5142, 3242),
+    1048576: (5577, 3394),
+}
+
+
+class TestTable1Fit:
+    @pytest.mark.parametrize("size,rates", sorted(TABLE_1.items()))
+    def test_h2d_within_tolerance(self, size, rates):
+        link = PCIeLink()
+        modelled = link.h2d_rate_mbps(size)
+        assert modelled == pytest.approx(rates[0], rel=0.20)
+
+    @pytest.mark.parametrize("size,rates", sorted(TABLE_1.items()))
+    def test_d2h_within_tolerance(self, size, rates):
+        link = PCIeLink()
+        modelled = link.d2h_rate_mbps(size)
+        assert modelled == pytest.approx(rates[1], rel=0.20)
+
+    def test_asymmetry_direction(self):
+        # The dual-IOH problem: d2h peak below h2d peak (Section 3.2).
+        link = PCIeLink()
+        assert link.d2h_rate_mbps(1 << 20) < link.h2d_rate_mbps(1 << 20)
+
+    def test_rate_monotone_in_size(self):
+        link = PCIeLink()
+        sizes = sorted(TABLE_1)
+        rates = [link.h2d_rate_mbps(s) for s in sizes]
+        assert rates == sorted(rates)
+
+
+class TestAccounting:
+    def test_transfer_counters(self):
+        link = PCIeLink()
+        link.transfer_h2d(1000)
+        link.transfer_h2d(2000)
+        link.transfer_d2h(500)
+        assert link.bytes_h2d == 3000
+        assert link.bytes_d2h == 500
+        assert link.transfers_h2d == 2
+        assert link.transfers_d2h == 1
+        link.reset_counters()
+        assert link.bytes_h2d == 0 and link.transfers_d2h == 0
+
+    def test_zero_transfer_is_free(self):
+        link = PCIeLink()
+        assert link.h2d_time_ns(0) == 0.0
+        assert link.d2h_time_ns(0) == 0.0
+
+    def test_negative_rejected(self):
+        link = PCIeLink()
+        with pytest.raises(ValueError):
+            link.h2d_time_ns(-1)
+        with pytest.raises(ValueError):
+            link.d2h_time_ns(-1)
+
+    def test_time_affine_in_bytes(self):
+        link = PCIeLink()
+        t1 = link.h2d_time_ns(1000)
+        t2 = link.h2d_time_ns(2000)
+        t3 = link.h2d_time_ns(3000)
+        assert t3 - t2 == pytest.approx(t2 - t1)

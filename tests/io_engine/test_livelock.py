@@ -1,0 +1,87 @@
+"""The interrupt/poll livelock-avoidance state machine (Section 5.2)."""
+
+import pytest
+
+from repro.io_engine.livelock import LivelockAvoider, PollState
+
+
+class TestStateMachine:
+    def test_initial_state_blocked_with_interrupts(self):
+        avoider = LivelockAvoider()
+        assert avoider.state is PollState.BLOCKED
+        assert avoider.interrupt_enabled
+
+    def test_interrupt_wakes_and_disables(self):
+        avoider = LivelockAvoider()
+        assert avoider.on_interrupt()
+        assert avoider.state is PollState.WAKING
+        assert not avoider.interrupt_enabled
+        avoider.resume()
+        assert avoider.is_polling
+
+    def test_drain_blocks_and_reenables(self):
+        avoider = LivelockAvoider()
+        avoider.on_interrupt()
+        avoider.resume()
+        avoider.on_fetch(packets_fetched=10, queue_remaining=5)
+        assert avoider.is_polling  # still packets pending
+        avoider.on_fetch(packets_fetched=5, queue_remaining=0)
+        assert avoider.state is PollState.BLOCKED
+        assert avoider.interrupt_enabled
+        assert avoider.drains == 1
+
+    def test_interrupt_while_disabled_is_dropped(self):
+        avoider = LivelockAvoider()
+        avoider.on_interrupt()
+        avoider.resume()
+        # NIC raises again, but the line is masked: no wakeup.
+        assert not avoider.on_interrupt()
+        assert avoider.wakeups == 1
+
+    def test_interrupt_in_polling_with_line_enabled_is_an_error(self):
+        avoider = LivelockAvoider(state=PollState.POLLING, interrupt_enabled=True)
+        with pytest.raises(RuntimeError):
+            avoider.on_interrupt()
+
+    def test_fetch_while_blocked_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            LivelockAvoider().on_fetch(1, 0)
+
+    def test_resume_from_wrong_state_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            LivelockAvoider().resume()
+
+    def test_fetch_validates_counts(self):
+        avoider = LivelockAvoider()
+        avoider.on_interrupt()
+        avoider.resume()
+        with pytest.raises(ValueError):
+            avoider.on_fetch(-1, 0)
+
+
+class TestInvariant:
+    def test_invariant_holds_through_a_long_run(self):
+        """Drive the machine through many cycles; the livelock-freedom
+        invariant (interrupts on => thread blocked) must always hold."""
+        import random
+
+        rng = random.Random(11)
+        avoider = LivelockAvoider()
+        queue_depth = 0
+        for _ in range(2000):
+            assert avoider.invariant_ok(queue_depth)
+            if avoider.state is PollState.BLOCKED:
+                queue_depth += rng.randint(0, 5)
+                if queue_depth and avoider.on_interrupt():
+                    avoider.resume()
+            elif avoider.state is PollState.WAKING:
+                avoider.resume()
+            else:
+                fetched = min(queue_depth, rng.randint(1, 8))
+                queue_depth += rng.randint(0, 2)  # arrivals during fetch
+                queue_depth -= fetched
+                avoider.on_fetch(fetched, queue_depth)
+
+    def test_invariant_detects_violation(self):
+        broken = LivelockAvoider(state=PollState.POLLING, interrupt_enabled=True)
+        assert not broken.invariant_ok(5)

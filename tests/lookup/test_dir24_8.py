@@ -1,0 +1,134 @@
+"""DIR-24-8-BASIC: correctness vs the trie and access counting."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.lookup.dir24_8 import Dir24_8, NO_ROUTE
+from repro.lookup.trie import BinaryTrie
+
+
+def random_routes(count, seed=1):
+    rng = random.Random(seed)
+    routes = {}
+    for _ in range(count):
+        length = rng.randint(1, 32)
+        prefix = rng.getrandbits(length) << (32 - length)
+        routes[(prefix, length)] = rng.randrange(200)
+    return [(p, l, n) for (p, l), n in routes.items()]
+
+
+class TestCorrectness:
+    def test_matches_trie_on_random_table(self):
+        routes = random_routes(800)
+        trie = BinaryTrie(32)
+        table = Dir24_8()
+        for prefix, length, next_hop in routes:
+            trie.insert(prefix, length, next_hop)
+        table.add_routes(routes)
+        rng = random.Random(2)
+        for _ in range(5000):
+            addr = rng.getrandbits(32)
+            assert table.lookup(addr)[0] == trie.lookup(addr)
+
+    def test_batch_matches_scalar(self):
+        routes = random_routes(300, seed=3)
+        table = Dir24_8()
+        table.add_routes(routes)
+        addrs = np.array(
+            [random.Random(4).getrandbits(32) for _ in range(2000)],
+            dtype=np.uint32,
+        )
+        batch = table.lookup_batch(addrs)
+        for addr, result in zip(addrs, batch):
+            scalar, _ = table.lookup(int(addr))
+            expected = NO_ROUTE if scalar is None else scalar
+            assert int(result) == expected
+
+    def test_long_prefix_over_short(self):
+        table = Dir24_8()
+        table.add_routes([
+            (0x0A000000, 8, 1),
+            (0x0A0A0A00, 24, 2),
+            (0x0A0A0A80, 25, 3),
+        ])
+        assert table.lookup(0x0A0A0A81)[0] == 3
+        assert table.lookup(0x0A0A0A01)[0] == 2
+        assert table.lookup(0x0A0B0000)[0] == 1
+
+    def test_short_prefix_fills_uncovered_long_block(self):
+        """A /25 forces a long block; a later /16 covering it must fill
+        the block's unrouted half (ascending-length build order)."""
+        table = Dir24_8()
+        table.add_routes([
+            (0x0A0A0000, 16, 7),
+            (0x0A0A0A00, 25, 3),
+        ])
+        assert table.lookup(0x0A0A0A10)[0] == 3   # in the /25
+        assert table.lookup(0x0A0A0A90)[0] == 7   # same /24, outside /25
+        assert table.lookup(0x0A0AFF01)[0] == 7
+
+    def test_host_route(self):
+        table = Dir24_8()
+        table.add_routes([(0xC0A80101, 32, 9)])
+        assert table.lookup(0xC0A80101)[0] == 9
+        assert table.lookup(0xC0A80102)[0] is None
+
+
+class TestAccessCounts:
+    def test_short_prefix_one_access(self):
+        table = Dir24_8()
+        table.add_routes([(0x0A000000, 8, 1)])
+        _, accesses = table.lookup(0x0A123456)
+        assert accesses == 1
+
+    def test_long_prefix_two_accesses(self):
+        table = Dir24_8()
+        table.add_routes([(0x0A0A0A80, 25, 3)])
+        _, accesses = table.lookup(0x0A0A0A81)
+        assert accesses == 2
+
+    def test_expected_accesses_close_to_one_for_bgp_shape(self):
+        from repro.lookup.routeviews import synthetic_bgp_table
+
+        table = Dir24_8()
+        table.add_routes(synthetic_bgp_table(count=20000, seed=9))
+        addrs = np.random.default_rng(1).integers(
+            0, 2**32, size=50000, dtype=np.uint32
+        )
+        # Random addresses rarely land in >24 blocks (Section 6.2.1).
+        assert table.expected_accesses(addrs) < 1.05
+
+
+class TestStructure:
+    def test_memory_is_32mb_plus_blocks(self):
+        table = Dir24_8()
+        table.add_routes([(0x0A000000, 8, 1)])
+        assert table.memory_bytes == 2 * (1 << 24)
+        table2 = Dir24_8()
+        table2.add_routes([(0x0A000000, 8, 1), (0x0A0A0A80, 25, 2)])
+        assert table2.memory_bytes == 2 * (1 << 24) + 512
+
+    def test_len_counts_routes(self):
+        routes = random_routes(100, seed=5)
+        table = Dir24_8()
+        table.add_routes(routes)
+        assert len(table) == len(routes)
+
+    def test_lookup_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            Dir24_8().lookup(0)
+
+    def test_validation(self):
+        table = Dir24_8()
+        with pytest.raises(ValueError):
+            table.add_routes([(0x0A000001, 8, 1)])  # host bits set
+        with pytest.raises(ValueError):
+            table.add_routes([(0, 0, NO_ROUTE)])  # sentinel next hop
+        with pytest.raises(ValueError):
+            table.add_routes([(0, 33, 1)])
+        built = Dir24_8()
+        built.add_routes([(0, 0, 1)])
+        with pytest.raises(ValueError):
+            built.lookup(1 << 32)

@@ -1,0 +1,121 @@
+"""Binary search on prefix lengths: correctness and the 7-probe bound."""
+
+import random
+
+import pytest
+
+from repro.lookup.ipv6_bsearch import IPv6BinarySearch
+from repro.lookup.routeviews import random_ipv6_table
+from repro.lookup.trie import BinaryTrie
+
+
+def build_pair(routes, width=128):
+    trie = BinaryTrie(width)
+    search = IPv6BinarySearch(width)
+    for prefix, length, next_hop in routes:
+        if length:
+            trie.insert(prefix, length, next_hop)
+    search.build(routes)
+    return trie, search
+
+
+class TestCorrectness:
+    def test_matches_trie_on_random_table(self):
+        routes = random_ipv6_table(count=1500, seed=6)
+        trie, search = build_pair(routes)
+        rng = random.Random(7)
+        for _ in range(3000):
+            addr = rng.getrandbits(128)
+            assert search.lookup(addr)[0] == trie.lookup(addr)
+
+    def test_matches_trie_on_addresses_inside_prefixes(self):
+        """Random addresses rarely match; also test addresses built to
+        land inside routes (the hard cases for marker logic)."""
+        routes = random_ipv6_table(count=500, seed=8)
+        trie, search = build_pair(routes)
+        rng = random.Random(9)
+        for prefix, length, _ in routes[:300]:
+            addr = prefix | rng.getrandbits(128 - length)
+            assert search.lookup(addr)[0] == trie.lookup(addr)
+
+    def test_nested_prefixes_and_markers(self):
+        """A deep nest exercises marker BMP precomputation: a search
+        that goes right on a marker then misses must fall back to the
+        marker's best matching prefix, not a shorter one."""
+        base = 0x20010DB8 << 96
+        routes = [
+            (base, 32, 1),
+            (base | (1 << 95), 33, 2),          # extends into the right half
+            (base | (0xFFFF << 64), 64, 3),
+        ]
+        trie, search = build_pair(routes)
+        rng = random.Random(10)
+        for _ in range(2000):
+            addr = base | rng.getrandbits(96)
+            assert search.lookup(addr)[0] == trie.lookup(addr)
+
+    def test_default_route(self):
+        _, search = build_pair([(0, 0, 42)])
+        assert search.lookup(12345)[0] == 42
+
+    def test_no_match_returns_none(self):
+        _, search = build_pair([(1 << 127, 1, 1)])
+        assert search.lookup(0)[0] is None
+
+
+class TestProbeBound:
+    def test_max_probes_is_seven_for_ipv6(self):
+        # ceil(log2 128) = 7 — the paper's "seven memory accesses".
+        assert IPv6BinarySearch(128).max_probes == 7
+
+    def test_every_lookup_within_bound(self):
+        routes = random_ipv6_table(count=800, seed=11)
+        _, search = build_pair(routes)
+        rng = random.Random(12)
+        for _ in range(2000):
+            _, probes = search.lookup(rng.getrandbits(128))
+            assert probes <= 7
+
+    def test_ipv4_width_needs_five(self):
+        assert IPv6BinarySearch(32).max_probes == 5  # ceil(log2 32)
+
+
+class TestBatch:
+    def test_batch_matches_scalar(self):
+        routes = random_ipv6_table(count=300, seed=13)
+        _, search = build_pair(routes)
+        rng = random.Random(14)
+        addrs = [rng.getrandbits(128) for _ in range(200)]
+        batch = search.lookup_batch(addrs)
+        assert batch == [search.lookup(a)[0] for a in addrs]
+
+
+class TestStructure:
+    def test_table_sizes_include_markers(self):
+        base = 0x20010DB8 << 96
+        search = IPv6BinarySearch()
+        # Two lengths: the search tree probes 32 first, so the /64 route
+        # must leave a marker in the length-32 table.
+        search.build([(base, 32, 1), (base | (0xFFFF << 64), 64, 3)])
+        sizes = search.table_sizes
+        assert sizes[64] == 1
+        assert sizes[32] == 1  # the real /32 doubles as the /64's marker
+
+    def test_marker_created_when_no_real_short_route(self):
+        base = 0x20010DB8 << 96
+        search = IPv6BinarySearch()
+        search.build([(1 << 127, 16, 9), (base | (0xFFFF << 64), 64, 3)])
+        # levels [16, 64]: the probe order is 16 first, so the /64 route
+        # plants a pure marker (no next hop) in the 16-table.
+        assert search.table_sizes[16] == 2
+        assert search.lookup(base | (0xFFFF << 64) | 5)[0] == 3
+
+    def test_lookup_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            IPv6BinarySearch().lookup(0)
+
+    def test_address_validation(self):
+        search = IPv6BinarySearch()
+        search.build([(0, 0, 1)])
+        with pytest.raises(ValueError):
+            search.lookup(1 << 128)

@@ -1,0 +1,90 @@
+"""The binary trie reference structure."""
+
+import pytest
+
+from repro.lookup.trie import BinaryTrie
+
+
+class TestInsertLookup:
+    def test_empty_trie_returns_none(self):
+        assert BinaryTrie(32).lookup(0x0A000001) is None
+
+    def test_exact_match(self):
+        trie = BinaryTrie(32)
+        trie.insert(0x0A000000, 8, 1)
+        assert trie.lookup(0x0A123456) == 1
+        assert trie.lookup(0x0B000000) is None
+
+    def test_longest_prefix_wins(self):
+        trie = BinaryTrie(32)
+        trie.insert(0x0A000000, 8, 1)
+        trie.insert(0x0A0A0000, 16, 2)
+        trie.insert(0x0A0A0A00, 24, 3)
+        assert trie.lookup(0x0A0A0A01) == 3
+        assert trie.lookup(0x0A0A0B01) == 2
+        assert trie.lookup(0x0A0B0000) == 1
+
+    def test_default_route(self):
+        trie = BinaryTrie(32)
+        trie.insert(0, 0, 99)
+        assert trie.lookup(0xFFFFFFFF) == 99
+
+    def test_host_route(self):
+        trie = BinaryTrie(32)
+        trie.insert(0x0A000001, 32, 5)
+        assert trie.lookup(0x0A000001) == 5
+        assert trie.lookup(0x0A000002) is None
+
+    def test_replace_updates_next_hop_not_count(self):
+        trie = BinaryTrie(32)
+        trie.insert(0x0A000000, 8, 1)
+        trie.insert(0x0A000000, 8, 2)
+        assert len(trie) == 1
+        assert trie.lookup(0x0A000001) == 2
+
+    def test_best_match_length(self):
+        trie = BinaryTrie(32)
+        trie.insert(0x0A000000, 8, 1)
+        trie.insert(0x0A0A0000, 16, 2)
+        assert trie.best_match_length(0x0A0A0001) == (2, 16)
+        assert trie.best_match_length(0x0A010001) == (1, 8)
+        assert trie.best_match_length(0x0B000000) is None
+
+    def test_lookup_prefix(self):
+        trie = BinaryTrie(32)
+        trie.insert(0x0A000000, 8, 1)
+        trie.insert(0x0A0A0A00, 24, 3)
+        # The /16 marker string 10.10/16: best real match is the /8.
+        assert trie.lookup_prefix(0x0A0A0000, 16) == 1
+        assert trie.lookup_prefix(0x0A0A0A00, 24) == 3
+
+    def test_ipv6_width(self):
+        trie = BinaryTrie(128)
+        prefix = 0x20010DB8 << 96
+        trie.insert(prefix, 32, 7)
+        assert trie.lookup(prefix | 0xABCD) == 7
+
+    def test_items_roundtrip(self):
+        trie = BinaryTrie(32)
+        routes = {(0x0A000000, 8, 1), (0xC0A80000, 16, 2), (0, 0, 3)}
+        for prefix, length, nh in routes:
+            trie.insert(prefix, length, nh)
+        assert set(trie.items()) == routes
+
+
+class TestValidation:
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            BinaryTrie(32).insert(0x0A000001, 8, 1)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            BinaryTrie(32).insert(0, 33, 1)
+
+    def test_rejects_bad_address(self):
+        with pytest.raises(ValueError):
+            BinaryTrie(32).lookup(1 << 32)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            BinaryTrie(0)

@@ -1,0 +1,90 @@
+"""Tests for address parsing/formatting."""
+
+import pytest
+
+from repro.net.addrs import (
+    ip4_from_str,
+    ip4_to_str,
+    ip6_from_str,
+    ip6_to_str,
+    mac_from_str,
+    mac_to_str,
+)
+
+
+class TestIPv4:
+    def test_parse_basic(self):
+        assert ip4_from_str("0.0.0.0") == 0
+        assert ip4_from_str("255.255.255.255") == 0xFFFFFFFF
+        assert ip4_from_str("10.0.0.1") == 0x0A000001
+        assert ip4_from_str("192.168.1.254") == 0xC0A801FE
+
+    def test_format_basic(self):
+        assert ip4_to_str(0x0A000001) == "10.0.0.1"
+        assert ip4_to_str(0) == "0.0.0.0"
+        assert ip4_to_str(0xFFFFFFFF) == "255.255.255.255"
+
+    def test_roundtrip(self):
+        for text in ("1.2.3.4", "172.16.254.3", "8.8.8.8"):
+            assert ip4_to_str(ip4_from_str(text)) == text
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            ip4_from_str(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip4_to_str(1 << 32)
+        with pytest.raises(ValueError):
+            ip4_to_str(-1)
+
+
+class TestIPv6:
+    def test_parse_full_form(self):
+        value = ip6_from_str("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == 0x20010DB8000000000000000000000001
+
+    def test_parse_compressed(self):
+        assert ip6_from_str("::") == 0
+        assert ip6_from_str("::1") == 1
+        assert ip6_from_str("2001:db8::1") == 0x20010DB8000000000000000000000001
+        assert ip6_from_str("fe80::") == 0xFE800000000000000000000000000000
+
+    def test_parse_embedded_ipv4(self):
+        assert ip6_from_str("::ffff:10.0.0.1") == 0xFFFF0A000001
+
+    def test_format_rfc5952(self):
+        # Longest zero run compressed, lowercase hex.
+        assert ip6_to_str(0x20010DB8000000000000000000000001) == "2001:db8::1"
+        assert ip6_to_str(0) == "::"
+        assert ip6_to_str(1) == "::1"
+
+    def test_format_single_zero_group_not_compressed(self):
+        # RFC 5952: a lone zero group must not use '::'.
+        value = ip6_from_str("2001:db8:0:1:1:1:1:1")
+        assert ip6_to_str(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_roundtrip(self):
+        for text in ("2001:db8::8a2e:370:7334", "fe80::1", "ff02::fb"):
+            assert ip6_to_str(ip6_from_str(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1::2::3", ":::", "2001:db8", "12345::", "2001:db8::1::2", "g::1"],
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            ip6_from_str(bad)
+
+
+class TestMAC:
+    def test_roundtrip(self):
+        assert mac_from_str("00:1b:21:00:00:01") == 0x001B21000001
+        assert mac_to_str(0x001B21000001) == "00:1b:21:00:00:01"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            mac_from_str("00:1b:21:00:00")
+        with pytest.raises(ValueError):
+            mac_to_str(1 << 48)

@@ -1,0 +1,115 @@
+"""ARP frames and the resolver that feeds the neighbor table."""
+
+import pytest
+
+from repro.net.arp import (
+    ARP_REPLY,
+    ARP_REQUEST,
+    ARPPacket,
+    ARPResolver,
+    BROADCAST_MAC,
+    arp_reply_frame,
+    arp_request_frame,
+)
+from repro.net.ethernet import EthernetHeader
+from repro.net.neighbors import NeighborTable
+
+
+class TestPacketFormat:
+    def test_roundtrip(self):
+        packet = ARPPacket(
+            opcode=ARP_REQUEST, sender_mac=0xAABB, sender_ip=0x0A000001,
+            target_mac=0, target_ip=0x0A000002,
+        )
+        assert ARPPacket.unpack(packet.pack()) == packet
+
+    def test_payload_is_28_bytes(self):
+        assert len(ARPPacket(1, 1, 1, 0, 2).pack()) == 28
+
+    def test_rejects_non_ethernet_ipv4(self):
+        data = bytearray(ARPPacket(1, 1, 1, 0, 2).pack())
+        data[0] = 9  # bogus HTYPE
+        with pytest.raises(ValueError):
+            ARPPacket.unpack(bytes(data))
+
+    def test_request_frame_is_broadcast(self):
+        frame = arp_request_frame(0xAA, 0x0A000001, 0x0A000002)
+        eth = EthernetHeader.unpack(frame)
+        assert eth.dst == BROADCAST_MAC
+        packet = ARPPacket.unpack(frame[14:])
+        assert packet.opcode == ARP_REQUEST
+        assert packet.target_ip == 0x0A000002
+
+    def test_reply_frame_is_unicast_swap(self):
+        request = ARPPacket(ARP_REQUEST, sender_mac=0xAA,
+                            sender_ip=0x0A000001, target_mac=0,
+                            target_ip=0x0A0000FE)
+        frame = arp_reply_frame(request, my_mac=0xFE)
+        eth = EthernetHeader.unpack(frame)
+        assert eth.dst == 0xAA and eth.src == 0xFE
+        reply = ARPPacket.unpack(frame[14:])
+        assert reply.opcode == ARP_REPLY
+        assert reply.sender_ip == 0x0A0000FE
+        assert reply.target_ip == 0x0A000001
+
+
+class TestResolver:
+    def _resolver(self):
+        neighbors = NeighborTable()
+        resolver = ARPResolver(
+            neighbors,
+            my_mac=0x02FE, my_ip=0x0A0000FE,
+            ip_to_next_hop={0x0A000001: 3},
+            next_hop_ports={3: 6},
+        )
+        return neighbors, resolver
+
+    def test_resolution_cycle_installs_neighbor(self):
+        neighbors, resolver = self._resolver()
+        request = resolver.resolve(0x0A000001)
+        assert request is not None
+        # The gateway answers.
+        reply = arp_reply_frame(
+            ARPPacket.unpack(request[14:]), my_mac=0x02AA,
+        )
+        assert resolver.on_frame(reply) is None  # replies need no answer
+        neighbor = neighbors.resolve(3)
+        assert neighbor is not None
+        assert neighbor.mac == 0x02AA
+        assert neighbor.port == 6
+
+    def test_duplicate_requests_suppressed(self):
+        _, resolver = self._resolver()
+        assert resolver.resolve(0x0A000001) is not None
+        assert resolver.resolve(0x0A000001) is None
+        assert resolver.outstanding[0x0A000001] == 2
+
+    def test_resolved_address_not_rerequested(self):
+        neighbors, resolver = self._resolver()
+        request = resolver.resolve(0x0A000001)
+        reply = arp_reply_frame(ARPPacket.unpack(request[14:]), my_mac=0x02AA)
+        resolver.on_frame(reply)
+        assert resolver.resolve(0x0A000001) is None
+
+    def test_answers_requests_for_our_ip(self):
+        _, resolver = self._resolver()
+        request = arp_request_frame(0xAA, 0x0A000001, 0x0A0000FE)
+        reply = resolver.on_frame(request)
+        assert reply is not None
+        packet = ARPPacket.unpack(reply[14:])
+        assert packet.opcode == ARP_REPLY
+        assert packet.sender_mac == 0x02FE
+
+    def test_gleans_from_requests(self):
+        """Standard ARP gleaning: a request teaches us the sender."""
+        neighbors, resolver = self._resolver()
+        request = arp_request_frame(0x02AA, 0x0A000001, 0x0A0000FE)
+        resolver.on_frame(request)
+        assert neighbors.resolve(3).mac == 0x02AA
+
+    def test_ignores_non_arp(self):
+        _, resolver = self._resolver()
+        from repro.net.packet import build_udp_ipv4
+
+        assert resolver.on_frame(bytes(build_udp_ipv4(1, 2, 3, 4))) is None
+        assert resolver.on_frame(bytes(8)) is None

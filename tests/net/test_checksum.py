@@ -1,0 +1,73 @@
+"""Tests for RFC 1071 checksums and RFC 1624 incremental update."""
+
+import struct
+
+import pytest
+
+from repro.net.checksum import (
+    checksum16,
+    incremental_update16,
+    pseudo_header_sum_v4,
+    verify_checksum16,
+)
+from repro.net.ipv4 import IPv4Header
+
+
+class TestChecksum16:
+    def test_known_rfc1071_example(self):
+        # The classic example from RFC 1071 section 3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        # One's-complement sum is 0xDDF2, checksum is its complement.
+        assert checksum16(data) == (~0xDDF2) & 0xFFFF
+
+    def test_zero_data(self):
+        assert checksum16(bytes(20)) == 0xFFFF
+
+    def test_odd_length_pads_with_zero(self):
+        assert checksum16(b"\x01") == checksum16(b"\x01\x00")
+
+    def test_verify_of_valid_header(self):
+        header = IPv4Header(src=0x0A000001, dst=0x0A000002).pack()
+        assert verify_checksum16(header)
+
+    def test_verify_detects_corruption(self):
+        header = bytearray(IPv4Header(src=0x0A000001, dst=0x0A000002).pack())
+        header[0] ^= 0xFF
+        assert not verify_checksum16(bytes(header))
+
+    def test_initial_carries_partial_sum(self):
+        partial = pseudo_header_sum_v4(0x0A000001, 0x0A000002, 17, 8)
+        full = checksum16(bytes(8), initial=partial)
+        manual = checksum16(
+            struct.pack(">IIxBH", 0x0A000001, 0x0A000002, 17, 8) + bytes(8)
+        )
+        assert full == manual
+
+
+class TestIncrementalUpdate:
+    def test_matches_full_recompute_on_ttl_decrement(self):
+        header = IPv4Header(src=0x0A000001, dst=0xC0A80101, ttl=64)
+        packed = bytearray(header.pack())
+        old_checksum = (packed[10] << 8) | packed[11]
+        old_word = (packed[8] << 8) | packed[9]
+        new_word = ((packed[8] - 1) << 8) | packed[9]
+        incremental = incremental_update16(old_checksum, old_word, new_word)
+        header.ttl -= 1
+        recomputed = bytearray(header.pack())
+        full = (recomputed[10] << 8) | recomputed[11]
+        assert incremental == full
+
+    def test_identity_update_changes_nothing_semantically(self):
+        # HC' with m == m' must still verify.
+        header = bytearray(IPv4Header(src=1 << 24, dst=2 << 24).pack())
+        old = (header[10] << 8) | header[11]
+        word = (header[8] << 8) | header[9]
+        updated = incremental_update16(old, word, word)
+        header[10], header[11] = updated >> 8, updated & 0xFF
+        assert verify_checksum16(bytes(header))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            incremental_update16(0x10000, 0, 0)
+        with pytest.raises(ValueError):
+            incremental_update16(0, 0x10000, 0)

@@ -1,0 +1,54 @@
+"""CRC-32 / Ethernet FCS."""
+
+import zlib
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.crc import append_fcs, crc32, strip_fcs, verify_fcs
+from repro.net.packet import build_udp_ipv4
+
+
+class TestCRC32:
+    def test_known_vector(self):
+        # The classic check value: CRC-32 of "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    @settings(max_examples=60)
+    @given(st.binary(min_size=0, max_size=500))
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=1, max_size=100), st.binary(min_size=1, max_size=100))
+    def test_initial_chains_like_zlib(self, a, b):
+        chained = crc32(b, initial=crc32(a))
+        assert chained == zlib.crc32(b, zlib.crc32(a))
+
+
+class TestFCS:
+    def test_append_verify_strip(self):
+        frame = bytes(build_udp_ipv4(1, 2, 3, 4))
+        on_wire = append_fcs(frame)
+        assert len(on_wire) == len(frame) + 4
+        assert verify_fcs(on_wire)
+        assert strip_fcs(on_wire) == frame
+
+    def test_corruption_detected(self):
+        on_wire = bytearray(append_fcs(bytes(build_udp_ipv4(1, 2, 3, 4))))
+        on_wire[10] ^= 0x01
+        assert not verify_fcs(on_wire)
+        with pytest.raises(ValueError):
+            strip_fcs(on_wire)
+
+    def test_short_input_fails_verify(self):
+        assert not verify_fcs(b"\x00\x00\x00\x00")
+
+    @settings(max_examples=40)
+    @given(st.binary(min_size=1, max_size=1514))
+    def test_roundtrip_property(self, frame):
+        assert strip_fcs(append_fcs(frame)) == frame

@@ -1,0 +1,131 @@
+"""Tests for Ethernet/IPv4/IPv6/UDP/TCP header pack/unpack."""
+
+import pytest
+
+from repro.net.ethernet import (
+    ETHERNET_HEADER_LEN,
+    ETHERNET_OVERHEAD,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    EthernetHeader,
+    wire_bits,
+)
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, decrement_ttl, extract_dst
+from repro.net.ipv6 import IPV6_HEADER_LEN, IPv6Header, decrement_hop_limit
+from repro.net import ipv6 as ipv6_mod
+from repro.net.checksum import verify_checksum16
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader(dst=0x001B21000002, src=0x001B21000001,
+                                ethertype=ETHERTYPE_IPV4)
+        packed = header.pack()
+        assert len(packed) == ETHERNET_HEADER_LEN
+        assert EthernetHeader.unpack(packed) == header
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(bytes(10))
+
+    def test_wire_bits_matches_paper_convention(self):
+        # 64B frame + 24B overhead = 88 bytes = 704 bits on the wire.
+        assert ETHERNET_OVERHEAD == 24
+        assert wire_bits(64) == 704
+        assert wire_bits(1514) == 1538 * 8
+
+    def test_wire_bits_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wire_bits(0)
+
+
+class TestIPv4Header:
+    def test_roundtrip_with_checksum(self):
+        header = IPv4Header(src=0x0A000001, dst=0x0A000002, ttl=17,
+                            total_length=100, identification=7)
+        packed = header.pack()
+        assert len(packed) == IPV4_HEADER_LEN
+        parsed = IPv4Header.unpack(packed)
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.ttl == 17
+        assert parsed.header_ok
+
+    def test_rejects_wrong_version(self):
+        packed = bytearray(IPv4Header(src=1, dst=2).pack())
+        packed[0] = 0x65  # version 6
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(packed))
+
+    def test_rejects_options(self):
+        packed = bytearray(IPv4Header(src=1, dst=2).pack())
+        packed[0] = 0x46  # ihl = 6
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(packed))
+
+    def test_decrement_ttl_preserves_checksum_validity(self):
+        buffer = bytearray(IPv4Header(src=0x0A000001, dst=0xC0A80002, ttl=64).pack())
+        assert decrement_ttl(buffer, 0)
+        assert buffer[8] == 63
+        assert verify_checksum16(bytes(buffer[:IPV4_HEADER_LEN]))
+
+    def test_decrement_ttl_refuses_expired(self):
+        buffer = bytearray(IPv4Header(src=1 << 8, dst=2 << 8, ttl=1).pack())
+        before = bytes(buffer)
+        assert not decrement_ttl(buffer, 0)
+        assert bytes(buffer) == before
+
+    def test_extract_dst(self):
+        packed = IPv4Header(src=0x01020304, dst=0xAABBCCDD).pack()
+        assert extract_dst(packed, 0) == 0xAABBCCDD
+
+
+class TestIPv6Header:
+    def test_roundtrip(self):
+        header = IPv6Header(src=1 << 120, dst=(1 << 128) - 5, hop_limit=33,
+                            payload_length=64, flow_label=0xABCDE)
+        packed = header.pack()
+        assert len(packed) == IPV6_HEADER_LEN
+        parsed = IPv6Header.unpack(packed)
+        assert parsed == header
+
+    def test_rejects_wrong_version(self):
+        packed = bytearray(IPv6Header(src=1, dst=2).pack())
+        packed[0] = 0x45
+        with pytest.raises(ValueError):
+            IPv6Header.unpack(bytes(packed))
+
+    def test_decrement_hop_limit(self):
+        buffer = bytearray(IPv6Header(src=1, dst=2, hop_limit=2).pack())
+        assert decrement_hop_limit(buffer, 0)
+        assert buffer[7] == 1
+        assert not decrement_hop_limit(buffer, 0)
+
+    def test_extract_dst(self):
+        dst = 0x20010DB8000000000000000000000001
+        packed = IPv6Header(src=5, dst=dst).pack()
+        assert ipv6_mod.extract_dst(packed, 0) == dst
+
+
+class TestTransport:
+    def test_udp_roundtrip(self):
+        header = UDPHeader(src_port=1234, dst_port=53, length=20, checksum=7)
+        assert UDPHeader.unpack(header.pack()) == header
+
+    def test_udp_checksum_never_zero(self):
+        header = UDPHeader(src_port=0, dst_port=0, length=8)
+        header.fill_checksum_v4(0, 0, b"")
+        assert header.checksum != 0
+
+    def test_tcp_roundtrip(self):
+        header = TCPHeader(src_port=80, dst_port=40000, seq=12345,
+                           ack=54321, flags=0x12, window=1024)
+        assert TCPHeader.unpack(header.pack()) == header
+
+    def test_tcp_rejects_bad_offset(self):
+        packed = bytearray(TCPHeader(src_port=1, dst_port=2).pack())
+        packed[12] = 0x40  # data offset 4 < minimum 5
+        with pytest.raises(ValueError):
+            TCPHeader.unpack(bytes(packed))

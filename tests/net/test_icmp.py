@@ -1,0 +1,87 @@
+"""ICMP generation and parsing."""
+
+import pytest
+
+from repro.net import icmp
+from repro.net.checksum import verify_checksum16
+from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_ICMP
+from repro.net.packet import build_udp_ipv4
+
+
+def offending_packet(ttl=1):
+    frame = build_udp_ipv4(0xC0A80001, 0x0A000001, 1234, 80, frame_len=96, ttl=ttl)
+    return bytes(frame[14:])
+
+
+class TestMessageFormat:
+    def test_pack_unpack_roundtrip(self):
+        message = icmp.ICMPMessage(type=11, code=0, rest=7, payload=b"quoted")
+        parsed = icmp.ICMPMessage.unpack(message.pack())
+        assert parsed == message
+
+    def test_checksum_enforced(self):
+        packed = bytearray(icmp.ICMPMessage(type=8, code=0).pack())
+        packed[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            icmp.ICMPMessage.unpack(bytes(packed))
+
+    def test_short_message_rejected(self):
+        with pytest.raises(ValueError):
+            icmp.ICMPMessage.unpack(bytes(4))
+
+
+class TestTimeExceeded:
+    def test_addressed_to_offender_source(self):
+        router = 0x0A0000FE
+        response = icmp.time_exceeded(router, offending_packet())
+        header = IPv4Header.unpack(response)
+        assert header.src == router
+        assert header.dst == 0xC0A80001
+        assert header.protocol == PROTO_ICMP
+        assert header.header_ok
+
+    def test_quotes_header_plus_8_bytes(self):
+        offender = offending_packet()
+        response = icmp.time_exceeded(1, offender)
+        message = icmp.ICMPMessage.unpack(response[IPV4_HEADER_LEN:])
+        assert message.type == icmp.ICMP_TIME_EXCEEDED
+        assert message.payload == offender[:28]
+
+
+class TestDestinationUnreachable:
+    def test_type_and_code(self):
+        response = icmp.destination_unreachable(
+            1, offending_packet(), code=icmp.CODE_HOST_UNREACHABLE
+        )
+        message = icmp.ICMPMessage.unpack(response[IPV4_HEADER_LEN:])
+        assert message.type == icmp.ICMP_DEST_UNREACHABLE
+        assert message.code == icmp.CODE_HOST_UNREACHABLE
+
+
+class TestEchoReply:
+    def _echo_request(self, dst=0x0A0000FE):
+        request = icmp.ICMPMessage(
+            type=icmp.ICMP_ECHO_REQUEST, code=0, rest=0xBEEF, payload=b"ping!"
+        ).pack()
+        ip = IPv4Header(
+            src=0xC0A80001, dst=dst, protocol=PROTO_ICMP,
+            total_length=IPV4_HEADER_LEN + len(request),
+        )
+        return ip.pack() + request
+
+    def test_reply_mirrors_request(self):
+        reply = icmp.echo_reply(self._echo_request())
+        header = IPv4Header.unpack(reply)
+        assert header.src == 0x0A0000FE
+        assert header.dst == 0xC0A80001
+        message = icmp.ICMPMessage.unpack(reply[IPV4_HEADER_LEN:])
+        assert message.type == icmp.ICMP_ECHO_REPLY
+        assert message.rest == 0xBEEF
+        assert message.payload == b"ping!"
+
+    def test_non_icmp_returns_none(self):
+        assert icmp.echo_reply(offending_packet(ttl=64)) is None
+
+    def test_non_echo_returns_none(self):
+        response = icmp.time_exceeded(1, offending_packet())
+        assert icmp.echo_reply(response) is None

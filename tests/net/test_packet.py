@@ -1,0 +1,100 @@
+"""Tests for whole-frame building and parsing."""
+
+import pytest
+
+from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6
+from repro.net.packet import (
+    FiveTuple,
+    build_udp_ipv4,
+    build_udp_ipv6,
+    parse_packet,
+)
+
+
+class TestBuildIPv4:
+    def test_exact_frame_length(self):
+        for length in (64, 128, 1514):
+            frame = build_udp_ipv4(1, 2, 3, 4, frame_len=length)
+            assert len(frame) == length
+
+    def test_minimum_frame_rejected_below_headers(self):
+        with pytest.raises(ValueError):
+            build_udp_ipv4(1, 2, 3, 4, frame_len=41)
+
+    def test_parses_back(self):
+        frame = build_udp_ipv4(
+            0x0A000001, 0xC0A80101, 1111, 2222, frame_len=100, ttl=9
+        )
+        packet = parse_packet(frame)
+        assert packet.is_ipv4
+        assert packet.l3.src == 0x0A000001
+        assert packet.l3.dst == 0xC0A80101
+        assert packet.l3.ttl == 9
+        assert packet.l4.src_port == 1111
+        assert packet.l4.dst_port == 2222
+
+    def test_ipv4_header_checksum_valid(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        packet = parse_packet(frame)
+        assert packet.l3.header_ok
+
+    def test_payload_embedded_and_padded(self):
+        frame = build_udp_ipv4(1, 2, 3, 4, frame_len=64, payload=b"hello")
+        assert bytes(frame[42:47]) == b"hello"
+        assert bytes(frame[47:]) == bytes(64 - 47)
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            build_udp_ipv4(1, 2, 3, 4, frame_len=64, payload=bytes(23))
+
+    def test_udp_checksum_verifies(self):
+        frame = build_udp_ipv4(5, 6, 7, 8, frame_len=90, fill_udp_checksum=True)
+        packet = parse_packet(frame)
+        assert packet.l4.checksum != 0
+
+
+class TestBuildIPv6:
+    def test_clamps_to_header_minimum(self):
+        frame = build_udp_ipv6(1, 2, 3, 4, frame_len=10)
+        assert len(frame) == 62  # 14 + 40 + 8
+
+    def test_parses_back(self):
+        src = 0x20010DB8 << 96
+        dst = (0x20010DB8 << 96) | 1
+        frame = build_udp_ipv6(src, dst, 1024, 53, frame_len=100)
+        packet = parse_packet(frame)
+        assert packet.is_ipv6
+        assert packet.l3.src == src
+        assert packet.l3.dst == dst
+        assert packet.l4.dst_port == 53
+
+
+class TestParse:
+    def test_unknown_ethertype_has_no_l3(self):
+        frame = bytearray(64)
+        frame[12:14] = (0x88B5).to_bytes(2, "big")  # local experimental
+        packet = parse_packet(frame)
+        assert packet.l3 is None
+        assert packet.l4 is None
+        assert packet.five_tuple() is None
+
+    def test_five_tuple_ipv4(self):
+        frame = build_udp_ipv4(0x01010101, 0x02020202, 1000, 2000)
+        flow = parse_packet(frame).five_tuple()
+        assert flow == FiveTuple(
+            src_ip=0x01010101, dst_ip=0x02020202,
+            src_port=1000, dst_port=2000, protocol=17, is_ipv6=False,
+        )
+
+    def test_five_tuple_ipv6(self):
+        frame = build_udp_ipv6(7, 9, 123, 456)
+        flow = parse_packet(frame).five_tuple()
+        assert flow.is_ipv6
+        assert flow.src_ip == 7 and flow.dst_ip == 9
+
+    def test_l4_offset(self):
+        assert parse_packet(build_udp_ipv4(1, 2, 3, 4)).l4_offset == 34
+        assert parse_packet(build_udp_ipv6(1, 2, 3, 4)).l4_offset == 54
+
+    def test_len_is_frame_len(self):
+        assert len(parse_packet(build_udp_ipv4(1, 2, 3, 4, frame_len=256))) == 256

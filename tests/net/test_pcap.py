@@ -1,0 +1,108 @@
+"""pcap read/write."""
+
+import struct
+
+import pytest
+
+from repro.net.packet import build_udp_ipv4
+from repro.net.pcap import (
+    CapturedFrame,
+    PCAP_MAGIC,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestRoundtrip:
+    def test_frames_roundtrip(self, tmp_path):
+        frames = [bytes(build_udp_ipv4(i + 1, 2, 3, 4, frame_len=64 + i))
+                  for i in range(5)]
+        path = str(tmp_path / "t.pcap")
+        assert write_pcap(path, frames) == 5
+        recovered = read_pcap(path)
+        assert [f.data for f in recovered] == frames
+
+    def test_timestamps_preserved_to_us(self, tmp_path):
+        frames = [
+            CapturedFrame(data=b"\x00" * 60, timestamp_ns=1_500_000),
+            CapturedFrame(data=b"\x01" * 60, timestamp_ns=2_000_001_000),
+        ]
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, frames)
+        recovered = read_pcap(path)
+        assert recovered[0].timestamp_ns == 1_500_000
+        assert recovered[1].timestamp_ns == 2_000_001_000
+
+    def test_bare_bytes_get_sequential_timestamps(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, [b"\x00" * 60, b"\x01" * 60])
+        recovered = read_pcap(path)
+        assert recovered[0].timestamp_ns < recovered[1].timestamp_ns
+
+    def test_empty_capture(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        assert write_pcap(path, []) == 0
+        assert read_pcap(path) == []
+
+
+class TestFormat:
+    def test_global_header_magic_and_linktype(self, tmp_path):
+        path = str(tmp_path / "t.pcap")
+        write_pcap(path, [b"\x00" * 60])
+        with open(path, "rb") as handle:
+            header = handle.read(24)
+        magic, major, minor, _, _, snaplen, linktype = struct.unpack(
+            "<IHHiIII", header
+        )
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        assert linktype == 1  # Ethernet
+
+    def test_swapped_byte_order_readable(self, tmp_path):
+        """A big-endian capture (as from a SPARC tcpdump) must parse."""
+        path = str(tmp_path / "be.pcap")
+        frame = b"\xab" * 40
+        with open(path, "wb") as handle:
+            handle.write(struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0,
+                                     65535, 1))
+            handle.write(struct.pack(">IIII", 7, 9, len(frame), len(frame)))
+            handle.write(frame)
+        recovered = read_pcap(path)
+        assert recovered[0].data == frame
+        assert recovered[0].timestamp_ns == (7 * 1_000_000 + 9) * 1000
+
+    def test_rejects_garbage(self, tmp_path):
+        path = str(tmp_path / "bad.pcap")
+        with open(path, "wb") as handle:
+            handle.write(b"not a pcap file at all....")
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+    def test_rejects_truncated_record(self, tmp_path):
+        path = str(tmp_path / "trunc.pcap")
+        write_pcap(path, [b"\x00" * 60])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-10])
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+
+class TestTestbedIntegration:
+    def test_dump_sink_to_pcap(self, tmp_path):
+        from repro.apps.ipv4 import IPv4Forwarder
+        from repro.lookup.dir24_8 import Dir24_8
+        from repro.testbed import Testbed
+
+        fib = Dir24_8()
+        fib.add_routes([(0x0A000000, 8, 1)])
+        testbed = Testbed(IPv4Forwarder(fib))
+        testbed.inject(
+            [build_udp_ipv4(i + 1, 0x0A000000 | i, 5, 6) for i in range(10)]
+        )
+        testbed.run_until_drained()
+        path = str(tmp_path / "sink.pcap")
+        assert testbed.dump_pcap(path) == 10
+        recovered = read_pcap(path)
+        assert all(f.data[23] == 17 for f in recovered)  # all UDP

@@ -1,0 +1,76 @@
+"""802.1Q VLAN tagging and its flow-key integration."""
+
+import pytest
+
+from repro.net.ethernet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    EthernetHeader,
+    VLANTag,
+    add_vlan_tag,
+    parse_ethernet,
+)
+from repro.net.packet import build_udp_ipv4
+from repro.openflow.flowkey import VLAN_NONE, extract_flow_key
+
+
+class TestVLANTag:
+    def test_tci_roundtrip(self):
+        tag = VLANTag(vid=100, pcp=5, dei=1)
+        assert VLANTag.unpack(tag.pack()) == tag
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VLANTag(vid=4096)
+        with pytest.raises(ValueError):
+            VLANTag(vid=1, pcp=8)
+        with pytest.raises(ValueError):
+            VLANTag.unpack(b"\x01")
+
+
+class TestParseEthernet:
+    def test_untagged_passthrough(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        header, tag, l3 = parse_ethernet(bytes(frame))
+        assert tag is None
+        assert l3 == 14
+        assert header.ethertype == ETHERTYPE_IPV4
+
+    def test_tagged_frame_sees_inner_type(self):
+        frame = add_vlan_tag(bytes(build_udp_ipv4(1, 2, 3, 4)), VLANTag(vid=42))
+        header, tag, l3 = parse_ethernet(frame)
+        assert tag.vid == 42
+        assert l3 == 18
+        assert header.ethertype == ETHERTYPE_IPV4  # the inner type
+
+    def test_tagging_preserves_payload(self):
+        original = bytes(build_udp_ipv4(0x0A000001, 0x0A000002, 7, 8))
+        tagged = add_vlan_tag(original, VLANTag(vid=7))
+        assert len(tagged) == len(original) + 4
+        assert tagged[18:] == original[14:]
+
+    def test_truncated_tag_rejected(self):
+        header = EthernetHeader(dst=1, src=2, ethertype=ETHERTYPE_VLAN)
+        with pytest.raises(ValueError):
+            parse_ethernet(header.pack() + b"\x00")
+
+
+class TestFlowKeyVLAN:
+    def test_untagged_key_carries_vlan_none(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        assert extract_flow_key(bytes(frame), 0).dl_vlan == VLAN_NONE
+
+    def test_tagged_key_carries_vid_and_inner_fields(self):
+        original = bytes(build_udp_ipv4(0x0A000001, 0x0A000002, 1234, 80))
+        tagged = add_vlan_tag(original, VLANTag(vid=300))
+        key = extract_flow_key(tagged, 0)
+        assert key.dl_vlan == 300
+        assert key.dl_type == ETHERTYPE_IPV4
+        assert key.nw_dst == 0x0A000002
+        assert key.tp_dst == 80
+
+    def test_vlans_separate_flows(self):
+        original = bytes(build_udp_ipv4(1, 2, 3, 4))
+        a = extract_flow_key(add_vlan_tag(original, VLANTag(vid=10)), 0)
+        b = extract_flow_key(add_vlan_tag(original, VLANTag(vid=20)), 0)
+        assert a != b

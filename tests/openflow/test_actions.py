@@ -1,0 +1,86 @@
+"""OpenFlow actions applied to real frames."""
+
+import pytest
+
+from repro.net.checksum import verify_checksum16
+from repro.net.packet import build_udp_ipv4, parse_packet
+from repro.openflow.actions import (
+    Action,
+    ActionType,
+    apply_actions,
+    drop,
+    output,
+)
+
+
+class TestOutputs:
+    def test_single_output(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        _, ports = apply_actions(frame, output(5))
+        assert ports == [5]
+
+    def test_multiple_outputs_duplicate(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        _, ports = apply_actions(
+            frame, [Action(ActionType.OUTPUT, 1), Action(ActionType.OUTPUT, 2)]
+        )
+        assert ports == [1, 2]
+
+    def test_drop_is_empty(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        _, ports = apply_actions(frame, drop())
+        assert ports == []
+
+
+class TestRewrites:
+    def test_set_dl_addresses(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        apply_actions(frame, [
+            Action(ActionType.SET_DL_SRC, 0xAABBCCDDEEFF),
+            Action(ActionType.SET_DL_DST, 0x112233445566),
+        ])
+        packet = parse_packet(frame)
+        assert packet.eth.src == 0xAABBCCDDEEFF
+        assert packet.eth.dst == 0x112233445566
+
+    def test_set_nw_dst_fixes_checksum(self):
+        frame = build_udp_ipv4(0x0A000001, 0x0A000002, 3, 4)
+        apply_actions(frame, [Action(ActionType.SET_NW_DST, 0xC0A80001)])
+        packet = parse_packet(frame)
+        assert packet.l3.dst == 0xC0A80001
+        assert verify_checksum16(bytes(frame[14:34]))
+
+    def test_set_nw_src(self):
+        frame = build_udp_ipv4(0x0A000001, 0x0A000002, 3, 4)
+        apply_actions(frame, [Action(ActionType.SET_NW_SRC, 0x01010101)])
+        assert parse_packet(frame).l3.src == 0x01010101
+
+    def test_set_tp_ports(self):
+        frame = build_udp_ipv4(1, 2, 1000, 2000)
+        apply_actions(frame, [
+            Action(ActionType.SET_TP_SRC, 5555),
+            Action(ActionType.SET_TP_DST, 6666),
+        ])
+        packet = parse_packet(frame)
+        assert packet.l4.src_port == 5555
+        assert packet.l4.dst_port == 6666
+
+    def test_nw_rewrite_on_non_ip_is_noop(self):
+        frame = bytearray(64)
+        frame[12:14] = (0x0806).to_bytes(2, "big")
+        before = bytes(frame)
+        apply_actions(frame, [Action(ActionType.SET_NW_DST, 1)])
+        assert bytes(frame) == before
+
+    def test_rewrites_apply_before_output(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        _, ports = apply_actions(frame, [
+            Action(ActionType.SET_TP_DST, 999),
+            Action(ActionType.OUTPUT, 7),
+        ])
+        assert ports == [7]
+        assert parse_packet(frame).l4.dst_port == 999
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Action(ActionType.OUTPUT, -1)

@@ -1,0 +1,107 @@
+"""The reactive controller and its policies."""
+
+import pytest
+
+from repro.net.packet import build_udp_ipv4
+from repro.openflow.actions import ActionType, PORT_FLOOD
+from repro.openflow.controller import (
+    LearningSwitchPolicy,
+    ReactiveController,
+    acl_policy,
+)
+from repro.openflow.flowkey import extract_flow_key
+from repro.openflow.switch import OpenFlowSwitch
+
+MS = 1_000_000.0
+
+
+def punt(switch, frame, in_port=0):
+    """Run a frame through the switch so a miss queues it."""
+    return switch.process_frame(bytearray(frame), in_port=in_port)
+
+
+class TestReactiveLoop:
+    def test_miss_then_install_then_hit(self):
+        switch = OpenFlowSwitch()
+        controller = ReactiveController(
+            switch, acl_policy([], default_port=4)
+        )
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        ports, _ = punt(switch, frame)
+        assert ports == []  # first packet misses
+        packet_outs = controller.service()
+        assert len(packet_outs) == 1
+        assert controller.stats.flows_installed == 1
+        # The second packet of the flow hits the installed entry.
+        ports, _ = punt(switch, frame)
+        assert ports == [4]
+        assert switch.counters.exact_hits == 1
+
+    def test_installed_flows_expire_idle(self):
+        switch = OpenFlowSwitch()
+        controller = ReactiveController(
+            switch, acl_policy([], default_port=1), idle_timeout_ns=5 * MS
+        )
+        punt(switch, build_udp_ipv4(1, 2, 3, 4))
+        controller.service(now_ns=0)
+        assert len(switch.exact) == 1
+        switch.expire_flows(now_ns=5 * MS)
+        assert len(switch.exact) == 0
+
+    def test_policy_drop_installs_nothing(self):
+        switch = OpenFlowSwitch()
+        blocked = [(0x0A420000, 16)]  # 10.66/16
+        controller = ReactiveController(switch, acl_policy(blocked, 1))
+        punt(switch, build_udp_ipv4(0x0A420001, 2, 3, 4))
+        packet_outs = controller.service()
+        assert packet_outs == []
+        assert controller.stats.dropped_by_policy == 1
+        assert len(switch.exact) == 0
+
+    def test_queue_drained(self):
+        switch = OpenFlowSwitch()
+        controller = ReactiveController(switch, acl_policy([], 1))
+        for i in range(5):
+            punt(switch, build_udp_ipv4(i + 1, 2, 3, 4))
+        controller.service()
+        assert switch.controller_queue == []
+        assert controller.stats.packet_ins == 5
+
+
+class TestLearningSwitch:
+    def test_unknown_destination_floods(self):
+        policy = LearningSwitchPolicy()
+        frame = build_udp_ipv4(1, 2, 3, 4, src_mac=0xAA, dst_mac=0xBB)
+        key = extract_flow_key(bytes(frame), in_port=2)
+        actions = policy(key, bytes(frame))
+        assert actions[0].value == PORT_FLOOD
+
+    def test_learned_destination_forwards(self):
+        policy = LearningSwitchPolicy()
+        # A talks from port 2; B replies from port 5.
+        a_to_b = extract_flow_key(
+            bytes(build_udp_ipv4(1, 2, 3, 4, src_mac=0xAA, dst_mac=0xBB)), 2
+        )
+        b_to_a = extract_flow_key(
+            bytes(build_udp_ipv4(2, 1, 4, 3, src_mac=0xBB, dst_mac=0xAA)), 5
+        )
+        policy(a_to_b, b"")
+        actions = policy(b_to_a, b"")
+        assert actions[0].type is ActionType.OUTPUT
+        assert actions[0].value == 2  # learned A's port
+
+    def test_hairpin_dropped(self):
+        policy = LearningSwitchPolicy()
+        frame_key = extract_flow_key(
+            bytes(build_udp_ipv4(1, 2, 3, 4, src_mac=0xAA, dst_mac=0xBB)), 2
+        )
+        policy(frame_key, b"")
+        # B appears on the same port as A.
+        b_same_port = extract_flow_key(
+            bytes(build_udp_ipv4(2, 1, 4, 3, src_mac=0xBB, dst_mac=0xAA)), 2
+        )
+        policy(b_same_port, b"")
+        hairpin = extract_flow_key(
+            bytes(build_udp_ipv4(1, 2, 3, 4, src_mac=0xAA, dst_mac=0xBB)), 2
+        )
+        assert policy(hairpin, b"") is None

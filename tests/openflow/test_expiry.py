@@ -1,0 +1,78 @@
+"""OpenFlow 0.8.9 flow expiry: idle and hard timeouts."""
+
+import pytest
+
+from repro.net.packet import build_udp_ipv4
+from repro.openflow.actions import output
+from repro.openflow.flowkey import extract_flow_key
+from repro.openflow.switch import OpenFlowSwitch
+
+US = 1_000.0
+MS = 1_000_000.0
+
+
+def key_and_frame(dport=80):
+    frame = build_udp_ipv4(1, 2, 1000, dport)
+    return extract_flow_key(bytes(frame), 0), frame
+
+
+class TestHardTimeout:
+    def test_expires_at_deadline(self):
+        switch = OpenFlowSwitch()
+        key, _ = key_and_frame()
+        switch.add_exact_flow(key, output(1), hard_timeout_ns=10 * MS, now_ns=0)
+        assert switch.expire_flows(now_ns=9 * MS) == []
+        assert switch.expire_flows(now_ns=10 * MS) == [key]
+        assert switch.exact.lookup(key)[0] is None
+        assert switch.removed_flows == [key]
+
+    def test_usage_does_not_extend_hard_timeout(self):
+        switch = OpenFlowSwitch()
+        key, frame = key_and_frame()
+        switch.add_exact_flow(key, output(1), hard_timeout_ns=10 * MS, now_ns=0)
+        switch.process_frame(bytearray(frame), in_port=0)
+        assert switch.expire_flows(now_ns=10 * MS) == [key]
+
+
+class TestIdleTimeout:
+    def test_unused_flow_expires(self):
+        switch = OpenFlowSwitch()
+        key, _ = key_and_frame()
+        switch.add_exact_flow(key, output(1), idle_timeout_ns=5 * MS, now_ns=0)
+        assert switch.expire_flows(now_ns=5 * MS) == [key]
+
+    def test_traffic_refreshes_idle_timer(self):
+        switch = OpenFlowSwitch()
+        key, frame = key_and_frame()
+        switch.add_exact_flow(key, output(1), idle_timeout_ns=5 * MS, now_ns=0)
+        # Touch the flow at t=4ms: refresh last_used.
+        stats = switch._exact_stats(key)
+        stats.count(64, now_ns=4 * MS)
+        assert switch.expire_flows(now_ns=5 * MS) == []
+        assert switch.expire_flows(now_ns=9 * MS) == [key]
+
+
+class TestPermanentFlows:
+    def test_zero_timeouts_never_expire(self):
+        switch = OpenFlowSwitch()
+        key, _ = key_and_frame()
+        switch.add_exact_flow(key, output(1))
+        assert switch.expire_flows(now_ns=1e12) == []
+        assert switch.exact.lookup(key)[0] is not None
+
+    def test_manually_removed_entry_cleans_timeout_record(self):
+        switch = OpenFlowSwitch()
+        key, _ = key_and_frame()
+        switch.add_exact_flow(key, output(1), hard_timeout_ns=MS)
+        switch.exact.remove(key)
+        assert switch.expire_flows(now_ns=2 * MS) == []
+
+    def test_expiry_leaves_other_flows_alone(self):
+        switch = OpenFlowSwitch()
+        short, _ = key_and_frame(dport=80)
+        long, _ = key_and_frame(dport=443)
+        switch.add_exact_flow(short, output(1), hard_timeout_ns=MS, now_ns=0)
+        switch.add_exact_flow(long, output(2))
+        switch.expire_flows(now_ns=2 * MS)
+        assert switch.exact.lookup(short)[0] is None
+        assert switch.exact.lookup(long)[0] is not None

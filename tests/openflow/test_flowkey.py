@@ -1,0 +1,73 @@
+"""Ten-field flow-key extraction from real frames."""
+
+import pytest
+
+from repro.net.packet import build_udp_ipv4, build_udp_ipv6
+from repro.net.tcp import TCPHeader
+from repro.net.ipv4 import IPv4Header, PROTO_TCP
+from repro.net.ethernet import EthernetHeader, ETHERTYPE_IPV4
+from repro.openflow.flowkey import VLAN_NONE, FlowKey, extract_flow_key
+
+
+class TestExtraction:
+    def test_udp_ipv4_key(self):
+        frame = build_udp_ipv4(
+            0x0A000001, 0x0A000002, 1111, 2222,
+            src_mac=0x000000000001, dst_mac=0x000000000002,
+        )
+        key = extract_flow_key(bytes(frame), in_port=3)
+        assert key.in_port == 3
+        assert key.dl_src == 1 and key.dl_dst == 2
+        assert key.dl_type == 0x0800
+        assert key.dl_vlan == VLAN_NONE
+        assert key.nw_src == 0x0A000001 and key.nw_dst == 0x0A000002
+        assert key.nw_proto == 17
+        assert key.tp_src == 1111 and key.tp_dst == 2222
+
+    def test_tcp_ports_extracted(self):
+        eth = EthernetHeader(dst=2, src=1, ethertype=ETHERTYPE_IPV4)
+        ip = IPv4Header(src=5, dst=6, protocol=PROTO_TCP,
+                        total_length=40)
+        tcp = TCPHeader(src_port=80, dst_port=50000)
+        frame = eth.pack() + ip.pack() + tcp.pack() + bytes(10)
+        key = extract_flow_key(frame, in_port=0)
+        assert key.nw_proto == PROTO_TCP
+        assert (key.tp_src, key.tp_dst) == (80, 50000)
+
+    def test_non_ip_zeroes_network_fields(self):
+        frame = bytearray(64)
+        frame[12:14] = (0x0806).to_bytes(2, "big")  # ARP
+        key = extract_flow_key(bytes(frame), in_port=1)
+        assert key.dl_type == 0x0806
+        assert key.nw_src == key.nw_dst == key.nw_proto == 0
+        assert key.tp_src == key.tp_dst == 0
+
+    def test_ipv6_frames_treated_as_non_ip_by_089(self):
+        # OpenFlow 0.8.9 matches IPv4 only; IPv6 keys carry zero nw fields.
+        frame = build_udp_ipv6(1, 2, 3, 4)
+        key = extract_flow_key(bytes(frame), in_port=0)
+        assert key.nw_src == 0 and key.tp_dst == 0
+
+    def test_key_is_hashable_and_equal_by_value(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        a = extract_flow_key(bytes(frame), 0)
+        b = extract_flow_key(bytes(frame), 0)
+        assert a == b and hash(a) == hash(b)
+        assert a != extract_flow_key(bytes(frame), 1)
+
+
+class TestPack:
+    def test_pack_is_31_bytes(self):
+        frame = build_udp_ipv4(1, 2, 3, 4)
+        assert len(extract_flow_key(bytes(frame), 0).pack()) == 31
+
+    def test_pack_differs_for_different_keys(self):
+        f1 = build_udp_ipv4(1, 2, 3, 4)
+        f2 = build_udp_ipv4(1, 2, 3, 5)
+        assert (
+            extract_flow_key(bytes(f1), 0).pack()
+            != extract_flow_key(bytes(f2), 0).pack()
+        )
+
+    def test_field_names_cover_ten_fields(self):
+        assert len(FlowKey.FIELD_NAMES) == 10

@@ -1,0 +1,150 @@
+"""Exact-match and wildcard flow tables."""
+
+import pytest
+
+from repro.openflow.flowkey import FlowKey, VLAN_NONE
+from repro.openflow.flowtable import (
+    ExactMatchTable,
+    WildcardEntry,
+    WildcardTable,
+    fnv1a_hash,
+)
+
+
+def key(**overrides) -> FlowKey:
+    params = dict(
+        in_port=0, dl_src=1, dl_dst=2, dl_vlan=VLAN_NONE, dl_type=0x0800,
+        nw_src=0x0A000001, nw_dst=0x0A000002, nw_proto=17,
+        tp_src=1000, tp_dst=2000,
+    )
+    params.update(overrides)
+    return FlowKey(**params)
+
+
+class TestFNV:
+    def test_known_vectors(self):
+        # Standard FNV-1a 32-bit vectors.
+        assert fnv1a_hash(b"") == 0x811C9DC5
+        assert fnv1a_hash(b"a") == 0xE40C292C
+        assert fnv1a_hash(b"foobar") == 0xBF9CF968
+
+
+class TestExactMatch:
+    def test_add_lookup(self):
+        table = ExactMatchTable()
+        table.add(key(), "actions")
+        actions, probes = table.lookup(key())
+        assert actions == "actions"
+        assert probes >= 1
+
+    def test_miss(self):
+        table = ExactMatchTable()
+        table.add(key(), "a")
+        actions, _ = table.lookup(key(tp_dst=9999))
+        assert actions is None
+
+    def test_replace_keeps_count(self):
+        table = ExactMatchTable()
+        table.add(key(), "a")
+        table.add(key(), "b")
+        assert len(table) == 1
+        assert table.lookup(key())[0] == "b"
+
+    def test_remove(self):
+        table = ExactMatchTable()
+        table.add(key(), "a")
+        assert table.remove(key())
+        assert not table.remove(key())
+        assert len(table) == 0
+
+    def test_external_hash_honoured(self):
+        """The GPU supplies the hash in CPU+GPU mode; lookup must work
+        with it (and the probe chain must match the natural hash)."""
+        table = ExactMatchTable()
+        table.add(key(), "a")
+        precomputed = fnv1a_hash(key().pack())
+        assert table.lookup(key(), key_hash=precomputed)[0] == "a"
+
+    def test_chaining_in_tiny_table(self):
+        table = ExactMatchTable(num_buckets=1)
+        keys = [key(tp_src=i) for i in range(10)]
+        for index, k in enumerate(keys):
+            table.add(k, index)
+        for index, k in enumerate(keys):
+            actions, probes = table.lookup(k)
+            assert actions == index
+            assert probes == index + 1  # linear chain position
+
+    def test_stats_counted_on_hit(self):
+        table = ExactMatchTable()
+        table.add(key(), "a")
+        table.lookup(key(), frame_len=64)
+        table.lookup(key(), frame_len=100)
+        bucket = table._buckets[table._bucket_of(key())]
+        assert bucket[0][2].packets == 2
+        assert bucket[0][2].bytes == 164
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExactMatchTable(num_buckets=0)
+
+
+class TestWildcard:
+    def test_field_match(self):
+        table = WildcardTable()
+        table.add(WildcardEntry(priority=1, fields={"nw_proto": 17}, actions="u"))
+        entry, compared = table.lookup(key())
+        assert entry.actions == "u"
+        assert compared == 1
+        assert table.lookup(key(nw_proto=6))[0] is None
+
+    def test_priority_order(self):
+        table = WildcardTable()
+        table.add(WildcardEntry(priority=1, fields={}, actions="low"))
+        table.add(WildcardEntry(priority=10, fields={}, actions="high"))
+        assert table.lookup(key())[0].actions == "high"
+
+    def test_equal_priority_stable(self):
+        table = WildcardTable()
+        table.add(WildcardEntry(priority=5, fields={}, actions="first"))
+        table.add(WildcardEntry(priority=5, fields={}, actions="second"))
+        assert table.lookup(key())[0].actions == "first"
+
+    def test_cidr_mask_on_nw_dst(self):
+        table = WildcardTable()
+        table.add(WildcardEntry(
+            priority=1, fields={"nw_dst": 0x0A000000},
+            nw_dst_mask=8, actions="net10",
+        ))
+        assert table.lookup(key(nw_dst=0x0A636363))[0].actions == "net10"
+        assert table.lookup(key(nw_dst=0x0B000001))[0] is None
+
+    def test_full_wildcard_matches_everything(self):
+        table = WildcardTable()
+        table.add(WildcardEntry(priority=0, fields={}, actions="any"))
+        assert table.lookup(key(nw_src=1, tp_src=2))[0].actions == "any"
+
+    def test_compared_counts_scanned_entries(self):
+        table = WildcardTable()
+        for priority in range(10, 0, -1):
+            table.add(WildcardEntry(
+                priority=priority, fields={"tp_dst": priority}, actions=priority,
+            ))
+        entry, compared = table.lookup(key(tp_dst=1))
+        assert entry.actions == 1
+        assert compared == 10  # scanned the whole table to the last entry
+
+    def test_miss_scans_whole_table(self):
+        table = WildcardTable()
+        for priority in range(5):
+            table.add(WildcardEntry(
+                priority=priority, fields={"tp_dst": 60000 + priority}, actions=0,
+            ))
+        entry, compared = table.lookup(key())
+        assert entry is None and compared == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WildcardEntry(priority=1, fields={"bogus": 1}, actions=None)
+        with pytest.raises(ValueError):
+            WildcardEntry(priority=1, fields={}, actions=None, nw_src_mask=33)

@@ -1,0 +1,97 @@
+"""The OpenFlow switch pipeline: precedence, misses, counters."""
+
+import pytest
+
+from repro.net.packet import build_udp_ipv4
+from repro.openflow.actions import Action, ActionType, output
+from repro.openflow.flowkey import extract_flow_key
+from repro.openflow.flowtable import WildcardEntry, fnv1a_hash
+from repro.openflow.switch import OpenFlowSwitch
+
+
+def frame_for(dst_ip=0x0A000002, dport=2000):
+    return build_udp_ipv4(0x0A000001, dst_ip, 1000, dport)
+
+
+class TestPipeline:
+    def test_exact_hit_forwards(self):
+        switch = OpenFlowSwitch()
+        frame = frame_for()
+        key = extract_flow_key(bytes(frame), in_port=0)
+        switch.add_exact_flow(key, output(3))
+        ports, cost = switch.process_frame(frame, in_port=0)
+        assert ports == [3]
+        assert switch.counters.exact_hits == 1
+        assert cost.exact_probes >= 1
+        assert cost.wildcard_compared == 0  # exact hit short-circuits
+
+    def test_wildcard_hit_when_no_exact(self):
+        switch = OpenFlowSwitch()
+        switch.add_wildcard_flow(WildcardEntry(
+            priority=1, fields={"nw_dst": 0x0A000000}, nw_dst_mask=8,
+            actions=output(5),
+        ))
+        ports, cost = switch.process_frame(frame_for(), in_port=0)
+        assert ports == [5]
+        assert switch.counters.wildcard_hits == 1
+        assert cost.wildcard_compared == 1
+
+    def test_exact_beats_wildcard_regardless_of_priority(self):
+        switch = OpenFlowSwitch()
+        frame = frame_for()
+        key = extract_flow_key(bytes(frame), in_port=0)
+        switch.add_exact_flow(key, output(1))
+        switch.add_wildcard_flow(WildcardEntry(
+            priority=10_000, fields={}, actions=output(2),
+        ))
+        ports, _ = switch.process_frame(frame, in_port=0)
+        assert ports == [1]
+
+    def test_miss_goes_to_controller(self):
+        switch = OpenFlowSwitch()
+        ports, _ = switch.process_frame(frame_for(), in_port=0)
+        assert ports == []
+        assert switch.counters.misses == 1
+        assert len(switch.controller_queue) == 1
+        queued_key, queued_frame = switch.controller_queue[0]
+        assert queued_key.nw_dst == 0x0A000002
+
+    def test_in_port_distinguishes_flows(self):
+        switch = OpenFlowSwitch()
+        frame = frame_for()
+        key0 = extract_flow_key(bytes(frame), in_port=0)
+        switch.add_exact_flow(key0, output(9))
+        ports, _ = switch.process_frame(bytearray(frame), in_port=1)
+        assert ports == []  # same packet, different ingress port: miss
+
+    def test_gpu_supplied_hash_matches_cpu_path(self):
+        switch = OpenFlowSwitch()
+        frame = frame_for()
+        key = extract_flow_key(bytes(frame), in_port=0)
+        switch.add_exact_flow(key, output(4))
+        precomputed = fnv1a_hash(key.pack())
+        ports_gpu, cost = switch.process_frame(
+            bytearray(frame), in_port=0, key_hash=precomputed
+        )
+        assert ports_gpu == [4]
+        assert not cost.hashed  # the CPU didn't compute the hash
+
+    def test_rewrite_action_applied(self):
+        switch = OpenFlowSwitch()
+        frame = frame_for()
+        key = extract_flow_key(bytes(frame), in_port=0)
+        switch.add_exact_flow(key, [
+            Action(ActionType.SET_TP_DST, 8080),
+            Action(ActionType.OUTPUT, 2),
+        ])
+        switch.process_frame(frame, in_port=0)
+        assert frame[36:38] == (8080).to_bytes(2, "big")
+
+    def test_counters_total(self):
+        switch = OpenFlowSwitch()
+        switch.add_wildcard_flow(WildcardEntry(
+            priority=1, fields={}, actions=output(0),
+        ))
+        for _ in range(3):
+            switch.process_frame(frame_for(), in_port=0)
+        assert switch.counters.total == 3

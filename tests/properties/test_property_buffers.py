@@ -1,0 +1,75 @@
+"""Property-based tests: the huge packet buffer behaves like a FIFO."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io_engine.hugebuf import HugePacketBuffer
+
+
+@st.composite
+def operations(draw):
+    """A random interleaving of writes and fetches."""
+    ops = []
+    for _ in range(draw(st.integers(1, 120))):
+        if draw(st.booleans()):
+            ops.append(("write", draw(st.integers(1, 2048))))
+        else:
+            ops.append(("fetch", draw(st.integers(1, 16))))
+    return ops
+
+
+class TestHugeBufferFIFO:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 32), operations())
+    def test_fifo_against_reference_queue(self, ring_size, ops):
+        """Whatever the interleaving, the buffer delivers exactly the
+        accepted frames in FIFO order, and never clobbers a pending one."""
+        buffer = HugePacketBuffer(ring_size=ring_size)
+        reference = []
+        sequence = 0
+        for op, arg in ops:
+            if op == "write":
+                frame = sequence.to_bytes(4, "big") + bytes(arg - 4 if arg >= 4 else 0)
+                accepted = buffer.write(frame)
+                if accepted:
+                    reference.append(frame)
+                    sequence += 1
+                else:
+                    assert len(reference) >= ring_size
+            else:
+                fetched = buffer.fetch(arg)
+                for offset, cell in fetched:
+                    expected = reference.pop(0)
+                    assert buffer.read_frame(offset, cell) == expected
+        # Drain the rest.
+        for offset, cell in buffer.fetch(ring_size):
+            assert buffer.read_frame(offset, cell) == reference.pop(0)
+        assert not reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 16), st.lists(st.integers(1, 2048), min_size=1,
+                                        max_size=40))
+    def test_occupancy_invariant(self, ring_size, frame_sizes):
+        """len(buffer) == accepted writes - fetched packets, always
+        within [0, ring_size]."""
+        buffer = HugePacketBuffer(ring_size=ring_size)
+        accepted = 0
+        for size in frame_sizes:
+            if buffer.write(bytes(size)):
+                accepted += 1
+            assert 0 <= len(buffer) <= ring_size
+        fetched = len(buffer.fetch(len(frame_sizes)))
+        assert fetched == min(accepted, ring_size, accepted)
+        assert len(buffer) == accepted - fetched
+
+
+class TestUserCopy:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=256), min_size=1, max_size=20))
+    def test_copy_batch_reconstructs_frames(self, frames):
+        buffer = HugePacketBuffer(ring_size=64)
+        for frame in frames:
+            assert buffer.write(frame)
+        user, index = buffer.copy_batch_to_user(buffer.fetch(len(frames)))
+        assert len(index) == len(frames)
+        rebuilt = [bytes(user[o:o + l]) for o, l in index]
+        assert rebuilt == frames

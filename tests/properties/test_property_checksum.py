@@ -1,0 +1,46 @@
+"""Property-based tests for checksums."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.checksum import checksum16, incremental_update16, verify_checksum16
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=0, max_size=400))
+    def test_data_plus_checksum_verifies(self, data):
+        """Appending the computed checksum makes the region verify —
+        the defining property of the Internet checksum."""
+        value = checksum16(data)
+        if len(data) % 2 == 0:
+            assert verify_checksum16(data + value.to_bytes(2, "big"))
+
+    @given(st.binary(min_size=2, max_size=200))
+    def test_checksum_in_range(self, data):
+        assert 0 <= checksum16(data) <= 0xFFFF
+
+    @given(st.binary(min_size=2, max_size=100), st.integers(0, 49))
+    def test_incremental_equals_recompute(self, data, word_index):
+        """RFC 1624: patching one word incrementally gives the same
+        stored checksum as recomputing from scratch."""
+        if len(data) % 2:
+            data += b"\x00"
+        word_index %= len(data) // 2
+        original = bytearray(data)
+        # Treat the first word as the checksum field (zero for compute).
+        checksum_field = 0
+        stored = checksum16(bytes(original))
+        new_word = (original[2 * word_index] << 8 | original[2 * word_index + 1]) ^ 0x1234
+        old_word = original[2 * word_index] << 8 | original[2 * word_index + 1]
+        updated = incremental_update16(stored, old_word, new_word)
+        modified = bytearray(original)
+        modified[2 * word_index] = new_word >> 8
+        modified[2 * word_index + 1] = new_word & 0xFF
+        assert updated == checksum16(bytes(modified))
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_incremental_identity(self, checksum, word):
+        """Updating a word to itself never corrupts the checksum's
+        verification (the value may normalise 0xFFFF <-> 0x0000 forms,
+        which are equivalent in one's complement)."""
+        updated = incremental_update16(checksum, word, word)
+        assert updated in (checksum, checksum ^ 0xFFFF) or updated == checksum

@@ -1,0 +1,87 @@
+"""Property-based tests: framework conservation laws."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.core.chunk import Disposition
+from repro.core.config import RouterConfig
+from repro.core.framework import PacketShader
+from repro.lookup.dir24_8 import Dir24_8
+from repro.net.packet import build_udp_ipv4
+
+
+def build_fib(seed):
+    rng = random.Random(seed)
+    routes = {}
+    for _ in range(rng.randint(1, 40)):
+        length = rng.randint(1, 24)
+        prefix = rng.getrandbits(length) << (32 - length)
+        routes[(prefix, length)] = rng.randrange(8)
+    fib = Dir24_8()
+    fib.add_routes([(p, l, n) for (p, l), n in routes.items()])
+    return fib
+
+
+@st.composite
+def traffic(draw):
+    """A mixed burst: valid frames, expired TTLs, runts."""
+    rng = random.Random(draw(st.integers(0, 2**31)))
+    frames = []
+    for _ in range(draw(st.integers(1, 80))):
+        kind = rng.randrange(10)
+        if kind == 0:
+            frames.append(bytearray(rng.randrange(1, 30)))  # runt
+        elif kind == 1:
+            frames.append(build_udp_ipv4(
+                rng.getrandbits(32), rng.getrandbits(32),
+                rng.randrange(65536), rng.randrange(65536), ttl=1,
+            ))
+        else:
+            frames.append(build_udp_ipv4(
+                rng.getrandbits(32), rng.getrandbits(32),
+                rng.randrange(65536), rng.randrange(65536),
+                frame_len=rng.choice((64, 128, 256)),
+            ))
+    return frames
+
+
+class TestConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1000), traffic(), st.booleans())
+    def test_every_packet_accounted_exactly_once(self, fib_seed, frames, use_gpu):
+        router = PacketShader(
+            IPv4Forwarder(build_fib(fib_seed)), RouterConfig(use_gpu=use_gpu)
+        )
+        egress = router.process_frames([bytearray(f) for f in frames])
+        stats = router.stats
+        assert stats.received == len(frames)
+        assert stats.forwarded + stats.dropped + stats.slow_path == len(frames)
+        emitted = sum(len(v) for v in egress.values())
+        assert emitted == stats.forwarded
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), traffic())
+    def test_modes_agree_as_multisets(self, fib_seed, frames):
+        fib = build_fib(fib_seed)
+        results = {}
+        for use_gpu in (True, False):
+            router = PacketShader(IPv4Forwarder(fib), RouterConfig(use_gpu=use_gpu))
+            egress = router.process_frames([bytearray(f) for f in frames])
+            results[use_gpu] = {
+                port: sorted(bytes(f) for f in v) for port, v in egress.items()
+            }
+        assert results[True] == results[False]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), traffic(), st.integers(1, 64))
+    def test_chunk_capacity_never_changes_results(self, fib_seed, frames, cap):
+        fib = build_fib(fib_seed)
+        small = PacketShader(IPv4Forwarder(fib), RouterConfig(chunk_capacity=cap))
+        large = PacketShader(IPv4Forwarder(fib), RouterConfig(chunk_capacity=1024))
+        a = small.process_frames([bytearray(f) for f in frames])
+        b = large.process_frames([bytearray(f) for f in frames])
+        assert {p: sorted(bytes(f) for f in v) for p, v in a.items()} == {
+            p: sorted(bytes(f) for f in v) for p, v in b.items()
+        }

@@ -1,0 +1,96 @@
+"""Property-based tests: the lookup structures always agree with the trie."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lookup.dir24_8 import Dir24_8
+from repro.lookup.ipv6_bsearch import IPv6BinarySearch
+from repro.lookup.trie import BinaryTrie
+
+
+@st.composite
+def ipv4_route_tables(draw):
+    count = draw(st.integers(1, 60))
+    routes = {}
+    for _ in range(count):
+        length = draw(st.integers(0, 32))
+        prefix = draw(st.integers(0, (1 << 32) - 1))
+        prefix &= ~((1 << (32 - length)) - 1) if length < 32 else 0xFFFFFFFF
+        routes[(prefix, length)] = draw(st.integers(0, 100))
+    return [(p, l, n) for (p, l), n in routes.items()]
+
+
+@st.composite
+def ipv6_route_tables(draw):
+    count = draw(st.integers(1, 40))
+    routes = {}
+    for _ in range(count):
+        length = draw(st.integers(1, 128))
+        prefix = draw(st.integers(0, (1 << 128) - 1))
+        if length < 128:
+            prefix &= ~((1 << (128 - length)) - 1)
+        routes[(prefix, length)] = draw(st.integers(0, 100))
+    return [(p, l, n) for (p, l), n in routes.items()]
+
+
+class TestDir24_8Properties:
+    @settings(max_examples=40, deadline=None)
+    @given(ipv4_route_tables(), st.lists(st.integers(0, (1 << 32) - 1),
+                                         min_size=1, max_size=80))
+    def test_agrees_with_trie(self, routes, addrs):
+        trie = BinaryTrie(32)
+        for prefix, length, next_hop in routes:
+            trie.insert(prefix, length, next_hop)
+        table = Dir24_8()
+        table.add_routes(routes)
+        for addr in addrs:
+            assert table.lookup(addr)[0] == trie.lookup(addr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ipv4_route_tables())
+    def test_route_addresses_always_match(self, routes):
+        """An address inside any inserted prefix always finds a route."""
+        table = Dir24_8()
+        table.add_routes(routes)
+        for prefix, length, _ in routes:
+            assert table.lookup(prefix)[0] is not None
+
+    @settings(max_examples=30, deadline=None)
+    @given(ipv4_route_tables(), st.integers(0, (1 << 32) - 1))
+    def test_access_count_is_one_or_two(self, routes, addr):
+        table = Dir24_8()
+        table.add_routes(routes)
+        _, accesses = table.lookup(addr)
+        assert accesses in (1, 2)
+
+
+class TestIPv6BinarySearchProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ipv6_route_tables(), st.lists(st.integers(0, (1 << 128) - 1),
+                                         min_size=1, max_size=50))
+    def test_agrees_with_trie(self, routes, addrs):
+        trie = BinaryTrie(128)
+        for prefix, length, next_hop in routes:
+            trie.insert(prefix, length, next_hop)
+        search = IPv6BinarySearch()
+        search.build(routes)
+        for addr in addrs:
+            assert search.lookup(addr)[0] == trie.lookup(addr)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ipv6_route_tables(), st.integers(0, (1 << 128) - 1))
+    def test_probe_bound_holds(self, routes, addr):
+        search = IPv6BinarySearch()
+        search.build(routes)
+        _, probes = search.lookup(addr)
+        assert probes <= search.max_probes <= 8
+
+    @settings(max_examples=30, deadline=None)
+    @given(ipv6_route_tables())
+    def test_exact_prefix_addresses_match_themselves(self, routes):
+        search = IPv6BinarySearch()
+        search.build(routes)
+        trie = BinaryTrie(128)
+        for prefix, length, next_hop in routes:
+            trie.insert(prefix, length, next_hop)
+        for prefix, length, _ in routes:
+            assert search.lookup(prefix)[0] == trie.lookup(prefix)

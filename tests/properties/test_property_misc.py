@@ -1,0 +1,91 @@
+"""Property-based tests: divergence sorting, pcap, packet builders."""
+
+import os
+import random
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.divergence import (
+    divergent_execution_factor,
+    sort_for_warps,
+    warp_divergence_fraction,
+)
+from repro.net.packet import build_udp_ipv4, parse_packet
+from repro.net.pcap import CapturedFrame, read_pcap, write_pcap
+
+
+class TestDivergenceProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=500))
+    def test_sorting_never_increases_divergence(self, labels):
+        before = divergent_execution_factor(labels)
+        ordered = [labels[i] for i in sort_for_warps(labels)]
+        after = divergent_execution_factor(ordered)
+        assert after <= before
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=500))
+    def test_factor_bounds(self, labels):
+        factor = divergent_execution_factor(labels)
+        paths = len(set(labels))
+        assert 1.0 <= factor <= min(paths, 32)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=300))
+    def test_sorted_divergent_warps_bounded_by_paths(self, labels):
+        ordered = [labels[i] for i in sort_for_warps(labels)]
+        warps = (len(labels) + 31) // 32
+        divergent_warps = warp_divergence_fraction(ordered) * warps
+        # After sorting only path boundaries can split a warp.
+        assert round(divergent_warps) <= max(0, len(set(labels)) - 1)
+
+
+class TestPcapProperties:
+    @staticmethod
+    def _roundtrip(frames):
+        handle, path = tempfile.mkstemp(suffix=".pcap")
+        os.close(handle)
+        try:
+            count = write_pcap(path, frames)
+            return count, read_pcap(path)
+        finally:
+            os.unlink(path)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=1514), min_size=0,
+                    max_size=30))
+    def test_roundtrip_any_frames(self, frames):
+        count, recovered = self._roundtrip(frames)
+        assert count == len(frames)
+        assert [f.data for f in recovered] == frames
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2**40), min_size=1, max_size=20))
+    def test_timestamps_roundtrip_at_us_resolution(self, stamps):
+        frames = [
+            CapturedFrame(data=b"\x00" * 60, timestamp_ns=ts * 1000)
+            for ts in stamps
+        ]
+        _, recovered = self._roundtrip(frames)
+        assert [f.timestamp_ns for f in recovered] == [ts * 1000 for ts in stamps]
+
+
+class TestPacketBuilderProperties:
+    @settings(max_examples=60)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 65535),
+        st.integers(0, 65535),
+        st.integers(64, 1514),
+    )
+    def test_build_parse_roundtrip(self, src, dst, sport, dport, frame_len):
+        frame = build_udp_ipv4(src, dst, sport, dport, frame_len=frame_len)
+        assert len(frame) == frame_len
+        packet = parse_packet(frame)
+        assert packet.l3.src == src
+        assert packet.l3.dst == dst
+        assert packet.l4.src_port == sport
+        assert packet.l4.dst_port == dport
+        assert packet.l3.header_ok

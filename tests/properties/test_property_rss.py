@@ -1,0 +1,71 @@
+"""Property-based tests for RSS and flow tables."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io_engine.rss import RSSHasher
+from repro.net.packet import FiveTuple
+from repro.openflow.flowkey import FlowKey, VLAN_NONE
+from repro.openflow.flowtable import ExactMatchTable
+
+
+flows = st.builds(
+    FiveTuple,
+    src_ip=st.integers(0, 2**32 - 1),
+    dst_ip=st.integers(0, 2**32 - 1),
+    src_port=st.integers(0, 65535),
+    dst_port=st.integers(0, 65535),
+    protocol=st.sampled_from([6, 17]),
+    is_ipv6=st.just(False),
+)
+
+flow_keys = st.builds(
+    FlowKey,
+    in_port=st.integers(0, 7),
+    dl_src=st.integers(0, 2**48 - 1),
+    dl_dst=st.integers(0, 2**48 - 1),
+    dl_vlan=st.just(VLAN_NONE),
+    dl_type=st.just(0x0800),
+    nw_src=st.integers(0, 2**32 - 1),
+    nw_dst=st.integers(0, 2**32 - 1),
+    nw_proto=st.sampled_from([6, 17]),
+    tp_src=st.integers(0, 65535),
+    tp_dst=st.integers(0, 65535),
+)
+
+
+class TestRSSProperties:
+    @settings(max_examples=60)
+    @given(flows)
+    def test_hash_deterministic(self, flow):
+        hasher = RSSHasher(queue_map=list(range(8)))
+        assert hasher.hash_flow(flow) == hasher.hash_flow(flow)
+        assert 0 <= hasher.hash_flow(flow) < 2**32
+
+    @settings(max_examples=60)
+    @given(flows, st.integers(1, 16))
+    def test_queue_always_in_map(self, flow, num_queues):
+        hasher = RSSHasher(queue_map=list(range(num_queues)))
+        assert 0 <= hasher.queue_for(flow) < num_queues
+
+
+class TestExactTableProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(flow_keys, min_size=1, max_size=40, unique=True))
+    def test_every_inserted_key_found(self, keys):
+        table = ExactMatchTable(num_buckets=16)
+        for index, key in enumerate(keys):
+            table.add(key, index)
+        for index, key in enumerate(keys):
+            actions, _ = table.lookup(key)
+            assert actions == index
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(flow_keys, min_size=2, max_size=20, unique=True))
+    def test_remove_leaves_others_intact(self, keys):
+        table = ExactMatchTable(num_buckets=4)
+        for index, key in enumerate(keys):
+            table.add(key, index)
+        assert table.remove(keys[0])
+        assert table.lookup(keys[0])[0] is None
+        for index, key in enumerate(keys[1:], start=1):
+            assert table.lookup(key)[0] == index

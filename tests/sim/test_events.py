@@ -1,0 +1,93 @@
+"""The discrete-event loop."""
+
+import math
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(30, lambda: fired.append("c"))
+        loop.schedule(10, lambda: fired.append("a"))
+        loop.schedule(20, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.now_ns == 30
+
+    def test_ties_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in "abc":
+            loop.schedule(5, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append(("first", loop.now_ns))
+            loop.schedule(5, lambda: fired.append(("second", loop.now_ns)))
+
+        loop.schedule(10, first)
+        loop.run()
+        assert fired == [("first", 10), ("second", 15)]
+
+    def test_schedule_at_absolute(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(10, lambda: loop.schedule_at(50, lambda: times.append(loop.now_ns)))
+        loop.run()
+        assert times == [50]
+
+    def test_run_until_horizon(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10, lambda: fired.append(1))
+        loop.schedule(100, lambda: fired.append(2))
+        loop.run(until_ns=50)
+        assert fired == [1]
+        loop.run()
+        assert fired == [1, 2]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(10, lambda: fired.append(1))
+        loop.cancel(event)
+        loop.run()
+        assert fired == []
+        assert loop.peek_time() is None
+
+    def test_step_returns_false_when_empty(self):
+        assert not EventLoop().step()
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1, lambda: None)
+
+    def test_rejects_infinite_delay(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(math.inf, lambda: None)
+
+    def test_event_budget_guard(self):
+        loop = EventLoop()
+
+        def respawn():
+            loop.schedule(1, respawn)
+
+        loop.schedule(1, respawn)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=100)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1, lambda: None)
+        loop.run()
+        assert loop.processed == 5

@@ -1,0 +1,44 @@
+"""Throughput unit conventions."""
+
+import pytest
+
+from repro.sim.metrics import ThroughputReport, gbps_to_pps, mpps, pps_to_gbps
+
+
+class TestConversions:
+    def test_paper_footnote_convention(self):
+        # 14.88 Mpps of 64B frames is 10 GbE line rate under the 24B
+        # overhead convention: 14.88e6 * 704 bits ~ 10.475... actually
+        # line rate is 14.205 Mpps with the IFG accounted.
+        assert gbps_to_pps(10.0, 64) == pytest.approx(14.205e6, rel=0.001)
+
+    def test_roundtrip(self):
+        for frame_len in (64, 128, 1514):
+            pps = gbps_to_pps(40.0, frame_len)
+            assert pps_to_gbps(pps, frame_len) == pytest.approx(40.0)
+
+    def test_routebricks_translation(self):
+        # The paper translates RouteBricks' 18.96 Mpps to 13.3 Gbps.
+        assert pps_to_gbps(18.96e6, 64) == pytest.approx(13.3, rel=0.01)
+
+    def test_paper_own_forwarding_number(self):
+        # And its own 58.4 Mpps to 41.1 Gbps.
+        assert pps_to_gbps(58.4e6, 64) == pytest.approx(41.1, rel=0.01)
+
+    def test_mpps(self):
+        assert mpps(58.4e6) == pytest.approx(58.4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pps_to_gbps(-1, 64)
+        with pytest.raises(ValueError):
+            gbps_to_pps(-1, 64)
+
+
+class TestReport:
+    def test_derived_fields(self):
+        report = ThroughputReport(frame_len=64, pps=58.4e6, bottleneck="io")
+        assert report.gbps == pytest.approx(41.1, rel=0.01)
+        assert report.mpps == pytest.approx(58.4)
+        assert "io" in str(report)
+        assert "64B" in str(report)

@@ -1,0 +1,86 @@
+"""The steady-state pipeline solver."""
+
+import math
+
+import pytest
+
+from repro.sim.pipeline import PipelineModel, Stage
+
+
+def three_stage():
+    return PipelineModel(
+        [
+            Stage(name="rx", capacity_pps=50e6, transit_ns=1000),
+            Stage(name="cpu", capacity_pps=10e6, transit_ns=500, parallelism=4),
+            Stage(name="tx", capacity_pps=60e6, transit_ns=1000),
+        ],
+        frame_len=64,
+    )
+
+
+class TestBottleneck:
+    def test_min_stage_wins(self):
+        model = three_stage()
+        assert model.bottleneck.name == "cpu"
+        assert model.capacity_pps == 40e6  # 10e6 x 4 cores
+
+    def test_parallelism_scales_capacity(self):
+        single = Stage(name="s", capacity_pps=1e6)
+        quad = Stage(name="s", capacity_pps=1e6, parallelism=4)
+        assert quad.effective_capacity_pps == 4 * single.effective_capacity_pps
+
+    def test_report_carries_bottleneck(self):
+        report = three_stage().report()
+        assert report.bottleneck == "cpu"
+        assert report.pps == 40e6
+
+
+class TestLatency:
+    def test_base_latency_is_sum_of_transits(self):
+        assert three_stage().base_latency_ns() == 2500
+
+    def test_zero_load_latency_is_base(self):
+        model = three_stage()
+        assert model.latency_ns(0) == pytest.approx(model.base_latency_ns())
+
+    def test_latency_monotone_in_load(self):
+        model = three_stage()
+        lat = [model.latency_ns(f * model.capacity_pps) for f in (0.1, 0.5, 0.9, 0.99)]
+        assert lat == sorted(lat)
+
+    def test_saturation_is_infinite(self):
+        model = three_stage()
+        assert model.latency_ns(model.capacity_pps) == math.inf
+        assert model.latency_ns(2 * model.capacity_pps) == math.inf
+
+    def test_md1_queueing_formula(self):
+        model = PipelineModel([Stage(name="s", capacity_pps=1e6)], 64)
+        service_ns = 1000.0
+        rho = 0.5
+        expected = rho / (2 * (1 - rho)) * service_ns
+        assert model.latency_ns(0.5e6) == pytest.approx(expected)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            three_stage().latency_ns(-1)
+
+
+class TestUtilization:
+    def test_per_stage(self):
+        util = three_stage().utilization(20e6)
+        assert util["rx"] == pytest.approx(0.4)
+        assert util["cpu"] == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel([], 64)
+
+    def test_bad_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(name="s", capacity_pps=0)
+        with pytest.raises(ValueError):
+            Stage(name="s", capacity_pps=1, transit_ns=-1)
+        with pytest.raises(ValueError):
+            Stage(name="s", capacity_pps=1, parallelism=0)
