@@ -10,7 +10,32 @@ with pytest-benchmark.  Run them with::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def figure_json():
+    """Write a figure's reproduced series to ``BENCH_<figure>.json``.
+
+    Benchmarks call ``figure_json("fig6", payload)`` after computing a
+    figure; the payload lands at the repo root as machine-readable output
+    next to the printed table, so runs can be diffed or plotted without
+    re-parsing stdout.
+    """
+
+    def write(figure: str, payload) -> Path:
+        path = REPO_ROOT / f"BENCH_{figure}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+        return path
+
+    return write
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -9,7 +9,6 @@ run as-arrived versus pre-sorted.
 
 import random
 
-import pytest
 
 from conftest import print_table
 from repro.hw.divergence import (

@@ -3,7 +3,6 @@ figures: the skb-vs-huge-buffer ablation behind Section 4.2, the
 event-driven validation of the Figure 12 model, multi-functional
 composition, and VLB horizontal scaling (Sections 7-8)."""
 
-import pytest
 
 from conftest import print_table
 from repro.calib.constants import CPU, IO_ENGINE, LINUX_STACK
@@ -15,7 +14,7 @@ from repro.apps.ipv4 import IPv4Forwarder
 from repro.apps.ipv6 import IPv6Forwarder
 from repro.gen.workloads import ipsec_workload, ipv4_workload, ipv6_workload
 from repro.sim.latency import LatencySimulator
-from repro.sim.metrics import gbps_to_pps, pps_to_gbps
+from repro.sim.metrics import gbps_to_pps
 
 
 def test_skb_vs_huge_buffer(benchmark):

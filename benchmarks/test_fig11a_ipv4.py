@@ -21,13 +21,26 @@ def reproduce_figure11a():
     return rows
 
 
-def test_figure11a_ipv4_forwarding(benchmark):
+def test_figure11a_ipv4_forwarding(benchmark, figure_json):
     rows = benchmark.pedantic(reproduce_figure11a, rounds=1, iterations=1)
     print_table(
         "Figure 11(a): IPv4 forwarding (Gbps)",
         ("frame B", "CPU-only", "CPU+GPU", "GPU bottleneck"),
         rows,
     )
+    figure_json("fig11a", {
+        "figure": "fig11a",
+        "title": "IPv4 forwarding throughput (Gbps)",
+        "series": [
+            {
+                "frame_len": size,
+                "cpu_gbps": cpu,
+                "gpu_gbps": gpu,
+                "bottleneck": bottleneck,
+            }
+            for size, cpu, gpu, bottleneck in rows
+        ],
+    })
     by_size = {row[0]: row for row in rows}
     # Paper: 39 Gbps at 64B with GPU; CPU-only around 28.
     assert by_size[64][2] == pytest.approx(39.0, rel=0.02)

@@ -4,7 +4,6 @@ batching, and CPU+GPU."""
 
 import math
 
-import pytest
 
 from conftest import print_table
 from repro import app_latency_ns

@@ -6,7 +6,6 @@ quad-core X5550 past ~320 packets, two past ~640, and saturates around
 ten X5550s.
 """
 
-import pytest
 
 from conftest import print_table
 from repro.apps.lookup_only import (

@@ -27,13 +27,30 @@ def reproduce_figure6():
     return rows
 
 
-def test_figure6_io_engine(benchmark):
+def test_figure6_io_engine(benchmark, figure_json):
     rows = benchmark(reproduce_figure6)
     print_table(
         "Figure 6: packet I/O engine (Gbps)",
         ("frame B", "RX", "TX", "forward", "node-crossing"),
         rows,
     )
+    figure_json("fig6", {
+        "figure": "fig6",
+        "title": "packet I/O engine throughput (Gbps)",
+        "series": [
+            {
+                "frame_len": size,
+                "rx_gbps": rx,
+                "tx_gbps": tx,
+                "forward_gbps": forward,
+                "node_crossing_gbps": crossing,
+                "bottleneck": io_throughput_report(
+                    size, mode="forward"
+                ).bottleneck,
+            }
+            for size, rx, tx, forward, crossing in rows
+        ],
+    })
     by_size = {row[0]: row[1:] for row in rows}
     for size, (paper_rx, paper_tx, paper_fwd) in PAPER_ANCHORS.items():
         rx, tx, forward, crossing = by_size[size]

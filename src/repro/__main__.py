@@ -1,7 +1,24 @@
-"""Entry point: ``python -m repro`` prints the headline report."""
+"""Entry point: ``python -m repro [trace|metrics]``.
+
+With no subcommand, prints the headline report; ``trace`` prints a
+per-stage cost breakdown of a traced forwarding burst; ``metrics``
+dumps the metrics registry (Prometheus text, JSON lines, or a table).
+"""
 
 import sys
 
-from repro.report import main
+from repro.report import main, metrics_main, trace_main
 
+_COMMANDS = {"trace": trace_main, "metrics": metrics_main}
+
+argv = sys.argv[1:]
+if argv and argv[0] in _COMMANDS:
+    sys.exit(_COMMANDS[argv[0]](argv[1:]))
+if argv and not argv[0].startswith("-"):
+    print(
+        f"python -m repro: unknown command {argv[0]!r} "
+        f"(choose from {', '.join(sorted(_COMMANDS))})",
+        file=sys.stderr,
+    )
+    sys.exit(2)
 sys.exit(main())

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.calib.constants import FRAMEWORK
 from repro.core.application import RouterApplication
 from repro.core.chunk import Chunk, Disposition
 from repro.core.config import RouterConfig
@@ -28,6 +29,7 @@ from repro.hw.gpu import GPUDevice
 from repro.core.slowpath import SlowPathHandler
 from repro.io_engine.rss import RSSHasher
 from repro.net.packet import parse_packet
+from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer
 
 
 @dataclass
@@ -81,6 +83,36 @@ class PacketShader:
         #: ingress port, back toward the source.
         self.slow_path = slow_path
         self.stats = RouterStats()
+        #: Span tracing of the chunk lifecycle (per-stage modelled costs).
+        self.tracer = get_tracer()
+        # Registry mirrors of RouterStats: same increment sites, so the
+        # conservation invariant holds for both views.
+        registry = get_registry()
+        self._m_received = registry.counter(
+            "router.received_packets", help="packets entering the workflow"
+        )
+        self._m_forwarded = registry.counter(
+            "router.forwarded_packets", help="packets with a FORWARD verdict"
+        )
+        self._m_dropped = registry.counter(
+            "router.dropped_packets", help="packets with a DROP verdict"
+        )
+        self._m_slow_path = registry.counter(
+            "router.slow_path_packets", help="packets diverted to the slow path"
+        )
+        self._m_chunks = registry.counter(
+            "router.chunks", help="chunks completing the workflow"
+        )
+        self._m_gpu_launches = registry.counter(
+            "router.gpu_launches", help="GPU kernel launches by masters"
+        )
+        self._m_gathered = registry.counter(
+            "router.gathered_chunks", help="chunks gathered by masters"
+        )
+        self._h_chunk_size = registry.histogram(
+            "router.chunk_size", buckets=BATCH_SIZE_BUCKETS,
+            help="packets per chunk entering the workflow",
+        )
         self.nodes: List[_Node] = []
         worker_id = 0
         for node_id in range(self.config.system.num_nodes):
@@ -181,6 +213,12 @@ class PacketShader:
         while len(node.input_queue):
             chunks = node.input_queue.get_batch(gather)
             self.stats.gathered_chunks += len(chunks)
+            self._m_gathered.inc(len(chunks))
+            self.tracer.record(
+                Stages.GATHER,
+                packets=sum(len(c) for c in chunks),
+                cycles=FRAMEWORK.queue_handoff_cycles * len(chunks),
+            )
             for chunk in chunks:
                 work = chunk.gpu_input
                 if work is None:
@@ -188,26 +226,47 @@ class PacketShader:
                 else:
                     result = work.launch_on(node.gpu)
                     self.stats.gpu_launches += 1
+                    self._m_gpu_launches.inc()
                     chunk.gpu_output = result.output
+                    self.tracer.record(
+                        Stages.GPU,
+                        packets=len(chunk),
+                        ns=result.total_ns,
+                        kernel=result.kernel,
+                    )
                 worker = node.workers[
                     chunk.worker_id - node.workers[0].worker_id
                 ]
                 worker.output_queue.put(chunk)
+                self.tracer.record(
+                    Stages.SCATTER,
+                    packets=len(chunk),
+                    cycles=FRAMEWORK.queue_handoff_cycles,
+                )
 
     def _finish_chunk(self, chunk: Chunk, egress: Dict[int, List[bytearray]]) -> None:
         """Account verdicts and split forwarded frames to ports."""
         for port, frames in chunk.split_by_port().items():
             egress.setdefault(port, []).extend(frames)
-        self.stats.forwarded += chunk.count(Disposition.FORWARD)
-        self.stats.dropped += chunk.count(Disposition.DROP)
-        self.stats.slow_path += chunk.count(Disposition.SLOW_PATH)
+        forwarded = chunk.count(Disposition.FORWARD)
+        dropped = chunk.count(Disposition.DROP)
+        slow = chunk.count(Disposition.SLOW_PATH)
+        self.stats.forwarded += forwarded
+        self.stats.dropped += dropped
+        self.stats.slow_path += slow
         self.stats.chunks += 1
+        self._m_forwarded.inc(forwarded)
+        self._m_dropped.inc(dropped)
+        self._m_slow_path.inc(slow)
+        self._m_chunks.inc()
         if self.slow_path is not None:
             diverted = [
                 bytes(frame)
                 for frame, verdict in zip(chunk.frames, chunk.verdicts)
                 if verdict.disposition is Disposition.SLOW_PATH
             ]
+            if diverted:
+                self.tracer.record(Stages.SLOW_PATH, packets=len(diverted))
             for response in self.slow_path.handle_batch(diverted):
                 # ICMP responses head back toward the source: out the
                 # ingress port, framed with the original source MAC.
@@ -243,11 +302,27 @@ class PacketShader:
         egress: Dict[int, List[bytearray]] = {}
         for chunk in chunks:
             self.stats.received += len(chunk)
+            self._m_received.inc(len(chunk))
+            self._h_chunk_size.observe(len(chunk))
             if not self.config.use_gpu:
                 self.app.cpu_process(chunk)
+                self.tracer.record(
+                    Stages.CPU_PROCESS,
+                    packets=len(chunk),
+                    cycles=self.app.cpu_cycles_per_packet(
+                        self._frame_len(chunk)
+                    ) * len(chunk),
+                )
                 self._finish_chunk(chunk, egress)
                 continue
             chunk.gpu_input = self.app.pre_shade(chunk)
+            self.tracer.record(
+                Stages.PRE_SHADE,
+                packets=len(chunk),
+                cycles=self._worker_stage_cycles(
+                    chunk, FRAMEWORK.pre_shading_cycles
+                ),
+            )
             while not node.input_queue.put(chunk):
                 # Backpressure: drain the master before retrying.
                 self._shade_node(node)
@@ -265,4 +340,29 @@ class PacketShader:
                 if chunk is None:
                     break
                 self.app.post_shade(chunk, chunk.gpu_output)
+                self.tracer.record(
+                    Stages.POST_SHADE,
+                    packets=len(chunk),
+                    cycles=self._worker_stage_cycles(
+                        chunk, FRAMEWORK.post_shading_cycles
+                    ),
+                )
                 self._finish_chunk(chunk, egress)
+
+    # ------------------------------------------------------------------
+    # Cost attribution helpers (the modelled per-stage spans).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _frame_len(chunk: Chunk) -> int:
+        return len(chunk.frames[0]) if chunk.frames else 64
+
+    def _worker_stage_cycles(self, chunk: Chunk, framework_cycles: float) -> float:
+        """Modelled cycles of one worker-side shading step for a chunk.
+
+        The application's worker cycles cover pre- and post-shading
+        together; each step is attributed half, on top of the framework's
+        own per-step constant.
+        """
+        app_cycles = self.app.worker_cycles_per_packet(self._frame_len(chunk))
+        return (framework_cycles + app_cycles / 2.0) * len(chunk)

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro.core.chunk import Chunk
+from repro.obs import get_registry
 
 
 class MasterInputQueue:
@@ -31,6 +32,17 @@ class MasterInputQueue:
         self._queue: Deque[Chunk] = deque()
         self.enqueued = 0
         self.rejected = 0
+        registry = get_registry()
+        self._g_depth = registry.gauge(
+            "core.master_input_depth", help="chunks queued for the master"
+        )
+        self._m_enqueued = registry.counter(
+            "core.master_input_enqueued", help="chunks accepted by the master queue"
+        )
+        self._m_rejected = registry.counter(
+            "core.master_input_rejected",
+            help="chunk handoffs refused by a full master queue (backpressure)",
+        )
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -48,9 +60,12 @@ class MasterInputQueue:
         """
         if self.full:
             self.rejected += 1
+            self._m_rejected.inc()
             return False
         self._queue.append(chunk)
         self.enqueued += 1
+        self._m_enqueued.inc()
+        self._g_depth.set(len(self._queue))
         return True
 
     def get_batch(self, max_chunks: int) -> List[Chunk]:
@@ -63,7 +78,9 @@ class MasterInputQueue:
         if max_chunks < 1:
             raise ValueError("max_chunks must be >= 1")
         count = min(max_chunks, len(self._queue))
-        return [self._queue.popleft() for _ in range(count)]
+        batch = [self._queue.popleft() for _ in range(count)]
+        self._g_depth.set(len(self._queue))
+        return batch
 
 
 class WorkerOutputQueue:
@@ -76,6 +93,11 @@ class WorkerOutputQueue:
         self.capacity = capacity
         self._queue: Deque[Chunk] = deque()
         self.enqueued = 0
+        self._g_depth = get_registry().gauge(
+            "core.worker_output_depth",
+            help="shaded chunks awaiting post-shading",
+            worker=str(worker_id),
+        )
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -100,7 +122,12 @@ class WorkerOutputQueue:
             raise OverflowError(f"output queue {self.worker_id} overflow")
         self._queue.append(chunk)
         self.enqueued += 1
+        self._g_depth.set(len(self._queue))
 
     def get(self) -> Optional[Chunk]:
         """Worker-side: pick up one finished chunk (post-shading input)."""
-        return self._queue.popleft() if self._queue else None
+        if not self._queue:
+            return None
+        chunk = self._queue.popleft()
+        self._g_depth.set(len(self._queue))
+        return chunk

@@ -4,6 +4,11 @@ Builds real frames with seeded randomness, so every experiment is
 reproducible bit-for-bit.  The generator is also the traffic *sink* for
 round-trip latency measurement, like the paper's (timestamps ride in the
 UDP payload).
+
+Instrumentation goes through :mod:`repro.obs` — the repo's single
+instrumentation path: generated-frame counters land in the shared
+metrics registry and diagnostics go through the ``repro.gen.packetgen``
+logger, so generator volume exports alongside router counters.
 """
 
 from __future__ import annotations
@@ -13,6 +18,9 @@ import struct
 from typing import List, Optional
 
 from repro.net.packet import build_udp_ipv4, build_udp_ipv6
+from repro.obs import get_logger, get_registry
+
+log = get_logger("gen.packetgen")
 
 
 class PacketGenerator:
@@ -21,6 +29,13 @@ class PacketGenerator:
     def __init__(self, seed: int = 1) -> None:
         self.rng = random.Random(seed)
         self.generated = 0
+        registry = get_registry()
+        self._m_ipv4 = registry.counter(
+            "gen.frames", help="frames built by the generator", family="ipv4"
+        )
+        self._m_ipv6 = registry.counter(
+            "gen.frames", help="frames built by the generator", family="ipv6"
+        )
 
     def random_ipv4_frame(self, frame_len: int = 64,
                           timestamp_ns: Optional[int] = None) -> bytearray:
@@ -37,6 +52,7 @@ class PacketGenerator:
             payload=payload,
         )
         self.generated += 1
+        self._m_ipv4.inc()
         return frame
 
     def random_ipv6_frame(self, frame_len: int = 78,
@@ -54,18 +70,21 @@ class PacketGenerator:
             payload=payload,
         )
         self.generated += 1
+        self._m_ipv6.inc()
         return frame
 
     def ipv4_burst(self, count: int, frame_len: int = 64) -> List[bytearray]:
         """A burst of random-destination IPv4 frames."""
         if count < 0:
             raise ValueError("count must be non-negative")
+        log.debug("ipv4 burst: %d frames of %d B", count, frame_len)
         return [self.random_ipv4_frame(frame_len) for _ in range(count)]
 
     def ipv6_burst(self, count: int, frame_len: int = 78) -> List[bytearray]:
         """A burst of random-destination IPv6 frames."""
         if count < 0:
             raise ValueError("count must be non-negative")
+        log.debug("ipv6 burst: %d frames of %d B", count, frame_len)
         return [self.random_ipv6_frame(frame_len) for _ in range(count)]
 
     def random_ipv4_addresses(self, count: int) -> List[int]:
@@ -92,4 +111,6 @@ class PacketGenerator:
         """
         from repro.net.pcap import read_pcap
 
-        return [bytearray(record.data) for record in read_pcap(path)]
+        frames = [bytearray(record.data) for record in read_pcap(path)]
+        log.info("replayed %d frames from %s", len(frames), path)
+        return frames

@@ -8,7 +8,7 @@ the paper describes in Section 6.2.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.crypto.esp import SecurityAssociation

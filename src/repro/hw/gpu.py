@@ -27,6 +27,7 @@ from typing import Callable, Optional
 
 from repro.calib.constants import GPU, GPUModel
 from repro.hw.pcie import PCIeLink
+from repro.obs import LATENCY_NS_BUCKETS, get_registry
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,20 @@ class GPUDevice:
         self._next_handle = 1
         self.busy_ns = 0.0
         self.launches = 0
+        registry = get_registry()
+        device = str(device_id)
+        self._m_launches = registry.counter(
+            "gpu.launches", help="kernel launches", device=device
+        )
+        self._m_busy_ns = registry.counter(
+            "gpu.busy_ns", help="modelled device-busy nanoseconds",
+            device=device,
+        )
+        self._h_launch_ns = registry.histogram(
+            "gpu.launch_total_ns", buckets=LATENCY_NS_BUCKETS,
+            help="modelled sync+launch+h2d+exec+d2h time per launch",
+            device=device,
+        )
 
     # ------------------------------------------------------------------
     # Device memory allocator (holds forwarding tables, packet buffers).
@@ -216,6 +231,9 @@ class GPUDevice:
         )
         self.busy_ns += result.total_ns
         self.launches += 1
+        self._m_launches.inc()
+        self._m_busy_ns.inc(result.total_ns)
+        self._h_launch_ns.observe(result.total_ns)
         return result
 
     def streamed_time_ns(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.calib.constants import PCIE, PCIeModel
+from repro.obs import get_registry
 
 
 @dataclass
@@ -52,6 +53,10 @@ class PCIeLink:
         time_ns = self.h2d_time_ns(nbytes)
         self.bytes_h2d += nbytes
         self.transfers_h2d += 1
+        registry = get_registry()
+        registry.counter("pcie.bytes", direction="h2d").inc(nbytes)
+        registry.counter("pcie.transfers", direction="h2d").inc()
+        registry.counter("pcie.transfer_ns", direction="h2d").inc(time_ns)
         return time_ns
 
     def transfer_d2h(self, nbytes: int) -> float:
@@ -59,6 +64,10 @@ class PCIeLink:
         time_ns = self.d2h_time_ns(nbytes)
         self.bytes_d2h += nbytes
         self.transfers_d2h += 1
+        registry = get_registry()
+        registry.counter("pcie.bytes", direction="d2h").inc(nbytes)
+        registry.counter("pcie.transfers", direction="d2h").inc()
+        registry.counter("pcie.transfer_ns", direction="d2h").inc(time_ns)
         return time_ns
 
     def h2d_rate_mbps(self, nbytes: int) -> float:

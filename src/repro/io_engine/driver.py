@@ -23,6 +23,7 @@ from repro.hw.cache import CacheModel
 from repro.hw.nic import QueueStats
 from repro.io_engine.hugebuf import HugePacketBuffer
 from repro.io_engine.skb import SkbAllocator
+from repro.obs import BATCH_SIZE_BUCKETS, get_registry
 
 
 class UnmodifiedDriver:
@@ -105,6 +106,33 @@ class OptimizedDriver:
             for q in range(num_queues)
         ]
         self._data_base = [0x1000000 * (q + 1) for q in range(num_queues)]
+        # Per-queue RX observability (handles resolved once; increments
+        # are one float add each, cheap enough for the per-packet path).
+        registry = get_registry()
+        self._m_rx = [
+            registry.counter(
+                "io.driver_rx_packets", help="frames DMA'd into RX rings",
+                queue=str(q),
+            )
+            for q in range(num_queues)
+        ]
+        self._m_drops = [
+            registry.counter(
+                "io.driver_rx_drops", help="RX ring tail drops", queue=str(q)
+            )
+            for q in range(num_queues)
+        ]
+        self._m_fetched = [
+            registry.counter(
+                "io.driver_fetched_packets",
+                help="frames fetched by batched RX", queue=str(q),
+            )
+            for q in range(num_queues)
+        ]
+        self._h_batch = registry.histogram(
+            "io.driver_fetch_batch_size", buckets=BATCH_SIZE_BUCKETS,
+            help="packets per non-empty fetch_batch",
+        )
 
     def deliver(self, queue_id: int, frame: bytes) -> bool:
         """NIC-side: DMA a frame into the queue's huge buffer."""
@@ -114,6 +142,9 @@ class OptimizedDriver:
             # DMA invalidates the destination lines in every core's cache.
             offset = buffer.cell_offset(buffer.writes - 1)
             self.cache.dma_invalidate(self._data_base[queue_id] + offset, len(frame))
+            self._m_rx[queue_id].inc()
+        else:
+            self._m_drops[queue_id].inc()
         return accepted
 
     def fetch_batch(
@@ -146,6 +177,9 @@ class OptimizedDriver:
             # unaligned: a write here invalidates the neighbour queue's
             # line in its core's cache).
             self.cache.access(core, state.base_addr, write=True)
+        if frames:
+            self._m_fetched[queue_id].inc(len(frames))
+            self._h_batch.observe(len(frames))
         return frames
 
     def aggregate_stats(self) -> QueueStats:

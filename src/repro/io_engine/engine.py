@@ -28,7 +28,9 @@ from repro.io_engine.batching import (
 )
 from repro.io_engine.driver import OptimizedDriver
 from repro.io_engine.livelock import LivelockAvoider, PollState
+from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer
 from repro.sim.metrics import ThroughputReport, gbps_to_pps
+from repro.sim.pipeline import PipelineModel, Stage
 
 
 @dataclass
@@ -58,6 +60,17 @@ class PacketIOEngine:
         self._interfaces: Dict[Tuple[int, int], VirtualInterface] = {}
         self._by_thread: Dict[int, List[VirtualInterface]] = {}
         self._rr_cursor: Dict[int, int] = {}
+        registry = get_registry()
+        self._m_rx_packets = registry.counter(
+            "io.engine_rx_packets", help="packets fetched through recv_chunk"
+        )
+        self._m_rx_chunks = registry.counter(
+            "io.engine_rx_chunks", help="non-empty recv_chunk fetches"
+        )
+        self._h_chunk_size = registry.histogram(
+            "io.engine_chunk_size", buckets=BATCH_SIZE_BUCKETS,
+            help="packets per recv_chunk fetch",
+        )
 
     def attach(self, nic_id: int, queue_id: int, thread: int) -> VirtualInterface:
         """Dedicate (nic, queue) to ``thread``; returns the interface."""
@@ -106,13 +119,31 @@ class PacketIOEngine:
             interface.livelock.on_fetch(len(frames), remaining)
             if frames:
                 self._rr_cursor[thread] = (start + step + 1) % len(interfaces)
+                self._m_rx_packets.inc(len(frames))
+                self._m_rx_chunks.inc()
+                self._h_chunk_size.observe(len(frames))
+                get_tracer().record(
+                    Stages.RX,
+                    packets=len(frames),
+                    cycles=rx_cycles_per_packet(len(frames)) * len(frames),
+                )
                 return frames
         return []
 
     @staticmethod
     def send_chunk(port, frames: List[bytes], queue_id: int = 0) -> int:
         """Post a chunk to a port's TX queue; returns packets accepted."""
-        return port.tx_queues[queue_id].post_batch(frames)
+        accepted = port.tx_queues[queue_id].post_batch(frames)
+        if accepted:
+            get_registry().counter(
+                "io.engine_tx_packets", help="packets posted through send_chunk"
+            ).inc(accepted)
+            get_tracer().record(
+                Stages.TX,
+                packets=accepted,
+                cycles=tx_cycles_per_packet(max(1, accepted)) * accepted,
+            )
+        return accepted
 
 
 def io_throughput_report(
@@ -127,9 +158,10 @@ def io_throughput_report(
     """Throughput of the bare I/O engine — the Figure 6 generator.
 
     ``mode`` is ``rx`` (receive and drop), ``tx`` (transmit prebuilt
-    frames), or ``forward`` (RX + TX without IP lookup).  The result is
-    the min of the CPU capacity (cores x clock / cycles-per-packet) and
-    the relevant I/O ceiling, annotated with whichever bound.
+    frames), or ``forward`` (RX + TX without IP lookup).  The CPU
+    capacity (cores x clock / cycles-per-packet) and the relevant I/O
+    ceiling become a two-stage pipeline whose bottleneck the
+    observability analyzer identifies.
     """
     topology = topology or SystemTopology()
     cores = cores or topology.total_cores
@@ -148,8 +180,12 @@ def io_throughput_report(
         )
     else:
         raise ValueError(f"unknown mode {mode!r}")
-    cpu_pps = cores * CPU.clock_hz / cycles
-    io_pps = gbps_to_pps(io_gbps, frame_len)
-    if cpu_pps <= io_pps:
-        return ThroughputReport(frame_len, cpu_pps, bottleneck="cpu")
-    return ThroughputReport(frame_len, io_pps, bottleneck="io")
+    pipeline = PipelineModel(
+        [
+            Stage(name="cpu", capacity_pps=CPU.clock_hz / cycles,
+                  parallelism=cores),
+            Stage(name="io", capacity_pps=gbps_to_pps(io_gbps, frame_len)),
+        ],
+        frame_len,
+    )
+    return pipeline.report()

@@ -1,0 +1,84 @@
+"""Observability: metrics registry, span tracing, exporters, bottleneck
+attribution (the profiling substrate of the reproduction).
+
+The paper's argument rests on attribution — Table 3's per-function RX
+cycle breakdown, Figure 5/6's per-technique savings, Section 6.3's "the
+bottleneck lies in I/O".  This subpackage gives the reproduction the
+same measurement machinery, permanently resident:
+
+* :mod:`repro.obs.registry` — counters, gauges, and fixed-bucket
+  histograms, cheap enough to stay enabled in the tier-1 suite;
+* :mod:`repro.obs.trace` — span-based tracing of the chunk lifecycle
+  (rx -> pre_shade -> gather -> gpu -> scatter -> post_shade -> tx)
+  with per-stage modelled cycle and simulated-ns attribution;
+* :mod:`repro.obs.exporters` — JSON-lines event log, Prometheus text
+  exposition, and the human-readable Table-3-style stage table;
+* :mod:`repro.obs.analyzer` — the bottleneck analyzer: capacity-view
+  (limiting pipeline stage, feeding ``ThroughputReport.bottleneck``)
+  and cost-view (per-stage share breakdown);
+* :mod:`repro.obs.log` — the single logging path, counted into the
+  registry.
+
+See ``docs/OBSERVABILITY.md`` for the API guide and conventions.
+"""
+
+from repro.obs.analyzer import (
+    BottleneckVerdict,
+    StageAttribution,
+    analyze,
+    attribute,
+    limiting_stage,
+)
+from repro.obs.exporters import export_jsonl, export_prometheus, stage_table
+from repro.obs.log import enable_console, get_logger
+from repro.obs.registry import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    PIPELINE_ORDER,
+    Span,
+    StageCost,
+    Stages,
+    Tracer,
+    get_tracer,
+    reset_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "BottleneckVerdict",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_NS_BUCKETS",
+    "MetricsRegistry",
+    "PIPELINE_ORDER",
+    "Span",
+    "StageAttribution",
+    "StageCost",
+    "Stages",
+    "Tracer",
+    "analyze",
+    "attribute",
+    "enable_console",
+    "export_jsonl",
+    "export_prometheus",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "limiting_stage",
+    "reset_registry",
+    "reset_tracer",
+    "set_registry",
+    "set_tracer",
+    "stage_table",
+]

@@ -1,0 +1,130 @@
+"""Bottleneck attribution: from recorded stage costs to "the bottleneck
+lies in X".
+
+Two complementary views, matching how the paper argues:
+
+* **capacity view** (:func:`limiting_stage`) — given pipeline stages with
+  packets/s capacities (the steady-state solver's inputs), the bottleneck
+  is the stage with the lowest effective capacity.  This is what fills
+  ``ThroughputReport.bottleneck`` for the Figure 6/11 paths — computed,
+  not hand-written.
+* **cost view** (:func:`attribute`) — given a traced run's per-stage
+  accumulated costs (:class:`repro.obs.trace.StageCost`), convert every
+  stage to time-per-packet (cycles at the CPU clock, plus simulated ns)
+  and rank by share — the Table 3 / Section 6.3 style breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.calib.constants import CPU
+from repro.obs.trace import PIPELINE_ORDER, StageCost
+
+
+@dataclass(frozen=True)
+class StageAttribution:
+    """One row of a per-stage cost breakdown."""
+
+    stage: str
+    spans: int
+    packets: int
+    cycles_per_packet: float
+    ns_per_packet: float
+    #: Total per-packet time with cycles converted at the CPU clock.
+    time_ns_per_packet: float
+    #: Fraction of the summed per-packet time across all stages.
+    share: float
+
+
+@dataclass(frozen=True)
+class BottleneckVerdict:
+    """The analyzer's answer: the limiting stage and the evidence."""
+
+    stage: str
+    rows: List[StageAttribution]
+
+    @property
+    def share(self) -> float:
+        for row in self.rows:
+            if row.stage == self.stage:
+                return row.share
+        return 0.0
+
+
+def limiting_stage(stages: Iterable) -> object:
+    """The stage with the lowest effective capacity (ties: first wins).
+
+    Accepts anything with ``name`` and ``effective_capacity_pps``
+    attributes (duck-typed so :class:`repro.sim.pipeline.Stage` works
+    without an import cycle).
+    """
+    stages = list(stages)
+    if not stages:
+        raise ValueError("no stages to analyze")
+    best = stages[0]
+    for stage in stages[1:]:
+        if stage.effective_capacity_pps < best.effective_capacity_pps:
+            best = stage
+    return best
+
+
+def _ordered(summary: Dict[str, StageCost]) -> List[StageCost]:
+    order = {name: i for i, name in enumerate(PIPELINE_ORDER)}
+    return sorted(
+        summary.values(),
+        key=lambda c: (order.get(c.stage, len(order)), c.stage),
+    )
+
+
+def attribute(
+    summary: Dict[str, StageCost],
+    clock_hz: float = CPU.clock_hz,
+) -> List[StageAttribution]:
+    """Per-stage time-per-packet breakdown, in pipeline order.
+
+    Stages that saw zero packets but nonzero cost (per-launch overheads
+    recorded without a packet count) are normalised by the run's total
+    packet volume so their share is still comparable.
+    """
+    costs = _ordered(summary)
+    total_packets = max((c.packets for c in costs), default=0)
+    per_stage_time: List[float] = []
+    for cost in costs:
+        packets = cost.packets or total_packets
+        time_ns = cost.time_ns(clock_hz)
+        per_stage_time.append(time_ns / packets if packets else 0.0)
+    total_time = sum(per_stage_time)
+    rows = []
+    for cost, time_per_packet in zip(costs, per_stage_time):
+        packets = cost.packets or total_packets
+        rows.append(
+            StageAttribution(
+                stage=cost.stage,
+                spans=cost.spans,
+                packets=cost.packets,
+                cycles_per_packet=cost.cycles / packets if packets else 0.0,
+                ns_per_packet=cost.ns / packets if packets else 0.0,
+                time_ns_per_packet=time_per_packet,
+                share=time_per_packet / total_time if total_time else 0.0,
+            )
+        )
+    return rows
+
+
+def analyze(
+    summary: Dict[str, StageCost],
+    clock_hz: float = CPU.clock_hz,
+) -> Optional[BottleneckVerdict]:
+    """Full cost-view analysis: breakdown rows plus the limiting stage.
+
+    The limiting stage is the one with the largest per-packet time — in
+    a serial pipeline the stage you would have to speed up first.
+    Returns None for an empty summary.
+    """
+    rows = attribute(summary, clock_hz)
+    if not rows:
+        return None
+    worst = max(rows, key=lambda r: r.time_ns_per_packet)
+    return BottleneckVerdict(stage=worst.stage, rows=rows)

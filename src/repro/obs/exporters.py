@@ -1,0 +1,156 @@
+"""Exporters: JSON-lines events, Prometheus text, human stage tables.
+
+Three read-side formats over the same substrate:
+
+* :func:`export_jsonl` — one JSON object per line: every retained span
+  of a tracer, then every instrument of a registry.  Machine-readable
+  ground truth for offline analysis and the benchmark JSON emitters.
+* :func:`export_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``le`` histogram buckets), so a scrape
+  of a long-running reproduction drops into standard dashboards.
+* :func:`stage_table` — the human-readable Table-3-style per-stage
+  breakdown: cycles/packet, ns/packet, and the share of total per-packet
+  time, with the analyzer's bottleneck called out on its row.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.calib.constants import CPU
+from repro.obs.analyzer import analyze
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import StageCost, Tracer, get_tracer
+
+
+def _prom_name(name: str) -> str:
+    """Dotted registry names -> Prometheus-legal underscored names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def export_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines = []
+    seen_types = set()
+    for metric in registry.collect():
+        name = _prom_name(metric.name)
+        if isinstance(metric, (Counter, Gauge)):
+            if name not in seen_types:
+                seen_types.add(name)
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+            lines.append(f"{name}{_prom_labels(metric.labels)} {metric.value}")
+        elif isinstance(metric, Histogram):
+            if name not in seen_types:
+                seen_types.add(name)
+                if metric.help:
+                    lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# TYPE {name} histogram")
+            cumulative = metric.cumulative_counts()
+            bucket_edges = [f"{bound:g}" for bound in metric.bounds] + ["+Inf"]
+            for edge, count in zip(bucket_edges, cumulative):
+                le = 'le="%s"' % edge
+                lines.append(
+                    f"{name}_bucket{_prom_labels(metric.labels, le)} {count}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _metric_to_dict(metric) -> dict:
+    record = {
+        "type": "metric",
+        "kind": metric.kind,
+        "name": metric.name,
+        "labels": dict(metric.labels),
+    }
+    if isinstance(metric, Histogram):
+        record.update(
+            buckets=list(metric.bounds),
+            counts=list(metric.counts),
+            count=metric.count,
+            sum=metric.sum,
+        )
+    else:
+        record["value"] = metric.value
+    return record
+
+
+def export_jsonl(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    include_summary: bool = True,
+) -> str:
+    """The JSON-lines event log: spans, stage summaries, then metrics."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_registry()
+    lines = [json.dumps(span.to_dict(), sort_keys=True)
+             for span in tracer.events()]
+    if include_summary:
+        for cost in tracer.ordered_stages():
+            lines.append(json.dumps({
+                "type": "stage_summary",
+                "stage": cost.stage,
+                "spans": cost.spans,
+                "packets": cost.packets,
+                "cycles": cost.cycles,
+                "ns": cost.ns,
+            }, sort_keys=True))
+    for metric in registry.collect():
+        lines.append(json.dumps(_metric_to_dict(metric), sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def stage_table(
+    summary: Optional[Dict[str, StageCost]] = None,
+    clock_hz: float = CPU.clock_hz,
+    title: str = "per-stage cost breakdown",
+) -> str:
+    """Render the Table-3-style breakdown of a traced run.
+
+    One row per stage in pipeline order: span/packet volumes, modelled
+    cycles and nanoseconds per packet, and the share of the summed
+    per-packet time.  The bottleneck row carries a ``<== bottleneck``
+    marker — the analyzer's verdict, the quantity Section 6.3 derives
+    by hand.
+    """
+    if summary is None:
+        summary = get_tracer().summary()
+    verdict = analyze(summary, clock_hz)
+    if verdict is None:
+        return f"{title}: no spans recorded\n"
+    header = (
+        f"{'stage':<12} {'spans':>7} {'packets':>9} "
+        f"{'cyc/pkt':>9} {'ns/pkt':>10} {'share':>7}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row in verdict.rows:
+        marker = "  <== bottleneck" if row.stage == verdict.stage else ""
+        lines.append(
+            f"{row.stage:<12} {row.spans:>7} {row.packets:>9} "
+            f"{row.cycles_per_packet:>9.1f} {row.time_ns_per_packet:>10.1f} "
+            f"{row.share:>6.1%}{marker}"
+        )
+    lines.append("-" * len(header))
+    total_ns = sum(r.time_ns_per_packet for r in verdict.rows)
+    lines.append(
+        f"{'total':<12} {'':>7} {'':>9} {'':>9} {total_ns:>10.1f} {1:>6.0%}"
+    )
+    return "\n".join(lines) + "\n"

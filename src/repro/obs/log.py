@@ -1,0 +1,67 @@
+"""The repo's single logging path, wired into the metrics registry.
+
+Modules obtain loggers via :func:`get_logger` instead of importing
+``logging`` directly, so every log line flows through the ``repro``
+hierarchy (silenced by default with a ``NullHandler``, per library
+convention) and is counted per level in the metrics registry — log
+volume is itself an observable.  :func:`enable_console` attaches a
+stderr handler for CLI runs.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from repro.obs.registry import get_registry
+
+_ROOT_NAME = "repro"
+
+
+class _CountingFilter(logging.Filter):
+    """Counts records per level into the current default registry."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        get_registry().counter(
+            "log.records", help="log records emitted, by level",
+            level=record.levelname.lower(),
+        ).inc()
+        return True
+
+
+_counting_filter = _CountingFilter()
+
+
+def _root() -> logging.Logger:
+    root = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (e.g. ``repro.gen``)."""
+    root = _root()
+    if not name or name == _ROOT_NAME:
+        logger = root
+    elif name.startswith(_ROOT_NAME + "."):
+        logger = logging.getLogger(name)
+    else:
+        logger = logging.getLogger(f"{_ROOT_NAME}.{name}")
+    # Logger-level filters don't propagate to children, so each logger
+    # carries the counting filter itself.
+    if _counting_filter not in logger.filters:
+        logger.addFilter(_counting_filter)
+    return logger
+
+
+def enable_console(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` hierarchy (CLI use)."""
+    root = _root()
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,232 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The observability layer's first half (the second is :mod:`repro.obs.trace`).
+Metrics are named, optionally labelled, process-wide accumulators cheap
+enough to leave enabled everywhere — a counter increment is one float add,
+a histogram observation one bisect plus two adds — so the tier-1 suite
+runs with instrumentation on, exactly as the paper's own measurement
+infrastructure stayed resident while Table 3 and Figures 5/6 were taken.
+
+Instruments are created through a :class:`MetricsRegistry` and identified
+by ``(name, labels)``; asking for the same identity twice returns the same
+instrument, so callers can cheaply re-resolve handles or cache them at
+construction time.  A process-wide default registry is reachable through
+:func:`get_registry` and swappable for test isolation via
+:func:`reset_registry`/:func:`set_registry`.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default buckets for batch/chunk size distributions (packets per fetch;
+#: the Figure 5 x-axis plus the chunk cap region).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+)
+
+#: Default buckets for simulated latencies, in nanoseconds (1 us .. 10 ms;
+#: the Figure 12 y-axis spans 10 us to 1 ms).
+LATENCY_NS_BUCKETS: Tuple[float, ...] = (
+    1e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2e5, 4e5, 8e5, 1.6e6, 1e7,
+)
+
+
+def _freeze_labels(labels: Dict[str, str]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (packets received, bytes moved)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight chunks)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: LabelPairs = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A fixed-bucket histogram (batch sizes, stage latencies).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches the overflow.  Bucket counts are
+    *non-cumulative* internally; exporters cumulate where their format
+    requires it (Prometheus ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        help: str = "",
+        labels: LabelPairs = (),
+    ) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name}: bucket bounds must be finite")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name}: bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample: it lands in the first bucket whose upper
+        bound is >= the value (Prometheus ``le`` convention)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def bucket_index(self, value: float) -> int:
+        """Which bucket a value falls in (len(bounds) means +Inf)."""
+        return bisect_left(self.bounds, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def cumulative_counts(self) -> List[int]:
+        """Counts cumulated per the ``le`` convention, +Inf last."""
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+class MetricsRegistry:
+    """A namespace of instruments, addressable by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelPairs], object] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Dict[str, str],
+                       **kwargs):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        key = (name, _freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = BATCH_SIZE_BUCKETS,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def get(self, name: str, **labels: str) -> Optional[object]:
+        """Look up an instrument without creating it."""
+        return self._metrics.get((name, _freeze_labels(labels)))
+
+    def collect(self) -> Iterator[object]:
+        """All instruments, sorted by (name, labels) for stable export."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def value(self, name: str, **labels: str) -> float:
+        """Convenience: a counter/gauge value (0.0 when absent)."""
+        metric = self.get(name, **labels)
+        return metric.value if metric is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets."""
+        return sum(
+            m.value
+            for (n, _), m in self._metrics.items()
+            if n == name and hasattr(m, "value")
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-wide default registry.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current default registry (what instrumented code writes to)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install a registry as the default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the default registry with a fresh one (test isolation).
+
+    Objects constructed before the reset keep their old handles; code
+    that should observe the reset re-resolves its instruments through
+    :func:`get_registry` (instrumented constructors do).  Returns the
+    fresh registry.
+    """
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry

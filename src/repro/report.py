@@ -1,12 +1,20 @@
-"""One-shot experiment report: ``python -m repro``.
+"""One-shot experiment reports: ``python -m repro [trace|metrics]``.
 
-Prints the reproduction's headline numbers next to the paper's — a
-quick smoke check that the calibrated models are intact without running
-the full benchmark suite.
+Three subcommands share this module:
+
+* the default (no subcommand) prints the reproduction's headline
+  numbers next to the paper's — a quick smoke check that the calibrated
+  models are intact without running the full benchmark suite;
+* ``trace`` runs a traced forwarding burst through the real framework
+  and prints the Table-3-style per-stage cost breakdown plus the
+  bottleneck analyzer's verdict;
+* ``metrics`` runs the same burst and dumps the metrics registry in
+  Prometheus text, JSON-lines, or table form.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro import app_latency_ns, app_throughput_report
@@ -86,6 +94,127 @@ def main(argv=None) -> int:
           f"{SYSTEM.power_full_cpu_w} -> {SYSTEM.power_full_gpu_w} W")
     print("-" * 78)
     print("full sweeps: pytest benchmarks/ --benchmark-only -s")
+    print("per-stage trace: python -m repro trace | metrics")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Traced runs: ``python -m repro trace`` / ``python -m repro metrics``.
+# ----------------------------------------------------------------------
+
+
+def _run_parser(prog: str, doc: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=doc)
+    parser.add_argument(
+        "--app", choices=("ipv4", "ipv6"), default="ipv4",
+        help="forwarding application to trace (default: ipv4)",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=4096,
+        help="burst size in packets (default: 4096)",
+    )
+    parser.add_argument(
+        "--frame-len", type=int, default=None,
+        help="frame length in bytes (default: 64 for ipv4, 78 for ipv6)",
+    )
+    parser.add_argument(
+        "--cpu-only", action="store_true",
+        help="run the CPU-only path instead of the GPU workflow",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload RNG seed (default: 1)",
+    )
+    return parser
+
+
+def _traced_run(args) -> "PacketShader":
+    """Run one traced burst on fresh observability state.
+
+    Resets the global registry and tracer so the output describes this
+    run alone, then pushes ``args.packets`` real frames through the
+    framework.
+    """
+    from repro.core.config import RouterConfig
+    from repro.core.framework import PacketShader
+    from repro.obs import reset_registry, reset_tracer
+
+    reset_registry()
+    reset_tracer()
+    routes = 5_000
+    if args.app == "ipv6":
+        workload = ipv6_workload(num_routes=routes, seed=args.seed)
+        app = IPv6Forwarder(workload.table)
+        frame_len = args.frame_len or 78
+        frames = workload.generator.ipv6_burst(args.packets, frame_len)
+    else:
+        workload = ipv4_workload(num_routes=routes, seed=args.seed)
+        app = IPv4Forwarder(workload.table)
+        frame_len = args.frame_len or 64
+        frames = workload.generator.ipv4_burst(args.packets, frame_len)
+    router = PacketShader(app, RouterConfig(use_gpu=not args.cpu_only))
+    router.process_frames(frames)
+    return router
+
+
+def trace_main(argv=None) -> int:
+    """Trace one forwarding burst and print the per-stage breakdown."""
+    from repro.obs import analyze, get_tracer, stage_table
+
+    parser = _run_parser(
+        "python -m repro trace",
+        "Trace a forwarding burst and print the Table-3-style "
+        "per-stage cost breakdown.",
+    )
+    args = parser.parse_args(argv)
+    try:
+        router = _traced_run(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    mode = "cpu-only" if args.cpu_only else "cpu+gpu"
+    stats = router.stats
+    print(f"traced {args.app} run ({mode}): {stats.received} packets in, "
+          f"{stats.forwarded} forwarded, {stats.dropped} dropped, "
+          f"{stats.slow_path} slow-path, {stats.gpu_launches} GPU launches")
+    print()
+    summary = get_tracer().summary()
+    print(stage_table(summary, title=f"{args.app} per-stage cost breakdown"))
+    verdict = analyze(summary)
+    if verdict is not None:
+        print(f"bottleneck: {verdict.stage} "
+              f"({verdict.share:.0%} of per-packet time)")
+    return 0
+
+
+def metrics_main(argv=None) -> int:
+    """Run a traced burst and dump the metrics registry."""
+    from repro.obs import (
+        export_jsonl,
+        export_prometheus,
+        get_registry,
+        get_tracer,
+        stage_table,
+    )
+
+    parser = _run_parser(
+        "python -m repro metrics",
+        "Run a traced forwarding burst and dump the metrics registry.",
+    )
+    parser.add_argument(
+        "--format", choices=("prometheus", "jsonl", "table"),
+        default="prometheus", help="output format (default: prometheus)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        _traced_run(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.format == "prometheus":
+        sys.stdout.write(export_prometheus(get_registry()))
+    elif args.format == "jsonl":
+        sys.stdout.write(export_jsonl(get_tracer(), get_registry()))
+    else:
+        print(stage_table(get_tracer().summary(),
+                          title=f"{args.app} per-stage cost breakdown"))
     return 0
 
 

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.calib.constants import CPU, IO_ENGINE, NIC
 from repro.hw.nic import effective_itr_ns
+from repro.obs import LATENCY_NS_BUCKETS, get_registry
 from repro.core.application import RouterApplication
 from repro.core.config import RouterConfig
 from repro.core.solver import (
@@ -35,12 +36,25 @@ from repro.sim.events import EventLoop
 
 @dataclass
 class LatencyStats:
-    """Measured sojourn-time statistics (one-way through the router)."""
+    """Measured sojourn-time statistics (one-way through the router).
+
+    Samples are kept raw for percentile queries and simultaneously
+    observed into the registry's end-to-end latency histogram, so a
+    simulated run's latency distribution exports alongside the rest of
+    the metrics.
+    """
 
     samples: List[float] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._histogram = get_registry().histogram(
+            "sim.sojourn_ns", buckets=LATENCY_NS_BUCKETS,
+            help="simulated one-way sojourn times",
+        )
+
     def record(self, latency_ns: float) -> None:
         self.samples.append(latency_ns)
+        self._histogram.observe(latency_ns)
 
     @property
     def count(self) -> int:

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import List
 
+from repro.obs.analyzer import limiting_stage
 from repro.sim.metrics import ThroughputReport
 
 
@@ -61,8 +62,13 @@ class PipelineModel:
 
     @property
     def bottleneck(self) -> Stage:
-        """The stage with the lowest effective capacity."""
-        return min(self.stages, key=lambda s: s.effective_capacity_pps)
+        """The stage with the lowest effective capacity.
+
+        Delegates to the observability layer's bottleneck analyzer, so
+        every ``ThroughputReport.bottleneck`` in the repo is computed by
+        the same code path — never hand-filled.
+        """
+        return limiting_stage(self.stages)
 
     @property
     def capacity_pps(self) -> float:

@@ -1,6 +1,5 @@
 """The IPsec gateway application."""
 
-import pytest
 
 from repro.apps.ipsec import IPsecGateway
 from repro.core.chunk import Chunk, Disposition

@@ -6,7 +6,7 @@ from repro.apps.ipv4 import IPv4Forwarder
 from repro.core.chunk import Chunk, Disposition
 from repro.gen.workloads import ipv4_workload
 from repro.lookup.dir24_8 import Dir24_8
-from repro.net.checksum import checksum16, verify_checksum16
+from repro.net.checksum import verify_checksum16
 from repro.net.packet import build_udp_ipv4, build_udp_ipv6
 
 

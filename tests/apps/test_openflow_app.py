@@ -1,6 +1,5 @@
 """The OpenFlow application on the framework."""
 
-import pytest
 
 from repro.apps.openflow import OpenFlowApp
 from repro.core.chunk import Chunk, Disposition

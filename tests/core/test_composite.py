@@ -8,7 +8,7 @@ from repro.core.framework import PacketShader
 from repro.apps.ipsec import IPsecGateway
 from repro.apps.ipv4 import IPv4Forwarder
 from repro.crypto.esp import SecurityAssociation, esp_decapsulate
-from repro.gen.workloads import ipsec_workload, ipv4_workload
+from repro.gen.workloads import ipsec_workload
 from repro.lookup.dir24_8 import Dir24_8
 from repro.net.packet import build_udp_ipv4
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.chunk import Disposition
 from repro.core.config import RouterConfig
 from repro.core.framework import PacketShader
 from repro.apps.ipv4 import IPv4Forwarder

@@ -1,12 +1,10 @@
 """The slow-path handler and its framework integration."""
 
-import pytest
 
 from repro.core.slowpath import SlowPathHandler
 from repro.core.framework import PacketShader
 from repro.apps.ipv4 import IPv4Forwarder
 from repro.net import icmp
-from repro.net.checksum import checksum16
 from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_ICMP
 from repro.net.packet import build_udp_ipv4
 from repro.lookup.dir24_8 import Dir24_8

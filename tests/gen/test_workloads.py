@@ -1,6 +1,5 @@
 """Evaluation workload constructors."""
 
-import pytest
 
 from repro.gen.workloads import (
     EVAL_FRAME_SIZES,

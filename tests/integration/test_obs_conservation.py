@@ -1,0 +1,102 @@
+"""Conservation invariant: RouterStats and the obs registry agree.
+
+Every packet entering the workflow leaves with exactly one verdict —
+``received == forwarded + dropped + slow_path`` — and the observability
+layer mirrors each RouterStats field at the same increment sites, so
+the two views can never drift.  A mixed IPv4 burst (routed, unrouted,
+TTL-expired, non-IP) exercises all three verdicts in one run.
+"""
+
+import pytest
+
+from repro import IPv4Forwarder, PacketShader, RouterConfig
+from repro.core.slowpath import SlowPathHandler
+from repro.gen.workloads import ipv4_workload
+from repro.net.packet import build_udp_ipv4
+from repro.obs import Stages, get_registry, get_tracer, reset_registry, reset_tracer
+
+
+def _mixed_burst(workload, n_routed=300, n_ttl_expired=30, n_non_ip=10):
+    """Random-destination frames plus guaranteed slow-path traffic."""
+    frames = workload.generator.ipv4_burst(n_routed)
+    for i in range(n_ttl_expired):
+        frames.append(build_udp_ipv4(
+            src_ip=0x0A000001 + i, dst_ip=0xC0A80001 + i,
+            src_port=2000 + i, dst_port=53, ttl=1,
+        ))
+    for _ in range(n_non_ip):
+        arp = bytearray(64)
+        arp[12:14] = (0x0806).to_bytes(2, "big")
+        frames.append(arp)
+    return frames
+
+
+@pytest.fixture(params=[True, False], ids=["gpu", "cpu-only"])
+def traced_run(request):
+    """One mixed run on fresh obs state; yields (router, total frames)."""
+    reset_registry()
+    reset_tracer()
+    workload = ipv4_workload(num_routes=5000, seed=81)
+    router = PacketShader(
+        IPv4Forwarder(workload.table),
+        RouterConfig(use_gpu=request.param),
+        slow_path=SlowPathHandler(),
+    )
+    frames = _mixed_burst(workload)
+    router.process_frames([bytearray(f) for f in frames])
+    yield router, len(frames)
+    reset_registry()
+    reset_tracer()
+
+
+class TestConservation:
+    def test_every_verdict_exercised(self, traced_run):
+        router, _ = traced_run
+        assert router.stats.forwarded > 0
+        assert router.stats.dropped > 0
+        assert router.stats.slow_path >= 40  # the crafted frames at least
+
+    def test_stats_conserve_packets(self, traced_run):
+        router, total = traced_run
+        stats = router.stats
+        assert stats.received == total
+        assert stats.received == stats.forwarded + stats.dropped + stats.slow_path
+        assert stats.accounted == stats.received
+
+    def test_registry_mirrors_router_stats(self, traced_run):
+        router, _ = traced_run
+        stats = router.stats
+        registry = get_registry()
+        assert registry.value("router.received_packets") == stats.received
+        assert registry.value("router.forwarded_packets") == stats.forwarded
+        assert registry.value("router.dropped_packets") == stats.dropped
+        assert registry.value("router.slow_path_packets") == stats.slow_path
+        assert registry.value("router.chunks") == stats.chunks
+        assert registry.value("router.gpu_launches") == stats.gpu_launches
+        assert registry.value("router.gathered_chunks") == stats.gathered_chunks
+
+    def test_registry_conserves_packets(self, traced_run):
+        _, total = traced_run
+        registry = get_registry()
+        assert registry.value("router.received_packets") == total == (
+            registry.value("router.forwarded_packets")
+            + registry.value("router.dropped_packets")
+            + registry.value("router.slow_path_packets")
+        )
+
+    def test_tracer_saw_every_packet(self, traced_run):
+        router, total = traced_run
+        summary = get_tracer().summary()
+        if router.config.use_gpu:
+            assert summary[Stages.PRE_SHADE].packets == total
+            assert summary[Stages.POST_SHADE].packets == total
+            assert summary[Stages.GATHER].packets == total
+        else:
+            assert summary[Stages.CPU_PROCESS].packets == total
+        assert get_tracer().total_packets() == total
+
+    def test_chunk_size_histogram_counts_chunks(self, traced_run):
+        router, total = traced_run
+        histogram = get_registry().get("router.chunk_size")
+        assert histogram.count == router.stats.chunks
+        assert histogram.sum == total

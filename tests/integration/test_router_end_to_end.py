@@ -1,6 +1,5 @@
 """End-to-end router runs: real frames through the full framework."""
 
-import pytest
 
 from repro import (
     IPsecGateway,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.calib.constants import CPU
 from repro.io_engine.batching import (
     effective_batch_size,
     forwarding_cycles_per_packet,

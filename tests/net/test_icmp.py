@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net import icmp
-from repro.net.checksum import verify_checksum16
 from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_ICMP
 from repro.net.packet import build_udp_ipv4
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6
 from repro.net.packet import (
     FiveTuple,
     build_udp_ipv4,

@@ -1,0 +1,73 @@
+"""Unit tests for the bottleneck analyzer (capacity and cost views)."""
+
+import pytest
+
+from repro.obs.analyzer import analyze, attribute, limiting_stage
+from repro.obs.trace import Stages, Tracer
+from repro.sim.pipeline import Stage
+
+
+class TestCapacityView:
+    def test_lowest_effective_capacity_wins(self):
+        stages = [
+            Stage(name="cpu", capacity_pps=10e6, parallelism=8),
+            Stage(name="io", capacity_pps=60e6),
+            Stage(name="gpu", capacity_pps=100e6),
+        ]
+        assert limiting_stage(stages).name == "io"
+
+    def test_parallelism_scales_capacity(self):
+        stages = [
+            Stage(name="cpu", capacity_pps=10e6, parallelism=2),
+            Stage(name="io", capacity_pps=30e6),
+        ]
+        assert limiting_stage(stages).name == "cpu"
+
+    def test_ties_go_to_the_first_stage(self):
+        stages = [
+            Stage(name="cpu", capacity_pps=50e6),
+            Stage(name="io", capacity_pps=50e6),
+        ]
+        assert limiting_stage(stages).name == "cpu"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            limiting_stage([])
+
+
+def _traced_summary():
+    t = Tracer()
+    t.record(Stages.PRE_SHADE, packets=1000, cycles=55_000.0)
+    t.record(Stages.GPU, packets=1000, ns=150_000.0)
+    t.record(Stages.POST_SHADE, packets=1000, cycles=45_000.0)
+    return t.summary()
+
+
+class TestCostView:
+    def test_rows_in_pipeline_order_with_shares(self):
+        rows = attribute(_traced_summary(), clock_hz=1e9)
+        assert [r.stage for r in rows] == [
+            Stages.PRE_SHADE, Stages.GPU, Stages.POST_SHADE,
+        ]
+        assert sum(r.share for r in rows) == pytest.approx(1.0)
+        # 55 cycles @1GHz = 55 ns/packet; GPU = 150 ns/packet.
+        assert rows[0].time_ns_per_packet == pytest.approx(55.0)
+        assert rows[1].time_ns_per_packet == pytest.approx(150.0)
+
+    def test_analyze_names_the_costliest_stage(self):
+        verdict = analyze(_traced_summary(), clock_hz=1e9)
+        assert verdict.stage == Stages.GPU
+        assert verdict.share == pytest.approx(150.0 / 250.0)
+
+    def test_zero_packet_stages_normalised_by_run_volume(self):
+        t = Tracer()
+        t.record(Stages.PRE_SHADE, packets=100, cycles=100.0)
+        t.record(Stages.GATHER, packets=0, cycles=100.0)
+        rows = {r.stage: r for r in attribute(t.summary(), clock_hz=1e9)}
+        assert rows[Stages.GATHER].time_ns_per_packet == pytest.approx(
+            rows[Stages.PRE_SHADE].time_ns_per_packet
+        )
+
+    def test_empty_summary(self):
+        assert analyze({}) is None
+        assert attribute({}) == []

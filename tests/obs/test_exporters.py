@@ -1,0 +1,93 @@
+"""Unit tests for the exporters: Prometheus text, JSON lines, stage table."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import export_jsonl, export_prometheus, stage_table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Stages, Tracer
+
+
+def _populated_registry():
+    r = MetricsRegistry()
+    r.counter("io.rx_packets", help="received", queue="0").inc(7)
+    r.gauge("core.depth").set(3)
+    h = r.histogram("router.chunk_size", buckets=(10, 100))
+    h.observe(5)
+    h.observe(50)
+    h.observe(5000)
+    return r
+
+
+class TestPrometheus:
+    def test_names_labels_and_values(self):
+        text = export_prometheus(_populated_registry())
+        assert '# TYPE io_rx_packets counter' in text
+        assert '# HELP io_rx_packets received' in text
+        assert 'io_rx_packets{queue="0"} 7.0' in text
+        assert '# TYPE core_depth gauge' in text
+        assert 'core_depth 3.0' in text
+
+    def test_histogram_le_buckets_cumulate(self):
+        text = export_prometheus(_populated_registry())
+        assert 'router_chunk_size_bucket{le="10"} 1' in text
+        assert 'router_chunk_size_bucket{le="100"} 2' in text
+        assert 'router_chunk_size_bucket{le="+Inf"} 3' in text
+        assert 'router_chunk_size_count 3' in text
+        assert 'router_chunk_size_sum 5055.0' in text
+
+    def test_empty_registry_exports_empty(self):
+        assert export_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonl:
+    def test_every_line_parses_and_kinds_present(self):
+        tracer = Tracer()
+        tracer.record(Stages.RX, packets=4, cycles=300.0)
+        text = export_jsonl(tracer, _populated_registry())
+        records = [json.loads(line) for line in text.splitlines()]
+        kinds = {record["type"] for record in records}
+        assert kinds == {"span", "stage_summary", "metric"}
+        span = next(r for r in records if r["type"] == "span")
+        assert span["stage"] == Stages.RX
+        assert span["packets"] == 4
+
+    def test_histogram_metric_carries_buckets(self):
+        text = export_jsonl(Tracer(), _populated_registry())
+        records = [json.loads(line) for line in text.splitlines()]
+        histogram = next(
+            r for r in records if r.get("name") == "router.chunk_size"
+        )
+        assert histogram["kind"] == "histogram"
+        assert histogram["count"] == 3
+        assert len(histogram["counts"]) == len(histogram["buckets"]) + 1
+
+
+class TestStageTable:
+    def test_marks_the_bottleneck_row(self):
+        tracer = Tracer()
+        tracer.record(Stages.PRE_SHADE, packets=10, cycles=550.0)
+        tracer.record(Stages.GPU, packets=10, ns=10_000.0)
+        table = stage_table(tracer.summary(), clock_hz=1e9)
+        lines = table.splitlines()
+        gpu_line = next(line for line in lines if line.startswith("gpu"))
+        assert "<== bottleneck" in gpu_line
+        assert sum("<== bottleneck" in line for line in lines) == 1
+        assert lines[-1].startswith("total")
+
+    def test_shares_sum_to_one(self):
+        tracer = Tracer()
+        tracer.record(Stages.PRE_SHADE, packets=10, cycles=550.0)
+        tracer.record(Stages.POST_SHADE, packets=10, cycles=450.0)
+        table = stage_table(tracer.summary(), clock_hz=1e9)
+        shares = [
+            float(part.rstrip("%"))
+            for line in table.splitlines()
+            for part in line.split()
+            if part.endswith("%") and part != "100%"
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.2)
+
+    def test_empty_summary_degrades_gracefully(self):
+        assert "no spans" in stage_table({})

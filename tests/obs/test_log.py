@@ -1,0 +1,36 @@
+"""Unit tests for the logging path and its registry coupling."""
+
+import logging
+
+from repro.obs import get_logger
+from repro.obs.registry import get_registry, set_registry, MetricsRegistry
+
+
+class TestGetLogger:
+    def test_names_live_under_the_repro_hierarchy(self):
+        assert get_logger("gen.packetgen").name == "repro.gen.packetgen"
+        assert get_logger("repro.io").name == "repro.io"
+        assert get_logger().name == "repro"
+
+    def test_root_is_silenced_by_nullhandler(self):
+        root = get_logger()
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_records_counted_per_level(self):
+        original = set_registry(MetricsRegistry())
+        try:
+            log = get_logger("test.counting")
+            log.warning("w1")
+            log.warning("w2")
+            log.error("e1")
+            registry = get_registry()
+            assert registry.value("log.records", level="warning") == 2.0
+            assert registry.value("log.records", level="error") == 1.0
+        finally:
+            set_registry(original)
+
+    def test_filter_attached_once(self):
+        log = get_logger("test.idempotent")
+        again = get_logger("test.idempotent")
+        assert log is again
+        assert len(log.filters) == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("pkts")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(41.0)
+        assert c.value == 42.0
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("pkts")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(3)
+        assert g.value == 3.0
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a", q="0") is r.counter("a", q="0")
+        assert r.counter("a", q="0") is not r.counter("a", q="1")
+        assert r.counter("a", q="0") is not r.counter("b", q="0")
+
+    def test_label_order_does_not_matter(self):
+        r = MetricsRegistry()
+        assert r.counter("a", x="1", y="2") is r.counter("a", y="2", x="1")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_value_and_total(self):
+        r = MetricsRegistry()
+        r.counter("rx", q="0").inc(3)
+        r.counter("rx", q="1").inc(4)
+        assert r.value("rx", q="0") == 3.0
+        assert r.value("rx", q="missing") == 0.0
+        assert r.total("rx") == 7.0
+
+    def test_get_does_not_create(self):
+        r = MetricsRegistry()
+        assert r.get("nope") is None
+        assert len(r) == 0
+
+    def test_collect_is_sorted_and_complete(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a", q="1")
+        r.counter("a", q="0")
+        collected = [(m.name, m.labels) for m in r.collect()]
+        assert collected == sorted(collected)
+        assert len(collected) == 3
+
+
+class TestGlobalRegistry:
+    def test_reset_swaps_and_isolates(self):
+        original = get_registry()
+        try:
+            fresh = reset_registry()
+            assert get_registry() is fresh
+            assert fresh is not original
+            fresh.counter("x").inc()
+            assert original.value("x") == 0.0
+        finally:
+            set_registry(original)
+
+    def test_set_returns_previous(self):
+        original = get_registry()
+        try:
+            mine = MetricsRegistry()
+            assert set_registry(mine) is original
+            assert get_registry() is mine
+        finally:
+            set_registry(original)

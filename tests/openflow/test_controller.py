@@ -1,6 +1,5 @@
 """The reactive controller and its policies."""
 
-import pytest
 
 from repro.net.packet import build_udp_ipv4
 from repro.openflow.actions import ActionType, PORT_FLOOD

@@ -1,6 +1,5 @@
 """OpenFlow 0.8.9 flow expiry: idle and hard timeouts."""
 
-import pytest
 
 from repro.net.packet import build_udp_ipv4
 from repro.openflow.actions import output

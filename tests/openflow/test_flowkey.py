@@ -1,6 +1,5 @@
 """Ten-field flow-key extraction from real frames."""
 
-import pytest
 
 from repro.net.packet import build_udp_ipv4, build_udp_ipv6
 from repro.net.tcp import TCPHeader

@@ -1,6 +1,5 @@
 """The OpenFlow switch pipeline: precedence, misses, counters."""
 
-import pytest
 
 from repro.net.packet import build_udp_ipv4
 from repro.openflow.actions import Action, ActionType, output

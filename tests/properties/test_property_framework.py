@@ -5,7 +5,6 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.ipv4 import IPv4Forwarder
-from repro.core.chunk import Disposition
 from repro.core.config import RouterConfig
 from repro.core.framework import PacketShader
 from repro.lookup.dir24_8 import Dir24_8

@@ -1,0 +1,116 @@
+"""Property tests: throughput unit conversions and histogram bucketing.
+
+The conversion helpers in :mod:`repro.sim.metrics` implement the paper's
+footnote-1 accounting (24 B of wire overhead per frame); every Gbps in
+the repo goes through them, so they must be exact inverses.  The
+histogram bucketing in :mod:`repro.obs.registry` feeds every exported
+distribution, so boundary samples must land deterministically.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ethernet import wire_bits
+from repro.obs.registry import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_NS_BUCKETS,
+    Histogram,
+)
+from repro.sim.metrics import gbps_to_pps, mpps, pps_to_gbps
+
+frame_lens = st.integers(min_value=60, max_value=9000)
+rates = st.floats(min_value=0.0, max_value=1e12,
+                  allow_nan=False, allow_infinity=False)
+
+
+class TestConversionProperties:
+    @given(pps=rates, frame_len=frame_lens)
+    def test_round_trip_through_gbps(self, pps, frame_len):
+        assert gbps_to_pps(pps_to_gbps(pps, frame_len), frame_len) == (
+            pytest.approx(pps, rel=1e-9, abs=1e-9)
+        )
+
+    @given(gbps=st.floats(min_value=0.0, max_value=400.0,
+                          allow_nan=False), frame_len=frame_lens)
+    def test_round_trip_through_pps(self, gbps, frame_len):
+        assert pps_to_gbps(gbps_to_pps(gbps, frame_len), frame_len) == (
+            pytest.approx(gbps, rel=1e-9, abs=1e-12)
+        )
+
+    @given(pps=rates, frame_len=frame_lens)
+    def test_gbps_charges_wire_overhead_exactly_once(self, pps, frame_len):
+        assert pps_to_gbps(pps, frame_len) == (
+            pytest.approx(pps * wire_bits(frame_len) / 1e9)
+        )
+
+    @given(pps=st.floats(max_value=-1e-9, min_value=-1e12),
+           frame_len=frame_lens)
+    def test_negative_rates_rejected(self, pps, frame_len):
+        with pytest.raises(ValueError):
+            pps_to_gbps(pps, frame_len)
+        with pytest.raises(ValueError):
+            gbps_to_pps(pps, frame_len)
+
+    @given(pps=rates)
+    def test_mpps_is_linear(self, pps):
+        assert mpps(pps) == pytest.approx(pps / 1e6)
+
+    @given(frame_len=frame_lens)
+    def test_bigger_frames_mean_fewer_packets_per_gbps(self, frame_len):
+        assert gbps_to_pps(10.0, frame_len + 1) < gbps_to_pps(10.0, frame_len)
+
+
+bucket_sets = st.sampled_from([BATCH_SIZE_BUCKETS, LATENCY_NS_BUCKETS])
+
+
+class TestHistogramBucketProperties:
+    @given(bounds=bucket_sets, value=st.floats(min_value=0.0, max_value=1e8,
+                                               allow_nan=False))
+    def test_sample_lands_in_exactly_one_bucket(self, bounds, value):
+        h = Histogram("h", buckets=bounds)
+        h.observe(value)
+        assert sum(h.counts) == h.count == 1
+        index = h.bucket_index(value)
+        assert h.counts[index] == 1
+
+    @given(bounds=bucket_sets)
+    def test_boundary_samples_land_in_their_own_bucket(self, bounds):
+        # The Prometheus ``le`` convention: a sample equal to a bound
+        # belongs to that bound's bucket, not the next one.
+        h = Histogram("h", buckets=bounds)
+        for index, bound in enumerate(bounds):
+            assert h.bucket_index(bound) == index
+
+    @given(bounds=bucket_sets, value=st.floats(min_value=0.0, max_value=1e8,
+                                               allow_nan=False))
+    def test_bucket_bound_brackets_the_sample(self, bounds, value):
+        h = Histogram("h", buckets=bounds)
+        index = h.bucket_index(value)
+        if index == len(bounds):  # +Inf bucket
+            assert value > bounds[-1]
+        else:
+            assert value <= bounds[index]
+            if index > 0:
+                assert value > bounds[index - 1]
+
+    @given(bounds=bucket_sets,
+           values=st.lists(st.floats(min_value=0.0, max_value=1e8,
+                                     allow_nan=False), max_size=50))
+    def test_cumulative_counts_monotone_and_total(self, bounds, values):
+        h = Histogram("h", buckets=bounds)
+        for value in values:
+            h.observe(value)
+        cumulative = h.cumulative_counts()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == h.count == len(values)
+        assert h.sum == pytest.approx(math.fsum(values))
+
+    def test_bucket_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, math.inf))

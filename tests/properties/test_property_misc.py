@@ -1,7 +1,6 @@
 """Property-based tests: divergence sorting, pcap, packet builders."""
 
 import os
-import random
 import tempfile
 
 from hypothesis import given, settings, strategies as st
