@@ -1,0 +1,68 @@
+"""Degraded-mode throughput: breaker-open CPU fallback vs the baselines.
+
+The resilience acceptance bar (docs/RESILIENCE.md): with every GPU
+circuit breaker open, the router's modelled capacity must land within
+10% of the Figure 11 CPU-only baseline — degradation to the paper's
+CPU-only path, not collapse behind a dead device.  Emits
+``BENCH_degraded.json``.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro import app_throughput_report
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.apps.ipv6 import IPv6Forwarder
+from repro.core.solver import degraded_throughput_report
+from repro.gen.workloads import EVAL_FRAME_SIZES, ipv4_workload, ipv6_workload
+
+
+def reproduce_degraded():
+    apps = {
+        "ipv4": IPv4Forwarder(ipv4_workload(num_routes=5_000).table),
+        "ipv6": IPv6Forwarder(ipv6_workload(num_routes=5_000).table),
+    }
+    rows = []
+    for name, app in apps.items():
+        for size in EVAL_FRAME_SIZES:
+            clean = app_throughput_report(app, size, use_gpu=True)
+            cpu_only = app_throughput_report(app, size, use_gpu=False)
+            degraded = degraded_throughput_report(app, size)
+            rows.append((
+                name, size, clean.gbps, cpu_only.gbps, degraded.gbps,
+                degraded.gbps / cpu_only.gbps,
+            ))
+    return rows
+
+
+def test_degraded_throughput(benchmark, figure_json):
+    rows = benchmark.pedantic(reproduce_degraded, rounds=1, iterations=1)
+    print_table(
+        "Degraded mode: breaker-open CPU fallback (Gbps)",
+        ("app", "frame B", "CPU+GPU", "CPU-only", "degraded", "ratio"),
+        rows,
+    )
+    figure_json("degraded", {
+        "figure": "degraded",
+        "title": "Breaker-open degraded throughput vs CPU-only baseline (Gbps)",
+        "series": [
+            {
+                "app": app,
+                "frame_len": size,
+                "clean_gbps": clean,
+                "cpu_only_gbps": cpu_only,
+                "degraded_gbps": degraded,
+                "ratio": ratio,
+            }
+            for app, size, clean, cpu_only, degraded, ratio in rows
+        ],
+    })
+    for app, size, clean, cpu_only, degraded, ratio in rows:
+        # The acceptance bar: within 10% of the CPU-only baseline,
+        # and never better than it (the fallback adds cost, it cannot
+        # remove any).
+        assert ratio >= 0.9, f"{app}@{size}B degraded to {ratio:.1%} of baseline"
+        assert degraded <= cpu_only * 1.001
+        # Degradation is real: at small frames the GPU path is faster.
+        if size == 64:
+            assert clean > degraded

@@ -1,15 +1,17 @@
-"""Entry point: ``python -m repro [trace|metrics]``.
+"""Entry point: ``python -m repro [trace|metrics|chaos]``.
 
 With no subcommand, prints the headline report; ``trace`` prints a
 per-stage cost breakdown of a traced forwarding burst; ``metrics``
-dumps the metrics registry (Prometheus text, JSON lines, or a table).
+dumps the metrics registry (Prometheus text, JSON lines, or a table);
+``chaos`` runs fault-injection scenarios and checks the conservation
+and degradation invariants.
 """
 
 import sys
 
-from repro.report import main, metrics_main, trace_main
+from repro.report import chaos_main, main, metrics_main, trace_main
 
-_COMMANDS = {"trace": trace_main, "metrics": metrics_main}
+_COMMANDS = {"trace": trace_main, "metrics": metrics_main, "chaos": chaos_main}
 
 argv = sys.argv[1:]
 if argv and argv[0] in _COMMANDS:

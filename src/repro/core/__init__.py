@@ -27,8 +27,12 @@ from repro.core.config import RouterConfig, ThreadRole
 from repro.core.chunk import Chunk, PacketVerdict, Disposition
 from repro.core.queues import MasterInputQueue, WorkerOutputQueue
 from repro.core.application import RouterApplication, GPUWorkItem
-from repro.core.framework import PacketShader
-from repro.core.solver import app_throughput_report, app_latency_ns
+from repro.core.framework import PacketShader, RouterStats
+from repro.core.solver import (
+    app_throughput_report,
+    app_latency_ns,
+    degraded_throughput_report,
+)
 from repro.core.composite import CompositeApplication
 from repro.core.scaling import VLBCluster
 
@@ -43,8 +47,10 @@ __all__ = [
     "PacketVerdict",
     "RouterApplication",
     "RouterConfig",
+    "RouterStats",
     "ThreadRole",
     "WorkerOutputQueue",
     "app_latency_ns",
     "app_throughput_report",
+    "degraded_throughput_report",
 ]

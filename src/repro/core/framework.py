@@ -25,6 +25,9 @@ from repro.core.application import RouterApplication
 from repro.core.chunk import Chunk, Disposition
 from repro.core.config import RouterConfig
 from repro.core.queues import MasterInputQueue, WorkerOutputQueue
+from repro.faults.errors import DMAError, GPULaunchError
+from repro.faults.plan import FaultInjector
+from repro.faults.recovery import CircuitBreaker, RetryPolicy, Watchdog
 from repro.hw.gpu import GPUDevice
 from repro.core.slowpath import SlowPathHandler
 from repro.io_engine.rss import RSSHasher
@@ -34,7 +37,14 @@ from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer
 
 @dataclass
 class RouterStats:
-    """End-to-end packet accounting."""
+    """End-to-end packet accounting.
+
+    The conservation invariant ``received == forwarded + dropped +
+    slow_path`` holds under every fault scenario; ``backpressure_drops``
+    attributes the subset of ``dropped`` shed by bounded backpressure
+    (it is an attribution counter, not a fourth verdict — those packets
+    are already counted in ``dropped`` exactly once).
+    """
 
     received: int = 0
     forwarded: int = 0
@@ -43,6 +53,16 @@ class RouterStats:
     chunks: int = 0
     gpu_launches: int = 0
     gathered_chunks: int = 0
+    #: Failed launches retried (transient faults absorbed by backoff).
+    gpu_retries: int = 0
+    #: Launches that failed past their retry budget.
+    gpu_failures: int = 0
+    #: Chunks processed on the CPU although GPU mode was configured
+    #: (master-side fallback or breaker-open CPU-only rerouting).
+    degraded_chunks: int = 0
+    #: Packets shed when the master input queue stayed wedged (a subset
+    #: of ``dropped``).
+    backpressure_drops: int = 0
 
     @property
     def accounted(self) -> int:
@@ -70,11 +90,21 @@ class _Node:
 class PacketShader:
     """The router framework, parameterised by an application."""
 
+    #: How many drain-and-retry rounds a worker attempts before shedding
+    #: a chunk that the master input queue keeps refusing.  In the
+    #: healthy design the first drain empties the queue, so only a
+    #: wedged master (fault injection, breaker churn) ever gets past
+    #: round one — the bound turns a potential livelock into an
+    #: accounted drop.
+    MAX_BACKPRESSURE_RETRIES = 8
+
     def __init__(
         self,
         app: RouterApplication,
         config: Optional[RouterConfig] = None,
         slow_path: Optional[SlowPathHandler] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.app = app
         self.config = config or RouterConfig()
@@ -82,6 +112,8 @@ class PacketShader:
         #: stack", Section 6.2.1); its ICMP responses leave through the
         #: ingress port, back toward the source.
         self.slow_path = slow_path
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy()
         self.stats = RouterStats()
         #: Span tracing of the chunk lifecycle (per-stage modelled costs).
         self.tracer = get_tracer()
@@ -113,6 +145,20 @@ class PacketShader:
             "router.chunk_size", buckets=BATCH_SIZE_BUCKETS,
             help="packets per chunk entering the workflow",
         )
+        self._m_gpu_retries = registry.counter(
+            "router.gpu_retries", help="GPU launches retried after a failure"
+        )
+        self._m_gpu_failures = registry.counter(
+            "router.gpu_failures", help="GPU launches failed past the retry budget"
+        )
+        self._m_degraded_chunks = registry.counter(
+            "router.degraded_chunks",
+            help="chunks shaded on the CPU although GPU mode was configured",
+        )
+        self._m_backpressure_drops = registry.counter(
+            "router.backpressure_drops",
+            help="packets shed after bounded backpressure gave up",
+        )
         self.nodes: List[_Node] = []
         worker_id = 0
         for node_id in range(self.config.system.num_nodes):
@@ -130,12 +176,22 @@ class PacketShader:
                 _Node(
                     node_id=node_id,
                     workers=workers,
-                    input_queue=MasterInputQueue(),
-                    gpu=GPUDevice(device_id=node_id, node=node_id)
+                    input_queue=MasterInputQueue(fault_injector=fault_injector),
+                    gpu=GPUDevice(
+                        device_id=node_id, node=node_id,
+                        fault_injector=fault_injector,
+                    )
                     if self.config.use_gpu
                     else None,
                 )
             )
+        # Recovery machinery: one breaker per GPU device gates its node's
+        # shading path; a single watchdog notices when chunk completion
+        # stops making progress.
+        self.breakers: Dict[int, CircuitBreaker] = {
+            n.node_id: CircuitBreaker(device_id=n.node_id) for n in self.nodes
+        }
+        self.watchdog = Watchdog()
         self._rr_worker: Dict[int, int] = {n.node_id: 0 for n in self.nodes}
         # One RSS indirection per node, mapping flows onto the node's
         # workers only (the NUMA-aware steering of Section 4.5).
@@ -224,16 +280,7 @@ class PacketShader:
                 if work is None:
                     chunk.gpu_output = None
                 else:
-                    result = work.launch_on(node.gpu)
-                    self.stats.gpu_launches += 1
-                    self._m_gpu_launches.inc()
-                    chunk.gpu_output = result.output
-                    self.tracer.record(
-                        Stages.GPU,
-                        packets=len(chunk),
-                        ns=result.total_ns,
-                        kernel=result.kernel,
-                    )
+                    self._launch_chunk(node, chunk, work)
                 worker = node.workers[
                     chunk.worker_id - node.workers[0].worker_id
                 ]
@@ -243,6 +290,87 @@ class PacketShader:
                     packets=len(chunk),
                     cycles=FRAMEWORK.queue_handoff_cycles,
                 )
+
+    def _launch_chunk(self, node: _Node, chunk: Chunk, work) -> None:
+        """Launch one chunk's GPU work, absorbing faults (Section 5.4 +
+        the degradation ladder: retry with backoff -> breaker -> CPU).
+
+        Transient launch failures are retried up to the policy's budget
+        with exponential backoff (charged as modelled wait time).  A
+        launch that fails past the budget counts against the node's
+        circuit breaker and the chunk is shaded on the master's CPU
+        instead — the already pre-shaded work cannot be re-classified
+        (TTLs are already decremented), so the fallback runs the kernel
+        function itself on the host.
+        """
+        breaker = self.breakers[node.node_id]
+        if breaker.is_open:
+            # The breaker opened while this chunk sat in the input queue:
+            # don't even try the device.
+            self._shade_on_cpu(chunk, work)
+            return
+        policy = self.retry_policy
+        for attempt in range(policy.max_retries + 1):
+            try:
+                result = work.launch_on(node.gpu)
+            except (GPULaunchError, DMAError):
+                if attempt < policy.max_retries:
+                    self.stats.gpu_retries += 1
+                    self._m_gpu_retries.inc()
+                    # The backoff wait is real (modelled) time on the
+                    # shading path.
+                    self.tracer.record(
+                        Stages.GPU,
+                        packets=0,
+                        ns=policy.backoff_ns(attempt + 1),
+                        retry=attempt + 1,
+                    )
+                    continue
+                self.stats.gpu_failures += 1
+                self._m_gpu_failures.inc()
+                breaker.record_failure()
+                self._shade_on_cpu(chunk, work)
+                return
+            breaker.record_success()
+            self.stats.gpu_launches += 1
+            self._m_gpu_launches.inc()
+            chunk.gpu_output = result.output
+            self.tracer.record(
+                Stages.GPU,
+                packets=len(chunk),
+                ns=result.total_ns,
+                kernel=result.kernel,
+            )
+            return
+
+    def _shade_on_cpu(self, chunk: Chunk, work) -> None:
+        """Master-side CPU fallback for a chunk whose GPU path failed.
+
+        Runs the kernel function on the host, producing bit-identical
+        output (the kernels are the same Python callables the device
+        model executes).  The extra CPU cost relative to the worker-side
+        shading already charged is the CPU-only application cost minus
+        the worker-side share.
+        """
+        chunk.gpu_output = (
+            work.spec.fn(*work.args) if work.spec.fn is not None else None
+        )
+        self.stats.degraded_chunks += 1
+        self._m_degraded_chunks.inc()
+        frame_len = self._frame_len(chunk)
+        extra = max(
+            0.0,
+            self.app.cpu_cycles_per_packet(frame_len)
+            - self.app.worker_cycles_per_packet(frame_len),
+        )
+        self.tracer.record(
+            Stages.GPU_FALLBACK, packets=len(chunk), cycles=extra * len(chunk)
+        )
+
+    @property
+    def degraded_mode(self) -> bool:
+        """True while any node's breaker keeps its GPU out of service."""
+        return any(b.is_open for b in self.breakers.values())
 
     def _finish_chunk(self, chunk: Chunk, egress: Dict[int, List[bytearray]]) -> None:
         """Account verdicts and split forwarded frames to ports."""
@@ -259,6 +387,7 @@ class PacketShader:
         self._m_dropped.inc(dropped)
         self._m_slow_path.inc(slow)
         self._m_chunks.inc()
+        self.watchdog.note_progress()
         if self.slow_path is not None:
             diverted = [
                 bytes(frame)
@@ -305,15 +434,15 @@ class PacketShader:
             self._m_received.inc(len(chunk))
             self._h_chunk_size.observe(len(chunk))
             if not self.config.use_gpu:
-                self.app.cpu_process(chunk)
-                self.tracer.record(
-                    Stages.CPU_PROCESS,
-                    packets=len(chunk),
-                    cycles=self.app.cpu_cycles_per_packet(
-                        self._frame_len(chunk)
-                    ) * len(chunk),
-                )
-                self._finish_chunk(chunk, egress)
+                self._cpu_process_chunk(chunk, egress, degraded=False)
+                continue
+            if not self.breakers[node.node_id].allow():
+                # Breaker open: the node runs the paper's CPU-only path
+                # (Figure 11's CPU-only rows) until a probe closes it.
+                # Workers do the whole pipeline, so throughput degrades
+                # to the CPU baseline instead of collapsing behind a
+                # dead device.
+                self._cpu_process_chunk(chunk, egress, degraded=True)
                 continue
             chunk.gpu_input = self.app.pre_shade(chunk)
             self.tracer.record(
@@ -323,14 +452,62 @@ class PacketShader:
                     chunk, FRAMEWORK.pre_shading_cycles
                 ),
             )
-            while not node.input_queue.put(chunk):
+            for _ in range(self.MAX_BACKPRESSURE_RETRIES):
+                if node.input_queue.put(chunk):
+                    break
                 # Backpressure: drain the master before retrying.
+                self.watchdog.note_stall()
                 self._shade_node(node)
                 self._drain_outputs(node, egress)
+            else:
+                # The queue stayed wedged across every retry round:
+                # shed the chunk with explicit accounting rather than
+                # spin forever.
+                self._shed_chunk(chunk, egress)
         if self.config.use_gpu:
             self._shade_node(node)
             self._drain_outputs(node, egress)
         return egress
+
+    def _cpu_process_chunk(
+        self, chunk: Chunk, egress: Dict[int, List[bytearray]], degraded: bool
+    ) -> None:
+        """Run one chunk through the CPU-only pipeline and finish it."""
+        self.app.cpu_process(chunk)
+        if degraded:
+            self.stats.degraded_chunks += 1
+            self._m_degraded_chunks.inc()
+        self.tracer.record(
+            Stages.CPU_PROCESS,
+            packets=len(chunk),
+            cycles=self.app.cpu_cycles_per_packet(
+                self._frame_len(chunk)
+            ) * len(chunk),
+            degraded=degraded,
+        )
+        self._finish_chunk(chunk, egress)
+
+    def _shed_chunk(
+        self, chunk: Chunk, egress: Dict[int, List[bytearray]]
+    ) -> None:
+        """Drop a chunk's still-pending packets under sustained backpressure.
+
+        Pre-shading already settled some verdicts (drops, slow-path
+        diversions) — those stand; only the PENDING packets that needed
+        the wedged shading path are shed.  Accounting flows through
+        ``_finish_chunk`` so the conservation invariant counts each
+        packet exactly once; ``backpressure_drops`` attributes the shed
+        subset.
+        """
+        shed = 0
+        for verdict in chunk.verdicts:
+            if verdict.disposition is Disposition.PENDING:
+                verdict.drop()
+                shed += 1
+        self.stats.backpressure_drops += shed
+        self._m_backpressure_drops.inc(shed)
+        chunk.gpu_input = None
+        self._finish_chunk(chunk, egress)
 
     def _drain_outputs(self, node: _Node, egress: Dict[int, List[bytearray]]) -> None:
         """Workers pick up shaded chunks and post-shade them."""

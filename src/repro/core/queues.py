@@ -19,16 +19,22 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro.core.chunk import Chunk
+from repro.faults.plan import FaultInjector, Sites
 from repro.obs import get_registry
 
 
 class MasterInputQueue:
     """The shared FIFO of chunks awaiting shading on one node."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 64,
+        fault_injector: Optional[FaultInjector] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.fault_injector = fault_injector
         self._queue: Deque[Chunk] = deque()
         self.enqueued = 0
         self.rejected = 0
@@ -56,9 +62,15 @@ class MasterInputQueue:
 
         Returns False when the queue is full — the worker then keeps the
         chunk and retries (backpressure slows RX fetch, which is how an
-        overloaded GPU path sheds load to the RX rings).
+        overloaded GPU path sheds load to the RX rings).  A fault
+        injector can force the refusal (the ``queue.overflow`` site), so
+        the chaos suite exercises the bounded-backpressure path without
+        actually saturating the GPU.
         """
-        if self.full:
+        if self.full or (
+            self.fault_injector is not None
+            and self.fault_injector.should_fire(Sites.MASTER_QUEUE_OVERFLOW)
+        ):
             self.rejected += 1
             self._m_rejected.inc()
             return False

@@ -177,6 +177,45 @@ def app_throughput_report(
     return PipelineModel(stages, frame_len).report()
 
 
+def degraded_throughput_report(
+    app: RouterApplication,
+    frame_len: int,
+    config: Optional[RouterConfig] = None,
+    topology: Optional[SystemTopology] = None,
+) -> ThroughputReport:
+    """Saturated throughput with every GPU breaker open.
+
+    The degradation ladder's floor (docs/RESILIENCE.md): launches fail,
+    breakers open, and each node falls back to the paper's CPU-only path
+    — workers run the whole pipeline and the idle masters rejoin the
+    worker pool (in CPU-only mode the same cores run four workers per
+    node, Section 6.1), so capacity lands at the Figure 11 CPU-only
+    baseline, not at some collapsed fraction of it.  The only extra cost
+    over that baseline is the breaker's bookkeeping: one denied handoff
+    check per chunk, charged as a queue-handoff pair amortised over the
+    chunk.
+    """
+    config = config or RouterConfig()
+    topology = topology or SystemTopology()
+    cycles = _cpu_only_cycles_per_packet(app, frame_len)
+    cycles += 2.0 * FRAMEWORK.queue_handoff_cycles / FRAMEWORK.chunk_capacity
+    cores = (
+        config.workers_per_node + config.masters_per_node
+    ) * config.system.num_nodes
+    io_gbps = topology.forwarding_capacity_gbps(
+        frame_len, numa_aware=config.numa_aware
+    )
+    stages = [
+        Stage(
+            name="workers",
+            capacity_pps=CPU.clock_hz / cycles,
+            parallelism=cores,
+        ),
+        Stage(name="io", capacity_pps=gbps_to_pps(io_gbps, frame_len)),
+    ]
+    return PipelineModel(stages, frame_len).report()
+
+
 def _adaptive_gpu_batch(
     app: RouterApplication,
     frame_len: int,

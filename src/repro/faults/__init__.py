@@ -1,0 +1,59 @@
+"""Fault injection and recovery: chaos for the PacketShader reproduction.
+
+The clean-path reproduction assumes every GPU launch, DMA transfer, and
+queue hand-off succeeds; this package makes each of those boundaries
+breakable — deterministically, from a seed — and provides the recovery
+machinery the faults exercise:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultInjector`,
+  the seedable per-site fault schedules components consult;
+* :mod:`repro.faults.errors` — the typed failures raised at hardware
+  boundaries (:class:`GPULaunchError`, :class:`GPUTimeoutError`,
+  :class:`DMAError`);
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` (launch retry with
+  backoff), :class:`CircuitBreaker` (GPU -> CPU-only graceful
+  degradation with half-open probing), :class:`Watchdog` (stall
+  surfacing);
+* :mod:`repro.faults.scenarios` — canned chaos scenarios and the runner
+  behind ``python -m repro chaos``.
+
+See docs/RESILIENCE.md for the fault model and the degradation ladder.
+"""
+
+from repro.faults.errors import (
+    DMAError,
+    FaultError,
+    GPULaunchError,
+    GPUTimeoutError,
+)
+from repro.faults.plan import (
+    ALL_SITES,
+    CORRUPTION_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    Sites,
+)
+from repro.faults.recovery import (
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+    Watchdog,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "BreakerState",
+    "CORRUPTION_SITES",
+    "CircuitBreaker",
+    "DMAError",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "GPULaunchError",
+    "GPUTimeoutError",
+    "RetryPolicy",
+    "Sites",
+    "Watchdog",
+]

@@ -1,0 +1,33 @@
+"""Typed failures raised at the reproduction's hardware boundaries.
+
+Each error corresponds to a failure the paper's architecture implies but
+never measures: kernel launches that the driver rejects or that exceed
+the device watchdog, and PCIe DMA transactions that complete with an
+error status.  The recovery machinery in :mod:`repro.faults.recovery`
+and :mod:`repro.core.framework` catches exactly these types — anything
+else propagating out of a launch is a programming error and must crash
+loudly, not be retried.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(RuntimeError):
+    """Base class for injected (or modelled) hardware failures."""
+
+
+class GPULaunchError(FaultError):
+    """A kernel launch the driver rejected (cudaErrorLaunchFailure)."""
+
+
+class GPUTimeoutError(GPULaunchError):
+    """A kernel that exceeded the device watchdog budget (straggler).
+
+    Subclasses :class:`GPULaunchError` so retry/breaker code that handles
+    launch failures handles stragglers too; the distinction matters only
+    for attribution (a timeout also charges the wasted device time).
+    """
+
+
+class DMAError(FaultError):
+    """A PCIe DMA transfer that completed with an error status."""

@@ -1,0 +1,187 @@
+"""Deterministic, seedable fault injection: the plan and the injector.
+
+A :class:`FaultPlan` names the failure sites to perturb and with what
+probability; its :meth:`FaultPlan.injector` builds the runtime
+:class:`FaultInjector` that instrumented components consult.  Two design
+rules keep chaos runs reproducible and debuggable:
+
+* **determinism** — every site draws from its own ``random.Random``
+  stream seeded from ``(plan seed, site name)``, so adding a rule for
+  one site never shifts another site's schedule, and the same plan
+  replays the identical fault sequence;
+* **observability** — every fired fault increments the
+  ``faults.injected`` counter (labelled by site), so a chaos run's
+  blast radius is readable from the same registry as the recovery
+  counters it exercises.
+
+Components hold an optional injector and ask ``should_fire(site)`` at
+their failure boundary; a ``None`` injector or an unplanned site costs
+one ``is None`` / dict-miss check, cheap enough to leave in the hot
+paths permanently.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.obs import get_registry
+
+
+class Sites:
+    """Canonical failure-site names (one per layer boundary).
+
+    The naming convention mirrors the metrics registry's dotted
+    ``<layer>.<what>`` scheme so ``faults.injected{site=...}`` lines up
+    with the layer counters it perturbs.
+    """
+
+    #: Frame truncated on the wire (CRC would fail; the NIC delivers it
+    #: anyway in promiscuous test mode, as generators under test do).
+    NIC_TRUNCATE = "nic.truncate"
+    #: Random byte corruption in the frame body.
+    NIC_GARBAGE = "nic.garbage"
+    #: IPv4 header checksum corrupted in flight.
+    NIC_BAD_CHECKSUM = "nic.bad_checksum"
+    #: RX descriptor ring full at delivery (forced tail drop).
+    RX_RING_OVERFLOW = "nic.ring_overflow"
+    #: Master input queue refuses a chunk hand-off (forced backpressure).
+    MASTER_QUEUE_OVERFLOW = "queue.overflow"
+    #: Kernel launch rejected by the driver.
+    GPU_LAUNCH = "gpu.launch"
+    #: Kernel exceeded the device watchdog budget (straggler).
+    GPU_TIMEOUT = "gpu.timeout"
+    #: PCIe DMA transfer completed with an error status.
+    PCIE_DMA = "pcie.dma"
+
+
+ALL_SITES: Tuple[str, ...] = (
+    Sites.NIC_TRUNCATE,
+    Sites.NIC_GARBAGE,
+    Sites.NIC_BAD_CHECKSUM,
+    Sites.RX_RING_OVERFLOW,
+    Sites.MASTER_QUEUE_OVERFLOW,
+    Sites.GPU_LAUNCH,
+    Sites.GPU_TIMEOUT,
+    Sites.PCIE_DMA,
+)
+
+#: Sites that corrupt frame bytes (consulted by ``corrupt_frame``).
+CORRUPTION_SITES: Tuple[str, ...] = (
+    Sites.NIC_TRUNCATE,
+    Sites.NIC_GARBAGE,
+    Sites.NIC_BAD_CHECKSUM,
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site's failure schedule.
+
+    ``probability`` is the per-draw chance of firing; ``max_fires``
+    bounds the total (0 = unbounded); ``skip_first`` exempts the first
+    N draws so a scenario can let the system warm up cleanly.
+    """
+
+    site: str
+    probability: float = 1.0
+    max_fires: int = 0
+    skip_first: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in ALL_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+        if self.max_fires < 0 or self.skip_first < 0:
+            raise ValueError("max_fires/skip_first must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of fault rules — the unit of a chaos run."""
+
+    seed: int = 1
+    rules: Tuple[FaultRule, ...] = ()
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        sites = [rule.site for rule in self.rules]
+        if len(sites) != len(set(sites)):
+            raise ValueError("duplicate site in fault plan")
+
+    def with_rule(self, rule: FaultRule) -> "FaultPlan":
+        """A new plan with one more rule (plans are immutable)."""
+        return FaultPlan(seed=self.seed, rules=self.rules + (rule,),
+                         name=self.name)
+
+    def injector(self) -> "FaultInjector":
+        """Build the runtime injector for this plan."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """The runtime: components ask it whether a fault fires at a site."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rules: Dict[str, FaultRule] = {r.site: r for r in plan.rules}
+        # One independent stream per site: rules never perturb each other.
+        self._rngs: Dict[str, random.Random] = {
+            site: random.Random(f"{plan.seed}:{site}") for site in self._rules
+        }
+        self.draws: Dict[str, int] = {site: 0 for site in self._rules}
+        self.fired: Dict[str, int] = {site: 0 for site in self._rules}
+        registry = get_registry()
+        self._m_injected = {
+            site: registry.counter(
+                "faults.injected", help="injected faults by site", site=site
+            )
+            for site in self._rules
+        }
+
+    def should_fire(self, site: str) -> bool:
+        """One draw at a site; True when the fault fires (and counts it)."""
+        rule = self._rules.get(site)
+        if rule is None:
+            return False
+        draw = self.draws[site]
+        self.draws[site] = draw + 1
+        if draw < rule.skip_first:
+            return False
+        if rule.max_fires and self.fired[site] >= rule.max_fires:
+            return False
+        if self._rngs[site].random() >= rule.probability:
+            return False
+        self.fired[site] += 1
+        self._m_injected[site].inc()
+        return True
+
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    def corrupt_frame(
+        self, frame: Union[bytes, bytearray]
+    ) -> Tuple[bytearray, Optional[str]]:
+        """Apply any firing corruption site to a copy of a frame.
+
+        Returns ``(frame, site)`` where ``site`` names the corruption
+        applied (None when the frame passed clean).  At most one
+        corruption applies per frame — the first firing site wins — so
+        fault attribution stays unambiguous.
+        """
+        out = bytearray(frame)
+        if self.should_fire(Sites.NIC_TRUNCATE) and len(out) > 1:
+            rng = self._rngs[Sites.NIC_TRUNCATE]
+            return out[: rng.randrange(1, len(out))], Sites.NIC_TRUNCATE
+        if self.should_fire(Sites.NIC_GARBAGE) and out:
+            rng = self._rngs[Sites.NIC_GARBAGE]
+            for _ in range(max(1, len(out) // 16)):
+                out[rng.randrange(len(out))] = rng.randrange(256)
+            return out, Sites.NIC_GARBAGE
+        if self.should_fire(Sites.NIC_BAD_CHECKSUM) and len(out) >= 26:
+            # Byte 24 is the low byte of the IPv4 header checksum.
+            out[24] ^= 0xFF
+            return out, Sites.NIC_BAD_CHECKSUM
+        return out, None

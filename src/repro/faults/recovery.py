@@ -1,0 +1,195 @@
+"""Recovery machinery: retry policy, circuit breaker, watchdog.
+
+The degradation ladder the chaos suite asserts (docs/RESILIENCE.md):
+
+1. a failed GPU launch is **retried** with exponential backoff
+   (:class:`RetryPolicy`) — transient driver hiccups cost latency, not
+   packets;
+2. repeated failures open the per-device **circuit breaker**
+   (:class:`CircuitBreaker`), flipping the node onto the paper's
+   CPU-only path (Figure 11's CPU-only rows) — the router degrades to
+   the CPU baseline instead of stalling behind a dead device, and
+   periodic half-open probes re-enable the GPU automatically when it
+   recovers;
+3. a full master input queue applies bounded **backpressure**; when the
+   queue stays wedged the chunk is shed with explicit drop accounting
+   (never silent loss, never an unbounded retry loop) and the
+   :class:`Watchdog` surfaces the stall in the metrics registry.
+
+Everything here is deterministic and clockless: backoff is *charged* to
+the span tracer as modelled nanoseconds, probes are counted in chunks,
+not seconds, so chaos tests replay exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.obs import get_registry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-backoff for GPU launches.
+
+    ``backoff_ns(attempt)`` is the modelled wait before retry *attempt*
+    (1-based): ``base * multiplier**(attempt-1)``, the classic
+    exponential schedule.  The framework charges it to the GPU span so
+    degraded latency is attributable in ``python -m repro trace``.
+    """
+
+    max_retries: int = 2
+    backoff_base_ns: float = 5_000.0
+    backoff_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_ns < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff_ns(self, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        return self.backoff_base_ns * self.backoff_multiplier ** (attempt - 1)
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state circuit breaker."""
+
+    #: Healthy: launches go to the GPU.
+    CLOSED = "closed"
+    #: Tripped: the node runs the CPU-only path.
+    OPEN = "open"
+    #: Probing: one launch is allowed through to test recovery.
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-device breaker gating the GPU shading path.
+
+    ``failure_threshold`` consecutive launch failures (each already past
+    its retry budget) open the breaker; while open, every
+    ``probe_interval``-th ``allow()`` call transitions to half-open and
+    lets one probe launch through.  A successful probe closes the
+    breaker (the GPU re-enables automatically); a failed probe reopens
+    it.  State changes drive the ``faults.degraded_mode`` gauge so
+    dashboards see degradation the moment it starts.
+    """
+
+    def __init__(
+        self,
+        device_id: int = 0,
+        failure_threshold: int = 3,
+        probe_interval: int = 8,
+    ) -> None:
+        if failure_threshold < 1 or probe_interval < 1:
+            raise ValueError("threshold and probe interval must be >= 1")
+        self.device_id = device_id
+        self.failure_threshold = failure_threshold
+        self.probe_interval = probe_interval
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.closes = 0
+        self._denials_since_open = 0
+        registry = get_registry()
+        device = str(device_id)
+        self._g_degraded = registry.gauge(
+            "faults.degraded_mode",
+            help="1 while the device's breaker is open (CPU-only path)",
+            device=device,
+        )
+        self._m_opens = registry.counter(
+            "faults.breaker_opens", help="breaker open transitions",
+            device=device,
+        )
+        self._m_probes = registry.counter(
+            "faults.breaker_probes", help="half-open probe launches",
+            device=device,
+        )
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is BreakerState.OPEN
+
+    def allow(self) -> bool:
+        """May the next chunk take the GPU path?
+
+        CLOSED: always.  OPEN: every ``probe_interval``-th ask becomes a
+        half-open probe.  HALF_OPEN: the probe is already in flight in
+        this (single-threaded) framework, so allow it.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.HALF_OPEN:
+            return True
+        self._denials_since_open += 1
+        if self._denials_since_open >= self.probe_interval:
+            self.state = BreakerState.HALF_OPEN
+            self._m_probes.inc()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A launch completed; a successful probe closes the breaker."""
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self.closes += 1
+            self._g_degraded.set(0)
+
+    def record_failure(self) -> None:
+        """A launch failed past its retry budget."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.opens += 1
+        self._denials_since_open = 0
+        self._m_opens.inc()
+        self._g_degraded.set(1)
+
+
+class Watchdog:
+    """Stall detector over the router's progress.
+
+    The framework notes a *stall* each time a backpressure retry round
+    completes without freeing queue space, and *progress* whenever a
+    chunk finishes.  ``stall_threshold`` consecutive stalls declare one
+    watchdog event, surfaced via ``faults.watchdog_stalls`` — the signal
+    an operator (or the chaos suite) reads to distinguish "slow" from
+    "wedged".
+    """
+
+    def __init__(self, stall_threshold: int = 3) -> None:
+        if stall_threshold < 1:
+            raise ValueError("stall_threshold must be >= 1")
+        self.stall_threshold = stall_threshold
+        self.stalls = 0
+        self._consecutive = 0
+        self._m_stalls = get_registry().counter(
+            "faults.watchdog_stalls",
+            help="declared stalls (no progress across the threshold)",
+        )
+
+    def note_progress(self) -> None:
+        self._consecutive = 0
+
+    def note_stall(self) -> bool:
+        """Count one no-progress round; True when a stall is declared."""
+        self._consecutive += 1
+        if self._consecutive >= self.stall_threshold:
+            self.stalls += 1
+            self._m_stalls.inc()
+            self._consecutive = 0
+            return True
+        return False

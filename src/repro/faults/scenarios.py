@@ -1,0 +1,226 @@
+"""Canned chaos scenarios and the runner behind ``python -m repro chaos``.
+
+Each scenario is a :class:`repro.faults.plan.FaultPlan` template —
+:func:`run_scenario` re-seeds it, wires its injector through the full
+functional stack (driver DMA boundary, master input queue, GPU device,
+PCIe link), pushes a burst of real IPv4 traffic, and checks the two
+properties the chaos suite exists to enforce:
+
+* **conservation** — every packet that entered the router left with
+  exactly one verdict (``received == forwarded + dropped + slow_path``),
+  and ingress accounting closes (``injected == rx_dropped + received``);
+* **graceful degradation** — when breakers open, modelled capacity lands
+  at the Figure 11 CPU-only baseline, not at some collapsed fraction.
+
+All runs are deterministic from ``(scenario, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.faults.plan import FaultPlan, FaultRule, Sites
+
+
+def _plan(name: str, *rules: FaultRule) -> FaultPlan:
+    return FaultPlan(seed=1, rules=tuple(rules), name=name)
+
+
+#: The canned scenarios (seed is re-applied by :func:`run_scenario`).
+SCENARIOS: Dict[str, FaultPlan] = {
+    # Wire-level corruption: truncated frames, garbage bytes, flipped
+    # IPv4 checksums.  The application must classify every damaged frame
+    # (drop or slow-path) without miscounting or crashing.
+    "malformed": _plan(
+        "malformed",
+        FaultRule(site=Sites.NIC_TRUNCATE, probability=0.05),
+        FaultRule(site=Sites.NIC_GARBAGE, probability=0.05),
+        FaultRule(site=Sites.NIC_BAD_CHECKSUM, probability=0.05),
+    ),
+    # RX rings tail-drop at delivery: loss before the router, accounted
+    # at the driver, never double-counted inside.
+    "rx-overflow": _plan(
+        "rx-overflow",
+        FaultRule(site=Sites.RX_RING_OVERFLOW, probability=0.2),
+    ),
+    # The master input queue refuses hand-offs: bounded backpressure,
+    # then explicit shedding once the retry rounds are exhausted.
+    "queue-overflow": _plan(
+        "queue-overflow",
+        FaultRule(site=Sites.MASTER_QUEUE_OVERFLOW, probability=0.7),
+    ),
+    # Transient launch rejections: absorbed by retry-with-backoff.
+    "gpu-failure": _plan(
+        "gpu-failure",
+        FaultRule(site=Sites.GPU_LAUNCH, probability=0.3),
+    ),
+    # Straggler kernels hit the watchdog budget; the wasted device time
+    # is charged, the chunk retries and ultimately shades on the CPU.
+    "gpu-timeout": _plan(
+        "gpu-timeout",
+        FaultRule(site=Sites.GPU_TIMEOUT, probability=0.3),
+    ),
+    # PCIe transfers complete with error status on the shading path.
+    "dma-error": _plan(
+        "dma-error",
+        FaultRule(site=Sites.PCIE_DMA, probability=0.3),
+    ),
+    # Hard device failure, then recovery: every launch fails until the
+    # breaker opens and the node degrades to the CPU-only path; once the
+    # fault budget is spent a half-open probe succeeds and the GPU
+    # re-enables automatically.
+    "breaker": _plan(
+        "breaker",
+        FaultRule(site=Sites.GPU_LAUNCH, probability=1.0, max_fires=24),
+    ),
+    # Everything at once, at moderate rates.
+    "chaos": _plan(
+        "chaos",
+        FaultRule(site=Sites.NIC_TRUNCATE, probability=0.02),
+        FaultRule(site=Sites.NIC_GARBAGE, probability=0.02),
+        FaultRule(site=Sites.NIC_BAD_CHECKSUM, probability=0.02),
+        FaultRule(site=Sites.RX_RING_OVERFLOW, probability=0.05),
+        FaultRule(site=Sites.MASTER_QUEUE_OVERFLOW, probability=0.1),
+        FaultRule(site=Sites.GPU_LAUNCH, probability=0.1),
+        FaultRule(site=Sites.GPU_TIMEOUT, probability=0.05),
+        FaultRule(site=Sites.PCIE_DMA, probability=0.05),
+    ),
+}
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run did and whether the invariants held."""
+
+    scenario: str
+    seed: int
+    injected: int
+    rx_dropped: int
+    received: int
+    forwarded: int
+    dropped: int
+    slow_path: int
+    gpu_launches: int
+    gpu_retries: int
+    gpu_failures: int
+    degraded_chunks: int
+    backpressure_drops: int
+    breaker_opens: int
+    breaker_closes: int
+    watchdog_stalls: int
+    degraded_mode: bool
+    faults_fired: Dict[str, int] = field(default_factory=dict)
+    #: Modelled capacity (Gbps @64B): healthy GPU path, breaker-open
+    #: degraded path, and the Figure 11 CPU-only baseline.
+    clean_gbps: float = 0.0
+    degraded_gbps: float = 0.0
+    cpu_only_gbps: float = 0.0
+
+    @property
+    def conservation_ok(self) -> bool:
+        """Both accounting identities close exactly."""
+        return (
+            self.received == self.forwarded + self.dropped + self.slow_path
+            and self.injected == self.rx_dropped + self.received
+        )
+
+    @property
+    def degraded_ratio(self) -> float:
+        """Degraded capacity relative to the CPU-only baseline."""
+        if not self.cpu_only_gbps:
+            return 0.0
+        return self.degraded_gbps / self.cpu_only_gbps
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "injected": self.injected,
+            "rx_dropped": self.rx_dropped,
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+            "slow_path": self.slow_path,
+            "gpu_launches": self.gpu_launches,
+            "gpu_retries": self.gpu_retries,
+            "gpu_failures": self.gpu_failures,
+            "degraded_chunks": self.degraded_chunks,
+            "backpressure_drops": self.backpressure_drops,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+            "watchdog_stalls": self.watchdog_stalls,
+            "degraded_mode": self.degraded_mode,
+            "faults_fired": dict(self.faults_fired),
+            "conservation_ok": self.conservation_ok,
+            "clean_gbps": self.clean_gbps,
+            "degraded_gbps": self.degraded_gbps,
+            "cpu_only_gbps": self.cpu_only_gbps,
+            "degraded_ratio": self.degraded_ratio,
+        }
+
+
+def run_scenario(
+    name: str,
+    seed: int = 1,
+    packets: int = 2048,
+    burst: int = 256,
+    num_routes: int = 5_000,
+) -> ChaosReport:
+    """Run one named scenario through the full functional testbed.
+
+    Frames are injected in bursts of ``burst`` with a full router round
+    between bursts, so RX rings, queues, and the GPU path all see
+    realistic occupancy while faults fire.  Deterministic for a given
+    ``(name, seed)``.
+    """
+    from repro.apps.ipv4 import IPv4Forwarder
+    from repro.core.solver import app_throughput_report, degraded_throughput_report
+    from repro.gen.workloads import ipv4_workload
+    from repro.testbed import Testbed
+
+    template = SCENARIOS.get(name)
+    if template is None:
+        raise ValueError(
+            f"unknown scenario {name!r} (choose from {', '.join(sorted(SCENARIOS))})"
+        )
+    if packets < 1 or burst < 1:
+        raise ValueError("packets and burst must be positive")
+    plan = FaultPlan(seed=seed, rules=template.rules, name=template.name)
+    injector = plan.injector()
+    workload = ipv4_workload(num_routes=num_routes, seed=seed)
+    app = IPv4Forwarder(workload.table)
+    bed = Testbed(app, fault_injector=injector)
+    frames: List[bytearray] = workload.generator.ipv4_burst(packets)
+    for start in range(0, len(frames), burst):
+        bed.inject(frames[start:start + burst])
+        bed.run_once()
+    bed.run_until_drained()
+    router = bed.router
+    stats = router.stats
+    report = ChaosReport(
+        scenario=name,
+        seed=seed,
+        injected=bed.stats.injected,
+        rx_dropped=bed.stats.rx_dropped,
+        received=stats.received,
+        forwarded=stats.forwarded,
+        dropped=stats.dropped,
+        slow_path=stats.slow_path,
+        gpu_launches=stats.gpu_launches,
+        gpu_retries=stats.gpu_retries,
+        gpu_failures=stats.gpu_failures,
+        degraded_chunks=stats.degraded_chunks,
+        backpressure_drops=stats.backpressure_drops,
+        breaker_opens=sum(b.opens for b in router.breakers.values()),
+        breaker_closes=sum(b.closes for b in router.breakers.values()),
+        watchdog_stalls=router.watchdog.stalls,
+        degraded_mode=router.degraded_mode,
+        faults_fired={
+            site: count for site, count in injector.fired.items() if count
+        },
+        clean_gbps=app_throughput_report(app, 64, use_gpu=True).gbps,
+        degraded_gbps=degraded_throughput_report(app, 64).gbps,
+        cpu_only_gbps=app_throughput_report(app, 64, use_gpu=False).gbps,
+    )
+    return report

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.calib.constants import GPU, GPUModel
+from repro.faults.errors import GPULaunchError, GPUTimeoutError
+from repro.faults.plan import FaultInjector, Sites
 from repro.hw.pcie import PCIeLink
 from repro.obs import LATENCY_NS_BUCKETS, get_registry
 
@@ -89,20 +91,29 @@ class GPUDevice:
         node: int = 0,
         model: GPUModel = GPU,
         pcie: Optional[PCIeLink] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.device_id = device_id
         self.node = node
         self.model = model
-        self.pcie = pcie if pcie is not None else PCIeLink()
+        self.fault_injector = fault_injector
+        self.pcie = (
+            pcie if pcie is not None else PCIeLink(fault_injector=fault_injector)
+        )
         self._allocated = 0
         self._allocations = {}
         self._next_handle = 1
         self.busy_ns = 0.0
         self.launches = 0
+        self.launch_errors = 0
         registry = get_registry()
         device = str(device_id)
         self._m_launches = registry.counter(
             "gpu.launches", help="kernel launches", device=device
+        )
+        self._m_launch_errors = registry.counter(
+            "gpu.launch_errors", help="launches failed by fault injection",
+            device=device,
         )
         self._m_busy_ns = registry.counter(
             "gpu.busy_ns", help="modelled device-busy nanoseconds",
@@ -213,6 +224,25 @@ class GPUDevice:
         """
         if n_threads < 0 or bytes_in < 0 or bytes_out < 0:
             raise ValueError("launch sizes must be non-negative")
+        if self.fault_injector is not None:
+            if self.fault_injector.should_fire(Sites.GPU_TIMEOUT):
+                # A straggler holds the device until the watchdog budget
+                # expires: the wasted time is real (charged busy) even
+                # though the launch produces nothing.
+                timeout_ns = self.model.launch_latency_ns * 100.0
+                self.busy_ns += timeout_ns
+                self.launch_errors += 1
+                self._m_launch_errors.inc()
+                raise GPUTimeoutError(
+                    f"device {self.device_id}: kernel {spec.name} exceeded "
+                    f"the {timeout_ns:.0f} ns watchdog budget"
+                )
+            if self.fault_injector.should_fire(Sites.GPU_LAUNCH):
+                self.launch_errors += 1
+                self._m_launch_errors.inc()
+                raise GPULaunchError(
+                    f"device {self.device_id}: launch of {spec.name} rejected"
+                )
         h2d_ns = self.pcie.transfer_h2d(bytes_in) if bytes_in else 0.0
         launch_ns = self.launch_latency_ns(n_threads)
         exec_ns = self.execution_time_ns(spec, n_threads)

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from repro.calib.constants import NIC, NICModel
+from repro.faults.plan import FaultInjector, Sites
 from repro.net.ethernet import wire_bits
 
 
@@ -139,12 +140,14 @@ class NICPort:
         node: int = 0,
         num_queues: int = 4,
         model: NICModel = NIC,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if num_queues <= 0:
             raise ValueError("num_queues must be positive")
         self.port_id = port_id
         self.node = node
         self.model = model
+        self.fault_injector = fault_injector
         self.rx_queues = [RxQueue(i, model=model) for i in range(num_queues)]
         self.tx_queues = [TxQueue(i, model=model) for i in range(num_queues)]
 
@@ -153,8 +156,19 @@ class NICPort:
         return len(self.rx_queues)
 
     def receive(self, frame, rss_hash: int) -> bool:
-        """Deliver an incoming frame to the RSS-selected RX queue."""
+        """Deliver an incoming frame to the RSS-selected RX queue.
+
+        An attached fault injector models the wire and the host falling
+        behind: frames may arrive corrupted (truncated, garbage bytes,
+        bad checksum — the adversarial-traffic evaluations of
+        Benchmarking-NFV-dataplanes) or find the ring full.
+        """
         queue = self.rx_queues[rss_hash % self.num_queues]
+        if self.fault_injector is not None:
+            frame, _ = self.fault_injector.corrupt_frame(frame)
+            if self.fault_injector.should_fire(Sites.RX_RING_OVERFLOW):
+                queue.stats.drops += 1
+                return False
         return queue.deliver(frame)
 
     def aggregate_stats(self) -> QueueStats:

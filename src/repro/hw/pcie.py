@@ -12,8 +12,11 @@ Section 3.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.calib.constants import PCIE, PCIeModel
+from repro.faults.errors import DMAError
+from repro.faults.plan import FaultInjector, Sites
 from repro.obs import get_registry
 
 
@@ -23,7 +26,10 @@ class PCIeLink:
 
     Tracks cumulative bytes per direction so the NUMA/IOH model can charge
     GPU DMA traffic against the shared IOH budget (Section 6.3 observes
-    that GPU copies "weigh on the burden of IOHs").
+    that GPU copies "weigh on the burden of IOHs").  An attached
+    :class:`repro.faults.plan.FaultInjector` can fail individual DMA
+    transactions (:class:`repro.faults.errors.DMAError`); failed
+    transfers are counted separately and move no bytes.
     """
 
     model: PCIeModel = field(default_factory=lambda: PCIE)
@@ -31,6 +37,19 @@ class PCIeLink:
     bytes_d2h: int = 0
     transfers_h2d: int = 0
     transfers_d2h: int = 0
+    dma_errors: int = 0
+    fault_injector: Optional[FaultInjector] = None
+
+    def _maybe_fail(self, direction: str, nbytes: int) -> None:
+        if self.fault_injector is not None and self.fault_injector.should_fire(
+            Sites.PCIE_DMA
+        ):
+            self.dma_errors += 1
+            get_registry().counter(
+                "pcie.dma_errors", direction=direction,
+                help="DMA transfers failed by fault injection",
+            ).inc()
+            raise DMAError(f"{direction} DMA of {nbytes} bytes failed")
 
     def h2d_time_ns(self, nbytes: int) -> float:
         """Modelled time to copy ``nbytes`` from host to device memory."""
@@ -50,6 +69,7 @@ class PCIeLink:
 
     def transfer_h2d(self, nbytes: int) -> float:
         """Record a host-to-device DMA and return its modelled time (ns)."""
+        self._maybe_fail("h2d", nbytes)
         time_ns = self.h2d_time_ns(nbytes)
         self.bytes_h2d += nbytes
         self.transfers_h2d += 1
@@ -61,6 +81,7 @@ class PCIeLink:
 
     def transfer_d2h(self, nbytes: int) -> float:
         """Record a device-to-host DMA and return its modelled time (ns)."""
+        self._maybe_fail("d2h", nbytes)
         time_ns = self.d2h_time_ns(nbytes)
         self.bytes_d2h += nbytes
         self.transfers_d2h += 1

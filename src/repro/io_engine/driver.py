@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.calib.constants import NIC, NICModel
+from repro.faults.plan import FaultInjector, Sites
 from repro.hw.cache import CacheModel
 from repro.hw.nic import QueueStats
 from repro.io_engine.hugebuf import HugePacketBuffer
@@ -90,11 +91,13 @@ class OptimizedDriver:
         cache: Optional[CacheModel] = None,
         aligned: bool = True,
         prefetch: bool = True,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if num_queues <= 0:
             raise ValueError("num_queues must be positive")
         self.model = model
         self.prefetch_enabled = prefetch
+        self.fault_injector = fault_injector
         self.cache = cache if cache is not None else CacheModel(num_cores=num_queues)
         self.buffers = [HugePacketBuffer(ring_size, model) for _ in range(num_queues)]
         # Aligned layout: queue states at cache-line multiples; unaligned
@@ -135,7 +138,18 @@ class OptimizedDriver:
         )
 
     def deliver(self, queue_id: int, frame: bytes) -> bool:
-        """NIC-side: DMA a frame into the queue's huge buffer."""
+        """NIC-side: DMA a frame into the queue's huge buffer.
+
+        With a fault injector attached the frame may be corrupted on the
+        wire, or the ring may be forced full (tail drop) even when the
+        buffer has room — the host-falling-behind case of Section 5.2.
+        """
+        if self.fault_injector is not None:
+            corrupted, _ = self.fault_injector.corrupt_frame(frame)
+            frame = bytes(corrupted)
+            if self.fault_injector.should_fire(Sites.RX_RING_OVERFLOW):
+                self._m_drops[queue_id].inc()
+                return False
         buffer = self.buffers[queue_id]
         accepted = buffer.write(frame)
         if accepted:

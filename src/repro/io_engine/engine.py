@@ -53,10 +53,18 @@ class PacketIOEngine:
     the multiqueue-aware interface (Figure 8).
     """
 
-    def __init__(self, drivers: Dict[int, OptimizedDriver]) -> None:
+    def __init__(
+        self,
+        drivers: Dict[int, OptimizedDriver],
+        fault_injector=None,
+    ) -> None:
         if not drivers:
             raise ValueError("engine needs at least one driver")
         self.drivers = drivers
+        #: Optional :class:`repro.faults.plan.FaultInjector` modelling
+        #: corruption on the host read side of the RX DMA (frames that
+        #: were fine on the wire but arrive damaged in the huge buffer).
+        self.fault_injector = fault_injector
         self._interfaces: Dict[Tuple[int, int], VirtualInterface] = {}
         self._by_thread: Dict[int, List[VirtualInterface]] = {}
         self._rr_cursor: Dict[int, int] = {}
@@ -117,6 +125,11 @@ class PacketIOEngine:
             frames = driver.fetch_batch(interface.queue_id, cap)
             remaining = len(driver.buffers[interface.queue_id])
             interface.livelock.on_fetch(len(frames), remaining)
+            if frames and self.fault_injector is not None:
+                frames = [
+                    bytes(self.fault_injector.corrupt_frame(f)[0])
+                    for f in frames
+                ]
             if frames:
                 self._rr_cursor[thread] = (start + step + 1) % len(interfaces)
                 self._m_rx_packets.inc(len(frames))

@@ -31,7 +31,7 @@ from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header
 from repro.net.ipv6 import IPV6_HEADER_LEN, IPv6Header
 from repro.net.udp import UDP_HEADER_LEN, UDPHeader
 from repro.net.tcp import TCP_HEADER_LEN, TCPHeader
-from repro.net.packet import Packet, FiveTuple, parse_packet
+from repro.net.packet import Packet, FiveTuple, PacketParseError, parse_packet
 from repro.net.ethernet import VLANTag, add_vlan_tag, parse_ethernet
 from repro.net.neighbors import Neighbor, NeighborTable
 from repro.net.pcap import CapturedFrame, read_pcap, write_pcap
@@ -68,6 +68,7 @@ __all__ = [
     "ip6_to_str",
     "mac_from_str",
     "mac_to_str",
+    "PacketParseError",
     "parse_packet",
     "verify_checksum16",
 ]

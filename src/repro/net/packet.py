@@ -9,6 +9,7 @@ emits: Ethernet + IPv4/IPv6 + UDP with a padded payload.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -23,6 +24,18 @@ from repro.net.ipv4 import IPV4_HEADER_LEN, IPv4Header, PROTO_TCP, PROTO_UDP
 from repro.net.ipv6 import IPV6_HEADER_LEN, IPv6Header
 from repro.net.tcp import TCP_HEADER_LEN, TCPHeader
 from repro.net.udp import UDP_HEADER_LEN, UDPHeader
+
+
+class PacketParseError(ValueError):
+    """A frame too damaged to parse (truncated or malformed headers).
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working; new code should catch this type.  Whatever the header
+    unpackers raise on garbage input (``ValueError``, ``IndexError``,
+    ``struct.error``) is normalised to this one type, so the framework
+    can count such frames as malformed drops without a bare ``except``.
+    """
+
 
 
 @dataclass(frozen=True)
@@ -100,20 +113,32 @@ def parse_packet(frame: Union[bytes, bytearray]) -> Packet:
 
     Unknown EtherTypes parse with ``l3 = l4 = None`` — such frames are
     slow-path material, not errors; malformed L3/L4 regions raise
-    ``ValueError`` so callers can count them as malformed drops (the
-    pre-shading step drops malformed packets, paper Section 5.3).
+    :class:`PacketParseError` so callers can count them as malformed
+    drops (the pre-shading step drops malformed packets, paper
+    Section 5.3).
     """
     if not isinstance(frame, bytearray):
         frame = bytearray(frame)
-    eth = EthernetHeader.unpack(frame)
-    l3: Optional[Union[IPv4Header, IPv6Header]] = None
-    l4: Optional[Union[UDPHeader, TCPHeader]] = None
-    if eth.ethertype == ETHERTYPE_IPV4:
-        l3 = IPv4Header.unpack(frame[ETHERNET_HEADER_LEN:])
-        l4 = _parse_l4(frame, ETHERNET_HEADER_LEN + IPV4_HEADER_LEN, l3.protocol)
-    elif eth.ethertype == ETHERTYPE_IPV6:
-        l3 = IPv6Header.unpack(frame[ETHERNET_HEADER_LEN:])
-        l4 = _parse_l4(frame, ETHERNET_HEADER_LEN + IPV6_HEADER_LEN, l3.next_header)
+    try:
+        eth = EthernetHeader.unpack(frame)
+        l3: Optional[Union[IPv4Header, IPv6Header]] = None
+        l4: Optional[Union[UDPHeader, TCPHeader]] = None
+        if eth.ethertype == ETHERTYPE_IPV4:
+            l3 = IPv4Header.unpack(frame[ETHERNET_HEADER_LEN:])
+            l4 = _parse_l4(
+                frame, ETHERNET_HEADER_LEN + IPV4_HEADER_LEN, l3.protocol
+            )
+        elif eth.ethertype == ETHERTYPE_IPV6:
+            l3 = IPv6Header.unpack(frame[ETHERNET_HEADER_LEN:])
+            l4 = _parse_l4(
+                frame, ETHERNET_HEADER_LEN + IPV6_HEADER_LEN, l3.next_header
+            )
+    except PacketParseError:
+        raise
+    except (ValueError, IndexError, struct.error) as exc:
+        raise PacketParseError(
+            f"malformed frame ({len(frame)} bytes): {exc}"
+        ) from exc
     return Packet(frame=frame, eth=eth, l3=l3, l4=l4)
 
 

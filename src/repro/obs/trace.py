@@ -38,6 +38,9 @@ class Stages:
     PRE_SHADE = "pre_shade"
     GATHER = "gather"
     GPU = "gpu"
+    #: Shading work executed on the master's CPU because the GPU path
+    #: failed (retries exhausted or circuit breaker open).
+    GPU_FALLBACK = "gpu_fallback"
     SCATTER = "scatter"
     POST_SHADE = "post_shade"
     TX = "tx"
@@ -54,6 +57,7 @@ PIPELINE_ORDER: List[str] = [
     Stages.PRE_SHADE,
     Stages.GATHER,
     Stages.GPU,
+    Stages.GPU_FALLBACK,
     Stages.SCATTER,
     Stages.POST_SHADE,
     Stages.CPU_PROCESS,

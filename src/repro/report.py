@@ -1,6 +1,6 @@
-"""One-shot experiment reports: ``python -m repro [trace|metrics]``.
+"""One-shot experiment reports: ``python -m repro [trace|metrics|chaos]``.
 
-Three subcommands share this module:
+Four subcommands share this module:
 
 * the default (no subcommand) prints the reproduction's headline
   numbers next to the paper's — a quick smoke check that the calibrated
@@ -9,7 +9,10 @@ Three subcommands share this module:
   and prints the Table-3-style per-stage cost breakdown plus the
   bottleneck analyzer's verdict;
 * ``metrics`` runs the same burst and dumps the metrics registry in
-  Prometheus text, JSON-lines, or table form.
+  Prometheus text, JSON-lines, or table form;
+* ``chaos`` runs named fault-injection scenarios through the functional
+  testbed and reports conservation and degradation per scenario
+  (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -216,6 +219,72 @@ def metrics_main(argv=None) -> int:
         print(stage_table(get_tracer().summary(),
                           title=f"{args.app} per-stage cost breakdown"))
     return 0
+
+
+def chaos_main(argv=None) -> int:
+    """Run fault-injection scenarios and print the chaos report."""
+    import json
+
+    from repro.faults.scenarios import SCENARIOS, run_scenario
+    from repro.obs import reset_registry, reset_tracer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run deterministic fault-injection scenarios through "
+        "the functional testbed and check the conservation and "
+        "degradation invariants.",
+    )
+    parser.add_argument(
+        "--scenario", default="all",
+        choices=("all", *sorted(SCENARIOS)),
+        help="scenario to run (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="fault plan seed (default: 1)",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=2048,
+        help="packets injected per scenario (default: 2048)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON object per scenario instead of the table",
+    )
+    args = parser.parse_args(argv)
+    if args.packets <= 0:
+        parser.error("packets must be positive")
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    failures = 0
+    if not args.as_json:
+        print(f"chaos run: seed={args.seed}, {args.packets} packets/scenario")
+        print(f"  {'scenario':<16} {'in':>6} {'fwd':>6} {'drop':>6} "
+              f"{'slow':>5} {'faults':>6} {'retry':>5} {'degr':>5} "
+              f"{'conserved':>9}")
+        print("-" * 78)
+    for name in names:
+        reset_registry()
+        reset_tracer()
+        report = run_scenario(name, seed=args.seed, packets=args.packets)
+        if not report.conservation_ok:
+            failures += 1
+        if args.as_json:
+            print(json.dumps(report.to_dict(), sort_keys=True))
+            continue
+        fired = sum(report.faults_fired.values())
+        print(f"  {name:<16} {report.received:>6} {report.forwarded:>6} "
+              f"{report.dropped:>6} {report.slow_path:>5} {fired:>6} "
+              f"{report.gpu_retries:>5} {report.degraded_chunks:>5} "
+              f"{'ok' if report.conservation_ok else 'VIOLATED':>9}")
+    if not args.as_json:
+        print("-" * 78)
+        sample = run_scenario(names[0], seed=args.seed, packets=64)
+        print(f"degraded capacity (breaker open): {sample.degraded_gbps:.2f} "
+              f"Gbps vs CPU-only baseline {sample.cpu_only_gbps:.2f} Gbps "
+              f"({sample.degraded_ratio:.1%})")
+        print("conservation: received == forwarded + dropped + slow_path "
+              + ("held in every scenario" if failures == 0
+                 else f"VIOLATED in {failures} scenario(s)"))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

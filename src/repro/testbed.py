@@ -29,6 +29,8 @@ from repro.core.config import RouterConfig
 from repro.core.framework import PacketShader
 from repro.core.application import RouterApplication
 from repro.core.slowpath import SlowPathHandler
+from repro.faults.plan import FaultInjector
+from repro.faults.recovery import RetryPolicy
 from repro.io_engine.driver import OptimizedDriver
 from repro.io_engine.engine import PacketIOEngine
 from repro.io_engine.rss import RSSHasher
@@ -59,16 +61,28 @@ class Testbed:
         num_ports: int = 4,
         ring_size: int = 1024,
         slow_path: Optional[SlowPathHandler] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if num_ports < 1:
             raise ValueError("need at least one port")
         self.config = config or RouterConfig()
-        self.router = PacketShader(app, self.config, slow_path=slow_path)
+        self.fault_injector = fault_injector
+        self.router = PacketShader(
+            app, self.config, slow_path=slow_path,
+            fault_injector=fault_injector, retry_policy=retry_policy,
+        )
         self.node = self.router.nodes[0]
         workers = len(self.node.workers)
-        # One driver per ingress port, one RX queue per worker.
+        # One driver per ingress port, one RX queue per worker.  The
+        # fault injector corrupts at the driver DMA boundary (the wire
+        # side); the engine deliberately gets none, so a frame is
+        # corrupted at most once on its way in.
         self.drivers: Dict[int, OptimizedDriver] = {
-            port: OptimizedDriver(num_queues=workers, ring_size=ring_size)
+            port: OptimizedDriver(
+                num_queues=workers, ring_size=ring_size,
+                fault_injector=fault_injector,
+            )
             for port in range(num_ports)
         }
         self.engine = PacketIOEngine(self.drivers)

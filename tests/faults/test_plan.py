@@ -1,0 +1,170 @@
+"""FaultPlan / FaultInjector: determinism, isolation, bounds, corruption."""
+
+import pytest
+
+from repro.faults import ALL_SITES, FaultPlan, FaultRule, Sites
+from repro.obs import get_registry, reset_registry, reset_tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    reset_registry()
+    reset_tracer()
+    yield
+    reset_registry()
+    reset_tracer()
+
+
+class TestValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule(site="nonsense.site")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultRule(site=Sites.GPU_LAUNCH, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule(site=Sites.GPU_LAUNCH, probability=-0.1)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(rules=(
+                FaultRule(site=Sites.GPU_LAUNCH),
+                FaultRule(site=Sites.GPU_LAUNCH, probability=0.5),
+            ))
+
+    def test_with_rule_is_immutable(self):
+        plan = FaultPlan(seed=3)
+        bigger = plan.with_rule(FaultRule(site=Sites.PCIE_DMA))
+        assert plan.rules == ()
+        assert len(bigger.rules) == 1
+        assert bigger.seed == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=0.3),
+        ))
+        a = [plan.injector().should_fire(Sites.GPU_LAUNCH) for _ in range(1)]
+        first = [x.should_fire(Sites.GPU_LAUNCH)
+                 for x in [plan.injector()] for _ in range(200)]
+        second_injector = plan.injector()
+        second = [second_injector.should_fire(Sites.GPU_LAUNCH)
+                  for _ in range(200)]
+        assert first == second
+        assert any(first) and not all(first)
+        assert a[0] == first[0]
+
+    def test_different_seeds_differ(self):
+        def schedule(seed):
+            injector = FaultPlan(seed=seed, rules=(
+                FaultRule(site=Sites.GPU_LAUNCH, probability=0.5),
+            )).injector()
+            return [injector.should_fire(Sites.GPU_LAUNCH) for _ in range(64)]
+
+        assert schedule(1) != schedule(2)
+
+    def test_sites_are_independent_streams(self):
+        """Adding a rule for one site never shifts another's schedule."""
+        alone = FaultPlan(seed=11, rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=0.4),
+        )).injector()
+        combined = FaultPlan(seed=11, rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=0.4),
+            FaultRule(site=Sites.PCIE_DMA, probability=0.9),
+        )).injector()
+        fires_alone = []
+        fires_combined = []
+        for _ in range(128):
+            fires_alone.append(alone.should_fire(Sites.GPU_LAUNCH))
+            combined.should_fire(Sites.PCIE_DMA)  # interleaved other-site draws
+            fires_combined.append(combined.should_fire(Sites.GPU_LAUNCH))
+        assert fires_alone == fires_combined
+
+
+class TestSchedule:
+    def test_unplanned_site_never_fires(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=1.0),
+        )).injector()
+        assert not any(
+            injector.should_fire(Sites.PCIE_DMA) for _ in range(32)
+        )
+
+    def test_max_fires_bounds_total(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=1.0, max_fires=5),
+        )).injector()
+        fires = sum(injector.should_fire(Sites.GPU_LAUNCH) for _ in range(50))
+        assert fires == 5
+        assert injector.total_fired() == 5
+
+    def test_skip_first_warms_up(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=1.0, skip_first=10),
+        )).injector()
+        results = [injector.should_fire(Sites.GPU_LAUNCH) for _ in range(15)]
+        assert results[:10] == [False] * 10
+        assert all(results[10:])
+
+    def test_fired_counter_in_registry(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=1.0),
+        )).injector()
+        for _ in range(4):
+            injector.should_fire(Sites.GPU_LAUNCH)
+        counter = get_registry().counter("faults.injected", site=Sites.GPU_LAUNCH)
+        assert counter.value == 4
+        assert injector.fired[Sites.GPU_LAUNCH] == 4
+
+
+class TestCorruptFrame:
+    def _frame(self):
+        from repro.net.packet import build_udp_ipv4
+
+        return build_udp_ipv4(0x0A000001, 0x0A000002, 1000, 2000)
+
+    def test_no_corruption_sites_is_identity(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.GPU_LAUNCH, probability=1.0),
+        )).injector()
+        frame = self._frame()
+        out, site = injector.corrupt_frame(frame)
+        assert site is None
+        assert bytes(out) == bytes(frame)
+
+    def test_truncate_shrinks(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.NIC_TRUNCATE, probability=1.0),
+        )).injector()
+        frame = self._frame()
+        out, site = injector.corrupt_frame(frame)
+        assert site == Sites.NIC_TRUNCATE
+        assert 1 <= len(out) < len(frame)
+
+    def test_bad_checksum_flips_checksum_byte(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.NIC_BAD_CHECKSUM, probability=1.0),
+        )).injector()
+        frame = self._frame()
+        out, site = injector.corrupt_frame(frame)
+        assert site == Sites.NIC_BAD_CHECKSUM
+        assert len(out) == len(frame)
+        assert out[24] == frame[24] ^ 0xFF
+        # Everything else untouched.
+        assert bytes(out[:24]) == bytes(frame[:24])
+        assert bytes(out[25:]) == bytes(frame[25:])
+
+    def test_at_most_one_corruption(self):
+        injector = FaultPlan(rules=(
+            FaultRule(site=Sites.NIC_TRUNCATE, probability=1.0),
+            FaultRule(site=Sites.NIC_GARBAGE, probability=1.0),
+            FaultRule(site=Sites.NIC_BAD_CHECKSUM, probability=1.0),
+        )).injector()
+        _, site = injector.corrupt_frame(self._frame())
+        assert site == Sites.NIC_TRUNCATE  # first firing site wins
+        assert injector.total_fired() == 1
+
+    def test_all_sites_are_unique(self):
+        assert len(ALL_SITES) == len(set(ALL_SITES))

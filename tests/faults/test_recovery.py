@@ -1,0 +1,140 @@
+"""RetryPolicy, CircuitBreaker, Watchdog: the degradation ladder's parts."""
+
+import pytest
+
+from repro.faults import BreakerState, CircuitBreaker, RetryPolicy, Watchdog
+from repro.obs import get_registry, reset_registry, reset_tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    reset_registry()
+    reset_tracer()
+    yield
+    reset_registry()
+    reset_tracer()
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base_ns=1000.0, backoff_multiplier=2.0)
+        assert policy.backoff_ns(1) == 1000.0
+        assert policy.backoff_ns(2) == 2000.0
+        assert policy.backoff_ns(3) == 4000.0
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ns(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert not breaker.is_open
+        assert all(breaker.allow() for _ in range(10))
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def _opened(self, probe_interval=4):
+        breaker = CircuitBreaker(
+            failure_threshold=1, probe_interval=probe_interval
+        )
+        breaker.record_failure()
+        assert breaker.is_open
+        return breaker
+
+    def test_probe_every_interval(self):
+        breaker = self._opened(probe_interval=4)
+        results = [breaker.allow() for _ in range(4)]
+        assert results == [False, False, False, True]
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_successful_probe_closes(self):
+        breaker = self._opened(probe_interval=1)
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.closes == 1
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker = self._opened(probe_interval=2)
+        assert not breaker.allow()
+        assert breaker.allow()  # the probe
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+        # Denial counting restarts after the reopen.
+        assert not breaker.allow()
+
+    def test_half_open_keeps_allowing_until_verdict(self):
+        breaker = self._opened(probe_interval=1)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # still half-open, still allowed
+
+    def test_degraded_gauge_tracks_state(self):
+        breaker = CircuitBreaker(device_id=5, failure_threshold=1)
+        gauge = get_registry().gauge("faults.degraded_mode", device="5")
+        assert gauge.value == 0
+        breaker.record_failure()
+        assert gauge.value == 1
+        breaker.record_success()
+        assert gauge.value == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_interval=0)
+
+
+class TestWatchdog:
+    def test_declares_stall_at_threshold(self):
+        dog = Watchdog(stall_threshold=3)
+        assert not dog.note_stall()
+        assert not dog.note_stall()
+        assert dog.note_stall()
+        assert dog.stalls == 1
+
+    def test_progress_resets_the_streak(self):
+        dog = Watchdog(stall_threshold=2)
+        dog.note_stall()
+        dog.note_progress()
+        assert not dog.note_stall()
+        assert dog.stalls == 0
+
+    def test_stall_counter_in_registry(self):
+        dog = Watchdog(stall_threshold=1)
+        dog.note_stall()
+        dog.note_stall()
+        counter = get_registry().counter("faults.watchdog_stalls")
+        assert counter.value == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(stall_threshold=0)

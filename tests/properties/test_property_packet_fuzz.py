@@ -1,0 +1,106 @@
+"""Property-based fuzzing: ``parse_packet`` over arbitrary byte strings.
+
+The parser is the first code to touch wire bytes, so it must never leak
+an implementation exception — every input either parses to a
+:class:`Packet` or raises the typed :class:`PacketParseError`; and the
+framework must conserve packets even when an entire burst is garbage.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.core.framework import PacketShader
+from repro.lookup.dir24_8 import Dir24_8
+from repro.net.packet import (
+    Packet,
+    PacketParseError,
+    build_udp_ipv4,
+    build_udp_ipv6,
+    parse_packet,
+)
+
+
+class TestParseTotal:
+    """parse_packet is total: Packet out, or PacketParseError, nothing else."""
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=400)
+    def test_random_bytes(self, blob):
+        try:
+            packet = parse_packet(blob)
+        except PacketParseError:
+            return
+        assert isinstance(packet, Packet)
+        assert bytes(packet.frame) == blob
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=200)
+    def test_error_is_a_value_error(self, blob):
+        """Legacy callers catching ValueError still see every failure."""
+        try:
+            parse_packet(blob)
+        except ValueError:
+            pass  # PacketParseError subclasses ValueError
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_truncated_valid_frames(self, data):
+        """Every prefix of a well-formed frame parses or raises cleanly."""
+        rng = random.Random(data.draw(st.integers(0, 2**31)))
+        if rng.random() < 0.5:
+            frame = build_udp_ipv4(
+                rng.getrandbits(32), rng.getrandbits(32),
+                rng.randrange(65536), rng.randrange(65536),
+            )
+        else:
+            frame = build_udp_ipv6(
+                rng.getrandbits(128), rng.getrandbits(128),
+                rng.randrange(65536), rng.randrange(65536),
+            )
+        cut = data.draw(st.integers(0, len(frame)))
+        try:
+            packet = parse_packet(bytes(frame[:cut]))
+        except PacketParseError:
+            return
+        assert isinstance(packet, Packet)
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_bitflipped_valid_frames(self, data):
+        """Random single-byte corruption never escapes the error type."""
+        rng = random.Random(data.draw(st.integers(0, 2**31)))
+        frame = build_udp_ipv4(
+            rng.getrandbits(32), rng.getrandbits(32),
+            rng.randrange(65536), rng.randrange(65536),
+        )
+        for _ in range(data.draw(st.integers(1, 8))):
+            frame[rng.randrange(len(frame))] = rng.randrange(256)
+        try:
+            packet = parse_packet(bytes(frame))
+        except PacketParseError:
+            return
+        assert isinstance(packet, Packet)
+
+
+class TestGarbageBurstConservation:
+    """A burst of pure garbage still conserves packets in the framework."""
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=128), min_size=1, max_size=60),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_conserved(self, blobs, use_gpu):
+        from repro.core.config import RouterConfig
+
+        fib = Dir24_8()
+        fib.add_routes([(0x0A000000, 8, 1)])
+        router = PacketShader(
+            IPv4Forwarder(fib), RouterConfig(use_gpu=use_gpu)
+        )
+        router.process_frames([bytearray(b) for b in blobs])
+        stats = router.stats
+        assert stats.received == len(blobs)
+        assert stats.received == stats.forwarded + stats.dropped + stats.slow_path
