@@ -1,17 +1,24 @@
-"""Entry point: ``python -m repro [trace|metrics|chaos]``.
+"""Entry point: ``python -m repro [trace|metrics|chaos|lint]``.
 
 With no subcommand, prints the headline report; ``trace`` prints a
 per-stage cost breakdown of a traced forwarding burst; ``metrics``
 dumps the metrics registry (Prometheus text, JSON lines, or a table);
 ``chaos`` runs fault-injection scenarios and checks the conservation
-and degradation invariants.
+and degradation invariants; ``lint`` runs reprolint, the AST-based
+invariant linter (docs/STATIC_ANALYSIS.md).
 """
 
 import sys
 
+from repro.analysis.cli import lint_main
 from repro.report import chaos_main, main, metrics_main, trace_main
 
-_COMMANDS = {"trace": trace_main, "metrics": metrics_main, "chaos": chaos_main}
+_COMMANDS = {
+    "trace": trace_main,
+    "metrics": metrics_main,
+    "chaos": chaos_main,
+    "lint": lint_main,
+}
 
 argv = sys.argv[1:]
 if argv and argv[0] in _COMMANDS:

@@ -1,0 +1,88 @@
+"""The committed-baseline mechanism for grandfathered findings.
+
+A baseline is a JSON file mapping finding fingerprints — ``(rule, path,
+message)``, no line numbers — to occurrence counts.  Linting against a
+baseline marks up to ``count`` matching findings as *baselined*: still
+reported, but not failing the run.  This lets a new rule land with the
+tree's existing debt recorded instead of silenced, while any *new*
+violation of the same rule still fails CI.  The shipped baseline
+(``reprolint-baseline.json``) is empty: the tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding, sort_findings
+
+Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """Grandfathered finding fingerprints with per-fingerprint counts."""
+
+    def __init__(self, counts: Dict[Fingerprint, int] = None) -> None:
+        self.counts: Dict[Fingerprint, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Dict[Fingerprint, int] = {}
+        for finding in findings:
+            key = finding.fingerprint
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or data.get("version") != 1:
+            raise ValueError(f"{path}: not a reprolint baseline (version 1)")
+        counts: Dict[Fingerprint, int] = {}
+        for entry in data.get("findings", ()):
+            key = (entry["rule"], entry["path"], entry["message"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    # -- persistence ----------------------------------------------------
+
+    def to_json(self) -> str:
+        entries = [
+            {"rule": rule, "path": path, "message": message, "count": count}
+            for (rule, path, message), count in sorted(self.counts.items())
+        ]
+        return json.dumps(
+            {"version": 1, "tool": "reprolint", "findings": entries},
+            indent=2, sort_keys=True,
+        ) + "\n"
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    # -- application ----------------------------------------------------
+
+    def apply(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Mark baselined findings; returns them sorted.
+
+        Matching is first-come within the sorted order: if the baseline
+        grandfathers N occurrences of a fingerprint and the tree now has
+        N+1, exactly one stays new (and fails the lint).
+        """
+        remaining = dict(self.counts)
+        ordered = sort_findings(findings)
+        for finding in ordered:
+            left = remaining.get(finding.fingerprint, 0)
+            if left > 0:
+                finding.baselined = True
+                remaining[finding.fingerprint] = left - 1
+        return ordered

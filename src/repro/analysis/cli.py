@@ -1,0 +1,118 @@
+"""``python -m repro lint`` — the reprolint command line.
+
+Exit status: 0 when clean (or every finding is baselined/suppressed),
+1 when new findings exist, 2 on usage errors.  ``--format json`` emits
+the machine-readable report CI uploads as an artifact;
+``--write-baseline`` records the current findings as grandfathered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.driver import lint_paths
+from repro.analysis.findings import format_json, format_table
+from repro.analysis.rules import all_rules, get_rule
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def _default_paths() -> List[str]:
+    """Lint ``src/`` when run from the repo root; else the installed
+    package's own tree."""
+    if Path("src").is_dir():
+        return ["src"]
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="reprolint: AST-based invariant linter "
+                    "(determinism, cycle accounting, metric names, "
+                    "drop conservation, fault-site coverage)",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", nargs="?", const=DEFAULT_BASELINE,
+        default=None,
+        help=f"apply a committed baseline of grandfathered findings "
+             f"(default file: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH", nargs="?",
+        const=DEFAULT_BASELINE, default=None,
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [
+                get_rule(token.strip().upper())
+                for token in args.rules.split(",")
+                if token.strip()
+            ]
+        except KeyError as exc:
+            print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, OSError) as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or _default_paths()
+    result = lint_paths(paths, rules=rules, baseline=baseline)
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(result.findings).save(args.write_baseline)
+        print(
+            f"reprolint: wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(format_json(result.findings, files_checked=result.files_checked))
+    else:
+        print(format_table(result.findings))
+        if result.suppressed:
+            print(f"reprolint: {result.suppressed} finding(s) suppressed inline")
+        print(
+            f"reprolint: checked {result.files_checked} file(s): "
+            + ("FAIL" if result.failed else "OK")
+        )
+    return 1 if result.failed else 0

@@ -1,0 +1,143 @@
+"""RL001: simulations must be bit-reproducible from a seed.
+
+Three nondeterminism classes, all of which have corrupted published
+dataplane numbers before (Benchmarking-NFV-dataplanes methodology bugs):
+
+* **module-level RNG** — ``random.random()`` and friends draw from the
+  interpreter-global stream, so any new call site anywhere reshuffles
+  every schedule; the repo's convention is a ``random.Random(seed)``
+  instance per component (see ``FaultInjector``, ``PacketGenerator``);
+* **wall-clock reads on modelled paths** — ``time.time()`` inside
+  sim/hw/io_engine/core/gen makes modelled costs depend on host load
+  (``repro.obs.trace`` may read the clock: profiling the reproduction
+  itself is its job);
+* **set iteration feeding ordering decisions** — set order is
+  hash-randomized per process, so iterating one into packet, cycle, or
+  scheduling order silently varies run to run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: ``random.<fn>`` calls that draw from (or reseed) the global stream.
+RANDOM_DRAW_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+})
+
+#: Wall-clock reads (dotted call names, as written at the call site).
+CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Layers whose paths are modelled: a wall-clock read there leaks host
+#: time into simulated results.  (``obs`` is deliberately absent.)
+CLOCK_SCOPED_PARTS = frozenset({"sim", "hw", "io_engine", "core", "gen"})
+
+#: Builtins whose single argument is iterated in order.
+_ITERATING_BUILTINS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _iteration_targets(node: ast.AST) -> Iterator[ast.AST]:
+    """Expressions whose iteration order this node consumes."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        for generator in node.generators:
+            yield generator.iter
+    elif isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in _ITERATING_BUILTINS and node.args:
+            yield node.args[0]
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "RL001"
+    title = "bit-reproducibility: no global RNG, wall clocks, or set order"
+
+    def check(self, project) -> Iterable[Finding]:
+        for module in project.modules:
+            clock_scoped = any(
+                part in CLOCK_SCOPED_PARTS for part in module.parts
+            )
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    finding = self._check_call(module, node, clock_scoped)
+                    if finding is not None:
+                        yield finding
+                for iter_expr in _iteration_targets(node):
+                    if _is_set_expr(iter_expr):
+                        yield module.finding(
+                            self.rule_id, iter_expr.lineno,
+                            "iteration over a set feeds ordering decisions "
+                            "from hash-randomized order",
+                            hint="sort the elements (sorted(...)) or keep "
+                                 "them in a list/dict to fix the order",
+                        )
+
+    def _check_call(
+        self, module, node: ast.Call, clock_scoped: bool
+    ) -> Optional[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        if name.startswith("random."):
+            fn = name.split(".", 1)[1]
+            if fn in RANDOM_DRAW_FNS:
+                return module.finding(
+                    self.rule_id, node.lineno,
+                    f"module-level RNG call {name}() shares the "
+                    "interpreter-global stream",
+                    hint="draw from a random.Random(seed) instance owned "
+                         "by the component (plan/scenario seeded)",
+                )
+        if name.startswith(("np.random.", "numpy.random.")):
+            fn = name.rsplit(".", 1)[1]
+            if fn == "default_rng":
+                if not node.args and not node.keywords:
+                    return module.finding(
+                        self.rule_id, node.lineno,
+                        "np.random.default_rng() without a seed is "
+                        "OS-entropy seeded",
+                        hint="pass an explicit seed: "
+                             "np.random.default_rng(seed)",
+                    )
+            else:
+                return module.finding(
+                    self.rule_id, node.lineno,
+                    f"global numpy RNG call {name}()",
+                    hint="use a np.random.default_rng(seed) Generator "
+                         "passed in explicitly",
+                )
+        if clock_scoped and name in CLOCK_CALLS:
+            return module.finding(
+                self.rule_id, node.lineno,
+                f"wall-clock read {name}() on a modelled path",
+                hint="modelled layers derive time from the simulation "
+                     "clock / calibrated cost model, never the host clock",
+            )
+        return None

@@ -1,0 +1,99 @@
+"""RL002: cycle/byte accounting must stay exact and calibrated.
+
+Two hazards:
+
+* **float equality on counters** — cycle, nanosecond, byte, and rate
+  values are floats in the cost models; ``==``/``!=`` on them turns
+  accumulation-order noise into flipped branches (a conservation check
+  that passes or fails depending on summation order).  Comparing
+  against the integer literal ``0`` is exempt — the idiomatic
+  empty-guard — as is comparing two plain string/None constants.
+* **hardcoded cycle constants** — a function named ``*cycles*``
+  returning a bare numeric literal bypasses
+  :mod:`repro.calib.constants`, so recalibration (new CPU, new
+  measurement) silently misses it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.analysis.astutil import function_body_walk, last_ident, walk_functions
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: Identifiers that smell like cycle/byte/time/rate accounting values.
+COUNTER_IDENT_RE = re.compile(r"(?:^|_)(?:n?bytes?|cycles?|ns|gbps|pps)(?:_|$)")
+
+
+def _counter_ident(node: ast.AST) -> Optional[str]:
+    ident = last_ident(node)
+    if ident is not None and COUNTER_IDENT_RE.search(ident):
+        return ident
+    return None
+
+
+def _is_zero_int(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+@register
+class AccountingRule(Rule):
+    rule_id = "RL002"
+    title = "exact cycle accounting: no float equality, no bypassed calibration"
+
+    def check(self, project) -> Iterable[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Compare):
+                    yield from self._check_compare(module, node)
+            for fn in walk_functions(module.tree):
+                if "cycles" not in fn.name:
+                    continue
+                yield from self._check_cycle_fn(module, fn)
+
+    def _check_compare(self, module, node: ast.Compare) -> Iterable[Finding]:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            ident = _counter_ident(left) or _counter_ident(right)
+            if ident is None:
+                continue
+            other = right if _counter_ident(left) else left
+            if _is_zero_int(other):
+                continue  # `nbytes == 0` style empty-guards are exact
+            yield module.finding(
+                self.rule_id, node.lineno,
+                f"float equality ({'==' if isinstance(op, ast.Eq) else '!='})"
+                f" on accounting value '{ident}'",
+                hint="use math.isclose / an epsilon, or keep the counter "
+                     "integral; exact float equality breaks conservation "
+                     "checks",
+            )
+
+    def _check_cycle_fn(self, module, fn) -> Iterable[Finding]:
+        for node in function_body_walk(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, (int, float))
+                and not isinstance(value.value, bool)
+                and value.value != 0
+            ):
+                yield module.finding(
+                    self.rule_id, node.lineno,
+                    f"cycle-returning function '{fn.name}' returns the "
+                    f"hardcoded constant {value.value}",
+                    hint="route cycle costs through repro.calib.constants "
+                         "so recalibration reaches every model",
+                )

@@ -1,0 +1,128 @@
+"""RL004: every discarded packet must be counted where it is discarded.
+
+The chaos suite asserts conservation (``received == forwarded + dropped
++ slow_path``) dynamically; this rule catches the static shape of the
+bugs that break it — a code path that throws packets away without an
+adjacent drop-counter increment:
+
+* an ``if`` guard that sheds load (its condition consults
+  ``should_fire(...)`` or an overflow/full-ring predicate) and bails
+  with ``return False`` / ``continue`` / ``break`` must increment an
+  accounting counter (``*drop*``, ``*shed*``, ``*reject*``,
+  ``*discard*``) inside that same block;
+* a bare ``<verdict>.drop()`` statement in the infrastructure layers
+  (core / io_engine / hw) must sit in a function that also updates such
+  a counter.  Application shaders (``apps/``) are exempt: their verdict
+  dispositions are conserved centrally by ``_finish_chunk``'s
+  per-disposition accounting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.analysis.astutil import chain_text, function_body_walk, walk_functions
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+#: Identifier tokens that count as drop accounting.
+ACCOUNT_RE = re.compile(r"drop|shed|reject|discard", re.IGNORECASE)
+#: Condition tokens that mark a load-shedding guard.
+GUARD_RE = re.compile(r"should_fire|overflow", re.IGNORECASE)
+
+#: Layers where a bare ``.drop()`` must be accounted in-function.
+INFRA_PARTS = frozenset({"core", "io_engine", "hw"})
+
+
+def _is_discard_terminator(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Continue, ast.Break)):
+        return True
+    if isinstance(stmt, ast.Return):
+        value = stmt.value
+        if value is None:
+            return True
+        if isinstance(value, ast.Constant) and value.value in (False, None):
+            return True
+        if isinstance(value, (ast.List, ast.Tuple)) and not value.elts:
+            return True
+    return False
+
+
+def _has_accounting(nodes: Iterable[ast.AST]) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AugAssign) and isinstance(sub.op, ast.Add):
+                if ACCOUNT_RE.search(chain_text(sub.target)):
+                    return True
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("inc", "observe", "add")
+                and ACCOUNT_RE.search(chain_text(sub.func.value))
+            ):
+                return True
+    return False
+
+
+@register
+class DropConservationRule(Rule):
+    rule_id = "RL004"
+    title = "discarded packets carry an adjacent drop-counter increment"
+
+    def check(self, project) -> Iterable[Finding]:
+        for module in project.modules:
+            infra = any(part in INFRA_PARTS for part in module.parts)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.If):
+                    finding = self._check_guard(module, node)
+                    if finding is not None:
+                        yield finding
+            if not infra:
+                continue
+            for fn in walk_functions(module.tree):
+                yield from self._check_verdict_drops(module, fn)
+
+    def _check_guard(self, module, node: ast.If) -> Optional[Finding]:
+        if not GUARD_RE.search(chain_text(node.test)):
+            return None
+        terminator = next(
+            (stmt for stmt in node.body if _is_discard_terminator(stmt)), None
+        )
+        if terminator is None:
+            return None
+        if _has_accounting(node.body):
+            return None
+        return module.finding(
+            self.rule_id, terminator.lineno,
+            "load-shedding guard discards packets without a drop-counter "
+            "increment",
+            hint="increment a *drop*/*reject* counter inside the guard "
+                 "before bailing out, so conservation stays auditable",
+        )
+
+    def _check_verdict_drops(self, module, fn) -> Iterable[Finding]:
+        if fn.name == "drop":
+            return  # the verdict primitive itself
+        drop_calls = [
+            node
+            for node in function_body_walk(fn)
+            if isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "drop"
+            and not node.value.args
+        ]
+        if not drop_calls:
+            return
+        if _has_accounting(fn.body):
+            return
+        for call in drop_calls:
+            yield module.finding(
+                self.rule_id, call.lineno,
+                f"verdict .drop() in infrastructure function '{fn.name}' "
+                "without drop accounting in the same function",
+                hint="mirror the drop into a counter (stats and registry) "
+                     "next to the verdict, as _shed_chunk does",
+            )

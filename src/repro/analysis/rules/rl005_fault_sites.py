@@ -1,0 +1,72 @@
+"""RL005: every fault site is injectable and exercised by a scenario.
+
+The fault catalog (class ``Sites`` in :mod:`repro.faults.plan`) is only
+worth trusting if every member is *live*: wired into its layer's failure
+boundary via ``should_fire(Sites.X)`` (or a string matching its value),
+and exercised by at least one ``FaultRule(site=Sites.X, ...)`` in a
+scenario.  A site failing either check is chaos coverage that silently
+stopped existing — the degradation ladder behind it is no longer tested.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.astutil import call_args, dotted_name, last_ident, string_value
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+
+
+def _site_token(node: ast.AST) -> Iterable[str]:
+    """Member names / string values a site argument expression matches."""
+    if isinstance(node, ast.Attribute):
+        receiver = dotted_name(node.value)
+        if receiver is not None and receiver.split(".")[-1] == "Sites":
+            yield node.attr
+    text = string_value(node)
+    if text is not None:
+        yield text
+
+
+@register
+class FaultSiteCoverageRule(Rule):
+    rule_id = "RL005"
+    title = "every fault site has an injection call site and a scenario"
+
+    def check(self, project) -> Iterable[Finding]:
+        sites = project.class_string_constants("Sites")
+        if not sites:
+            return
+
+        injected: Set[str] = set()
+        in_scenario: Set[str] = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = last_ident(node.func)
+                if callee == "should_fire" and node.args:
+                    injected.update(_site_token(node.args[0]))
+                elif callee == "FaultRule":
+                    arg = call_args(node, "site")
+                    if arg is not None:
+                        in_scenario.update(_site_token(arg))
+
+        for name, (value, module, lineno) in sorted(sites.items()):
+            if name not in injected and value not in injected:
+                yield module.finding(
+                    self.rule_id, lineno,
+                    f"fault site '{value}' ({name}) has no "
+                    "should_fire() injection call site",
+                    hint="wire the site into its layer's failure boundary "
+                         "or delete it from the catalog",
+                )
+            if name not in in_scenario and value not in in_scenario:
+                yield module.finding(
+                    self.rule_id, lineno,
+                    f"fault site '{value}' ({name}) is not referenced by "
+                    "any FaultRule scenario",
+                    hint="add a rule for it to a chaos scenario in "
+                         "repro/faults/scenarios.py",
+                )

@@ -32,7 +32,7 @@ from repro.hw.gpu import GPUDevice
 from repro.core.slowpath import SlowPathHandler
 from repro.io_engine.rss import RSSHasher
 from repro.net.packet import parse_packet
-from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer
+from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer, names
 
 
 @dataclass
@@ -121,42 +121,44 @@ class PacketShader:
         # conservation invariant holds for both views.
         registry = get_registry()
         self._m_received = registry.counter(
-            "router.received_packets", help="packets entering the workflow"
+            names.ROUTER_RECEIVED_PACKETS, help="packets entering the workflow"
         )
         self._m_forwarded = registry.counter(
-            "router.forwarded_packets", help="packets with a FORWARD verdict"
+            names.ROUTER_FORWARDED_PACKETS, help="packets with a FORWARD verdict"
         )
         self._m_dropped = registry.counter(
-            "router.dropped_packets", help="packets with a DROP verdict"
+            names.ROUTER_DROPPED_PACKETS, help="packets with a DROP verdict"
         )
         self._m_slow_path = registry.counter(
-            "router.slow_path_packets", help="packets diverted to the slow path"
+            names.ROUTER_SLOW_PATH_PACKETS,
+            help="packets diverted to the slow path",
         )
         self._m_chunks = registry.counter(
-            "router.chunks", help="chunks completing the workflow"
+            names.ROUTER_CHUNKS, help="chunks completing the workflow"
         )
         self._m_gpu_launches = registry.counter(
-            "router.gpu_launches", help="GPU kernel launches by masters"
+            names.ROUTER_GPU_LAUNCHES, help="GPU kernel launches by masters"
         )
         self._m_gathered = registry.counter(
-            "router.gathered_chunks", help="chunks gathered by masters"
+            names.ROUTER_GATHERED_CHUNKS, help="chunks gathered by masters"
         )
         self._h_chunk_size = registry.histogram(
-            "router.chunk_size", buckets=BATCH_SIZE_BUCKETS,
+            names.ROUTER_CHUNK_SIZE, buckets=BATCH_SIZE_BUCKETS,
             help="packets per chunk entering the workflow",
         )
         self._m_gpu_retries = registry.counter(
-            "router.gpu_retries", help="GPU launches retried after a failure"
+            names.ROUTER_GPU_RETRIES, help="GPU launches retried after a failure"
         )
         self._m_gpu_failures = registry.counter(
-            "router.gpu_failures", help="GPU launches failed past the retry budget"
+            names.ROUTER_GPU_FAILURES,
+            help="GPU launches failed past the retry budget",
         )
         self._m_degraded_chunks = registry.counter(
-            "router.degraded_chunks",
+            names.ROUTER_DEGRADED_CHUNKS,
             help="chunks shaded on the CPU although GPU mode was configured",
         )
         self._m_backpressure_drops = registry.counter(
-            "router.backpressure_drops",
+            names.ROUTER_BACKPRESSURE_DROPS,
             help="packets shed after bounded backpressure gave up",
         )
         self.nodes: List[_Node] = []

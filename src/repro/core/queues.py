@@ -20,7 +20,7 @@ from typing import Deque, List, Optional
 
 from repro.core.chunk import Chunk
 from repro.faults.plan import FaultInjector, Sites
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 
 class MasterInputQueue:
@@ -40,13 +40,14 @@ class MasterInputQueue:
         self.rejected = 0
         registry = get_registry()
         self._g_depth = registry.gauge(
-            "core.master_input_depth", help="chunks queued for the master"
+            names.CORE_MASTER_INPUT_DEPTH, help="chunks queued for the master"
         )
         self._m_enqueued = registry.counter(
-            "core.master_input_enqueued", help="chunks accepted by the master queue"
+            names.CORE_MASTER_INPUT_ENQUEUED,
+            help="chunks accepted by the master queue",
         )
         self._m_rejected = registry.counter(
-            "core.master_input_rejected",
+            names.CORE_MASTER_INPUT_REJECTED,
             help="chunk handoffs refused by a full master queue (backpressure)",
         )
 
@@ -106,7 +107,7 @@ class WorkerOutputQueue:
         self._queue: Deque[Chunk] = deque()
         self.enqueued = 0
         self._g_depth = get_registry().gauge(
-            "core.worker_output_depth",
+            names.CORE_WORKER_OUTPUT_DEPTH,
             help="shaded chunks awaiting post-shading",
             worker=str(worker_id),
         )

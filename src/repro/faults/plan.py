@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 
 class Sites:
@@ -136,7 +136,7 @@ class FaultInjector:
         registry = get_registry()
         self._m_injected = {
             site: registry.counter(
-                "faults.injected", help="injected faults by site", site=site
+                names.FAULTS_INJECTED, help="injected faults by site", site=site
             )
             for site in self._rules
         }

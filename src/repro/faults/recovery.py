@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 
 @dataclass(frozen=True)
@@ -97,16 +97,16 @@ class CircuitBreaker:
         registry = get_registry()
         device = str(device_id)
         self._g_degraded = registry.gauge(
-            "faults.degraded_mode",
+            names.FAULTS_DEGRADED_MODE,
             help="1 while the device's breaker is open (CPU-only path)",
             device=device,
         )
         self._m_opens = registry.counter(
-            "faults.breaker_opens", help="breaker open transitions",
+            names.FAULTS_BREAKER_OPENS, help="breaker open transitions",
             device=device,
         )
         self._m_probes = registry.counter(
-            "faults.breaker_probes", help="half-open probe launches",
+            names.FAULTS_BREAKER_PROBES, help="half-open probe launches",
             device=device,
         )
 
@@ -177,7 +177,7 @@ class Watchdog:
         self.stalls = 0
         self._consecutive = 0
         self._m_stalls = get_registry().counter(
-            "faults.watchdog_stalls",
+            names.FAULTS_WATCHDOG_STALLS,
             help="declared stalls (no progress across the threshold)",
         )
 

@@ -18,7 +18,7 @@ import struct
 from typing import List, Optional
 
 from repro.net.packet import build_udp_ipv4, build_udp_ipv6
-from repro.obs import get_logger, get_registry
+from repro.obs import get_logger, get_registry, names
 
 log = get_logger("gen.packetgen")
 
@@ -31,10 +31,10 @@ class PacketGenerator:
         self.generated = 0
         registry = get_registry()
         self._m_ipv4 = registry.counter(
-            "gen.frames", help="frames built by the generator", family="ipv4"
+            names.GEN_FRAMES, help="frames built by the generator", family="ipv4"
         )
         self._m_ipv6 = registry.counter(
-            "gen.frames", help="frames built by the generator", family="ipv6"
+            names.GEN_FRAMES, help="frames built by the generator", family="ipv6"
         )
 
     def random_ipv4_frame(self, frame_len: int = 64,

@@ -29,7 +29,7 @@ from repro.calib.constants import GPU, GPUModel
 from repro.faults.errors import GPULaunchError, GPUTimeoutError
 from repro.faults.plan import FaultInjector, Sites
 from repro.hw.pcie import PCIeLink
-from repro.obs import LATENCY_NS_BUCKETS, get_registry
+from repro.obs import LATENCY_NS_BUCKETS, get_registry, names
 
 
 @dataclass(frozen=True)
@@ -109,18 +109,18 @@ class GPUDevice:
         registry = get_registry()
         device = str(device_id)
         self._m_launches = registry.counter(
-            "gpu.launches", help="kernel launches", device=device
+            names.GPU_LAUNCHES, help="kernel launches", device=device
         )
         self._m_launch_errors = registry.counter(
-            "gpu.launch_errors", help="launches failed by fault injection",
+            names.GPU_LAUNCH_ERRORS, help="launches failed by fault injection",
             device=device,
         )
         self._m_busy_ns = registry.counter(
-            "gpu.busy_ns", help="modelled device-busy nanoseconds",
+            names.GPU_BUSY_NS, help="modelled device-busy nanoseconds",
             device=device,
         )
         self._h_launch_ns = registry.histogram(
-            "gpu.launch_total_ns", buckets=LATENCY_NS_BUCKETS,
+            names.GPU_LAUNCH_TOTAL_NS, buckets=LATENCY_NS_BUCKETS,
             help="modelled sync+launch+h2d+exec+d2h time per launch",
             device=device,
         )

@@ -17,7 +17,7 @@ from typing import Optional
 from repro.calib.constants import PCIE, PCIeModel
 from repro.faults.errors import DMAError
 from repro.faults.plan import FaultInjector, Sites
-from repro.obs import get_registry
+from repro.obs import get_registry, names
 
 
 @dataclass
@@ -46,7 +46,7 @@ class PCIeLink:
         ):
             self.dma_errors += 1
             get_registry().counter(
-                "pcie.dma_errors", direction=direction,
+                names.PCIE_DMA_ERRORS, direction=direction,
                 help="DMA transfers failed by fault injection",
             ).inc()
             raise DMAError(f"{direction} DMA of {nbytes} bytes failed")
@@ -74,9 +74,9 @@ class PCIeLink:
         self.bytes_h2d += nbytes
         self.transfers_h2d += 1
         registry = get_registry()
-        registry.counter("pcie.bytes", direction="h2d").inc(nbytes)
-        registry.counter("pcie.transfers", direction="h2d").inc()
-        registry.counter("pcie.transfer_ns", direction="h2d").inc(time_ns)
+        registry.counter(names.PCIE_BYTES, direction="h2d").inc(nbytes)
+        registry.counter(names.PCIE_TRANSFERS, direction="h2d").inc()
+        registry.counter(names.PCIE_TRANSFER_NS, direction="h2d").inc(time_ns)
         return time_ns
 
     def transfer_d2h(self, nbytes: int) -> float:
@@ -86,9 +86,9 @@ class PCIeLink:
         self.bytes_d2h += nbytes
         self.transfers_d2h += 1
         registry = get_registry()
-        registry.counter("pcie.bytes", direction="d2h").inc(nbytes)
-        registry.counter("pcie.transfers", direction="d2h").inc()
-        registry.counter("pcie.transfer_ns", direction="d2h").inc(time_ns)
+        registry.counter(names.PCIE_BYTES, direction="d2h").inc(nbytes)
+        registry.counter(names.PCIE_TRANSFERS, direction="d2h").inc()
+        registry.counter(names.PCIE_TRANSFER_NS, direction="d2h").inc(time_ns)
         return time_ns
 
     def h2d_rate_mbps(self, nbytes: int) -> float:

@@ -21,7 +21,7 @@ multi-core scaling penalty.
 from __future__ import annotations
 
 from repro.calib.constants import CPU, IO_ENGINE, CPUModel, IOEngineCosts
-from repro.obs import BATCH_SIZE_BUCKETS, get_registry
+from repro.obs import BATCH_SIZE_BUCKETS, get_registry, names
 
 
 def _validate(batch_size: int) -> None:
@@ -129,7 +129,7 @@ def effective_batch_size(
     # hand ("average 13.6 with 8 cores vs 63.0 with 4"); keep its
     # distribution observable.
     get_registry().histogram(
-        "io.effective_batch_size", buckets=BATCH_SIZE_BUCKETS,
+        names.IO_EFFECTIVE_BATCH_SIZE, buckets=BATCH_SIZE_BUCKETS,
         help="steady-state packets per fetch at the offered load",
     ).observe(batch)
     return batch

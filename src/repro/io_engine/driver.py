@@ -24,7 +24,7 @@ from repro.hw.cache import CacheModel
 from repro.hw.nic import QueueStats
 from repro.io_engine.hugebuf import HugePacketBuffer
 from repro.io_engine.skb import SkbAllocator
-from repro.obs import BATCH_SIZE_BUCKETS, get_registry
+from repro.obs import BATCH_SIZE_BUCKETS, get_registry, names
 
 
 class UnmodifiedDriver:
@@ -114,26 +114,26 @@ class OptimizedDriver:
         registry = get_registry()
         self._m_rx = [
             registry.counter(
-                "io.driver_rx_packets", help="frames DMA'd into RX rings",
+                names.IO_DRIVER_RX_PACKETS, help="frames DMA'd into RX rings",
                 queue=str(q),
             )
             for q in range(num_queues)
         ]
         self._m_drops = [
             registry.counter(
-                "io.driver_rx_drops", help="RX ring tail drops", queue=str(q)
+                names.IO_DRIVER_RX_DROPS, help="RX ring tail drops", queue=str(q)
             )
             for q in range(num_queues)
         ]
         self._m_fetched = [
             registry.counter(
-                "io.driver_fetched_packets",
+                names.IO_DRIVER_FETCHED_PACKETS,
                 help="frames fetched by batched RX", queue=str(q),
             )
             for q in range(num_queues)
         ]
         self._h_batch = registry.histogram(
-            "io.driver_fetch_batch_size", buckets=BATCH_SIZE_BUCKETS,
+            names.IO_DRIVER_FETCH_BATCH_SIZE, buckets=BATCH_SIZE_BUCKETS,
             help="packets per non-empty fetch_batch",
         )
 

@@ -28,7 +28,7 @@ from repro.io_engine.batching import (
 )
 from repro.io_engine.driver import OptimizedDriver
 from repro.io_engine.livelock import LivelockAvoider, PollState
-from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer
+from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer, names
 from repro.sim.metrics import ThroughputReport, gbps_to_pps
 from repro.sim.pipeline import PipelineModel, Stage
 
@@ -70,13 +70,13 @@ class PacketIOEngine:
         self._rr_cursor: Dict[int, int] = {}
         registry = get_registry()
         self._m_rx_packets = registry.counter(
-            "io.engine_rx_packets", help="packets fetched through recv_chunk"
+            names.IO_ENGINE_RX_PACKETS, help="packets fetched through recv_chunk"
         )
         self._m_rx_chunks = registry.counter(
-            "io.engine_rx_chunks", help="non-empty recv_chunk fetches"
+            names.IO_ENGINE_RX_CHUNKS, help="non-empty recv_chunk fetches"
         )
         self._h_chunk_size = registry.histogram(
-            "io.engine_chunk_size", buckets=BATCH_SIZE_BUCKETS,
+            names.IO_ENGINE_CHUNK_SIZE, buckets=BATCH_SIZE_BUCKETS,
             help="packets per recv_chunk fetch",
         )
 
@@ -149,7 +149,7 @@ class PacketIOEngine:
         accepted = port.tx_queues[queue_id].post_batch(frames)
         if accepted:
             get_registry().counter(
-                "io.engine_tx_packets", help="packets posted through send_chunk"
+                names.IO_ENGINE_TX_PACKETS, help="packets posted through send_chunk"
             ).inc(accepted)
             get_tracer().record(
                 Stages.TX,

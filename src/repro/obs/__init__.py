@@ -17,11 +17,14 @@ same measurement machinery, permanently resident:
   (limiting pipeline stage, feeding ``ThroughputReport.bottleneck``)
   and cost-view (per-stage share breakdown);
 * :mod:`repro.obs.log` — the single logging path, counted into the
-  registry.
+  registry;
+* :mod:`repro.obs.names` — the canonical metric-name catalog every
+  registration resolves against (enforced by ``reprolint`` RL003).
 
 See ``docs/OBSERVABILITY.md`` for the API guide and conventions.
 """
 
+from repro.obs import names
 from repro.obs.analyzer import (
     BottleneckVerdict,
     StageAttribution,
@@ -76,6 +79,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "limiting_stage",
+    "names",
     "reset_registry",
     "reset_tracer",
     "set_registry",

@@ -13,6 +13,7 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from repro.obs import names
 from repro.obs.registry import get_registry
 
 _ROOT_NAME = "repro"
@@ -23,7 +24,7 @@ class _CountingFilter(logging.Filter):
 
     def filter(self, record: logging.LogRecord) -> bool:
         get_registry().counter(
-            "log.records", help="log records emitted, by level",
+            names.LOG_RECORDS, help="log records emitted, by level",
             level=record.levelname.lower(),
         ).inc()
         return True

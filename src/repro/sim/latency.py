@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from repro.calib.constants import CPU, IO_ENGINE, NIC
 from repro.hw.nic import effective_itr_ns
-from repro.obs import LATENCY_NS_BUCKETS, get_registry
+from repro.obs import LATENCY_NS_BUCKETS, get_registry, names
 from repro.core.application import RouterApplication
 from repro.core.config import RouterConfig
 from repro.core.solver import (
@@ -48,7 +48,7 @@ class LatencyStats:
 
     def __post_init__(self) -> None:
         self._histogram = get_registry().histogram(
-            "sim.sojourn_ns", buckets=LATENCY_NS_BUCKETS,
+            names.SIM_SOJOURN_NS, buckets=LATENCY_NS_BUCKETS,
             help="simulated one-way sojourn times",
         )
 

@@ -1,0 +1,32 @@
+"""Shared fixture machinery: lint in-memory snippets through the real
+driver (files land in tmp_path, so path-scoped rules see real layers)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.driver import lint_paths
+from repro.analysis.rules import get_rule
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint({relpath: code, ...}, rules=["RL001"]) -> LintResult``."""
+
+    def _lint(files, rules=None, baseline=None):
+        for relpath, code in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(code))
+        selected = [get_rule(r) for r in rules] if rules is not None else None
+        return lint_paths([tmp_path], rules=selected, baseline=baseline)
+
+    return _lint
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+def messages(result):
+    return " | ".join(finding.message for finding in result.findings)

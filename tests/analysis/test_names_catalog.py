@@ -1,0 +1,43 @@
+"""Runtime consistency between the name catalog and the live registry.
+
+RL003 checks the catalog statically; these tests close the loop at run
+time: everything the instrumented stack actually registers must be a
+catalog name, so the two views can never drift apart silently.
+"""
+
+import re
+
+from repro.apps.ipv4 import IPv4Forwarder
+from repro.core.framework import PacketShader
+from repro.gen.workloads import ipv4_workload
+from repro.obs import get_registry, names, reset_registry
+
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def test_catalog_values_follow_convention():
+    assert names.METRIC_NAMES, "catalog must not be empty"
+    for value in names.METRIC_NAMES:
+        assert NAME_RE.match(value), value
+
+
+def test_catalog_constants_mirror_values():
+    for const, value in vars(names).items():
+        if const.isupper() and isinstance(value, str):
+            assert const == value.replace(".", "_").upper()
+
+
+def test_live_registry_only_registers_catalog_names():
+    reset_registry()
+    try:
+        workload = ipv4_workload(num_routes=256)
+        router = PacketShader(IPv4Forwarder(workload.table))
+        frames = [workload.generator.random_ipv4_frame() for _ in range(64)]
+        router.process_frames(frames)
+        registered = {metric.name for metric in get_registry().collect()}
+        assert registered, "the traced run must register metrics"
+        assert registered <= names.METRIC_NAMES, (
+            registered - names.METRIC_NAMES
+        )
+    finally:
+        reset_registry()

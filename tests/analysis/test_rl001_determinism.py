@@ -1,0 +1,123 @@
+"""RL001 fixtures: must-trigger and must-not-trigger determinism cases."""
+
+from tests.analysis.conftest import messages, rule_ids
+
+
+class TestGlobalRNG:
+    def test_module_level_random_triggers(self, lint):
+        result = lint({"gen/traffic.py": """
+            import random
+
+            def pick(xs):
+                return random.choice(xs)
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+        assert "random.choice" in messages(result)
+
+    def test_global_seed_triggers(self, lint):
+        result = lint({"gen/traffic.py": """
+            import random
+
+            def setup(seed):
+                random.seed(seed)
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+
+    def test_seeded_instance_is_clean(self, lint):
+        result = lint({"gen/traffic.py": """
+            import random
+
+            def make(seed):
+                rng = random.Random(seed)
+                return rng.choice([1, 2, 3])
+            """}, rules=["RL001"])
+        assert rule_ids(result) == []
+
+    def test_numpy_global_rng_triggers(self, lint):
+        result = lint({"sim/noise.py": """
+            import numpy as np
+
+            def jitter(n):
+                return np.random.normal(size=n)
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+
+    def test_unseeded_default_rng_triggers_seeded_does_not(self, lint):
+        result = lint({"sim/noise.py": """
+            import numpy as np
+
+            bad = np.random.default_rng()
+            good = np.random.default_rng(42)
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+        assert "without a seed" in messages(result)
+
+
+class TestWallClock:
+    def test_clock_in_sim_path_triggers(self, lint):
+        result = lint({"sim/latency.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+        assert "wall-clock" in messages(result)
+
+    def test_datetime_now_in_hw_path_triggers(self, lint):
+        result = lint({"hw/gpu.py": """
+            from datetime import datetime
+
+            def started():
+                return datetime.now()
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+
+    def test_clock_outside_modelled_layers_is_clean(self, lint):
+        # obs-style profiling of the reproduction itself is allowed.
+        result = lint({"obs/trace.py": """
+            import time
+
+            def profile():
+                return time.perf_counter_ns()
+            """}, rules=["RL001"])
+        assert rule_ids(result) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call_triggers(self, lint):
+        result = lint({"core/sched.py": """
+            def order(flows):
+                for flow in set(flows):
+                    yield flow
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+
+    def test_comprehension_over_set_literal_triggers(self, lint):
+        result = lint({"core/sched.py": """
+            def ports(a, b):
+                return [p * 2 for p in {a, b}]
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+
+    def test_list_of_set_triggers(self, lint):
+        result = lint({"core/sched.py": """
+            def snapshot(seen):
+                return list(set(seen))
+            """}, rules=["RL001"])
+        assert rule_ids(result) == ["RL001"]
+
+    def test_sorted_set_is_clean(self, lint):
+        result = lint({"core/sched.py": """
+            def order(flows):
+                for flow in sorted(set(flows)):
+                    yield flow
+            """}, rules=["RL001"])
+        assert rule_ids(result) == []
+
+    def test_membership_test_is_clean(self, lint):
+        result = lint({"core/sched.py": """
+            def member(x, xs):
+                return x in set(xs)
+            """}, rules=["RL001"])
+        assert rule_ids(result) == []

@@ -1,0 +1,81 @@
+"""RL002 fixtures: float equality on counters, bypassed calibration."""
+
+from tests.analysis.conftest import messages, rule_ids
+
+
+class TestFloatEquality:
+    def test_cycles_equality_triggers(self, lint):
+        result = lint({"core/check.py": """
+            def balanced(spent_cycles, budget_cycles):
+                return spent_cycles == budget_cycles
+            """}, rules=["RL002"])
+        assert rule_ids(result) == ["RL002"]
+        assert "==" in messages(result)
+
+    def test_ns_inequality_triggers(self, lint):
+        result = lint({"sim/clock.py": """
+            def moved(before_ns, after_ns):
+                return before_ns != after_ns
+            """}, rules=["RL002"])
+        assert rule_ids(result) == ["RL002"]
+
+    def test_bytes_attribute_triggers(self, lint):
+        result = lint({"hw/link.py": """
+            def same(a, b):
+                return a.bytes_h2d == b.bytes_h2d
+            """}, rules=["RL002"])
+        assert rule_ids(result) == ["RL002"]
+
+    def test_zero_guard_is_clean(self, lint):
+        result = lint({"hw/link.py": """
+            def empty(nbytes):
+                return nbytes == 0
+            """}, rules=["RL002"])
+        assert rule_ids(result) == []
+
+    def test_ordering_comparison_is_clean(self, lint):
+        result = lint({"core/check.py": """
+            def over(spent_cycles, budget_cycles):
+                return spent_cycles > budget_cycles
+            """}, rules=["RL002"])
+        assert rule_ids(result) == []
+
+    def test_non_counter_equality_is_clean(self, lint):
+        result = lint({"core/check.py": """
+            def same_port(a, b):
+                return a.port == b.port
+            """}, rules=["RL002"])
+        assert rule_ids(result) == []
+
+
+class TestHardcodedCycles:
+    def test_numeric_literal_return_triggers(self, lint):
+        result = lint({"apps/cost.py": """
+            def lookup_cycles_per_packet(frame_len):
+                return 120.5
+            """}, rules=["RL002"])
+        assert rule_ids(result) == ["RL002"]
+        assert "120.5" in messages(result)
+
+    def test_calibrated_return_is_clean(self, lint):
+        result = lint({"apps/cost.py": """
+            from repro.calib.constants import APPS
+
+            def lookup_cycles_per_packet(frame_len):
+                return APPS.ipv4_cpu_lookup_cycles
+            """}, rules=["RL002"])
+        assert rule_ids(result) == []
+
+    def test_zero_return_is_clean(self, lint):
+        result = lint({"apps/cost.py": """
+            def extra_cycles_per_packet(frame_len):
+                return 0.0
+            """}, rules=["RL002"])
+        assert rule_ids(result) == []
+
+    def test_non_cycle_function_literal_is_clean(self, lint):
+        result = lint({"apps/cost.py": """
+            def default_frame_len():
+                return 64
+            """}, rules=["RL002"])
+        assert rule_ids(result) == []

@@ -1,0 +1,75 @@
+"""RL005 fixtures: fault-site catalog coverage."""
+
+from tests.analysis.conftest import messages, rule_ids
+
+COVERED = {
+    "faults/plan.py": """
+        class Sites:
+            GPU_LAUNCH = "gpu.launch"
+
+        class FaultRule:
+            def __init__(self, site, probability=1.0):
+                self.site = site
+        """,
+    "hw/gpu.py": """
+        from faults.plan import Sites
+
+        def launch(self, injector):
+            if injector.should_fire(Sites.GPU_LAUNCH):
+                raise RuntimeError("launch rejected")
+        """,
+    "faults/scenarios.py": """
+        from faults.plan import FaultRule, Sites
+
+        SCENARIOS = [FaultRule(site=Sites.GPU_LAUNCH, probability=0.3)]
+        """,
+}
+
+
+class TestCoverage:
+    def test_fully_covered_site_is_clean(self, lint):
+        result = lint(COVERED, rules=["RL005"])
+        assert rule_ids(result) == []
+
+    def test_site_without_injection_call_triggers(self, lint):
+        files = dict(COVERED)
+        files["hw/gpu.py"] = "def launch(self):\n    pass\n"
+        result = lint(files, rules=["RL005"])
+        assert rule_ids(result) == ["RL005"]
+        assert "no should_fire() injection" in messages(result)
+
+    def test_site_without_scenario_triggers(self, lint):
+        files = dict(COVERED)
+        files["faults/scenarios.py"] = "SCENARIOS = []\n"
+        result = lint(files, rules=["RL005"])
+        assert rule_ids(result) == ["RL005"]
+        assert "not referenced by any FaultRule" in messages(result)
+
+    def test_uncovered_new_member_triggers_twice(self, lint):
+        files = dict(COVERED)
+        files["faults/plan.py"] = """
+class Sites:
+    GPU_LAUNCH = "gpu.launch"
+    PCIE_DMA = "pcie.dma"
+
+class FaultRule:
+    def __init__(self, site, probability=1.0):
+        self.site = site
+"""
+        result = lint(files, rules=["RL005"])
+        assert rule_ids(result) == ["RL005", "RL005"]
+        assert all("pcie.dma" in f.message for f in result.findings)
+
+    def test_string_site_reference_counts(self, lint):
+        files = dict(COVERED)
+        files["hw/gpu.py"] = """
+def launch(self, injector):
+    if injector.should_fire("gpu.launch"):
+        raise RuntimeError("launch rejected")
+"""
+        result = lint(files, rules=["RL005"])
+        assert rule_ids(result) == []
+
+    def test_tree_without_sites_class_is_silent(self, lint):
+        result = lint({"core/other.py": "X = 1\n"}, rules=["RL005"])
+        assert rule_ids(result) == []
