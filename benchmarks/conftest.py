@@ -1,18 +1,25 @@
 """Shared helpers for the reproduction benchmarks.
 
-Each benchmark file regenerates one table or figure of the paper: it
-computes the series with the library, prints it side by side with the
-published numbers, asserts the qualitative shape, and times the harness
-with pytest-benchmark.  Run them with::
+Each benchmark file regenerates one table or figure of the paper
+through the perf registry (``repro.perf``): the ``bench_payload``
+fixture runs the same registered producer that ``python -m repro
+bench`` runs, scores it against the paper-reference table, validates
+the payload against the artifact schema, and writes the same
+``BENCH_<figure>.json`` artifact.  The tests then print the series side
+by side with the published numbers and assert the qualitative shape.
+Run them with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Artifacts are written in **quick** mode — the committed mode (CI runs
+``python -m repro bench --quick --check``), so a benchmark run leaves
+the tree clean.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import pytest
 
@@ -20,22 +27,49 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture
-def figure_json():
-    """Write a figure's reproduced series to ``BENCH_<figure>.json``.
+def bench_payload():
+    """Run one registered benchmark through the runner pipeline.
 
-    Benchmarks call ``figure_json("fig6", payload)`` after computing a
-    figure; the payload lands at the repo root as machine-readable output
-    next to the printed table, so runs can be diffed or plotted without
-    re-parsing stdout.
+    Returns the schema-validated payload (series, headline, bottleneck,
+    divergence scoring) after writing ``BENCH_<figure>.json`` exactly as
+    ``python -m repro bench --quick`` would.
     """
 
-    def write(figure: str, payload) -> Path:
-        path = REPO_ROOT / f"BENCH_{figure}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"\nwrote {path}")
-        return path
+    def run(figure: str, quick: bool = True) -> Dict[str, object]:
+        from repro.perf.registry import get_spec
+        from repro.perf.runner import run_figure, write_figure
 
-    return write
+        payload = run_figure(get_spec(figure), quick=quick)
+        path = write_figure(payload)
+        print(f"\nwrote {path}")
+        return payload
+
+    return run
+
+
+def series_by(payload: Dict[str, object], *keys: str) -> Dict[object, Dict]:
+    """Index a payload's series rows by x value (or by explicit keys)."""
+    x_key = keys[0] if keys else payload["x_key"]
+    return {row[x_key]: row for row in payload["series"]}
+
+
+def assert_within_tolerance(payload: Dict[str, object]) -> None:
+    """The scorecard verdict: every reference point within tolerance."""
+    divergence = payload.get("divergence")
+    assert divergence is not None, f"{payload['figure']}: no reference scored"
+    assert divergence["within_tol"], (
+        f"{payload['figure']}: out of tolerance vs {divergence['source']} "
+        f"(fidelity {divergence['fidelity']}, "
+        f"max rel error {divergence['max_rel_error']})"
+    )
+
+
+def print_payload(payload: Dict[str, object], columns: Sequence[str]) -> None:
+    """Print a payload's series in the fixed-width layout."""
+    rows: List[Sequence] = [
+        [row.get(column) for column in columns] for row in payload["series"]
+    ]
+    print_table(payload["title"], columns, rows)
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -3,66 +3,32 @@
 The resilience acceptance bar (docs/RESILIENCE.md): with every GPU
 circuit breaker open, the router's modelled capacity must land within
 10% of the Figure 11 CPU-only baseline — degradation to the paper's
-CPU-only path, not collapse behind a dead device.  Emits
-``BENCH_degraded.json``.
+CPU-only path, not collapse behind a dead device.  Runs through the
+perf registry and emits ``BENCH_degraded.json``.
 """
 
-import pytest
 
-from conftest import print_table
-from repro import app_throughput_report
-from repro.apps.ipv4 import IPv4Forwarder
-from repro.apps.ipv6 import IPv6Forwarder
-from repro.core.solver import degraded_throughput_report
-from repro.gen.workloads import EVAL_FRAME_SIZES, ipv4_workload, ipv6_workload
+from conftest import assert_within_tolerance, print_payload
 
 
-def reproduce_degraded():
-    apps = {
-        "ipv4": IPv4Forwarder(ipv4_workload(num_routes=5_000).table),
-        "ipv6": IPv6Forwarder(ipv6_workload(num_routes=5_000).table),
-    }
-    rows = []
-    for name, app in apps.items():
-        for size in EVAL_FRAME_SIZES:
-            clean = app_throughput_report(app, size, use_gpu=True)
-            cpu_only = app_throughput_report(app, size, use_gpu=False)
-            degraded = degraded_throughput_report(app, size)
-            rows.append((
-                name, size, clean.gbps, cpu_only.gbps, degraded.gbps,
-                degraded.gbps / cpu_only.gbps,
-            ))
-    return rows
-
-
-def test_degraded_throughput(benchmark, figure_json):
-    rows = benchmark.pedantic(reproduce_degraded, rounds=1, iterations=1)
-    print_table(
-        "Degraded mode: breaker-open CPU fallback (Gbps)",
-        ("app", "frame B", "CPU+GPU", "CPU-only", "degraded", "ratio"),
-        rows,
+def test_degraded_throughput(benchmark, bench_payload):
+    payload = benchmark.pedantic(
+        lambda: bench_payload("degraded"), rounds=1, iterations=1
     )
-    figure_json("degraded", {
-        "figure": "degraded",
-        "title": "Breaker-open degraded throughput vs CPU-only baseline (Gbps)",
-        "series": [
-            {
-                "app": app,
-                "frame_len": size,
-                "clean_gbps": clean,
-                "cpu_only_gbps": cpu_only,
-                "degraded_gbps": degraded,
-                "ratio": ratio,
-            }
-            for app, size, clean, cpu_only, degraded, ratio in rows
-        ],
-    })
-    for app, size, clean, cpu_only, degraded, ratio in rows:
+    print_payload(
+        payload,
+        ("case", "clean_gbps", "cpu_only_gbps", "degraded_gbps", "ratio"),
+    )
+    for row in payload["series"]:
         # The acceptance bar: within 10% of the CPU-only baseline,
         # and never better than it (the fallback adds cost, it cannot
         # remove any).
-        assert ratio >= 0.9, f"{app}@{size}B degraded to {ratio:.1%} of baseline"
-        assert degraded <= cpu_only * 1.001
+        assert row["ratio"] >= 0.9, (
+            f"{row['case']} degraded to {row['ratio']:.1%} of baseline"
+        )
+        assert row["degraded_gbps"] <= row["cpu_only_gbps"] * 1.001
         # Degradation is real: at small frames the GPU path is faster.
-        if size == 64:
-            assert clean > degraded
+        if row["frame_len"] == 64:
+            assert row["clean_gbps"] > row["degraded_gbps"]
+    assert payload["headline"]["min_ratio"] >= 0.9
+    assert_within_tolerance(payload)

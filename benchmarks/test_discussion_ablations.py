@@ -1,68 +1,82 @@
 """Section 7 (Discussion) quantitative claims: vertical-scaling economics,
-power, and opportunistic offloading."""
+power, the MSHR microbenchmark, and the memory-bandwidth argument —
+aggregated by the ``ablations`` registry bench into
+``BENCH_ablations.json``.  Opportunistic offloading stays a direct
+policy test (a decision table, not a scalar series)."""
 
 import pytest
 
-from conftest import print_table
-from repro import app_latency_ns, app_throughput_report
+from conftest import (
+    assert_within_tolerance,
+    print_payload,
+    print_table,
+    series_by,
+)
+from repro import app_latency_ns
 from repro.apps.ipv6 import IPv6Forwarder
-from repro.calib.constants import SYSTEM
 from repro.gen.workloads import ipv6_workload
 from repro.sim.metrics import gbps_to_pps
 
 
-def test_vertical_scaling_economics(benchmark):
+def test_vertical_scaling_economics(benchmark, bench_payload):
     """Section 7: CPU price per gigahertz rises steeply with socket
     count, while a GPU adds compute for free slot space."""
-
-    def compute():
-        # The paper's own price points: $/GHz of aggregate clock.
-        single = 240 / (2.66 * 4)     # Core i7 920
-        dual = 925 / (2.66 * 4)       # Xeon X5550
-        quad = 2190 / (2.00 * 6)      # Xeon E7540
-        return [
-            ("single-socket ($240 i7-920)", single),
-            ("dual-socket ($925 X5550)", dual),
-            ("quad-socket ($2190 E7540)", quad),
-        ]
-
-    rows = benchmark(compute)
-    print_table(
-        "Section 7: CPU price per aggregate GHz ($)",
-        ("machine class", "$/GHz"),
-        rows,
-    )
-    values = [value for _, value in rows]
+    payload = benchmark(lambda: bench_payload("ablations"))
+    print_payload(payload, ("machine_class", "usd_per_ghz"))
+    values = [row["usd_per_ghz"] for row in payload["series"]]
     assert values == sorted(values)
     # Paper: $23, $87, $183 per GHz — ratios of roughly 1 : 3.8 : 8.
-    assert values[0] == pytest.approx(23, rel=0.05)
-    assert values[1] == pytest.approx(87, rel=0.05)
-    assert values[2] == pytest.approx(183, rel=0.05)
+    by_class = series_by(payload)
+    assert by_class["single-socket"]["usd_per_ghz"] == pytest.approx(23, rel=0.05)
+    assert by_class["dual-socket"]["usd_per_ghz"] == pytest.approx(87, rel=0.05)
+    assert by_class["quad-socket"]["usd_per_ghz"] == pytest.approx(183, rel=0.05)
+    assert_within_tolerance(payload)
 
 
-def test_power_efficiency(benchmark):
+def test_power_efficiency(benchmark, bench_payload):
     """Section 7: 594 W with GPUs vs 353 W without at full load — a 68%
     increase buying a ~5x IPv6 throughput improvement."""
-    app = IPv6Forwarder(ipv6_workload(num_routes=1000).table)
-
-    def compute():
-        gpu = app_throughput_report(app, 64, use_gpu=True).gbps
-        cpu = app_throughput_report(app, 64, use_gpu=False).gbps
-        return {
-            "CPU-only": (cpu, SYSTEM.power_full_cpu_w, cpu / SYSTEM.power_full_cpu_w),
-            "CPU+GPU": (gpu, SYSTEM.power_full_gpu_w, gpu / SYSTEM.power_full_gpu_w),
-        }
-
-    rows = benchmark(compute)
+    payload = benchmark(lambda: bench_payload("ablations"))
+    headline = payload["headline"]
     print_table(
         "Section 7: power efficiency (IPv6 @64B)",
-        ("mode", "Gbps", "watts", "Gbps/W"),
-        [(name, *values) for name, values in rows.items()],
+        ("mode", "Gbps/W"),
+        [("CPU-only", headline["cpu_gbps_per_watt"]),
+         ("CPU+GPU", headline["gpu_gbps_per_watt"])],
     )
-    power_increase = SYSTEM.power_full_gpu_w / SYSTEM.power_full_cpu_w - 1
-    assert power_increase == pytest.approx(0.68, abs=0.01)
+    assert headline["power_increase"] == pytest.approx(0.68, abs=0.01)
     # Per-watt the GPU still wins for the memory-intensive workload.
-    assert rows["CPU+GPU"][2] > 2 * rows["CPU-only"][2]
+    assert headline["gpu_gbps_per_watt"] > 2 * headline["cpu_gbps_per_watt"]
+
+
+def test_mshr_microbenchmark(benchmark, bench_payload):
+    """Section 2.4: "an X5550 core can handle about 6 outstanding cache
+    misses in the optimal case, and only 4 misses when all four cores
+    burst memory references" — the memory model must show exactly that
+    overlap collapse."""
+    payload = benchmark(lambda: bench_payload("ablations"))
+    headline = payload["headline"]
+    print(
+        f"\nMSHR overlap: {headline['mshr_one_core']:.1f}x alone, "
+        f"{headline['mshr_all_cores']:.1f}x with all cores bursting"
+    )
+    assert headline["mshr_one_core"] == pytest.approx(6.0)
+    assert headline["mshr_all_cores"] == pytest.approx(4.0)
+
+
+def test_memory_bandwidth_argument(benchmark, bench_payload):
+    """Section 2.4: "every 4B random memory access consumes 64B of
+    memory bandwidth" — and the GPU brings 5.5x the bandwidth."""
+    from repro.calib.constants import CPU
+
+    payload = benchmark(lambda: bench_payload("ablations"))
+    ratio = payload["headline"]["gpu_bw_ratio"]
+    wasted = 1 - 4 / CPU.cache_line
+    print(f"\nrandom 4B access wastes {wasted:.1%} of a cache line; "
+          f"GPU has {ratio:.1f}x the bandwidth (paper: 177.4 vs 32 GB/s)")
+    assert wasted == pytest.approx(0.9375)
+    assert ratio == pytest.approx(5.54, rel=0.01)
+    assert payload["bottleneck"] == "cpu_memory_bandwidth"
 
 
 def test_opportunistic_offloading(benchmark):
@@ -101,56 +115,3 @@ def _us(ns):
     import math
 
     return "sat" if math.isinf(ns) else f"{ns/1000:.0f}"
-
-
-def test_mshr_microbenchmark(benchmark):
-    """Section 2.4: "an X5550 core can handle about 6 outstanding cache
-    misses in the optimal case, and only 4 misses when all four cores
-    burst memory references" — the memory model must show exactly that
-    overlap collapse."""
-    from repro.hw.cpu import memory_access_time
-
-    def compute():
-        accesses = 16.0
-        serial = memory_access_time(accesses)
-        alone = memory_access_time(0.0, independent_accesses=accesses,
-                                   all_cores_busy=False)
-        bursting = memory_access_time(0.0, independent_accesses=accesses,
-                                      all_cores_busy=True)
-        return [
-            ("dependent chain", serial, 1.0),
-            ("independent, one busy core", alone, serial / alone),
-            ("independent, all cores bursting", bursting, serial / bursting),
-        ]
-
-    rows = benchmark(compute)
-    print_table(
-        "Section 2.4: 16 DRAM accesses from one core (ns)",
-        ("access pattern", "time ns", "overlap factor"),
-        rows,
-    )
-    by_name = {row[0]: row for row in rows}
-    assert by_name["independent, one busy core"][2] == pytest.approx(6.0)
-    assert by_name["independent, all cores bursting"][2] == pytest.approx(4.0)
-
-
-def test_memory_bandwidth_argument(benchmark):
-    """Section 2.4: "every 4B random memory access consumes 64B of
-    memory bandwidth" — and the GPU brings 5.5x the bandwidth."""
-    from repro.calib.constants import CPU, GPU
-
-    def compute():
-        cache_line = CPU.cache_line
-        random_4b_rate_cpu = CPU.mem_bandwidth / cache_line
-        return {
-            "wasted fraction per 4B access": 1 - 4 / cache_line,
-            "CPU random 4B accesses/s": random_4b_rate_cpu,
-            "GPU/CPU bandwidth ratio": GPU.mem_bandwidth / CPU.mem_bandwidth,
-        }
-
-    values = benchmark(compute)
-    print(f"\nrandom 4B access wastes {values['wasted fraction per 4B access']:.1%} "
-          f"of a cache line; GPU has {values['GPU/CPU bandwidth ratio']:.1f}x "
-          f"the bandwidth (paper: 177.4 vs 32 GB/s)")
-    assert values["wasted fraction per 4B access"] == pytest.approx(0.9375)
-    assert values["GPU/CPU bandwidth ratio"] == pytest.approx(5.54, rel=0.01)

@@ -4,54 +4,25 @@ The paper: "To avoid warp divergence for differentiated packet
 processing (e.g., packet encryption with different cipher suites), one
 may classify and sort packets to be grouped into separate warps."  This
 bench quantifies the claim on the GPU model: a mixed-cipher IPsec batch
-run as-arrived versus pre-sorted.
+run as-arrived versus pre-sorted.  Runs through the perf registry and
+emits ``BENCH_divergence.json``.
 """
 
-import random
+
+from conftest import assert_within_tolerance, print_payload, series_by
 
 
-from conftest import print_table
-from repro.hw.divergence import (
-    divergence_report,
-    divergent_execution_factor,
-    sort_for_warps,
-)
-from repro.hw.gpu import GPUDevice, KernelSpec
-
-
-def reproduce_divergence_ablation():
-    rng = random.Random(55)
-    device = GPUDevice()
-    n = 3072
-    rows = []
-    for paths, mix_name in ((1, "single suite"), (2, "two suites"),
-                            (4, "four suites")):
-        labels = [rng.randrange(paths) for _ in range(n)]
-        unsorted_factor = divergent_execution_factor(labels)
-        sorted_labels = [labels[i] for i in sort_for_warps(labels)]
-        sorted_factor = divergent_execution_factor(sorted_labels)
-        time_unsorted = device.execution_time_ns(
-            KernelSpec(name="mix", compute_cycles=400.0,
-                       divergence_factor=unsorted_factor), n)
-        time_sorted = device.execution_time_ns(
-            KernelSpec(name="mix", compute_cycles=400.0,
-                       divergence_factor=sorted_factor), n)
-        rows.append((mix_name, unsorted_factor, time_unsorted / 1000,
-                     time_sorted / 1000))
-    return rows
-
-
-def test_divergence_sort_ablation(benchmark):
-    rows = benchmark(reproduce_divergence_ablation)
-    print_table(
-        "Section 5.5: mixed-suite kernel, as-arrived vs classify-and-sort",
-        ("cipher mix", "divergence factor", "unsorted us", "sorted us"),
-        rows,
+def test_divergence_sort_ablation(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("divergence"))
+    print_payload(
+        payload, ("mix", "divergence_factor", "unsorted_us", "sorted_us")
     )
-    by_mix = {row[0]: row for row in rows}
+    by_mix = series_by(payload)
     # A uniform batch is the baseline; sorting recovers (almost) all of
     # the divergence penalty for the mixed batches.
-    baseline = by_mix["single suite"][3]
-    assert by_mix["four suites"][2] > 3.5 * baseline
-    assert by_mix["four suites"][3] < 1.2 * baseline
-    assert by_mix["two suites"][2] > 1.8 * baseline
+    baseline = by_mix["single suite"]["sorted_us"]
+    assert by_mix["four suites"]["unsorted_us"] > 3.5 * baseline
+    assert by_mix["four suites"]["sorted_us"] < 1.2 * baseline
+    assert by_mix["two suites"]["unsorted_us"] > 1.8 * baseline
+    assert payload["bottleneck"] == "warp_divergence"
+    assert_within_tolerance(payload)

@@ -1,44 +1,33 @@
 """Benchmarks for the reproduction's extensions beyond the paper's
 figures: the skb-vs-huge-buffer ablation behind Section 4.2, the
 event-driven validation of the Figure 12 model, multi-functional
-composition, and VLB horizontal scaling (Sections 7-8)."""
+composition, and VLB horizontal scaling (Sections 7-8).  The scalar
+claims aggregate through the ``extensions`` registry bench into
+``BENCH_extensions.json``."""
 
+import pytest
 
-from conftest import print_table
-from repro.calib.constants import CPU, IO_ENGINE, LINUX_STACK
-from repro.core.composite import CompositeApplication
-from repro.core.scaling import VLBCluster, packetshader_vs_rb4
-from repro.core.solver import app_latency_ns, app_throughput_report
-from repro.apps.ipsec import IPsecGateway
-from repro.apps.ipv4 import IPv4Forwarder
+from conftest import (
+    assert_within_tolerance,
+    print_payload,
+    print_table,
+    series_by,
+)
 from repro.apps.ipv6 import IPv6Forwarder
-from repro.gen.workloads import ipsec_workload, ipv4_workload, ipv6_workload
+from repro.core.solver import app_latency_ns
+from repro.gen.workloads import ipv6_workload
 from repro.sim.latency import LatencySimulator
 from repro.sim.metrics import gbps_to_pps
 
 
-def test_skb_vs_huge_buffer(benchmark):
+def test_skb_vs_huge_buffer(benchmark, bench_payload):
     """The Section 4.1 -> 4.2 transition: per-packet RX cycles of the
-    stock Linux path vs the huge-packet-buffer engine."""
-
-    def compute():
-        stock = LINUX_STACK.total_cycles
-        engine = IO_ENGINE.rx_only_per_packet_cycles
-        return {
-            "Linux skb path": (stock, CPU.clock_hz / stock / 1e6),
-            "huge packet buffer": (engine, CPU.clock_hz / engine / 1e6),
-        }
-
-    rows = benchmark(compute)
-    print_table(
-        "Section 4.2: RX cost per packet (one core)",
-        ("path", "cycles/packet", "Mpps/core"),
-        [(name, cycles, rate) for name, (cycles, rate) in rows.items()],
-    )
-    stock_cycles = rows["Linux skb path"][0]
-    engine_cycles = rows["huge packet buffer"][0]
-    # An order of magnitude, as the Section 4 redesign targets.
-    assert stock_cycles / engine_cycles > 10
+    stock Linux path vs the huge-packet-buffer engine — an order of
+    magnitude, as the Section 4 redesign targets."""
+    payload = benchmark(lambda: bench_payload("extensions"))
+    ratio = payload["headline"]["skb_engine_ratio"]
+    print(f"\nLinux skb path / huge packet buffer: {ratio:.1f}x cycles/packet")
+    assert ratio > 10
 
 
 def test_fig12_event_sim_validation(benchmark):
@@ -67,63 +56,30 @@ def test_fig12_event_sim_validation(benchmark):
         assert analytic / 2.2 <= measured <= analytic * 2.2
 
 
-def test_composite_multifunctionality(benchmark):
+def test_composite_multifunctionality(benchmark, bench_payload):
     """Section 7 future work: IPv4 + IPsec in one router.  The fused
-    pipeline costs roughly the sum of its parts on the CPU side and is
-    bounded by the heavier stage end to end."""
-    ipv4 = IPv4Forwarder(ipv4_workload(num_routes=1000).table)
-    ipsec = IPsecGateway(ipsec_workload().sa)
-    composite = CompositeApplication([ipv4, ipsec])
-
-    def compute():
-        rows = []
-        for app, label in ((ipv4, "ipv4"), (ipsec, "ipsec"),
-                           (composite, "ipv4+ipsec")):
-            gpu = app_throughput_report(app, 64, use_gpu=True).gbps
-            cpu = app_throughput_report(app, 64, use_gpu=False).gbps
-            rows.append((label, cpu, gpu))
-        return rows
-
-    rows = benchmark(compute)
-    print_table(
-        "Section 7: multi-functional composition @64B (Gbps)",
-        ("application", "CPU-only", "CPU+GPU"),
-        rows,
-    )
-    by_name = {row[0]: row for row in rows}
-    assert by_name["ipv4+ipsec"][2] < by_name["ipsec"][2]
-    assert by_name["ipv4+ipsec"][1] < by_name["ipsec"][1]
-    # The composite still gains several-fold from the GPU.
-    assert by_name["ipv4+ipsec"][2] / by_name["ipv4+ipsec"][1] > 3
-
-
-def test_vlb_horizontal_scaling(benchmark):
-    """Sections 7-8: cluster scaling and the RB4 comparison."""
-
-    def compute():
-        rows = []
-        for nodes in (1, 2, 4, 8):
-            direct = VLBCluster(num_nodes=nodes, node_capacity_gbps=40.0,
-                                mesh_link_gbps=10.0, direct=True)
-            classic = VLBCluster(num_nodes=nodes, node_capacity_gbps=40.0,
-                                 mesh_link_gbps=10.0, direct=False)
-            rows.append((nodes, direct.external_capacity_gbps(),
-                         classic.external_capacity_gbps()))
-        return rows, packetshader_vs_rb4()
-
-    rows, comparison = benchmark(compute)
-    print_table(
-        "Section 7: VLB cluster external capacity (Gbps)",
-        ("nodes", "direct VLB", "classic VLB"),
-        rows,
-    )
+    pipeline still gains several-fold from the GPU."""
+    payload = benchmark(lambda: bench_payload("extensions"))
+    headline = payload["headline"]
     print(
-        f"one PacketShader box: {comparison['packetshader_single_box']:.1f} Gbps"
-        f" vs RB4 cluster: {comparison['routebricks_rb4']:.1f} Gbps"
+        f"\nipv4+ipsec composite @64B: {headline['composite_gpu_gbps_64']:.1f}"
+        f" Gbps CPU+GPU, speedup {headline['composite_speedup_64']:.1f}x"
     )
+    assert headline["composite_speedup_64"] > 3
+    # Bounded by the heavier stage: below the IPsec-only GPU figure.
+    assert headline["composite_gpu_gbps_64"] < 12.0
+
+
+def test_vlb_horizontal_scaling(benchmark, bench_payload):
+    """Sections 7-8: cluster scaling and the RB4 comparison."""
+    payload = benchmark(lambda: bench_payload("extensions"))
+    print_payload(payload, ("nodes", "direct_gbps", "classic_gbps"))
+    headline = payload["headline"]
     # "PacketShader could replace RB4 ... with better performance."
-    assert (
-        comparison["packetshader_single_box"] > comparison["routebricks_rb4"]
-    )
-    for nodes, direct, classic in rows:
-        assert direct >= classic
+    assert headline["ps_vs_rb4_ratio"] > 1.0
+    assert headline["vlb8_direct_gbps"] == pytest.approx(160.0, rel=0.05)
+    for row in payload["series"]:
+        assert row["direct_gbps"] >= row["classic_gbps"]
+    by_nodes = series_by(payload)
+    assert by_nodes[8]["direct_gbps"] > by_nodes[1]["direct_gbps"]
+    assert_within_tolerance(payload)

@@ -1,53 +1,29 @@
-"""Figure 11(a): IPv4 forwarding throughput, CPU-only vs CPU+GPU."""
+"""Figure 11(a): IPv4 forwarding throughput, CPU-only vs CPU+GPU.
+Runs through the perf registry and emits ``BENCH_fig11a.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro import app_throughput_report
-from repro.apps.ipv4 import IPv4Forwarder
-from repro.gen.workloads import EVAL_FRAME_SIZES, ipv4_workload
+from conftest import assert_within_tolerance, print_payload, series_by
+from repro.gen.workloads import EVAL_FRAME_SIZES
 
 
-def reproduce_figure11a():
-    # The full RouteViews-sized table is built once (282,797 prefixes);
-    # the throughput sweep then queries the calibrated models.
-    workload = ipv4_workload()
-    app = IPv4Forwarder(workload.table)
-    rows = []
-    for size in EVAL_FRAME_SIZES:
-        cpu = app_throughput_report(app, size, use_gpu=False)
-        gpu = app_throughput_report(app, size, use_gpu=True)
-        rows.append((size, cpu.gbps, gpu.gbps, gpu.bottleneck))
-    return rows
-
-
-def test_figure11a_ipv4_forwarding(benchmark, figure_json):
-    rows = benchmark.pedantic(reproduce_figure11a, rounds=1, iterations=1)
-    print_table(
-        "Figure 11(a): IPv4 forwarding (Gbps)",
-        ("frame B", "CPU-only", "CPU+GPU", "GPU bottleneck"),
-        rows,
+def test_figure11a_ipv4_forwarding(benchmark, bench_payload):
+    payload = benchmark.pedantic(
+        lambda: bench_payload("fig11a"), rounds=1, iterations=1
     )
-    figure_json("fig11a", {
-        "figure": "fig11a",
-        "title": "IPv4 forwarding throughput (Gbps)",
-        "series": [
-            {
-                "frame_len": size,
-                "cpu_gbps": cpu,
-                "gpu_gbps": gpu,
-                "bottleneck": bottleneck,
-            }
-            for size, cpu, gpu, bottleneck in rows
-        ],
-    })
-    by_size = {row[0]: row for row in rows}
+    print_payload(
+        payload, ("frame_len", "cpu_gbps", "gpu_gbps", "bottleneck")
+    )
+    by_size = series_by(payload)
     # Paper: 39 Gbps at 64B with GPU; CPU-only around 28.
-    assert by_size[64][2] == pytest.approx(39.0, rel=0.02)
-    assert by_size[64][1] == pytest.approx(28.0, rel=0.05)
+    assert by_size[64]["gpu_gbps"] == pytest.approx(39.0, rel=0.02)
+    assert by_size[64]["cpu_gbps"] == pytest.approx(28.0, rel=0.05)
     # "the CPU+GPU mode reaches close to the maximum throughput of
     # 40 Gbps" for all sizes.
     for size in EVAL_FRAME_SIZES[1:]:
-        assert by_size[size][2] >= 39.5
+        assert by_size[size]["gpu_gbps"] >= 39.5
     # CPU-only catches up at large frames (both I/O bound).
-    assert by_size[1514][1] == pytest.approx(by_size[1514][2], rel=0.01)
+    assert by_size[1514]["cpu_gbps"] == pytest.approx(
+        by_size[1514]["gpu_gbps"], rel=0.01
+    )
+    assert_within_tolerance(payload)

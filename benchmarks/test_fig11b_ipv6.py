@@ -1,39 +1,25 @@
-"""Figure 11(b): IPv6 forwarding throughput, CPU-only vs CPU+GPU."""
+"""Figure 11(b): IPv6 forwarding throughput, CPU-only vs CPU+GPU.
+Runs through the perf registry and emits ``BENCH_fig11b.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro import app_throughput_report
-from repro.apps.ipv6 import IPv6Forwarder
-from repro.gen.workloads import EVAL_FRAME_SIZES, ipv6_workload
+from conftest import assert_within_tolerance, print_payload, series_by
 
 
-def reproduce_figure11b():
-    workload = ipv6_workload()  # the paper's 200,000 random prefixes
-    app = IPv6Forwarder(workload.table)
-    rows = []
-    for size in EVAL_FRAME_SIZES:
-        cpu = app_throughput_report(app, size, use_gpu=False)
-        gpu = app_throughput_report(app, size, use_gpu=True)
-        rows.append((size, cpu.gbps, gpu.gbps, gpu.gbps / cpu.gbps))
-    return rows
-
-
-def test_figure11b_ipv6_forwarding(benchmark):
-    rows = benchmark.pedantic(reproduce_figure11b, rounds=1, iterations=1)
-    print_table(
-        "Figure 11(b): IPv6 forwarding (Gbps)",
-        ("frame B", "CPU-only", "CPU+GPU", "speedup"),
-        rows,
+def test_figure11b_ipv6_forwarding(benchmark, bench_payload):
+    payload = benchmark.pedantic(
+        lambda: bench_payload("fig11b"), rounds=1, iterations=1
     )
-    by_size = {row[0]: row for row in rows}
+    print_payload(payload, ("frame_len", "cpu_gbps", "gpu_gbps", "speedup"))
+    by_size = series_by(payload)
     # Paper: 38.2 Gbps at 64B with GPU vs ~8 CPU-only: the largest GPU
     # win of the four applications (memory-intensive workload).
-    assert by_size[64][2] == pytest.approx(38.2, rel=0.03)
-    assert by_size[64][1] == pytest.approx(8.0, rel=0.10)
-    assert by_size[64][3] > 4.0
+    assert by_size[64]["gpu_gbps"] == pytest.approx(38.2, rel=0.03)
+    assert by_size[64]["cpu_gbps"] == pytest.approx(8.0, rel=0.10)
+    assert by_size[64]["speedup"] > 4.0
     # Speedup shrinks as frames grow (I/O bound swallows both), down
     # to parity within rounding.
-    speedups = [row[3] for row in rows]
+    speedups = [row["speedup"] for row in payload["series"]]
     for earlier, later in zip(speedups, speedups[1:]):
         assert later <= earlier * 1.02
+    assert_within_tolerance(payload)

@@ -1,63 +1,29 @@
-"""Figure 11(c): OpenFlow switch throughput (64 B) versus table size."""
+"""Figure 11(c): OpenFlow switch throughput (64 B) versus table size.
+Runs through the perf registry and emits ``BENCH_fig11c.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro import app_throughput_report
-from repro.apps.openflow import OpenFlowApp
-from repro.gen.workloads import openflow_workload
-
-#: (exact entries, wildcard entries) sweeps: exact growth with the small
-#: wildcard table, then wildcard growth (the dominant effect the paper
-#: calls out: "wildcard-match offload becomes dominant as the table size
-#: grows").
-CONFIGS = (
-    (1 << 10, 32),
-    (1 << 12, 32),
-    (1 << 14, 32),
-    (32 << 10, 32),
-    (1 << 16, 32),
-    (32 << 10, 128),
-    (32 << 10, 512),
-)
+from conftest import assert_within_tolerance, print_payload, series_by
 
 
-def reproduce_figure11c():
-    rows = []
-    for num_exact, num_wildcard in CONFIGS:
-        # Exact-table size does not change the per-packet cost model
-        # (hash tables are O(1)), so build small tables with the right
-        # wildcard count for speed; the wildcard count is what matters.
-        workload = openflow_workload(
-            num_exact=min(num_exact, 2048), num_wildcard=num_wildcard
-        )
-        app = OpenFlowApp(workload.switch)
-        cpu = app_throughput_report(app, 64, use_gpu=False)
-        gpu = app_throughput_report(app, 64, use_gpu=True)
-        rows.append(
-            (f"{num_exact // 1024}K+{num_wildcard}", cpu.gbps, gpu.gbps,
-             gpu.gbps / cpu.gbps)
-        )
-    return rows
-
-
-def test_figure11c_openflow(benchmark):
-    rows = benchmark.pedantic(reproduce_figure11c, rounds=1, iterations=1)
-    print_table(
-        "Figure 11(c): OpenFlow switch @64B (Gbps)",
-        ("exact+wildcard", "CPU-only", "CPU+GPU", "speedup"),
-        rows,
+def test_figure11c_openflow(benchmark, bench_payload):
+    payload = benchmark.pedantic(
+        lambda: bench_payload("fig11c"), rounds=1, iterations=1
     )
-    by_config = {row[0]: row for row in rows}
+    print_payload(payload, ("config", "cpu_gbps", "gpu_gbps", "speedup"))
+    by_config = series_by(payload)
     # Paper: 32 Gbps at the NetFPGA-comparison configuration (32K+32),
     # about eight NetFPGA cards (4 Gbps line rate each).
-    assert by_config["32K+32"][2] == pytest.approx(32.0, rel=0.03)
-    assert by_config["32K+32"][2] / 4.0 == pytest.approx(8.0, rel=0.05)
+    assert by_config["32K+32"]["gpu_gbps"] == pytest.approx(32.0, rel=0.03)
+    assert payload["headline"]["netfpga_equivalents"] == pytest.approx(
+        8.0, rel=0.05
+    )
     # "CPU+GPU mode outperforms CPU-only mode for all configurations."
-    for row in rows:
-        assert row[2] > row[1]
+    for row in payload["series"]:
+        assert row["gpu_gbps"] > row["cpu_gbps"]
     # Wildcard growth devastates the CPU and barely dents the GPU.
-    assert by_config["32K+512"][1] < by_config["32K+32"][1] / 3
-    assert by_config["32K+512"][2] > by_config["32K+32"][2] * 0.9
+    assert by_config["32K+512"]["cpu_gbps"] < by_config["32K+32"]["cpu_gbps"] / 3
+    assert by_config["32K+512"]["gpu_gbps"] > by_config["32K+32"]["gpu_gbps"] * 0.9
     # Speedup grows with table size.
-    assert by_config["32K+512"][3] > by_config["1K+32"][3] * 3
+    assert by_config["32K+512"]["speedup"] > by_config["1K+32"]["speedup"] * 3
+    assert_within_tolerance(payload)

@@ -1,42 +1,29 @@
-"""Figure 11(d): IPsec gateway throughput (input Gbps), CPU vs CPU+GPU."""
+"""Figure 11(d): IPsec gateway throughput (input Gbps), CPU vs CPU+GPU.
+Runs through the perf registry and emits ``BENCH_fig11d.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro import app_throughput_report
-from repro.apps.ipsec import IPsecGateway
-from repro.gen.workloads import EVAL_FRAME_SIZES, ipsec_workload
+from conftest import assert_within_tolerance, print_payload, series_by
 
 
-def reproduce_figure11d():
-    app = IPsecGateway(ipsec_workload().sa)
-    rows = []
-    for size in EVAL_FRAME_SIZES:
-        cpu = app_throughput_report(app, size, use_gpu=False)
-        gpu = app_throughput_report(app, size, use_gpu=True)
-        rows.append((size, cpu.gbps, gpu.gbps, gpu.gbps / cpu.gbps))
-    return rows
-
-
-def test_figure11d_ipsec(benchmark):
-    rows = benchmark.pedantic(reproduce_figure11d, rounds=1, iterations=1)
-    print_table(
-        "Figure 11(d): IPsec gateway, input throughput (Gbps)",
-        ("frame B", "CPU-only", "CPU+GPU", "speedup"),
-        rows,
+def test_figure11d_ipsec(benchmark, bench_payload):
+    payload = benchmark.pedantic(
+        lambda: bench_payload("fig11d"), rounds=1, iterations=1
     )
-    by_size = {row[0]: row for row in rows}
+    print_payload(payload, ("frame_len", "cpu_gbps", "gpu_gbps", "speedup"))
+    by_size = series_by(payload)
     # Paper: 10.2 Gbps at 64B, 20.0 at 1514B with GPU; the CPU-only mode
     # improves "by a factor of 3.5, regardless of packet sizes".
-    assert by_size[64][2] == pytest.approx(10.2, rel=0.10)
-    assert 18.0 <= by_size[1514][2] <= 24.0
+    assert by_size[64]["gpu_gbps"] == pytest.approx(10.2, rel=0.10)
+    assert 18.0 <= by_size[1514]["gpu_gbps"] <= 24.0
     # "by a factor of 3.5, regardless of packet sizes": the speedup
     # stays within a narrow band across the whole sweep.
-    for size in EVAL_FRAME_SIZES:
-        assert 3.0 <= by_size[size][3] <= 5.2
+    for row in payload["series"]:
+        assert 3.0 <= row["speedup"] <= 5.2
     # Paper: 5x RouteBricks (1.9 Gbps at 64B, 6.1 at large).
-    assert by_size[64][2] / 1.9 > 5.0
-    assert by_size[1514][2] / 6.1 > 3.0
+    assert by_size[64]["gpu_gbps"] / 1.9 > 5.0
+    assert by_size[1514]["gpu_gbps"] / 6.1 > 3.0
     # Throughput grows with frame size (per-packet costs amortise).
-    gpu_series = [row[2] for row in rows]
+    gpu_series = [row["gpu_gbps"] for row in payload["series"]]
     assert gpu_series == sorted(gpu_series)
+    assert_within_tolerance(payload)

@@ -3,38 +3,21 @@
 The motivating example of Section 2.3: lookup only, no packet I/O.  The
 published shape: the GPU curve rises with parallelism, crosses one
 quad-core X5550 past ~320 packets, two past ~640, and saturates around
-ten X5550s.
+ten X5550s.  Runs through the perf registry and emits ``BENCH_fig2.json``.
 """
 
 
-from conftest import print_table
-from repro.apps.lookup_only import (
-    cpu_ipv6_lookup_rate_pps,
-    gpu_crossover_batch,
-    gpu_ipv6_lookup_rate_pps,
-)
-
-BATCH_SIZES = (32, 64, 128, 256, 320, 512, 640, 1024, 2048, 4096, 8192, 16384)
+from conftest import assert_within_tolerance, print_payload, series_by
+from repro.apps.lookup_only import gpu_crossover_batch
 
 
-def reproduce_figure2():
-    cpu1 = cpu_ipv6_lookup_rate_pps(1) / 1e6
-    cpu2 = cpu_ipv6_lookup_rate_pps(2) / 1e6
-    rows = [
-        (batch, gpu_ipv6_lookup_rate_pps(batch) / 1e6, cpu1, cpu2)
-        for batch in BATCH_SIZES
-    ]
-    return rows, cpu1, cpu2
-
-
-def test_figure2_lookup_throughput(benchmark):
-    (rows, cpu1, cpu2) = benchmark(reproduce_figure2)
-    print_table(
-        "Figure 2: IPv6 lookup throughput (Mpps)",
-        ("batch", "GTX480", "1x X5550", "2x X5550"),
-        rows,
-    )
-    gpu = {batch: rate for batch, rate, _, _ in rows}
+def test_figure2_lookup_throughput(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("fig2"))
+    print_payload(payload, ("batch", "gpu_mpps", "cpu1_mpps", "cpu2_mpps"))
+    rows = series_by(payload)
+    gpu = {batch: row["gpu_mpps"] for batch, row in rows.items()}
+    cpu1 = rows[32]["cpu1_mpps"]
+    cpu2 = rows[32]["cpu2_mpps"]
     # GPU throughput proportional to the level of parallelism.
     assert gpu[16384] > gpu[1024] > gpu[128] > gpu[32]
     # Crossovers where the paper reports them.
@@ -43,7 +26,8 @@ def test_figure2_lookup_throughput(benchmark):
     assert gpu[640] <= cpu2 * 1.05
     assert gpu[1024] >= cpu2
     # Peak "comparable to about ten X5550 processors".
-    assert 7.5 <= gpu[16384] / cpu1 <= 11.0
+    assert 7.5 <= payload["headline"]["peak_vs_1cpu"] <= 11.0
+    assert_within_tolerance(payload)
 
 
 def test_figure2_crossover_points(benchmark):

@@ -1,61 +1,46 @@
 """Figure 5: effect of batch processing — 64 B forwarding throughput of
-one core with two 10 GbE ports, versus the I/O batch size."""
+one core with two 10 GbE ports, versus the I/O batch size.  Runs
+through the perf registry and emits ``BENCH_fig5.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro.io_engine.batching import forwarding_pps_single_core
-from repro.sim.metrics import pps_to_gbps
-
-BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
-
-
-def reproduce_figure5():
-    return [
-        (batch, pps_to_gbps(forwarding_pps_single_core(batch), 64))
-        for batch in BATCH_SIZES
-    ]
+from conftest import (
+    assert_within_tolerance,
+    print_payload,
+    print_table,
+    series_by,
+)
 
 
-def test_figure5_batching(benchmark):
-    rows = benchmark(reproduce_figure5)
-    print_table(
-        "Figure 5: single-core 64B forwarding vs batch size",
-        ("batch", "Gbps"),
-        rows,
-    )
-    gbps = dict(rows)
+def test_figure5_batching(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("fig5"))
+    print_payload(payload, ("batch", "gbps"))
+    gbps = {batch: row["gbps"] for batch, row in series_by(payload).items()}
     # The paper's anchors: 0.78 Gbps packet-by-packet, 10.5 at 64,
     # speedup 13.5, gain stalling past 32.
     assert gbps[1] == pytest.approx(0.78, rel=0.02)
     assert gbps[64] == pytest.approx(10.5, rel=0.02)
-    assert gbps[64] / gbps[1] == pytest.approx(13.5, rel=0.03)
+    assert payload["headline"]["speedup_64"] == pytest.approx(13.5, rel=0.03)
     assert gbps[128] / gbps[64] < 1.15
-    assert [g for _, g in rows] == sorted(g for _, g in rows)
+    assert list(gbps.values()) == sorted(gbps.values())
+    assert_within_tolerance(payload)
 
 
-def test_figure5_ablations(benchmark):
+def test_figure5_ablations(benchmark, bench_payload):
     """The contributions behind the curve: software prefetch and the
-    Section 4.4 queue-alignment fix."""
-    from repro.io_engine.batching import forwarding_cycles_per_packet
-
-    def compute():
-        base = forwarding_cycles_per_packet(64)
-        return {
-            "optimized": base,
-            "no prefetch": forwarding_cycles_per_packet(64, prefetch=False),
-            "unaligned queues (8 cores)": forwarding_cycles_per_packet(
-                64, aligned_queues=False, num_cores=8
-            ),
-        }
-
-    cycles = benchmark(compute)
+    Section 4.4 queue-alignment fix, carried as headline metrics."""
+    payload = benchmark(lambda: bench_payload("fig5"))
+    headline = payload["headline"]
     print_table(
         "Figure 5 ablations: per-packet cycles at batch 64",
         ("configuration", "cycles/packet"),
-        list(cycles.items()),
+        [
+            ("optimized", headline["cycles_optimized"]),
+            ("no prefetch", headline["cycles_no_prefetch"]),
+            ("unaligned queues (8 cores)", headline["cycles_unaligned_8core"]),
+        ],
     )
-    assert cycles["no prefetch"] > cycles["optimized"]
-    assert cycles["unaligned queues (8 cores)"] == pytest.approx(
-        cycles["optimized"] * 1.2, rel=0.01
+    assert headline["cycles_no_prefetch"] > headline["cycles_optimized"]
+    assert headline["cycles_unaligned_8core"] == pytest.approx(
+        headline["cycles_optimized"] * 1.2, rel=0.01
     )

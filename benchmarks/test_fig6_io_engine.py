@@ -1,11 +1,10 @@
 """Figure 6: performance of the packet I/O engine — RX, TX, forwarding,
-and node-crossing forwarding over the evaluation frame sizes."""
+and node-crossing forwarding over the evaluation frame sizes.  Runs
+through the perf registry and emits ``BENCH_fig6.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro.gen.workloads import EVAL_FRAME_SIZES
-from repro.io_engine.engine import io_throughput_report
+from conftest import assert_within_tolerance, print_payload, series_by
 
 PAPER_ANCHORS = {
     # frame -> (rx, tx, forward) published points
@@ -14,62 +13,38 @@ PAPER_ANCHORS = {
 }
 
 
-def reproduce_figure6():
-    rows = []
-    for size in EVAL_FRAME_SIZES:
-        rx = io_throughput_report(size, mode="rx").gbps
-        tx = io_throughput_report(size, mode="tx").gbps
-        forward = io_throughput_report(size, mode="forward").gbps
-        crossing = io_throughput_report(
-            size, mode="forward", node_crossing=True
-        ).gbps
-        rows.append((size, rx, tx, forward, crossing))
-    return rows
-
-
-def test_figure6_io_engine(benchmark, figure_json):
-    rows = benchmark(reproduce_figure6)
-    print_table(
-        "Figure 6: packet I/O engine (Gbps)",
-        ("frame B", "RX", "TX", "forward", "node-crossing"),
-        rows,
+def test_figure6_io_engine(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("fig6"))
+    print_payload(
+        payload,
+        ("frame_len", "rx_gbps", "tx_gbps", "forward_gbps",
+         "node_crossing_gbps"),
     )
-    figure_json("fig6", {
-        "figure": "fig6",
-        "title": "packet I/O engine throughput (Gbps)",
-        "series": [
-            {
-                "frame_len": size,
-                "rx_gbps": rx,
-                "tx_gbps": tx,
-                "forward_gbps": forward,
-                "node_crossing_gbps": crossing,
-                "bottleneck": io_throughput_report(
-                    size, mode="forward"
-                ).bottleneck,
-            }
-            for size, rx, tx, forward, crossing in rows
-        ],
-    })
-    by_size = {row[0]: row[1:] for row in rows}
+    by_size = series_by(payload)
     for size, (paper_rx, paper_tx, paper_fwd) in PAPER_ANCHORS.items():
-        rx, tx, forward, crossing = by_size[size]
-        assert rx == pytest.approx(paper_rx, rel=0.02)
-        assert tx == pytest.approx(paper_tx, rel=0.02)
-        assert forward == pytest.approx(paper_fwd, rel=0.03)
-    for size, (rx, tx, forward, crossing) in by_size.items():
+        row = by_size[size]
+        assert row["rx_gbps"] == pytest.approx(paper_rx, rel=0.02)
+        assert row["tx_gbps"] == pytest.approx(paper_tx, rel=0.02)
+        assert row["forward_gbps"] == pytest.approx(paper_fwd, rel=0.03)
+    for row in payload["series"]:
         # TX > RX (the dual-IOH asymmetry), forwarding ~40+, crossing
         # close behind.
-        assert tx > rx > forward
-        assert forward >= 39.9
-        assert forward * 0.97 <= crossing <= forward
+        assert row["tx_gbps"] > row["rx_gbps"] > row["forward_gbps"]
+        assert row["forward_gbps"] >= 39.9
+        assert (
+            row["forward_gbps"] * 0.97
+            <= row["node_crossing_gbps"]
+            <= row["forward_gbps"]
+        )
+    assert_within_tolerance(payload)
 
 
-def test_figure6_mpps_headline(benchmark):
-    report = benchmark(lambda: io_throughput_report(64, mode="forward"))
+def test_figure6_mpps_headline(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("fig6"))
+    headline = payload["headline"]
     print(
-        f"\nminimal forwarding @64B: {report.gbps:.1f} Gbps "
-        f"({report.mpps:.1f} Mpps) — paper: 41.1 Gbps / 58.4 Mpps; "
-        f"RouteBricks: 13.3 Gbps / 18.96 Mpps"
+        f"\nminimal forwarding @64B: {headline['forward_gbps_64']:.1f} Gbps "
+        f"({headline['forward_mpps_64']:.1f} Mpps) — paper: 41.1 Gbps / "
+        f"58.4 Mpps; RouteBricks: 13.3 Gbps / 18.96 Mpps"
     )
-    assert report.mpps == pytest.approx(58.4, rel=0.02)
+    assert headline["forward_mpps_64"] == pytest.approx(58.4, rel=0.02)

@@ -1,33 +1,34 @@
 """Section 4.5 / 5.4 ablations: NUMA awareness, gather/scatter, and
-chunk pipelining — the design choices DESIGN.md calls out."""
+chunk pipelining — the design choices DESIGN.md calls out.  The NUMA
+comparison runs through the perf registry and emits ``BENCH_numa.json``.
+"""
 
 import pytest
 
-from conftest import print_table
-from repro import app_throughput_report
+from conftest import (
+    assert_within_tolerance,
+    print_payload,
+    print_table,
+    series_by,
+)
 from repro.apps.ipv6 import IPv6Forwarder
 from repro.core.config import RouterConfig
 from repro.core.solver import gpu_batch_time_ns
 from repro.gen.workloads import ipv6_workload
-from repro.io_engine.engine import io_throughput_report
 
 
-def reproduce_numa_ablation():
-    aware = io_throughput_report(64, mode="forward", numa_aware=True).gbps
-    blind = io_throughput_report(64, mode="forward", numa_aware=False).gbps
-    return aware, blind
-
-
-def test_numa_aware_vs_blind(benchmark):
-    aware, blind = benchmark(reproduce_numa_ablation)
-    print_table(
-        "Section 4.5: NUMA-aware vs NUMA-blind forwarding @64B",
-        ("configuration", "Gbps"),
-        [("NUMA-aware", aware), ("NUMA-blind", blind)],
-    )
+def test_numa_aware_vs_blind(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("numa"))
+    print_payload(payload, ("configuration", "io_gbps", "app_gbps"))
+    by_config = series_by(payload)
     # Paper: blind stays below 25 Gbps, aware around 40 (+60%).
-    assert blind < 25.5
-    assert aware / blind == pytest.approx(1.6, rel=0.05)
+    assert by_config["blind"]["io_gbps"] < 25.5
+    assert payload["headline"]["aware_over_blind"] == pytest.approx(
+        1.6, rel=0.05
+    )
+    # NUMA-blind hurts the full application pipeline too.
+    assert by_config["blind"]["app_gbps"] < by_config["aware"]["app_gbps"] * 0.65
+    assert_within_tolerance(payload)
 
 
 def test_gather_scatter_ablation(benchmark):
@@ -81,18 +82,3 @@ def test_streams_help_ipsec_not_lookups(benchmark):
     assert rates["ipsec streams"] > rates["ipsec serial"]
     # ...and lose for the lightweight IPv6 lookup kernel.
     assert rates["ipv6 streams"] < rates["ipv6 serial"]
-
-
-def test_numa_blind_hurts_applications_too(benchmark):
-    app = IPv6Forwarder(ipv6_workload(num_routes=1000).table)
-
-    def compute():
-        aware = app_throughput_report(app, 64, use_gpu=True)
-        blind = app_throughput_report(
-            app, 64, use_gpu=True, config=RouterConfig(numa_aware=False)
-        )
-        return aware.gbps, blind.gbps
-
-    aware, blind = benchmark(compute)
-    print(f"\nIPv6 CPU+GPU: NUMA-aware {aware:.1f} vs blind {blind:.1f} Gbps")
-    assert blind < aware * 0.65

@@ -1,11 +1,10 @@
 """Table 1: data transfer rate between host and device (MB/s), plus the
-Section 2.2 kernel-launch latency microbenchmark."""
+Section 2.2 kernel-launch latency microbenchmark.  Runs through the
+perf registry and emits ``BENCH_table1.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro.hw.gpu import GPUDevice
-from repro.hw.pcie import PCIeLink
+from conftest import assert_within_tolerance, print_payload, series_by
 
 PAPER_TABLE_1 = {
     256: (55, 63),
@@ -18,48 +17,26 @@ PAPER_TABLE_1 = {
 }
 
 
-def reproduce_table1():
-    link = PCIeLink()
-    rows = []
-    for size, (paper_h2d, paper_d2h) in sorted(PAPER_TABLE_1.items()):
-        rows.append(
-            (
-                size,
-                paper_h2d,
-                link.h2d_rate_mbps(size),
-                paper_d2h,
-                link.d2h_rate_mbps(size),
-            )
-        )
-    return rows
+def test_table1_pcie_transfer_rates(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("table1"))
+    print_payload(payload, ("bytes", "h2d_mbps", "d2h_mbps"))
+    by_size = series_by(payload)
+    for size, (paper_h2d, paper_d2h) in PAPER_TABLE_1.items():
+        row = by_size[size]
+        assert row["h2d_mbps"] == pytest.approx(paper_h2d, rel=0.20)
+        assert row["d2h_mbps"] == pytest.approx(paper_d2h, rel=0.20)
+        assert row["d2h_mbps"] <= row["h2d_mbps"] * 1.25  # dual-IOH asymmetry
+    # The asymmetric peak is the d2h path (the Figure 12 return leg).
+    assert payload["bottleneck"] == "d2h_path"
+    assert_within_tolerance(payload)
 
 
-def test_table1_pcie_transfer_rates(benchmark):
-    rows = benchmark(reproduce_table1)
-    print_table(
-        "Table 1: host<->device transfer rate (MB/s)",
-        ("bytes", "paper h2d", "model h2d", "paper d2h", "model d2h"),
-        rows,
+def test_section22_kernel_launch_latency(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("table1"))
+    headline = payload["headline"]
+    print(
+        f"\nkernel launch: {headline['launch_us_1thread']:.1f} us (1 thread) "
+        f"-> {headline['launch_us_4096threads']:.1f} us (4096 threads)"
     )
-    for size, paper_h2d, model_h2d, paper_d2h, model_d2h in rows:
-        assert model_h2d == pytest.approx(paper_h2d, rel=0.20)
-        assert model_d2h == pytest.approx(paper_d2h, rel=0.20)
-        assert model_d2h <= model_h2d * 1.25  # the dual-IOH asymmetry
-
-
-def test_section22_kernel_launch_latency(benchmark):
-    device = GPUDevice()
-    rows = benchmark(
-        lambda: [
-            (n, device.launch_latency_ns(n) / 1000.0)
-            for n in (1, 64, 512, 4096, 32768)
-        ]
-    )
-    print_table(
-        "Section 2.2: kernel launch latency (us)",
-        ("threads", "latency us"),
-        rows,
-    )
-    by_threads = dict(rows)
-    assert by_threads[1] == pytest.approx(3.8, rel=0.01)
-    assert by_threads[4096] == pytest.approx(4.1, rel=0.01)
+    assert headline["launch_us_1thread"] == pytest.approx(3.8, rel=0.01)
+    assert headline["launch_us_4096threads"] == pytest.approx(4.1, rel=0.01)

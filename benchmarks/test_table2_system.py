@@ -1,35 +1,22 @@
-"""Table 2: test system hardware specification and cost."""
+"""Table 2: test system hardware specification and cost.  Runs through
+the perf registry and emits ``BENCH_table2.json``."""
 
 import pytest
 
-from conftest import print_table
-from repro.calib.constants import CPU, GPU, NIC, SYSTEM
+from conftest import assert_within_tolerance, print_payload, series_by
+from repro.calib.constants import GPU, SYSTEM
 
 
-def reproduce_table2():
-    return [
-        ("CPU", f"Xeon X5550 ({CPU.cores} cores, {CPU.clock_hz/1e9:.2f} GHz)",
-         SYSTEM.num_nodes, SYSTEM.price_cpu),
-        ("RAM", "DDR3 ECC 2GB (1333 MHz)", SYSTEM.ram_modules, SYSTEM.price_ram),
-        ("M/B", "Super Micro X8DAH+F (dual IOH)", 1, SYSTEM.price_motherboard),
-        ("GPU", f"GTX480 ({GPU.total_cores} cores, {GPU.clock_hz/1e9:.1f} GHz, "
-         f"{GPU.device_memory >> 20} MB)", SYSTEM.num_nodes, SYSTEM.price_gpu),
-        ("NIC", "Intel X520-DA2 (dual-port 10GbE)",
-         SYSTEM.num_nodes * SYSTEM.nics_per_node, SYSTEM.price_nic),
-        ("misc", "chassis / PSU / storage", 1, SYSTEM.price_misc),
-    ]
-
-
-def test_table2_specification(benchmark):
-    rows = benchmark(reproduce_table2)
-    print_table(
-        f"Table 2: test system (total ${SYSTEM.total_cost})",
-        ("item", "specification", "qty", "unit $"),
-        rows,
-    )
-    assert SYSTEM.total_cost == pytest.approx(7000, rel=0.05)
-    assert GPU.total_cores == 480
-    assert SYSTEM.total_ports == 8
+def test_table2_specification(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("table2"))
+    print_payload(payload, ("item", "qty", "unit_usd"))
+    headline = payload["headline"]
+    assert headline["total_cost_usd"] == pytest.approx(7000, rel=0.05)
+    assert headline["gpu_cores"] == GPU.total_cores == 480
+    assert headline["cpu_cores"] == SYSTEM.num_nodes * 4
+    assert headline["total_ports"] == 8
     # The GPU price argument of Section 7: far cheaper compute than an
     # extra dual-socket CPU.
-    assert SYSTEM.price_gpu < SYSTEM.price_cpu
+    by_item = series_by(payload)
+    assert by_item["GPU"]["unit_usd"] < by_item["CPU"]["unit_usd"]
+    assert_within_tolerance(payload)

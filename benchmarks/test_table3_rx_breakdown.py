@@ -3,13 +3,13 @@
 Reproduced by *measurement*: the modelled stock driver receives and
 silently drops 64 B packets (the paper's exact experiment) while the
 slab-model allocator and the cache model accumulate cycles per
-functional bin.
+functional bin.  Runs through the perf registry and emits
+``BENCH_table3.json``.
 """
 
 import pytest
 
-from conftest import print_table
-from repro.io_engine.driver import UnmodifiedDriver
+from conftest import assert_within_tolerance, print_table, series_by
 
 PAPER_TABLE_3 = {
     "skb initialization": 0.049,
@@ -21,16 +21,12 @@ PAPER_TABLE_3 = {
 }
 
 
-def reproduce_table3(packets=2000):
-    driver = UnmodifiedDriver()
-    frame = bytes(64)
-    for _ in range(packets):
-        driver.receive_and_drop(frame)
-    return driver.breakdown.shares()
-
-
-def test_table3_rx_cycle_breakdown(benchmark):
-    shares = benchmark(reproduce_table3)
+def test_table3_rx_cycle_breakdown(benchmark, bench_payload):
+    payload = benchmark(lambda: bench_payload("table3"))
+    shares = {
+        bin_name: row["share"]
+        for bin_name, row in series_by(payload).items()
+    }
     rows = [
         (bin_name, f"{paper*100:.1f}%", f"{shares[bin_name]*100:.1f}%")
         for bin_name, paper in PAPER_TABLE_3.items()
@@ -43,10 +39,9 @@ def test_table3_rx_cycle_breakdown(benchmark):
     for bin_name, paper in PAPER_TABLE_3.items():
         assert shares[bin_name] == pytest.approx(paper, abs=0.01)
     # The headline: skb-related operations take 63.1% of the cycles.
-    skb_related = (
-        shares["skb initialization"]
-        + shares["skb (de)allocation"]
-        + shares["memory subsystem"]
-    )
+    skb_related = payload["headline"]["skb_related_share"]
     print(f"skb-related total: {skb_related*100:.1f}% (paper: 63.1%)")
     assert skb_related == pytest.approx(0.631, abs=0.01)
+    # The verdict the paper draws: the memory subsystem dominates.
+    assert payload["bottleneck"] == "memory subsystem"
+    assert_within_tolerance(payload)

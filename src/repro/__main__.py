@@ -1,16 +1,19 @@
-"""Entry point: ``python -m repro [trace|metrics|chaos|lint]``.
+"""Entry point: ``python -m repro [trace|metrics|chaos|lint|bench]``.
 
 With no subcommand, prints the headline report; ``trace`` prints a
 per-stage cost breakdown of a traced forwarding burst; ``metrics``
 dumps the metrics registry (Prometheus text, JSON lines, or a table);
 ``chaos`` runs fault-injection scenarios and checks the conservation
 and degradation invariants; ``lint`` runs reprolint, the AST-based
-invariant linter (docs/STATIC_ANALYSIS.md).
+invariant linter (docs/STATIC_ANALYSIS.md); ``bench`` runs the perf
+scorecard — every figure/table reproduction through the schema'd
+pipeline, scored against the paper (docs/PERF.md).
 """
 
 import sys
 
 from repro.analysis.cli import lint_main
+from repro.perf.cli import bench_main
 from repro.report import chaos_main, main, metrics_main, trace_main
 
 _COMMANDS = {
@@ -18,6 +21,7 @@ _COMMANDS = {
     "metrics": metrics_main,
     "chaos": chaos_main,
     "lint": lint_main,
+    "bench": bench_main,
 }
 
 argv = sys.argv[1:]

@@ -16,6 +16,7 @@ Three read-side formats over the same substrate:
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, Optional
 
 from repro.calib.constants import CPU
@@ -71,6 +72,16 @@ def export_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
                 )
             lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
             lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+            # Pre-computed quantile lines (summary-style), so dashboards
+            # get p50/p95/p99 without a histogram_quantile() round trip.
+            for quantile in (0.5, 0.95, 0.99):
+                value = metric.percentile(quantile * 100.0)
+                if math.isnan(value):
+                    continue
+                q = f'quantile="{quantile:g}"'
+                lines.append(
+                    f"{name}{_prom_labels(metric.labels, q)} {value:g}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

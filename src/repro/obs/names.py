@@ -70,6 +70,14 @@ SIM_SOJOURN_NS = "sim.sojourn_ns"
 GEN_FRAMES = "gen.frames"
 LOG_RECORDS = "log.records"
 
+# -- perf: benchmark registry and the scorecard (docs/PERF.md) ---------
+BENCH_RUNS = "bench.runs"
+BENCH_FIGURES = "bench.figures"
+BENCH_SERIES_POINTS = "bench.series_points"
+BENCH_FIDELITY = "bench.fidelity"
+BENCH_RUN_SECONDS = "bench.run_seconds"
+BENCH_REGRESSIONS = "bench.regressions"
+
 #: Every canonical metric name (what RL003 validates string names
 #: against at lint time, and what tests validate the registry against
 #: at run time).

@@ -128,6 +128,28 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
 
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``p`` in [0, 100]) from the
+        bucket counts, interpolating linearly inside the bucket the rank
+        falls in (the ``histogram_quantile`` convention): the first
+        bucket's lower edge is 0 for non-negative bounds, and a rank in
+        the +Inf bucket clamps to the last finite bound.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"histogram {self.name}: percentile {p} not in [0, 100]")
+        if self.count == 0:
+            return math.nan
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        lower = min(0.0, self.bounds[0])
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (bound - lower) * fraction
+            cumulative += bucket_count
+            lower = bound
+        return self.bounds[-1]
+
     def cumulative_counts(self) -> List[int]:
         """Counts cumulated per the ``le`` convention, +Inf last."""
         total = 0

@@ -1,0 +1,160 @@
+"""The regression gate: fresh scorecard vs the committed baseline.
+
+``bench-baseline.json`` pins, per figure, the headline scalars and the
+fidelity score of an accepted run.  :func:`check` compares a freshly
+built manifest against it and reports:
+
+* **headline drift** — a metric moved more than its tolerance away from
+  the pinned value.  Direction matters only for the message: a move in
+  the harmful direction is a *regression*, a move in the good direction
+  an *improvement* — but both fail the gate, because on a deterministic
+  model either means the code changed and the baseline must be
+  re-accepted deliberately (``--update-baseline``), never silently;
+* **fidelity drift** — a figure's paper-fidelity score fell more than
+  ``FIDELITY_DRIFT`` below the accepted score;
+* **missing figures** — present in the baseline, absent from the run.
+
+Figures new since the baseline are reported as notes, not failures, so
+adding a bench doesn't break CI before the baseline catches up.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs import get_registry, names
+from repro.perf import schema
+
+#: Default relative tolerance for a pinned headline metric.
+DEFAULT_REL_TOL = 0.05
+#: Allowed drop in a figure's fidelity score before the gate trips.
+FIDELITY_DRIFT = 0.02
+#: Denominator floor so near-zero pinned values compare absolutely.
+ABS_FLOOR = 1e-9
+
+#: Headline-name fragments meaning "smaller is the good direction".
+_LOWER_IS_BETTER = (
+    "latency", "_us", "_ns", "cycles", "penalty", "cost", "usd",
+    "missing", "power",
+)
+
+
+@dataclass
+class GateReport:
+    """The gate's verdict: failures trip CI, notes don't."""
+
+    failures: List[str]
+    notes: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def lower_is_better(metric: str) -> bool:
+    name = metric.lower()
+    return any(fragment in name for fragment in _LOWER_IS_BETTER)
+
+
+def baseline_from_manifest(manifest: Dict[str, object]) -> Dict[str, object]:
+    """Distil a manifest into the committed baseline document."""
+    figures: Dict[str, Dict[str, object]] = {}
+    for figure, entry in manifest["figures"].items():
+        figures[figure] = {
+            "headline": dict(entry["headline"]),
+            "fidelity": entry.get("fidelity"),
+            "bottleneck": entry["bottleneck"],
+            "mode": entry["mode"],
+        }
+    return {
+        "schema_version": schema.SCHEMA_VERSION,
+        "rel_tol": DEFAULT_REL_TOL,
+        "figures": {k: figures[k] for k in sorted(figures)},
+    }
+
+
+def write_baseline(manifest: Dict[str, object], path: Path) -> Path:
+    baseline = baseline_from_manifest(manifest)
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, object]]:
+    if not path.exists():
+        return None
+    baseline = json.loads(path.read_text())
+    if baseline.get("schema_version") != schema.SCHEMA_VERSION:
+        raise schema.SchemaError([
+            f"baseline schema_version {baseline.get('schema_version')!r} "
+            f"!= {schema.SCHEMA_VERSION} — regenerate with --update-baseline"
+        ])
+    return baseline
+
+
+def _drift(measured: float, pinned: float) -> float:
+    return (measured - pinned) / max(abs(pinned), ABS_FLOOR)
+
+
+def check(
+    manifest: Dict[str, object], baseline: Dict[str, object]
+) -> GateReport:
+    """Compare a fresh manifest against the committed baseline."""
+    failures: List[str] = []
+    notes: List[str] = []
+    rel_tol = float(baseline.get("rel_tol", DEFAULT_REL_TOL))
+    fresh = manifest["figures"]
+
+    for figure, pinned in sorted(baseline["figures"].items()):
+        entry = fresh.get(figure)
+        if entry is None:
+            failures.append(f"{figure}: in baseline but missing from run")
+            continue
+        if entry["mode"] != pinned.get("mode"):
+            failures.append(
+                f"{figure}: run mode {entry['mode']!r} != baseline mode "
+                f"{pinned.get('mode')!r} (rerun with the matching --quick "
+                f"flag or --update-baseline)"
+            )
+            continue
+
+        for metric, pinned_value in sorted(pinned["headline"].items()):
+            value = entry["headline"].get(metric)
+            if value is None:
+                failures.append(f"{figure}.{metric}: pinned metric missing")
+                continue
+            drift = _drift(float(value), float(pinned_value))
+            if abs(drift) <= rel_tol:
+                continue
+            harmful = drift < 0 if not lower_is_better(metric) else drift > 0
+            label = "regression" if harmful else "improvement"
+            failures.append(
+                f"{figure}.{metric}: {label} {drift:+.1%} "
+                f"({pinned_value} -> {value}, tol ±{rel_tol:.0%})"
+            )
+
+        pinned_fidelity = pinned.get("fidelity")
+        fidelity = entry.get("fidelity")
+        if pinned_fidelity is not None:
+            if fidelity is None:
+                failures.append(f"{figure}: fidelity score disappeared")
+            elif float(fidelity) < float(pinned_fidelity) - FIDELITY_DRIFT:
+                failures.append(
+                    f"{figure}: fidelity fell {pinned_fidelity} -> "
+                    f"{fidelity} (allowed drift {FIDELITY_DRIFT})"
+                )
+
+        if entry["bottleneck"] != pinned.get("bottleneck"):
+            notes.append(
+                f"{figure}: bottleneck verdict moved "
+                f"{pinned.get('bottleneck')!r} -> {entry['bottleneck']!r}"
+            )
+
+    for figure in sorted(set(fresh) - set(baseline["figures"])):
+        notes.append(f"{figure}: new benchmark, not in baseline yet")
+
+    registry = get_registry()
+    registry.counter(names.BENCH_REGRESSIONS).inc(len(failures))
+    return GateReport(failures=failures, notes=notes)

@@ -1,0 +1,308 @@
+"""The machine-readable paper-reference table.
+
+Digitised expected values for every registered benchmark, in one place
+that scoring, the gate, and the docs all read.  Two provenance classes,
+flagged by ``source``:
+
+* **paper** figures/tables (fig2/fig5/fig6/fig11a–d/fig12/table1–3):
+  the numbers are the published ones — table cells verbatim, figure
+  anchors as quoted in the prose or read off the named points the
+  evaluation discusses.  Only points the paper actually states are
+  digitised; interpolating a curve we cannot read precisely would
+  launder model output into "reference" data.
+* **extension** benches (degraded/numa/divergence/ablations/extensions):
+  where the paper states the number (NUMA +60%, power +68%, $/GHz) it
+  is used; otherwise the entry pins the reproduction's accepted value
+  as a regression reference and says so in ``note``.
+
+Tolerances are per-series/anchor relative errors: inside the tolerance
+a point counts as reproduced; the continuous distance still feeds the
+fidelity score, so drift *within* tolerance is visible in the scorecard
+trajectory before it ever trips the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SeriesRef:
+    """Expected points of one series, addressed by x value.
+
+    ``abs_floor`` bounds the denominator of the relative error so
+    near-zero expected values (Table 3's 4.9% share) don't turn a
+    one-point absolute miss into a huge relative one.
+    """
+
+    key: str
+    points: Tuple[Tuple[object, float], ...] = ()
+    rel_tol: float = 0.05
+    abs_floor: float = 0.0
+    monotonic: Optional[str] = None  # "increasing" | "decreasing" | None
+
+
+@dataclass(frozen=True)
+class AnchorRef:
+    """One expected headline scalar."""
+
+    key: str
+    expected: float
+    rel_tol: float = 0.05
+
+
+@dataclass(frozen=True)
+class FigureRef:
+    figure: str
+    source: str  # "Figure 6", "Table 1", "extension", ...
+    series: Tuple[SeriesRef, ...] = ()
+    anchors: Tuple[AnchorRef, ...] = ()
+    note: str = ""
+
+
+REFERENCE: Dict[str, FigureRef] = {}
+
+
+def _ref(ref: FigureRef) -> None:
+    REFERENCE[ref.figure] = ref
+
+
+def get_reference(figure: str) -> Optional[FigureRef]:
+    return REFERENCE.get(figure)
+
+
+# -- the paper's figures ------------------------------------------------
+
+_ref(FigureRef(
+    figure="fig2",
+    source="Figure 2",
+    series=(
+        SeriesRef(key="gpu_mpps", monotonic="increasing"),
+    ),
+    anchors=(
+        # "the GPU throughput crosses one quad-core X5550 past ~320
+        # packets, two past ~640, and saturates around ten X5550s".
+        AnchorRef(key="crossover_1cpu", expected=320.0, rel_tol=0.45),
+        AnchorRef(key="crossover_2cpu", expected=640.0, rel_tol=0.60),
+        AnchorRef(key="peak_vs_1cpu", expected=10.0, rel_tol=0.25),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig5",
+    source="Figure 5",
+    series=(
+        # 0.78 Gbps packet-by-packet, 10.5 Gbps at batch 64.
+        SeriesRef(key="gbps", points=((1, 0.78), (64, 10.5)),
+                  rel_tol=0.03, monotonic="increasing"),
+    ),
+    anchors=(
+        AnchorRef(key="speedup_64", expected=13.5, rel_tol=0.05),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig6",
+    source="Figure 6",
+    series=(
+        SeriesRef(key="rx_gbps", points=((64, 53.1), (1514, 59.9)),
+                  rel_tol=0.03),
+        SeriesRef(key="tx_gbps", points=((64, 79.3), (1514, 80.0)),
+                  rel_tol=0.03),
+        SeriesRef(key="forward_gbps", points=((64, 41.1), (1514, 40.0)),
+                  rel_tol=0.04),
+    ),
+    anchors=(
+        # 41.1 Gbps / 58.4 Mpps minimal forwarding at 64B.
+        AnchorRef(key="forward_mpps_64", expected=58.4, rel_tol=0.03),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig11a",
+    source="Figure 11(a)",
+    series=(
+        SeriesRef(key="gpu_gbps", points=((64, 39.0), (1514, 40.0)),
+                  rel_tol=0.03),
+        SeriesRef(key="cpu_gbps", points=((64, 28.0),), rel_tol=0.06),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig11b",
+    source="Figure 11(b)",
+    series=(
+        SeriesRef(key="gpu_gbps", points=((64, 38.2),), rel_tol=0.04),
+        SeriesRef(key="cpu_gbps", points=((64, 8.0),), rel_tol=0.12),
+    ),
+    anchors=(
+        AnchorRef(key="speedup_64", expected=4.8, rel_tol=0.20),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig11c",
+    source="Figure 11(c)",
+    series=(
+        # 32 Gbps at the NetFPGA-comparison configuration (32K+32).
+        SeriesRef(key="gpu_gbps", points=(("32K+32", 32.0),), rel_tol=0.04),
+    ),
+    anchors=(
+        # "about eight NetFPGA cards (4 Gbps line rate each)".
+        AnchorRef(key="netfpga_equivalents", expected=8.0, rel_tol=0.06),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig11d",
+    source="Figure 11(d)",
+    series=(
+        SeriesRef(key="gpu_gbps", points=((64, 10.2), (1514, 20.0)),
+                  rel_tol=0.12, monotonic="increasing"),
+    ),
+    anchors=(
+        # "improves ... by a factor of 3.5, regardless of packet sizes".
+        AnchorRef(key="speedup_64", expected=3.5, rel_tol=0.35),
+    ),
+))
+
+_ref(FigureRef(
+    figure="fig12",
+    source="Figure 12",
+    anchors=(
+        # "yet still showing a reasonable range (200-400us in the
+        # figure)": the band's midpoint, tolerance spanning the band.
+        AnchorRef(key="gpu_us_12gbps", expected=300.0, rel_tol=0.35),
+        # Saturation points read off the figure: no-batch dies between
+        # 3 and 4 Gbps, CPU+batch at its ~8 Gbps capacity.
+        AnchorRef(key="cpu_nobatch_sat_gbps", expected=4.0, rel_tol=0.25),
+        AnchorRef(key="cpu_batch_sat_gbps", expected=12.0, rel_tol=0.40),
+    ),
+    note="latency percentiles (p50/p95/p99) are tracked as headline "
+         "metrics without a published reference",
+))
+
+# -- the paper's tables -------------------------------------------------
+
+_ref(FigureRef(
+    figure="table1",
+    source="Table 1",
+    series=(
+        SeriesRef(
+            key="h2d_mbps",
+            points=((256, 55), (1024, 185), (4096, 759), (16384, 2069),
+                    (65536, 4046), (262144, 5142), (1048576, 5577)),
+            rel_tol=0.20, monotonic="increasing",
+        ),
+        SeriesRef(
+            key="d2h_mbps",
+            points=((256, 63), (1024, 211), (4096, 786), (16384, 1743),
+                    (65536, 2848), (262144, 3242), (1048576, 3394)),
+            rel_tol=0.20, monotonic="increasing",
+        ),
+    ),
+))
+
+_ref(FigureRef(
+    figure="table2",
+    source="Table 2",
+    anchors=(
+        AnchorRef(key="total_cost_usd", expected=7000.0, rel_tol=0.05),
+    ),
+))
+
+_ref(FigureRef(
+    figure="table3",
+    source="Table 3",
+    series=(
+        SeriesRef(
+            key="share",
+            points=(
+                ("skb initialization", 0.049),
+                ("skb (de)allocation", 0.080),
+                ("memory subsystem", 0.502),
+                ("NIC device driver", 0.133),
+                ("others", 0.098),
+                ("compulsory cache misses", 0.138),
+            ),
+            rel_tol=0.25, abs_floor=0.05,
+        ),
+    ),
+    anchors=(
+        # "skb-related operations take 63.1% of the cycles".
+        AnchorRef(key="skb_related_share", expected=0.631, rel_tol=0.03),
+    ),
+))
+
+# -- the reproduction's extension benches -------------------------------
+
+_ref(FigureRef(
+    figure="degraded",
+    source="extension",
+    anchors=(
+        # The resilience bar: breaker-open capacity within 10% of the
+        # Figure 11 CPU-only baseline (docs/RESILIENCE.md).
+        AnchorRef(key="min_ratio", expected=1.0, rel_tol=0.10),
+    ),
+    note="regression reference for the recovery ladder's floor",
+))
+
+_ref(FigureRef(
+    figure="numa",
+    source="Section 4.5",
+    anchors=(
+        # "NUMA-blind stays below 25 Gbps, aware around 40 (+60%)".
+        AnchorRef(key="aware_over_blind", expected=1.6, rel_tol=0.05),
+    ),
+))
+
+_ref(FigureRef(
+    figure="divergence",
+    source="Section 5.5",
+    anchors=(
+        AnchorRef(key="four_suite_penalty", expected=4.0, rel_tol=0.30),
+        AnchorRef(key="sorted_recovery", expected=1.0, rel_tol=0.20),
+    ),
+    note="classify-and-sort must recover (almost) all of the mixed-"
+         "suite divergence penalty",
+))
+
+_ref(FigureRef(
+    figure="ablations",
+    source="Section 7 / Section 2.4",
+    series=(
+        # "$23, $87, $183 per GHz" across the machine classes.
+        SeriesRef(
+            key="usd_per_ghz",
+            points=(("single-socket", 23.0), ("dual-socket", 87.0),
+                    ("quad-socket", 183.0)),
+            rel_tol=0.05, monotonic="increasing",
+        ),
+    ),
+    anchors=(
+        # 594 W with GPUs vs 353 W without: +68%.
+        AnchorRef(key="power_increase", expected=0.68, rel_tol=0.03),
+        # "177.4 vs 32 GB/s" memory bandwidth.
+        AnchorRef(key="gpu_bw_ratio", expected=5.54, rel_tol=0.02),
+        # "about 6 outstanding cache misses ... only 4 when all four
+        # cores burst memory references".
+        AnchorRef(key="mshr_one_core", expected=6.0, rel_tol=0.05),
+        AnchorRef(key="mshr_all_cores", expected=4.0, rel_tol=0.05),
+    ),
+))
+
+_ref(FigureRef(
+    figure="extensions",
+    source="extension",
+    anchors=(
+        # Section 4 redesign: an order of magnitude off the skb path
+        # (the reproduction's calibrated ratio is 16x; regression ref).
+        AnchorRef(key="skb_engine_ratio", expected=16.0, rel_tol=0.10),
+        # "PacketShader could replace RB4 ... with better performance":
+        # 40 Gbps single box vs the modelled 26.6 Gbps RB4 cluster.
+        AnchorRef(key="ps_vs_rb4_ratio", expected=1.5, rel_tol=0.10),
+        AnchorRef(key="vlb8_direct_gbps", expected=160.0, rel_tol=0.05),
+    ),
+    note="regression references for the reproduction's own extensions",
+))

@@ -1,0 +1,191 @@
+"""The benchmark runner: registry -> payloads -> artifacts -> scorecard.
+
+One pipeline for every figure/table reproduction:
+
+* :func:`run_figure` executes one registered producer, scores it against
+  the paper-reference table, and assembles the schema-validated payload;
+* :func:`run` sweeps the registry (optionally filtered), writes the
+  per-figure ``BENCH_<figure>.json`` artifacts, and aggregates the
+  ``BENCH_manifest.json`` scorecard;
+* :func:`append_history` appends one line to the git-ignored
+  ``bench-history.jsonl`` trajectory.
+
+Committed artifacts (per-figure JSONs, the manifest, the baseline) are
+deterministic — the models are analytic and the simulators seeded, so a
+re-run on an unchanged tree is a byte-identical git diff.  Wall-clock
+data therefore lives *only* in the history file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs import get_registry, names
+from repro.perf import schema
+from repro.perf.registry import BenchSpec, all_specs, get_spec
+from repro.perf.reference import get_reference
+from repro.perf.scoring import score_result
+
+#: Repository root: ``src/repro/perf/runner.py`` -> three levels up.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+MANIFEST_NAME = "BENCH_manifest.json"
+BASELINE_NAME = "bench-baseline.json"
+HISTORY_NAME = "bench-history.jsonl"
+
+
+def _rounded(value, digits: int = 6):
+    """Round floats recursively so artifacts stay readable and stable."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: _rounded(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded(v, digits) for v in value]
+    return value
+
+
+def run_figure(spec: BenchSpec, quick: bool = False) -> Dict[str, object]:
+    """Produce, score, and package one benchmark as a validated payload."""
+    registry = get_registry()
+    result = spec.produce(quick)
+    registry.counter(names.BENCH_FIGURES).inc()
+    registry.counter(names.BENCH_SERIES_POINTS).inc(len(result.series))
+
+    divergence: Optional[Dict[str, object]] = None
+    if get_reference(spec.figure) is not None:
+        score = score_result(spec.figure, result, spec.x_key)
+        divergence = score.to_dict()
+        registry.gauge(names.BENCH_FIDELITY, figure=spec.figure).set(
+            score.fidelity
+        )
+
+    return schema.figure_payload(
+        figure=spec.figure,
+        kind=spec.kind,
+        title=spec.title,
+        x_key=spec.x_key,
+        mode="quick" if quick else "full",
+        units=dict(spec.units),
+        series=_rounded(result.series),
+        headline=_rounded(result.headline),
+        bottleneck=result.bottleneck,
+        divergence=divergence,
+    )
+
+
+def build_manifest(payloads: List[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate per-figure payloads into the scorecard manifest."""
+    figures: Dict[str, Dict[str, object]] = {}
+    fidelities: List[float] = []
+    reference_points = 0
+    out_of_tol: List[str] = []
+    for payload in payloads:
+        divergence = payload.get("divergence") or {}
+        entry: Dict[str, object] = {
+            "kind": payload["kind"],
+            "title": payload["title"],
+            "mode": payload["mode"],
+            "bottleneck": payload["bottleneck"],
+            "series_rows": len(payload["series"]),
+            "headline": payload["headline"],
+        }
+        if divergence:
+            entry["fidelity"] = divergence["fidelity"]
+            entry["mean_rel_error"] = divergence["mean_rel_error"]
+            entry["within_tol"] = divergence["within_tol"]
+            entry["shape_ok"] = divergence["shape_ok"]
+            entry["reference_points"] = divergence["points"]
+            entry["source"] = divergence["source"]
+            fidelities.append(float(divergence["fidelity"]))
+            reference_points += int(divergence["points"])
+            if not divergence["within_tol"]:
+                out_of_tol.append(str(payload["figure"]))
+        figures[str(payload["figure"])] = entry
+
+    summary = {
+        "figures": len(figures),
+        "scored": len(fidelities),
+        "reference_points": reference_points,
+        "mean_fidelity": round(sum(fidelities) / len(fidelities), 4)
+        if fidelities else None,
+        "min_fidelity": round(min(fidelities), 4) if fidelities else None,
+        "out_of_tolerance": sorted(out_of_tol),
+    }
+    return {
+        "schema_version": schema.SCHEMA_VERSION,
+        "figures": {k: figures[k] for k in sorted(figures)},
+        "summary": summary,
+    }
+
+
+def write_figure(payload: Dict[str, object], root: Path = REPO_ROOT) -> Path:
+    path = root / f"BENCH_{payload['figure']}.json"
+    path.write_text(schema.dump(payload))
+    return path
+
+
+def write_manifest(manifest: Dict[str, object], root: Path = REPO_ROOT) -> Path:
+    path = root / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def append_history(
+    manifest: Dict[str, object],
+    elapsed_s: float,
+    root: Path = REPO_ROOT,
+) -> Path:
+    """Append one run to the trajectory.  The only wall-clock artifact."""
+    line = {
+        "schema_version": schema.SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "elapsed_s": round(elapsed_s, 3),
+        "summary": manifest["summary"],
+        "fidelity": {
+            figure: entry.get("fidelity")
+            for figure, entry in manifest["figures"].items()
+        },
+    }
+    path = root / HISTORY_NAME
+    with path.open("a") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def run(
+    figures: Optional[List[str]] = None,
+    quick: bool = False,
+    root: Path = REPO_ROOT,
+    write: bool = True,
+) -> Dict[str, object]:
+    """Run the suite and return the manifest.
+
+    ``figures=None`` runs every registered benchmark; a filtered run
+    still writes its per-figure artifacts but neither the manifest nor
+    the history line, so the committed scorecard always reflects the
+    full suite.
+    """
+    registry = get_registry()
+    registry.counter(names.BENCH_RUNS).inc()
+    started = time.monotonic()
+
+    specs = all_specs() if figures is None else [get_spec(f) for f in figures]
+    payloads = []
+    for spec in specs:
+        payloads.append(run_figure(spec, quick=quick))
+        if write:
+            write_figure(payloads[-1], root)
+
+    manifest = build_manifest(payloads)
+    elapsed = time.monotonic() - started
+    registry.gauge(names.BENCH_RUN_SECONDS).set(elapsed)
+    if write and figures is None:
+        write_manifest(manifest, root)
+        append_history(manifest, elapsed, root)
+    return manifest

@@ -1,0 +1,242 @@
+"""Paper-fidelity divergence scoring.
+
+Given one benchmark's measured :class:`~repro.perf.registry.BenchResult`
+and its :class:`~repro.perf.reference.FigureRef`, compute how far the
+reproduction sits from the published numbers:
+
+* **per-point relative error** for every digitised series point and
+  headline anchor (denominator floored by the reference's ``abs_floor``
+  so tiny expected values don't explode the ratio);
+* **shape checks** — monotonicity of measured series the paper draws as
+  monotone curves (Figure 5's batching curve, Table 1's rate ramps);
+* a scalar **fidelity** in [0, 1]: ``max(0, 1 - mean_rel_error)``,
+  halved if any shape check fails, zeroed by missing points.
+
+Fidelity is deliberately continuous: the regression gate trips only
+past tolerances, but the scorecard trajectory shows drift long before.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.perf.reference import FigureRef, SeriesRef, get_reference
+from repro.perf.registry import BenchResult
+
+#: Penalty applied to the fidelity score when a shape check fails: the
+#: curve's character is wrong even if individual points sit close.
+SHAPE_PENALTY = 0.5
+#: Relative error charged for a reference point the measured series does
+#: not contain at all (missing x, missing column, or null value).
+MISSING_POINT_ERROR = 1.0
+
+
+@dataclass
+class PointScore:
+    """One digitised point compared against its measured value."""
+
+    x: object
+    expected: float
+    measured: Optional[float]
+    rel_error: float
+    within_tol: bool
+
+
+@dataclass
+class SeriesScore:
+    key: str
+    rel_tol: float
+    points: List[PointScore] = field(default_factory=list)
+    monotonic: Optional[str] = None
+    monotonic_ok: bool = True
+
+    @property
+    def mean_rel_error(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.rel_error for p in self.points) / len(self.points)
+
+    @property
+    def max_rel_error(self) -> float:
+        return max((p.rel_error for p in self.points), default=0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rel_tol": self.rel_tol,
+            "mean_rel_error": round(self.mean_rel_error, 6),
+            "max_rel_error": round(self.max_rel_error, 6),
+            "points": len(self.points),
+            "within_tol": all(p.within_tol for p in self.points),
+            "monotonic": self.monotonic,
+            "monotonic_ok": self.monotonic_ok,
+        }
+
+
+@dataclass
+class DivergenceScore:
+    """The verdict scoring hands the runner for one figure."""
+
+    figure: str
+    source: str
+    fidelity: float
+    mean_rel_error: float
+    max_rel_error: float
+    points: int
+    missing: int
+    shape_ok: bool
+    within_tol: bool
+    series: Dict[str, SeriesScore] = field(default_factory=dict)
+    anchors: Dict[str, PointScore] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "fidelity": round(self.fidelity, 4),
+            "mean_rel_error": round(self.mean_rel_error, 6),
+            "max_rel_error": round(self.max_rel_error, 6),
+            "points": self.points,
+            "missing": self.missing,
+            "shape_ok": self.shape_ok,
+            "within_tol": self.within_tol,
+            "series": {k: s.to_dict() for k, s in sorted(self.series.items())},
+            "anchors": {
+                k: {
+                    "expected": p.expected,
+                    "measured": p.measured,
+                    "rel_error": round(p.rel_error, 6),
+                    "within_tol": p.within_tol,
+                }
+                for k, p in sorted(self.anchors.items())
+            },
+        }
+
+
+def _rel_error(measured: float, expected: float, abs_floor: float) -> float:
+    denominator = max(abs(expected), abs_floor)
+    if denominator == 0.0:
+        return 0.0 if measured == expected else MISSING_POINT_ERROR
+    return abs(measured - expected) / denominator
+
+
+def _series_values(
+    series: List[Dict[str, object]], x_key: str, key: str
+) -> Dict[object, float]:
+    """Measured ``x -> value`` for one column (None/missing dropped)."""
+    values: Dict[object, float] = {}
+    for row in series:
+        value = row.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and math.isfinite(value):
+            values[row.get(x_key)] = float(value)
+    return values
+
+
+def _monotonic_ok(values: List[float], direction: str) -> bool:
+    if direction == "increasing":
+        return all(b >= a for a, b in zip(values, values[1:]))
+    if direction == "decreasing":
+        return all(b <= a for a, b in zip(values, values[1:]))
+    raise ValueError(f"unknown monotonic direction {direction!r}")
+
+
+def _score_series(
+    ref: SeriesRef,
+    series: List[Dict[str, object]],
+    x_key: str,
+) -> SeriesScore:
+    measured = _series_values(series, x_key, ref.key)
+    score = SeriesScore(key=ref.key, rel_tol=ref.rel_tol, monotonic=ref.monotonic)
+    for x, expected in ref.points:
+        value = measured.get(x)
+        if value is None:
+            score.points.append(PointScore(
+                x=x, expected=expected, measured=None,
+                rel_error=MISSING_POINT_ERROR, within_tol=False,
+            ))
+            continue
+        error = _rel_error(value, expected, ref.abs_floor)
+        score.points.append(PointScore(
+            x=x, expected=expected, measured=value,
+            rel_error=error, within_tol=error <= ref.rel_tol,
+        ))
+    if ref.monotonic is not None:
+        # Shape is judged on the measured curve in sweep order.
+        ordered = [
+            float(row[ref.key]) for row in series
+            if isinstance(row.get(ref.key), (int, float))
+            and not isinstance(row.get(ref.key), bool)
+            and math.isfinite(row[ref.key])
+        ]
+        score.monotonic_ok = _monotonic_ok(ordered, ref.monotonic)
+    return score
+
+
+def score_result(
+    figure: str,
+    result: BenchResult,
+    x_key: str,
+    reference: Optional[FigureRef] = None,
+) -> DivergenceScore:
+    """Score one measured result against the paper-reference table."""
+    ref = reference if reference is not None else get_reference(figure)
+    if ref is None:
+        raise KeyError(f"no reference entry for benchmark {figure!r}")
+
+    series_scores: Dict[str, SeriesScore] = {}
+    anchor_scores: Dict[str, PointScore] = {}
+    errors: List[float] = []
+    missing = 0
+    shape_ok = True
+
+    for series_ref in ref.series:
+        score = _score_series(series_ref, result.series, x_key)
+        series_scores[series_ref.key] = score
+        for point in score.points:
+            errors.append(point.rel_error)
+            if point.measured is None:
+                missing += 1
+        if not score.monotonic_ok:
+            shape_ok = False
+
+    for anchor in ref.anchors:
+        value = result.headline.get(anchor.key)
+        if value is None or not math.isfinite(value):
+            point = PointScore(
+                x=anchor.key, expected=anchor.expected, measured=None,
+                rel_error=MISSING_POINT_ERROR, within_tol=False,
+            )
+            missing += 1
+        else:
+            error = _rel_error(float(value), anchor.expected, 0.0)
+            point = PointScore(
+                x=anchor.key, expected=anchor.expected, measured=float(value),
+                rel_error=error, within_tol=error <= anchor.rel_tol,
+            )
+        anchor_scores[anchor.key] = point
+        errors.append(point.rel_error)
+
+    mean_error = sum(errors) / len(errors) if errors else 0.0
+    max_error = max(errors, default=0.0)
+    fidelity = max(0.0, 1.0 - mean_error)
+    if not shape_ok:
+        fidelity *= SHAPE_PENALTY
+    within = (
+        all(p.within_tol for s in series_scores.values() for p in s.points)
+        and all(p.within_tol for p in anchor_scores.values())
+        and shape_ok
+    )
+    return DivergenceScore(
+        figure=figure,
+        source=ref.source,
+        fidelity=fidelity,
+        mean_rel_error=mean_error,
+        max_rel_error=max_error,
+        points=len(errors),
+        missing=missing,
+        shape_ok=shape_ok,
+        within_tol=within,
+        series=series_scores,
+        anchors=anchor_scores,
+    )

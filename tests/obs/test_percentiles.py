@@ -1,0 +1,79 @@
+"""Histogram percentile estimation and the Prometheus quantile lines."""
+
+import math
+
+import pytest
+
+from repro.obs.exporters import export_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def _histogram(registry=None, buckets=(10.0, 100.0)):
+    registry = registry or MetricsRegistry()
+    return registry.histogram("sojourn", buckets=buckets)
+
+
+class TestPercentile:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(_histogram().percentile(50))
+
+    def test_out_of_range_rejected(self):
+        histogram = _histogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.5)
+
+    def test_linear_interpolation_within_bucket(self):
+        histogram = _histogram()
+        histogram.observe(5.0)
+        # One sample in the [0, 10) bucket: the estimator interpolates
+        # linearly across the bucket span.
+        assert histogram.percentile(50) == pytest.approx(5.0)
+        assert histogram.percentile(100) == pytest.approx(10.0)
+
+    def test_percentiles_are_monotone(self):
+        histogram = _histogram(buckets=(10.0, 100.0, 1000.0))
+        for value in (1, 5, 9, 20, 50, 90, 200, 500, 900):
+            histogram.observe(float(value))
+        estimates = [histogram.percentile(p) for p in (10, 50, 90, 99)]
+        assert estimates == sorted(estimates)
+
+    def test_median_lands_in_the_right_bucket(self):
+        histogram = _histogram(buckets=(10.0, 100.0, 1000.0))
+        for _ in range(10):
+            histogram.observe(5.0)
+        for _ in range(2):
+            histogram.observe(500.0)
+        assert histogram.percentile(50) < 10.0
+        assert histogram.percentile(95) > 100.0
+
+    def test_overflow_clamps_to_last_bound(self):
+        histogram = _histogram()
+        histogram.observe(5000.0)  # beyond every bucket
+        assert histogram.percentile(99) == 100.0
+
+
+class TestPrometheusQuantiles:
+    def test_quantile_lines_emitted(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("sim.sojourn_ns", buckets=(10.0, 100.0))
+        for value in (1.0, 5.0, 50.0):
+            histogram.observe(value)
+        text = export_prometheus(registry)
+        assert 'sim_sojourn_ns{quantile="0.5"}' in text
+        assert 'sim_sojourn_ns{quantile="0.95"}' in text
+        assert 'sim_sojourn_ns{quantile="0.99"}' in text
+
+    def test_empty_histogram_emits_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("sim.sojourn_ns", buckets=(10.0,))
+        assert "quantile" not in export_prometheus(registry)
+
+    def test_quantile_values_match_percentile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10.0, 100.0))
+        histogram.observe(5.0)
+        text = export_prometheus(registry)
+        p50 = histogram.percentile(50)
+        assert f'h{{quantile="0.5"}} {p50:g}' in text

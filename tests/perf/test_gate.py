@@ -1,0 +1,144 @@
+"""Regression-gate tolerance edges on hand-built manifests."""
+
+import pytest
+
+from repro.perf import gate, schema
+
+
+def _manifest(gbps=10.0, lat_us=5.0, fidelity=0.95, mode="quick",
+              bottleneck="io", figures=("figA",)):
+    entry = {
+        "kind": "figure",
+        "title": "t",
+        "mode": mode,
+        "bottleneck": bottleneck,
+        "series_rows": 2,
+        "headline": {"gbps": gbps, "lat_us": lat_us},
+        "fidelity": fidelity,
+    }
+    return {
+        "schema_version": schema.SCHEMA_VERSION,
+        "figures": {figure: dict(entry) for figure in figures},
+        "summary": {"figures": len(figures)},
+    }
+
+
+@pytest.fixture
+def baseline():
+    return gate.baseline_from_manifest(_manifest())
+
+
+class TestDirections:
+    def test_lower_is_better_heuristic(self):
+        assert gate.lower_is_better("gpu_us_12gbps")
+        assert gate.lower_is_better("cycles_optimized")
+        assert gate.lower_is_better("total_cost_usd")
+        assert gate.lower_is_better("four_suite_penalty")
+        assert not gate.lower_is_better("forward_gbps_64")
+        assert not gate.lower_is_better("speedup_64")
+
+
+class TestCheck:
+    def test_identical_run_passes(self, baseline):
+        report = gate.check(_manifest(), baseline)
+        assert report.ok
+        assert report.failures == []
+
+    def test_drift_within_tolerance_passes(self, baseline):
+        # 4% below the pinned 10.0, inside the 5% tolerance.
+        assert gate.check(_manifest(gbps=9.6), baseline).ok
+
+    def test_throughput_drop_beyond_tolerance_is_regression(self, baseline):
+        report = gate.check(_manifest(gbps=9.0), baseline)
+        assert not report.ok
+        assert any("regression" in f and "gbps" in f for f in report.failures)
+
+    def test_latency_rise_beyond_tolerance_is_regression(self, baseline):
+        report = gate.check(_manifest(lat_us=6.0), baseline)
+        assert not report.ok
+        assert any("regression" in f and "lat_us" in f for f in report.failures)
+
+    def test_improvement_beyond_tolerance_also_fails(self, baseline):
+        # On a deterministic model a +20% "win" means the code changed;
+        # the baseline must be re-accepted deliberately.
+        report = gate.check(_manifest(gbps=12.0), baseline)
+        assert not report.ok
+        assert any("improvement" in f for f in report.failures)
+
+    def test_fidelity_drift_trips(self, baseline):
+        report = gate.check(
+            _manifest(fidelity=0.95 - gate.FIDELITY_DRIFT - 0.01), baseline
+        )
+        assert not report.ok
+        assert any("fidelity" in f for f in report.failures)
+
+    def test_fidelity_drift_within_allowance_passes(self, baseline):
+        assert gate.check(
+            _manifest(fidelity=0.95 - gate.FIDELITY_DRIFT + 0.001), baseline
+        ).ok
+
+    def test_missing_figure_fails(self, baseline):
+        manifest = _manifest()
+        manifest["figures"] = {}
+        report = gate.check(manifest, baseline)
+        assert not report.ok
+        assert any("missing from run" in f for f in report.failures)
+
+    def test_missing_pinned_metric_fails(self, baseline):
+        manifest = _manifest()
+        del manifest["figures"]["figA"]["headline"]["gbps"]
+        report = gate.check(manifest, baseline)
+        assert not report.ok
+
+    def test_new_figure_is_a_note_not_a_failure(self, baseline):
+        report = gate.check(_manifest(figures=("figA", "figB")), baseline)
+        assert report.ok
+        assert any("figB" in n and "new benchmark" in n for n in report.notes)
+
+    def test_mode_mismatch_fails(self, baseline):
+        report = gate.check(_manifest(mode="full"), baseline)
+        assert not report.ok
+        assert any("mode" in f for f in report.failures)
+
+    def test_bottleneck_move_is_a_note(self, baseline):
+        report = gate.check(_manifest(bottleneck="gpu"), baseline)
+        assert report.ok
+        assert any("bottleneck" in n for n in report.notes)
+
+
+class TestBaselineFile:
+    def test_write_and_load_round_trip(self, tmp_path, baseline):
+        path = gate.write_baseline(_manifest(), tmp_path / "baseline.json")
+        assert gate.load_baseline(path) == baseline
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert gate.load_baseline(tmp_path / "absent.json") is None
+
+    def test_load_rejects_foreign_schema_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema_version": 999, "figures": {}}')
+        with pytest.raises(schema.SchemaError):
+            gate.load_baseline(path)
+
+    def test_regressions_counted_into_registry(self, baseline):
+        from repro.obs import MetricsRegistry, names, set_registry
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            gate.check(_manifest(gbps=1.0), baseline)
+            from repro.obs import get_registry
+
+            registry = get_registry()
+            assert registry.value(names.BENCH_REGRESSIONS) >= 1.0
+        finally:
+            set_registry(previous)
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_loads_and_covers_the_registry(self):
+        from repro.perf.registry import figure_ids
+        from repro.perf.runner import BASELINE_NAME, REPO_ROOT
+
+        baseline = gate.load_baseline(REPO_ROOT / BASELINE_NAME)
+        assert baseline is not None, "bench-baseline.json must be committed"
+        assert sorted(baseline["figures"]) == figure_ids()

@@ -1,0 +1,107 @@
+"""Schema round-trip and validation for the perf artifacts."""
+
+import pytest
+
+from repro.perf import schema
+
+
+def _payload(**overrides):
+    payload = schema.figure_payload(
+        figure="fig6",
+        kind="figure",
+        title="packet I/O engine throughput (Gbps)",
+        x_key="frame_len",
+        mode="quick",
+        units={"forward_gbps": "Gbps"},
+        series=[
+            {"frame_len": 64, "forward_gbps": 41.1},
+            {"frame_len": 1514, "forward_gbps": 40.0},
+        ],
+        headline={"forward_gbps_64": 41.1},
+        bottleneck="io",
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestRoundTrip:
+    def test_dump_load_round_trips(self):
+        payload = _payload()
+        assert schema.load(schema.dump(payload)) == payload
+
+    def test_dump_is_canonical(self):
+        payload = _payload()
+        text = schema.dump(payload)
+        assert text.endswith("\n")
+        assert schema.dump(schema.load(text)) == text
+
+    def test_divergence_block_is_optional_and_preserved(self):
+        payload = schema.figure_payload(
+            figure="x", kind="extension", title="t", x_key="n", mode="full",
+            units={}, series=[{"n": 1, "v": 2.0}], headline={"v": 2.0},
+            bottleneck="compute", divergence={"fidelity": 1.0},
+        )
+        assert schema.load(schema.dump(payload))["divergence"] == {
+            "fidelity": 1.0
+        }
+
+    def test_null_series_values_survive(self):
+        payload = _payload()
+        payload["series"][0]["forward_gbps"] = None
+        assert schema.load(schema.dump(payload))["series"][0][
+            "forward_gbps"
+        ] is None
+
+
+class TestValidation:
+    def test_missing_field_rejected(self):
+        payload = _payload()
+        del payload["bottleneck"]
+        with pytest.raises(schema.SchemaError, match="bottleneck"):
+            schema.validate_figure_payload(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(schema.SchemaError, match="schema_version"):
+            schema.validate_figure_payload(_payload(schema_version=99))
+
+    def test_bad_kind_and_mode_rejected(self):
+        with pytest.raises(schema.SchemaError, match="kind"):
+            schema.validate_figure_payload(_payload(kind="plot"))
+        with pytest.raises(schema.SchemaError, match="mode"):
+            schema.validate_figure_payload(_payload(mode="fast"))
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(schema.SchemaError, match="series"):
+            schema.validate_figure_payload(_payload(series=[]))
+
+    def test_series_row_missing_x_key_rejected(self):
+        payload = _payload()
+        payload["series"].append({"forward_gbps": 1.0})
+        with pytest.raises(schema.SchemaError, match="x_key"):
+            schema.validate_figure_payload(payload)
+
+    def test_non_numeric_headline_rejected(self):
+        with pytest.raises(schema.SchemaError, match="headline"):
+            schema.validate_figure_payload(_payload(headline={"a": "fast"}))
+        with pytest.raises(schema.SchemaError, match="headline"):
+            schema.validate_figure_payload(_payload(headline={"a": True}))
+
+    def test_non_finite_values_rejected_everywhere(self):
+        payload = _payload()
+        payload["series"][0]["forward_gbps"] = float("inf")
+        with pytest.raises(schema.SchemaError, match="non-finite"):
+            schema.validate_figure_payload(payload)
+        with pytest.raises(schema.SchemaError, match="non-finite"):
+            schema.validate_figure_payload(
+                _payload(headline={"a": float("nan")})
+            )
+
+    def test_empty_bottleneck_rejected(self):
+        with pytest.raises(schema.SchemaError, match="bottleneck"):
+            schema.validate_figure_payload(_payload(bottleneck=""))
+
+    def test_error_lists_every_issue(self):
+        payload = _payload(kind="plot", mode="fast")
+        with pytest.raises(schema.SchemaError) as excinfo:
+            schema.validate_figure_payload(payload)
+        assert len(excinfo.value.issues) == 2

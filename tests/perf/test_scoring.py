@@ -1,0 +1,147 @@
+"""Divergence scoring on synthetic series: perfect, scaled, shape-broken."""
+
+import pytest
+
+from repro.perf.reference import AnchorRef, FigureRef, SeriesRef, get_reference
+from repro.perf.registry import BenchResult
+from repro.perf.scoring import MISSING_POINT_ERROR, SHAPE_PENALTY, score_result
+
+REF = FigureRef(
+    figure="synthetic",
+    source="test",
+    series=(
+        SeriesRef(key="y", points=((1, 10.0), (2, 20.0)), rel_tol=0.05,
+                  monotonic="increasing"),
+    ),
+    anchors=(AnchorRef(key="peak", expected=20.0, rel_tol=0.05),),
+)
+
+
+def _result(series, peak=20.0):
+    return BenchResult(series=series, headline={"peak": peak}, bottleneck="x")
+
+
+class TestPerfectSeries:
+    def test_full_fidelity(self):
+        score = score_result(
+            "synthetic",
+            _result([{"x": 1, "y": 10.0}, {"x": 2, "y": 20.0}]),
+            "x",
+            reference=REF,
+        )
+        assert score.fidelity == 1.0
+        assert score.within_tol
+        assert score.shape_ok
+        assert score.mean_rel_error == 0.0
+        assert score.points == 3  # two series points + one anchor
+        assert score.missing == 0
+
+    def test_within_tolerance_drift_still_scores_below_one(self):
+        score = score_result(
+            "synthetic",
+            _result([{"x": 1, "y": 10.2}, {"x": 2, "y": 20.4}], peak=20.4),
+            "x",
+            reference=REF,
+        )
+        assert score.within_tol  # 2% < the 5% tolerance
+        assert 0.97 < score.fidelity < 1.0  # but the drift is visible
+
+
+class TestScaledSeries:
+    def test_uniform_scale_breaks_tolerance_not_shape(self):
+        score = score_result(
+            "synthetic",
+            _result([{"x": 1, "y": 11.0}, {"x": 2, "y": 22.0}], peak=22.0),
+            "x",
+            reference=REF,
+        )
+        assert not score.within_tol
+        assert score.shape_ok  # still increasing
+        assert score.mean_rel_error == pytest.approx(0.10)
+        assert score.fidelity == pytest.approx(0.90)
+
+
+class TestShapeBroken:
+    def test_monotonicity_violation_halves_fidelity(self):
+        score = score_result(
+            "synthetic",
+            _result([{"x": 1, "y": 10.0}, {"x": 2, "y": 20.0},
+                     {"x": 3, "y": 15.0}]),
+            "x",
+            reference=REF,
+        )
+        assert not score.shape_ok
+        assert not score.within_tol
+        # All reference points match exactly; only the shape is wrong.
+        assert score.mean_rel_error == 0.0
+        assert score.fidelity == pytest.approx(SHAPE_PENALTY)
+
+
+class TestMissingPoints:
+    def test_missing_x_charged_full_error(self):
+        score = score_result(
+            "synthetic", _result([{"x": 1, "y": 10.0}]), "x", reference=REF
+        )
+        assert score.missing == 1
+        assert score.series["y"].max_rel_error == MISSING_POINT_ERROR
+        assert not score.within_tol
+
+    def test_null_value_counts_as_missing(self):
+        score = score_result(
+            "synthetic",
+            _result([{"x": 1, "y": 10.0}, {"x": 2, "y": None}]),
+            "x",
+            reference=REF,
+        )
+        assert score.missing == 1
+
+    def test_missing_anchor_counts_too(self):
+        result = BenchResult(
+            series=[{"x": 1, "y": 10.0}, {"x": 2, "y": 20.0}],
+            headline={}, bottleneck="x",
+        )
+        score = score_result("synthetic", result, "x", reference=REF)
+        assert score.missing == 1
+        assert score.anchors["peak"].measured is None
+
+
+class TestAbsFloor:
+    def test_floor_bounds_small_denominators(self):
+        ref = FigureRef(
+            figure="shares", source="test",
+            series=(SeriesRef(key="s", points=(("a", 0.04),), rel_tol=0.5,
+                              abs_floor=0.05),),
+        )
+        result = BenchResult(
+            series=[{"x": "a", "s": 0.06}], headline={"z": 1.0},
+            bottleneck="x",
+        )
+        score = score_result("shares", result, "x", reference=ref)
+        # |0.06 - 0.04| / max(0.04, 0.05) = 0.4, not 0.5.
+        assert score.series["s"].max_rel_error == pytest.approx(0.4)
+
+
+class TestReferenceTable:
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            score_result("nope", _result([{"x": 1, "y": 1.0}]), "x")
+
+    def test_every_registered_bench_has_a_reference(self):
+        from repro.perf.registry import figure_ids
+
+        for figure in figure_ids():
+            assert get_reference(figure) is not None, figure
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        score = score_result(
+            "synthetic",
+            _result([{"x": 1, "y": 10.0}, {"x": 2, "y": 20.0}]),
+            "x",
+            reference=REF,
+        )
+        dumped = json.loads(json.dumps(score.to_dict()))
+        assert dumped["fidelity"] == 1.0
+        assert dumped["series"]["y"]["within_tol"] is True
+        assert dumped["anchors"]["peak"]["measured"] == 20.0
