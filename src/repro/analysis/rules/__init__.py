@@ -60,4 +60,5 @@ from repro.analysis.rules import (  # noqa: E402,F401
     rl003_metric_names,
     rl004_drops,
     rl005_fault_sites,
+    rl006_hot_loops,
 )

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.calib.constants import APPS, GPU_KERNELS
 from repro.core.application import GPUWorkItem, RouterApplication
 from repro.core.chunk import Chunk
@@ -65,14 +67,17 @@ class IPsecGateway(RouterApplication):
         return out
 
     def _gather(self, chunk: Chunk) -> List[Optional[bytes]]:
-        inners: List[Optional[bytes]] = []
-        for frame, verdict in zip(chunk.frames, chunk.verdicts):
-            ethertype = (frame[12] << 8) | frame[13] if len(frame) >= 14 else 0
-            if ethertype != ETHERTYPE_IPV4 or len(frame) < 34:
-                verdict.slow_path()
-                inners.append(None)
-                continue
-            inners.append(bytes(frame[ETHERNET_HEADER_LEN:]))
+        batch = chunk.batch()
+        eligible = batch.long_enough(34) & (
+            batch.ethertypes() == ETHERTYPE_IPV4
+        )
+        chunk.set_slow_path(~eligible)
+        inners: List[Optional[bytes]] = [None] * len(chunk)
+        frames = chunk.frames
+        # Payload extraction stays per selected packet: each inner packet
+        # becomes an independently-owned buffer for the cipher.
+        for index in np.flatnonzero(eligible).tolist():
+            inners[index] = bytes(frames[index][ETHERNET_HEADER_LEN:])
         return inners
 
     def _apply(self, chunk: Chunk, outers: List[Optional[bytes]]) -> None:
@@ -82,14 +87,14 @@ class IPsecGateway(RouterApplication):
                 chunk.verdicts[index].drop()
                 continue
             eth = bytes(chunk.frames[index][:ETHERNET_HEADER_LEN])
-            chunk.frames[index] = bytearray(eth + outer)
+            chunk.replace_frame(index, bytearray(eth + outer))
             chunk.verdicts[index].forward_to(self.out_port)
 
     def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
         inners = self._gather(chunk)
         if not chunk.pending_indices():
             return None
-        frame_len = max(len(f) for f in chunk.frames)
+        frame_len = chunk.max_frame_len()
         spec, threads_per_packet = self.kernel_cost(frame_len)
         spec = KernelSpec(
             name=spec.name,
@@ -203,19 +208,17 @@ class IPsecDecapGateway(RouterApplication):
         return results
 
     def _gather(self, chunk: Chunk) -> List[Optional[bytes]]:
-        outers: List[Optional[bytes]] = []
-        for frame, verdict in zip(chunk.frames, chunk.verdicts):
-            ethertype = (frame[12] << 8) | frame[13] if len(frame) >= 14 else 0
-            is_esp = (
-                ethertype == ETHERTYPE_IPV4
-                and len(frame) >= 34
-                and frame[ETHERNET_HEADER_LEN + 9] == PROTO_ESP
-            )
-            if not is_esp:
-                verdict.slow_path()
-                outers.append(None)
-                continue
-            outers.append(bytes(frame[ETHERNET_HEADER_LEN:]))
+        batch = chunk.batch()
+        is_esp = (
+            batch.long_enough(34)
+            & (batch.ethertypes() == ETHERTYPE_IPV4)
+            & (batch.byte_at(ETHERNET_HEADER_LEN + 9) == PROTO_ESP)
+        )
+        chunk.set_slow_path(~is_esp)
+        outers: List[Optional[bytes]] = [None] * len(chunk)
+        frames = chunk.frames
+        for index in np.flatnonzero(is_esp).tolist():
+            outers[index] = bytes(frames[index][ETHERNET_HEADER_LEN:])
         return outers
 
     def _apply(self, chunk: Chunk, results) -> None:
@@ -227,14 +230,14 @@ class IPsecDecapGateway(RouterApplication):
                     self.drop_reasons[status] += 1
                 continue
             eth = bytes(chunk.frames[index][:ETHERNET_HEADER_LEN])
-            chunk.frames[index] = bytearray(eth + inner)
+            chunk.replace_frame(index, bytearray(eth + inner))
             chunk.verdicts[index].forward_to(self.out_port)
 
     def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
         outers = self._gather(chunk)
         if not chunk.pending_indices():
             return None
-        frame_len = max(len(f) for f in chunk.frames)
+        frame_len = chunk.max_frame_len()
         spec, threads_per_packet = self.kernel_cost(frame_len)
         spec = KernelSpec(
             name=spec.name,

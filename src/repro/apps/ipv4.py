@@ -24,8 +24,7 @@ from repro.core.chunk import Chunk
 from repro.hw.gpu import KernelSpec
 from repro.lookup.dir24_8 import Dir24_8, NO_ROUTE
 from repro.net.ethernet import ETHERNET_HEADER_LEN, ETHERTYPE_IPV4
-from repro.net.checksum import verify_checksum16
-from repro.net.ipv4 import IPV4_HEADER_LEN, decrement_ttl, extract_dst
+from repro.net.ipv4 import IPV4_HEADER_LEN
 from repro.net.neighbors import NeighborTable
 
 
@@ -74,68 +73,130 @@ class IPv4Forwarder(RouterApplication):
     # Classification (the slow-path logic of Section 6.2.1).
     # ------------------------------------------------------------------
 
-    def _classify(self, chunk: Chunk) -> np.ndarray:
-        """Set DROP/SLOW_PATH verdicts; returns gathered destinations.
+    def _classify(self, chunk: Chunk) -> Tuple[np.ndarray, np.ndarray]:
+        """Set DROP/SLOW_PATH verdicts; returns ``(dsts, pending)``.
 
-        Returns a uint32 array with one slot per packet; non-pending
-        packets hold zero (their lookup result is ignored).
+        ``dsts`` is a uint32 array with one slot per packet (non-pending
+        packets hold zero; their lookup result is ignored) and
+        ``pending`` the boolean mask of packets awaiting the lookup —
+        computed once here and reused by the callbacks instead of
+        re-walking the chunk.
+
+        The whole classification runs as masked column operations over a
+        :class:`FrameBatch` — precedence matches the scalar reference in
+        :mod:`repro.apps.scalar_ref` exactly: too short → drop
+        (malformed); wrong ethertype → slow path (non-ip); not version
+        4 / with options → drop (malformed); bad header checksum → drop;
+        local destination → slow path; TTL expired → slow path; the rest
+        get the TTL decrement + RFC 1624 checksum patch and their
+        destination gathered.
         """
-        dsts = np.zeros(len(chunk), dtype=np.uint32)
-        for index, (frame, verdict) in enumerate(zip(chunk.frames, chunk.verdicts)):
-            l3 = ETHERNET_HEADER_LEN
-            if len(frame) < l3 + IPV4_HEADER_LEN:
-                verdict.drop()
-                self.slow_path_reasons["malformed"] += 1
-                continue
-            ethertype = (frame[12] << 8) | frame[13]
-            if ethertype != ETHERTYPE_IPV4:
-                verdict.slow_path()
-                self.slow_path_reasons["non-ip"] += 1
-                continue
-            if frame[l3] != 0x45:  # version 4, no options
-                verdict.drop()
-                self.slow_path_reasons["malformed"] += 1
-                continue
-            if self.verify_checksums and not verify_checksum16(
-                bytes(frame[l3:l3 + IPV4_HEADER_LEN])
-            ):
-                verdict.drop()
-                self.slow_path_reasons["bad-checksum"] += 1
-                continue
-            dst = extract_dst(frame, l3)
-            if dst in self.local_addresses:
-                verdict.slow_path()
-                self.slow_path_reasons["local"] += 1
-                continue
-            if not decrement_ttl(frame, l3):
-                verdict.slow_path()
-                self.slow_path_reasons["ttl-expired"] += 1
-                continue
-            dsts[index] = dst
-        return dsts
+        reasons = self.slow_path_reasons
+        l3 = ETHERNET_HEADER_LEN
+        batch = chunk.batch()
+        #: Tracks whether any packet failed a screen yet: while True,
+        #: ``ok`` is known all-True and the masked gathers can be
+        #: skipped (the all-pass case is the fast-path common case).
+        all_ok = True
 
-    def _apply_next_hops(self, chunk: Chunk, next_hops: np.ndarray) -> None:
-        for index in chunk.pending_indices():
-            next_hop = int(next_hops[index])
-            if next_hop == NO_ROUTE:
-                chunk.verdicts[index].drop()
-            elif self.neighbors is None:
-                chunk.verdicts[index].forward_to(next_hop)
+        if batch.grid is not None and batch.grid.shape[1] >= l3 + IPV4_HEADER_LEN:
+            ok = np.ones(len(chunk), dtype=bool)  # uniform, wide enough
+        else:
+            ok = batch.long_enough(l3 + IPV4_HEADER_LEN)
+            short = ~ok
+            if short.any():
+                chunk.set_drop(short)
+                reasons["malformed"] += int(np.count_nonzero(short))
+                all_ok = False
+
+        non_ip = ok & ~batch.ethertype_is(ETHERTYPE_IPV4)
+        if non_ip.any():
+            chunk.set_slow_path(non_ip)
+            reasons["non-ip"] += int(np.count_nonzero(non_ip))
+            ok &= ~non_ip
+            all_ok = False
+
+        bad_version = ok & (batch.byte_at(l3) != 0x45)  # version 4, no options
+        if bad_version.any():
+            chunk.set_drop(bad_version)
+            reasons["malformed"] += int(np.count_nonzero(bad_version))
+            ok &= ~bad_version
+            all_ok = False
+
+        if self.verify_checksums and (all_ok or ok.any()):
+            verified = batch.ipv4_checksum_ok(ok)
+            bad = ok & ~verified
+            if bad.any():
+                chunk.set_drop(bad)
+                reasons["bad-checksum"] += int(np.count_nonzero(bad))
+                ok = verified
+                all_ok = False
+
+        addresses = batch.ipv4_dsts()
+        if self.local_addresses:
+            local = ok & np.isin(
+                addresses,
+                np.fromiter(
+                    self.local_addresses,
+                    dtype=np.uint32,
+                    count=len(self.local_addresses),
+                ),
+            )
+            if local.any():
+                chunk.set_slow_path(local)
+                reasons["local"] += int(np.count_nonzero(local))
+                ok &= ~local
+                all_ok = False
+
+        expired = ok & (batch.byte_at(l3 + 8) <= 1)
+        if expired.any():
+            chunk.set_slow_path(expired)
+            reasons["ttl-expired"] += int(np.count_nonzero(expired))
+            ok &= ~expired
+            all_ok = False
+
+        batch.ipv4_decrement_ttl(ok, chunk.frames)
+        if all_ok:
+            dsts = addresses
+        else:
+            dsts = np.zeros(len(chunk), dtype=np.uint32)
+            dsts[ok] = addresses[ok]
+        return dsts, chunk.pending_mask() & ok
+
+    def _apply_next_hops(
+        self,
+        chunk: Chunk,
+        next_hops: np.ndarray,
+        pending: Optional[np.ndarray] = None,
+    ) -> None:
+        mask = chunk.pending_mask() if pending is None else pending
+        if not mask.any():
+            return
+        hops = np.asarray(next_hops)
+        no_route = mask & (hops == NO_ROUTE)
+        chunk.set_drop(no_route)
+        routed = np.flatnonzero(mask & ~no_route)
+        if self.neighbors is None:
+            chunk.set_forward(routed, hops[routed])
+            return
+        frames = chunk.frames
+        verdicts = chunk.verdicts
+        for index in routed.tolist():
+            port = self.neighbors.rewrite(frames[index], int(hops[index]))
+            if port is None:
+                verdicts[index].slow_path()  # awaiting ARP
             else:
-                port = self.neighbors.rewrite(chunk.frames[index], next_hop)
-                if port is None:
-                    chunk.verdicts[index].slow_path()  # awaiting ARP
-                else:
-                    chunk.verdicts[index].forward_to(port)
+                verdicts[index].forward_to(port)
 
     # ------------------------------------------------------------------
     # The three callbacks.
     # ------------------------------------------------------------------
 
     def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
-        dsts = self._classify(chunk)
-        if not chunk.pending_indices():
+        dsts, pending = self._classify(chunk)
+        if not pending.any():
             return None
+        chunk.app_state = pending  # reused by post_shade
         table = self.table  # captured: FIB swaps don't affect in-flight work
         spec = KernelSpec(
             name="ipv4_dir24_8",
@@ -153,12 +214,15 @@ class IPv4Forwarder(RouterApplication):
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:
             return
-        self._apply_next_hops(chunk, gpu_output)
+        pending = chunk.app_state
+        if not (isinstance(pending, np.ndarray) and pending.dtype == bool):
+            pending = None  # stale/foreign state: recompute from verdicts
+        self._apply_next_hops(chunk, gpu_output, pending)
 
     def cpu_process(self, chunk: Chunk) -> None:
-        dsts = self._classify(chunk)
-        if chunk.pending_indices():
-            self._apply_next_hops(chunk, self.table.lookup_batch(dsts))
+        dsts, pending = self._classify(chunk)
+        if pending.any():
+            self._apply_next_hops(chunk, self.table.lookup_batch(dsts), pending)
 
     # ------------------------------------------------------------------
     # Cost hooks (calibration notes in repro.calib.constants.AppCosts).

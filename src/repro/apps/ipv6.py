@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.calib.constants import APPS, GPU_KERNELS
 from repro.core.application import GPUWorkItem, RouterApplication
 from repro.core.chunk import Chunk
 from repro.hw.gpu import KernelSpec
 from repro.lookup.ipv6_bsearch import IPv6BinarySearch
 from repro.net.ethernet import ETHERNET_HEADER_LEN, ETHERTYPE_IPV6
-from repro.net.ipv6 import IPV6_HEADER_LEN, decrement_hop_limit, extract_dst
+from repro.net.ipv6 import IPV6_HEADER_LEN
 from repro.net.neighbors import NeighborTable
 
 
@@ -49,54 +51,99 @@ class IPv6Forwarder(RouterApplication):
         old, self.table = self.table, new_table
         return old
 
-    def _classify(self, chunk: Chunk) -> List[int]:
-        """Verdicts for broken/local packets; gathered destinations."""
-        dsts = [0] * len(chunk)
-        for index, (frame, verdict) in enumerate(zip(chunk.frames, chunk.verdicts)):
-            l3 = ETHERNET_HEADER_LEN
-            if len(frame) < l3 + IPV6_HEADER_LEN:
-                verdict.drop()
-                self.slow_path_reasons["malformed"] += 1
-                continue
-            ethertype = (frame[12] << 8) | frame[13]
-            if ethertype != ETHERTYPE_IPV6:
-                verdict.slow_path()
-                self.slow_path_reasons["non-ip"] += 1
-                continue
-            if frame[l3] >> 4 != 6:
-                verdict.drop()
-                self.slow_path_reasons["malformed"] += 1
-                continue
-            dst = extract_dst(frame, l3)
-            if dst in self.local_addresses:
-                verdict.slow_path()
-                self.slow_path_reasons["local"] += 1
-                continue
-            if not decrement_hop_limit(frame, l3):
-                verdict.slow_path()
-                self.slow_path_reasons["hop-limit"] += 1
-                continue
-            dsts[index] = dst
-        return dsts
+    def _classify(self, chunk: Chunk) -> Tuple[List[int], np.ndarray]:
+        """Verdicts for broken/local packets; ``(dsts, pending)``.
 
-    def _apply_next_hops(self, chunk: Chunk, next_hops: List[Optional[int]]) -> None:
-        for index in chunk.pending_indices():
+        Masked column operations over a :class:`FrameBatch`, with the
+        same precedence as the scalar reference
+        (:mod:`repro.apps.scalar_ref`): too short → drop; wrong
+        ethertype → slow path; wrong version → drop; local destination
+        → slow path; hop limit expired → slow path; the rest get the
+        hop-limit decrement and their 128-bit destination gathered.
+        ``pending`` is the boolean lookup mask, computed once here and
+        reused by the callbacks.
+        """
+        reasons = self.slow_path_reasons
+        l3 = ETHERNET_HEADER_LEN
+        batch = chunk.batch()
+        dsts: List[int] = [0] * len(chunk)
+
+        ok = batch.long_enough(l3 + IPV6_HEADER_LEN)
+        short = ~ok
+        if short.any():
+            chunk.set_drop(short)
+            reasons["malformed"] += int(np.count_nonzero(short))
+
+        non_ip = ok & (batch.ethertypes() != ETHERTYPE_IPV6)
+        if non_ip.any():
+            chunk.set_slow_path(non_ip)
+            reasons["non-ip"] += int(np.count_nonzero(non_ip))
+            ok &= ~non_ip
+
+        bad_version = ok & ((batch.byte_at(l3) >> 4) != 6)
+        if bad_version.any():
+            chunk.set_drop(bad_version)
+            reasons["malformed"] += int(np.count_nonzero(bad_version))
+            ok &= ~bad_version
+
+        # 128-bit destinations exceed numpy's integer width, so the
+        # gather is vectorized into hi/lo 64-bit folds and only the
+        # candidate packets pay a per-address combine.
+        candidates = np.flatnonzero(ok)
+        addresses = batch.ipv6_dsts(candidates)
+        if self.local_addresses:
+            local = candidates[
+                np.fromiter(
+                    (address in self.local_addresses for address in addresses),
+                    dtype=bool,
+                    count=len(addresses),
+                )
+            ]
+            if local.size:
+                chunk.set_slow_path(local)
+                reasons["local"] += int(local.size)
+                ok[local] = False
+
+        expired = ok & (batch.byte_at(l3 + 7) <= 1)
+        if expired.any():
+            chunk.set_slow_path(expired)
+            reasons["hop-limit"] += int(np.count_nonzero(expired))
+            ok &= ~expired
+
+        batch.ipv6_decrement_hop_limit(np.flatnonzero(ok), chunk.frames)
+        for index, address in zip(candidates.tolist(), addresses):
+            if ok[index]:
+                dsts[index] = address
+        return dsts, chunk.pending_mask() & ok
+
+    def _apply_next_hops(
+        self,
+        chunk: Chunk,
+        next_hops: List[Optional[int]],
+        pending: Optional[np.ndarray] = None,
+    ) -> None:
+        mask = chunk.pending_mask() if pending is None else pending
+        verdicts = chunk.verdicts
+        frames = chunk.frames
+        neighbors = self.neighbors
+        for index in np.flatnonzero(mask).tolist():
             next_hop = next_hops[index]
             if next_hop is None:
-                chunk.verdicts[index].drop()
-            elif self.neighbors is None:
-                chunk.verdicts[index].forward_to(next_hop)
+                verdicts[index].drop()
+            elif neighbors is None:
+                verdicts[index].forward_to(next_hop)
             else:
-                port = self.neighbors.rewrite(chunk.frames[index], next_hop)
+                port = neighbors.rewrite(frames[index], next_hop)
                 if port is None:
-                    chunk.verdicts[index].slow_path()  # awaiting ND
+                    verdicts[index].slow_path()  # awaiting ND
                 else:
-                    chunk.verdicts[index].forward_to(port)
+                    verdicts[index].forward_to(port)
 
     def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
-        dsts = self._classify(chunk)
-        if not chunk.pending_indices():
+        dsts, pending = self._classify(chunk)
+        if not pending.any():
             return None
+        chunk.app_state = pending  # reused by post_shade
         table = self.table
         spec = KernelSpec(
             name="ipv6_bsearch",
@@ -114,12 +161,15 @@ class IPv6Forwarder(RouterApplication):
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:
             return
-        self._apply_next_hops(chunk, gpu_output)
+        pending = chunk.app_state
+        if not (isinstance(pending, np.ndarray) and pending.dtype == bool):
+            pending = None  # stale/foreign state: recompute from verdicts
+        self._apply_next_hops(chunk, gpu_output, pending)
 
     def cpu_process(self, chunk: Chunk) -> None:
-        dsts = self._classify(chunk)
-        if chunk.pending_indices():
-            self._apply_next_hops(chunk, self.table.lookup_batch(dsts))
+        dsts, pending = self._classify(chunk)
+        if pending.any():
+            self._apply_next_hops(chunk, self.table.lookup_batch(dsts), pending)
 
     # ------------------------------------------------------------------
     # Cost hooks.

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.calib.constants import APPS, GPU_KERNELS
 from repro.core.application import GPUWorkItem, RouterApplication
 from repro.core.chunk import Chunk
@@ -55,13 +57,16 @@ class OpenFlowApp(RouterApplication):
         return results
 
     def _extract_keys(self, chunk: Chunk) -> List[Optional[FlowKey]]:
-        keys: List[Optional[FlowKey]] = []
-        for frame, verdict in zip(chunk.frames, chunk.verdicts):
-            if len(frame) < 14:
-                verdict.drop()
-                keys.append(None)
-                continue
-            keys.append(extract_flow_key(bytes(frame), chunk.in_port))
+        batch = chunk.batch()
+        parseable = batch.long_enough(14)
+        chunk.set_drop(~parseable)
+        keys: List[Optional[FlowKey]] = [None] * len(chunk)
+        frames = chunk.frames
+        in_port = chunk.in_port
+        # The ten-field parse builds a FlowKey object per packet; only
+        # the length screen above is batch-level.
+        for index in np.flatnonzero(parseable).tolist():
+            keys[index] = extract_flow_key(bytes(frames[index]), in_port)
         return keys
 
     def _apply(self, chunk: Chunk, keys, classifications) -> None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.application import GPUWorkItem, RouterApplication
-from repro.core.chunk import Chunk, Disposition
+from repro.core.chunk import Chunk
 from repro.hw.gpu import KernelSpec
 
 
@@ -67,12 +67,7 @@ class CompositeApplication(RouterApplication):
     def _reopen_forwarded(chunk: Chunk) -> List[int]:
         """Re-offer forwarded packets to the next stage; returns the
         indices reopened (so failures can be distinguished later)."""
-        reopened = []
-        for index, verdict in enumerate(chunk.verdicts):
-            if verdict.disposition is Disposition.FORWARD:
-                verdict.disposition = Disposition.PENDING
-                reopened.append(index)
-        return reopened
+        return chunk.reopen_forwarded()
 
     def pre_shade(self, chunk: Chunk) -> Optional[GPUWorkItem]:
         """Composite shading runs each stage's full pipeline inline.
@@ -88,7 +83,7 @@ class CompositeApplication(RouterApplication):
             # fused kernel is the marker for the master's launch.
             return None
 
-        spec, _ = self.kernel_cost(max((len(f) for f in chunk.frames), default=64))
+        spec, _ = self.kernel_cost(chunk.max_frame_len())
         spec = KernelSpec(
             name=spec.name,
             compute_cycles=spec.compute_cycles,
@@ -96,9 +91,7 @@ class CompositeApplication(RouterApplication):
             stream_bytes=spec.stream_bytes,
             fn=fused_kernel,
         )
-        bytes_in, bytes_out = self.gpu_bytes_per_packet(
-            max((len(f) for f in chunk.frames), default=64)
-        )
+        bytes_in, bytes_out = self.gpu_bytes_per_packet(chunk.max_frame_len())
         return GPUWorkItem(
             spec=spec,
             threads=len(chunk),

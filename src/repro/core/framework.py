@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.calib.constants import FRAMEWORK
 from repro.core.application import RouterApplication
-from repro.core.chunk import Chunk, Disposition
+from repro.core.chunk import Chunk
 from repro.core.config import RouterConfig
 from repro.core.queues import MasterInputQueue, WorkerOutputQueue
 from repro.faults.errors import DMAError, GPULaunchError
@@ -244,7 +244,9 @@ class PacketShader:
         """
         node = self.nodes[self.node_of_port(in_port)]
         per_worker: Dict[int, List[bytearray]] = {}
-        for frame in frames:
+        # RSS distribution is per-packet by design: each frame's flow
+        # tuple is extracted and hashed, as the NIC would.
+        for frame in frames:  # reprolint: ignore[RL006]
             worker = self._worker_of_frame(frame, node)
             per_worker.setdefault(worker.worker_id, []).append(frame)
         chunks = []
@@ -375,12 +377,15 @@ class PacketShader:
         return any(b.is_open for b in self.breakers.values())
 
     def _finish_chunk(self, chunk: Chunk, egress: Dict[int, List[bytearray]]) -> None:
-        """Account verdicts and split forwarded frames to ports."""
+        """Account verdicts and split forwarded frames to ports.
+
+        All three tallies and the egress/slow-path splits come from the
+        chunk's disposition column: one ``bincount`` and two mask passes
+        instead of four per-packet walks.
+        """
         for port, frames in chunk.split_by_port().items():
             egress.setdefault(port, []).extend(frames)
-        forwarded = chunk.count(Disposition.FORWARD)
-        dropped = chunk.count(Disposition.DROP)
-        slow = chunk.count(Disposition.SLOW_PATH)
+        forwarded, dropped, slow = chunk.disposition_counts()
         self.stats.forwarded += forwarded
         self.stats.dropped += dropped
         self.stats.slow_path += slow
@@ -391,11 +396,8 @@ class PacketShader:
         self._m_chunks.inc()
         self.watchdog.note_progress()
         if self.slow_path is not None:
-            diverted = [
-                bytes(frame)
-                for frame, verdict in zip(chunk.frames, chunk.verdicts)
-                if verdict.disposition is Disposition.SLOW_PATH
-            ]
+            frames = chunk.frames
+            diverted = [bytes(frames[i]) for i in chunk.slow_path_indices()]
             if diverted:
                 self.tracer.record(Stages.SLOW_PATH, packets=len(diverted))
             for response in self.slow_path.handle_batch(diverted):
@@ -501,11 +503,9 @@ class PacketShader:
         packet exactly once; ``backpressure_drops`` attributes the shed
         subset.
         """
-        shed = 0
-        for verdict in chunk.verdicts:
-            if verdict.disposition is Disposition.PENDING:
-                verdict.drop()
-                shed += 1
+        pending = chunk.pending_mask()
+        shed = int(pending.sum())
+        chunk.set_drop(pending)
         self.stats.backpressure_drops += shed
         self._m_backpressure_drops.inc(shed)
         chunk.gpu_input = None

@@ -85,7 +85,9 @@ class SlowPathHandler:
     def handle_batch(self, frames: List[bytes]) -> List[bytes]:
         """Process a batch of diverted frames; returns the responses."""
         responses = []
-        for frame in frames:
+        # This IS the slow path: per-packet protocol handling off the
+        # fast path, as the Linux stack would do it.
+        for frame in frames:  # reprolint: ignore[RL006]
             response = self.handle_frame(frame)
             if response is not None:
                 responses.append(response)

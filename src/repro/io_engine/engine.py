@@ -126,7 +126,9 @@ class PacketIOEngine:
             remaining = len(driver.buffers[interface.queue_id])
             interface.livelock.on_fetch(len(frames), remaining)
             if frames and self.fault_injector is not None:
-                frames = [
+                # Chaos-only path: per-frame corruption hooks fire off
+                # the hot path (the injector is None in production runs).
+                frames = [  # reprolint: ignore[RL006]
                     bytes(self.fault_injector.corrupt_frame(f)[0])
                     for f in frames
                 ]

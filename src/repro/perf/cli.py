@@ -48,6 +48,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list registered benchmarks"
     )
+    parser.add_argument(
+        "--wallclock", action="store_true",
+        help="run the scalar-vs-vectorized wall-clock microbenchmarks "
+        "and append to the git-ignored bench-history.jsonl (simulated "
+        "artifacts are untouched)",
+    )
     return parser
 
 
@@ -81,6 +87,16 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     if args.list:
         for figure in figure_ids():
             print(figure)
+        return 0
+
+    if args.wallclock:
+        from repro.perf import wallclock
+
+        results = wallclock.run_wallclock()
+        print(wallclock.format_wallclock(results))
+        if not args.no_write:
+            path = wallclock.append_wallclock_history(results)
+            print(f"history appended: {path}")
         return 0
 
     if args.figure:

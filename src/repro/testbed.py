@@ -138,7 +138,7 @@ class Testbed:
                     break
                 chunks.append(
                     Chunk(
-                        frames=[bytearray(f) for f in frames],
+                        frames=list(map(bytearray, frames)),
                         worker_id=worker.worker_id,
                     )
                 )

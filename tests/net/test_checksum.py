@@ -71,3 +71,83 @@ class TestIncrementalUpdate:
             incremental_update16(0x10000, 0, 0)
         with pytest.raises(ValueError):
             incremental_update16(0, 0x10000, 0)
+
+
+class TestChecksumBatch:
+    """checksum16_batch / checksum16_rows vs the scalar loop, fuzzed."""
+
+    def _batch(self, regions):
+        import numpy as np
+
+        buf = np.frombuffer(bytearray(b"".join(regions)), dtype=np.uint8)
+        lengths = np.array([len(r) for r in regions], dtype=np.int64)
+        offsets = np.concatenate(
+            ([0], np.cumsum(lengths[:-1]))
+        ).astype(np.int64) if len(regions) else np.zeros(0, dtype=np.int64)
+        return buf, offsets, lengths
+
+    def test_equal_length_matches_scalar(self):
+        from hypothesis import given, strategies as st
+
+        from repro.net.checksum import checksum16_batch
+
+        @given(st.lists(st.binary(min_size=20, max_size=20), max_size=16))
+        def check(regions):
+            buf, offsets, lengths = self._batch(regions)
+            batch = checksum16_batch(buf, offsets, lengths)
+            assert batch.tolist() == [checksum16(r) for r in regions]
+
+        check()
+
+    def test_mixed_length_matches_scalar(self):
+        from hypothesis import given, strategies as st
+
+        from repro.net.checksum import checksum16_batch
+
+        @given(st.lists(st.binary(min_size=0, max_size=41), max_size=12))
+        def check(regions):
+            buf, offsets, lengths = self._batch(regions)
+            batch = checksum16_batch(buf, offsets, lengths)
+            assert batch.tolist() == [checksum16(r) for r in regions]
+
+        check()
+
+    def test_rows_form_matches_scalar(self):
+        import numpy as np
+
+        from repro.net.checksum import checksum16_rows
+
+        rows = np.arange(60, dtype=np.uint8).reshape(3, 20)
+        result = checksum16_rows(rows)
+        assert result.tolist() == [
+            checksum16(bytes(rows[i])) for i in range(3)
+        ]
+
+    def test_out_of_bounds_rejected(self):
+        import numpy as np
+
+        from repro.net.checksum import checksum16_batch
+
+        buf = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            checksum16_batch(
+                buf,
+                np.array([8], dtype=np.int64),
+                np.array([4], dtype=np.int64),
+            )
+
+    def test_vectorized_large_input_matches_pure_loop(self):
+        from hypothesis import given, strategies as st
+
+        @given(st.binary(min_size=128, max_size=600))
+        def check(data):
+            total = 0
+            for i in range(0, len(data) - 1, 2):
+                total += (data[i] << 8) | data[i + 1]
+            if len(data) % 2:
+                total += data[-1] << 8
+            while total >> 16:
+                total = (total & 0xFFFF) + (total >> 16)
+            assert checksum16(data) == (~total) & 0xFFFF
+
+        check()
