@@ -1,4 +1,4 @@
-"""Entry point: ``python -m repro [trace|metrics|chaos|lint|bench]``.
+"""Entry point: ``python -m repro [trace|metrics|chaos|lint|bench|flightrec|top]``.
 
 With no subcommand, prints the headline report; ``trace`` prints a
 per-stage cost breakdown of a traced forwarding burst; ``metrics``
@@ -7,12 +7,17 @@ dumps the metrics registry (Prometheus text, JSON lines, or a table);
 and degradation invariants; ``lint`` runs reprolint, the AST-based
 invariant linter (docs/STATIC_ANALYSIS.md); ``bench`` runs the perf
 scorecard — every figure/table reproduction through the schema'd
-pipeline, scored against the paper (docs/PERF.md).
+pipeline, scored against the paper (docs/PERF.md); ``flightrec``
+dumps or replays the flight recorder's event ring; ``top`` is the live
+dashboard over the metrics registry, profiler, and flight recorder
+(docs/OBSERVABILITY.md).
 """
 
 import sys
 
 from repro.analysis.cli import lint_main
+from repro.obs.flightrec import flightrec_main
+from repro.obs.top import top_main
 from repro.perf.cli import bench_main
 from repro.report import chaos_main, main, metrics_main, trace_main
 
@@ -22,6 +27,8 @@ _COMMANDS = {
     "chaos": chaos_main,
     "lint": lint_main,
     "bench": bench_main,
+    "flightrec": flightrec_main,
+    "top": top_main,
 }
 
 argv = sys.argv[1:]

@@ -61,4 +61,5 @@ from repro.analysis.rules import (  # noqa: E402,F401
     rl004_drops,
     rl005_fault_sites,
     rl006_hot_loops,
+    rl007_wallclock,
 )

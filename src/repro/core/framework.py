@@ -32,7 +32,16 @@ from repro.hw.gpu import GPUDevice
 from repro.core.slowpath import SlowPathHandler
 from repro.io_engine.rss import RSSHasher
 from repro.net.packet import parse_packet
-from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer, names
+from repro.obs import (
+    BATCH_SIZE_BUCKETS,
+    Events,
+    Stages,
+    get_flightrec,
+    get_profiler,
+    get_registry,
+    get_tracer,
+    names,
+)
 
 
 @dataclass
@@ -117,6 +126,11 @@ class PacketShader:
         self.stats = RouterStats()
         #: Span tracing of the chunk lifecycle (per-stage modelled costs).
         self.tracer = get_tracer()
+        #: Flight recorder (structured event ring) and wall-clock stage
+        #: profiler — the second-generation observability pair.  Handles
+        #: are resolved once here, like the registry instruments below.
+        self.flightrec = get_flightrec()
+        self.profiler = get_profiler()
         # Registry mirrors of RouterStats: same increment sites, so the
         # conservation invariant holds for both views.
         registry = get_registry()
@@ -321,6 +335,9 @@ class PacketShader:
                 if attempt < policy.max_retries:
                     self.stats.gpu_retries += 1
                     self._m_gpu_retries.inc()
+                    self.flightrec.note(
+                        Events.GPU_RETRY, str(node.node_id), attempt + 1
+                    )
                     # The backoff wait is real (modelled) time on the
                     # shading path.
                     self.tracer.record(
@@ -356,11 +373,13 @@ class PacketShader:
         shading already charged is the CPU-only application cost minus
         the worker-side share.
         """
-        chunk.gpu_output = (
-            work.spec.fn(*work.args) if work.spec.fn is not None else None
-        )
+        with self.profiler.track(Stages.GPU_FALLBACK):
+            chunk.gpu_output = (
+                work.spec.fn(*work.args) if work.spec.fn is not None else None
+            )
         self.stats.degraded_chunks += 1
         self._m_degraded_chunks.inc()
+        self.flightrec.note(Events.GPU_FALLBACK, "", len(chunk))
         frame_len = self._frame_len(chunk)
         extra = max(
             0.0,
@@ -394,6 +413,9 @@ class PacketShader:
         self._m_dropped.inc(dropped)
         self._m_slow_path.inc(slow)
         self._m_chunks.inc()
+        self.flightrec.note(
+            Events.CHUNK, "", len(chunk), forwarded, dropped, slow
+        )
         self.watchdog.note_progress()
         if self.slow_path is not None:
             frames = chunk.frames
@@ -448,7 +470,8 @@ class PacketShader:
                 # dead device.
                 self._cpu_process_chunk(chunk, egress, degraded=True)
                 continue
-            chunk.gpu_input = self.app.pre_shade(chunk)
+            with self.profiler.track(Stages.PRE_SHADE):
+                chunk.gpu_input = self.app.pre_shade(chunk)
             self.tracer.record(
                 Stages.PRE_SHADE,
                 packets=len(chunk),
@@ -477,7 +500,8 @@ class PacketShader:
         self, chunk: Chunk, egress: Dict[int, List[bytearray]], degraded: bool
     ) -> None:
         """Run one chunk through the CPU-only pipeline and finish it."""
-        self.app.cpu_process(chunk)
+        with self.profiler.track(Stages.CPU_PROCESS):
+            self.app.cpu_process(chunk)
         if degraded:
             self.stats.degraded_chunks += 1
             self._m_degraded_chunks.inc()
@@ -508,6 +532,7 @@ class PacketShader:
         chunk.set_drop(pending)
         self.stats.backpressure_drops += shed
         self._m_backpressure_drops.inc(shed)
+        self.flightrec.note(Events.SHED, "", shed)
         chunk.gpu_input = None
         self._finish_chunk(chunk, egress)
 
@@ -518,7 +543,8 @@ class PacketShader:
                 chunk = worker.output_queue.get()
                 if chunk is None:
                     break
-                self.app.post_shade(chunk, chunk.gpu_output)
+                with self.profiler.track(Stages.POST_SHADE):
+                    self.app.post_shade(chunk, chunk.gpu_output)
                 self.tracer.record(
                     Stages.POST_SHADE,
                     packets=len(chunk),

@@ -20,7 +20,7 @@ from typing import Deque, List, Optional
 
 from repro.core.chunk import Chunk
 from repro.faults.plan import FaultInjector, Sites
-from repro.obs import get_registry, names
+from repro.obs import Events, get_flightrec, get_registry, names
 
 
 class MasterInputQueue:
@@ -38,6 +38,7 @@ class MasterInputQueue:
         self._queue: Deque[Chunk] = deque()
         self.enqueued = 0
         self.rejected = 0
+        self._recorder = get_flightrec()
         registry = get_registry()
         self._g_depth = registry.gauge(
             names.CORE_MASTER_INPUT_DEPTH, help="chunks queued for the master"
@@ -79,6 +80,7 @@ class MasterInputQueue:
         self.enqueued += 1
         self._m_enqueued.inc()
         self._g_depth.set(len(self._queue))
+        self._recorder.note(Events.QUEUE, "master", len(self._queue))
         return True
 
     def get_batch(self, max_chunks: int) -> List[Chunk]:

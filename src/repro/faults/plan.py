@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
-from repro.obs import get_registry, names
+from repro.obs import Events, get_flightrec, get_registry, names
 
 
 class Sites:
@@ -133,6 +133,7 @@ class FaultInjector:
         }
         self.draws: Dict[str, int] = {site: 0 for site in self._rules}
         self.fired: Dict[str, int] = {site: 0 for site in self._rules}
+        self._recorder = get_flightrec()
         registry = get_registry()
         self._m_injected = {
             site: registry.counter(
@@ -156,6 +157,7 @@ class FaultInjector:
             return False
         self.fired[site] += 1
         self._m_injected[site].inc()
+        self._recorder.note(Events.FAULT, site)
         return True
 
     def total_fired(self) -> int:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.obs import get_registry, names
+from repro.obs import Events, get_flightrec, get_registry, names
 
 
 @dataclass(frozen=True)
@@ -94,8 +94,10 @@ class CircuitBreaker:
         self.opens = 0
         self.closes = 0
         self._denials_since_open = 0
+        self._recorder = get_flightrec()
         registry = get_registry()
         device = str(device_id)
+        self._device = device
         self._g_degraded = registry.gauge(
             names.FAULTS_DEGRADED_MODE,
             help="1 while the device's breaker is open (CPU-only path)",
@@ -129,6 +131,7 @@ class CircuitBreaker:
         if self._denials_since_open >= self.probe_interval:
             self.state = BreakerState.HALF_OPEN
             self._m_probes.inc()
+            self._recorder.note(Events.BREAKER, f"{self._device}:half_open")
             return True
         return False
 
@@ -139,6 +142,7 @@ class CircuitBreaker:
             self.state = BreakerState.CLOSED
             self.closes += 1
             self._g_degraded.set(0)
+            self._recorder.note(Events.BREAKER, f"{self._device}:closed")
 
     def record_failure(self) -> None:
         """A launch failed past its retry budget."""
@@ -157,6 +161,11 @@ class CircuitBreaker:
         self._denials_since_open = 0
         self._m_opens.inc()
         self._g_degraded.set(1)
+        # The ladder's step-2 escalation is the flight recorder's prime
+        # customer: note the transition, then (if armed) preserve the
+        # ring as a post-mortem artifact while the evidence is fresh.
+        self._recorder.note(Events.BREAKER, f"{self._device}:open")
+        self._recorder.postmortem("breaker-open")
 
 
 class Watchdog:
@@ -176,6 +185,7 @@ class Watchdog:
         self.stall_threshold = stall_threshold
         self.stalls = 0
         self._consecutive = 0
+        self._recorder = get_flightrec()
         self._m_stalls = get_registry().counter(
             names.FAULTS_WATCHDOG_STALLS,
             help="declared stalls (no progress across the threshold)",
@@ -191,5 +201,7 @@ class Watchdog:
             self.stalls += 1
             self._m_stalls.inc()
             self._consecutive = 0
+            self._recorder.note(Events.WATCHDOG, "stall")
+            self._recorder.postmortem("watchdog")
             return True
         return False

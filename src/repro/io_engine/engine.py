@@ -28,7 +28,16 @@ from repro.io_engine.batching import (
 )
 from repro.io_engine.driver import OptimizedDriver
 from repro.io_engine.livelock import LivelockAvoider, PollState
-from repro.obs import BATCH_SIZE_BUCKETS, Stages, get_registry, get_tracer, names
+from repro.obs import (
+    BATCH_SIZE_BUCKETS,
+    Events,
+    Stages,
+    get_flightrec,
+    get_profiler,
+    get_registry,
+    get_tracer,
+    names,
+)
 from repro.sim.metrics import ThroughputReport, gbps_to_pps
 from repro.sim.pipeline import PipelineModel, Stage
 
@@ -68,6 +77,8 @@ class PacketIOEngine:
         self._interfaces: Dict[Tuple[int, int], VirtualInterface] = {}
         self._by_thread: Dict[int, List[VirtualInterface]] = {}
         self._rr_cursor: Dict[int, int] = {}
+        self._recorder = get_flightrec()
+        self._profiler = get_profiler()
         registry = get_registry()
         self._m_rx_packets = registry.counter(
             names.IO_ENGINE_RX_PACKETS, help="packets fetched through recv_chunk"
@@ -111,6 +122,16 @@ class PacketIOEngine:
             raise KeyError(f"thread {thread} has no attached queues")
         cap = max_packets or FRAMEWORK.chunk_capacity
         start = self._rr_cursor[thread]
+        with self._profiler.track(Stages.RX):
+            return self._recv_chunk(thread, interfaces, cap, start)
+
+    def _recv_chunk(
+        self,
+        thread: int,
+        interfaces: List[VirtualInterface],
+        cap: int,
+        start: int,
+    ) -> List[bytes]:
         for step in range(len(interfaces)):
             interface = interfaces[(start + step) % len(interfaces)]
             driver = self.drivers[interface.nic_id]
@@ -137,6 +158,11 @@ class PacketIOEngine:
                 self._m_rx_packets.inc(len(frames))
                 self._m_rx_chunks.inc()
                 self._h_chunk_size.observe(len(frames))
+                self._recorder.note(
+                    Events.RX,
+                    f"{interface.nic_id}:{interface.queue_id}",
+                    len(frames),
+                )
                 get_tracer().record(
                     Stages.RX,
                     packets=len(frames),
@@ -148,7 +174,8 @@ class PacketIOEngine:
     @staticmethod
     def send_chunk(port, frames: List[bytes], queue_id: int = 0) -> int:
         """Post a chunk to a port's TX queue; returns packets accepted."""
-        accepted = port.tx_queues[queue_id].post_batch(frames)
+        with get_profiler().track(Stages.TX):
+            accepted = port.tx_queues[queue_id].post_batch(frames)
         if accepted:
             get_registry().counter(
                 names.IO_ENGINE_TX_PACKETS, help="packets posted through send_chunk"

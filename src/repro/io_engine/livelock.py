@@ -16,7 +16,9 @@ packets are pending, and the thread never busy-waits on an empty queue.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.obs.flightrec import Events, FlightRecorder, get_flightrec
 
 
 class PollState(enum.Enum):
@@ -39,6 +41,11 @@ class LivelockAvoider:
     wakeups: int = 0
     drains: int = 0
     polls: int = 0
+    #: Interrupt/poll transitions are exactly what a livelock post-mortem
+    #: needs on its timeline, so the controller notes them directly.
+    recorder: FlightRecorder = field(
+        default_factory=get_flightrec, repr=False, compare=False
+    )
 
     def on_interrupt(self) -> bool:
         """Hardware RX interrupt.  Returns True if it wakes the thread.
@@ -57,6 +64,7 @@ class LivelockAvoider:
         self.interrupt_enabled = False
         self.state = PollState.WAKING
         self.wakeups += 1
+        self.recorder.note(Events.LIVELOCK, "wakeup")
         return True
 
     def resume(self) -> None:
@@ -81,6 +89,7 @@ class LivelockAvoider:
             self.state = PollState.BLOCKED
             self.interrupt_enabled = True
             self.drains += 1
+            self.recorder.note(Events.LIVELOCK, "drain")
 
     @property
     def is_polling(self) -> bool:

@@ -19,7 +19,13 @@ same measurement machinery, permanently resident:
 * :mod:`repro.obs.log` — the single logging path, counted into the
   registry;
 * :mod:`repro.obs.names` — the canonical metric-name catalog every
-  registration resolves against (enforced by ``reprolint`` RL003).
+  registration resolves against (enforced by ``reprolint`` RL003);
+* :mod:`repro.obs.flightrec` — the flight recorder: a fixed-size ring
+  of compact structured events with post-mortem JSONL dumps;
+* :mod:`repro.obs.profiler` — the wall-clock stage profiler, the one
+  sanctioned wall-clock reader below the CLI (reprolint RL007);
+* :mod:`repro.obs.top` — the live ``repro top`` dashboard (imported
+  lazily by the CLI, not from here).
 
 See ``docs/OBSERVABILITY.md`` for the API guide and conventions.
 """
@@ -33,10 +39,26 @@ from repro.obs.analyzer import (
     limiting_stage,
 )
 from repro.obs.exporters import export_jsonl, export_prometheus, stage_table
+from repro.obs.flightrec import (
+    Events,
+    FlightEvent,
+    FlightRecorder,
+    get_flightrec,
+    load_dump,
+    reset_flightrec,
+    set_flightrec,
+)
 from repro.obs.log import enable_console, get_logger
+from repro.obs.profiler import (
+    StageProfiler,
+    get_profiler,
+    reset_profiler,
+    set_profiler,
+)
 from repro.obs.registry import (
     BATCH_SIZE_BUCKETS,
     LATENCY_NS_BUCKETS,
+    WALL_NS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -60,6 +82,9 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "BottleneckVerdict",
     "Counter",
+    "Events",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LATENCY_NS_BUCKETS",
@@ -68,20 +93,29 @@ __all__ = [
     "Span",
     "StageAttribution",
     "StageCost",
+    "StageProfiler",
     "Stages",
     "Tracer",
+    "WALL_NS_BUCKETS",
     "analyze",
     "attribute",
     "enable_console",
     "export_jsonl",
     "export_prometheus",
+    "get_flightrec",
     "get_logger",
+    "get_profiler",
     "get_registry",
     "get_tracer",
     "limiting_stage",
+    "load_dump",
     "names",
+    "reset_flightrec",
+    "reset_profiler",
     "reset_registry",
     "reset_tracer",
+    "set_flightrec",
+    "set_profiler",
     "set_registry",
     "set_tracer",
     "stage_table",

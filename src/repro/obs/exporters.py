@@ -36,8 +36,32 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote, and line feed are the three characters the spec names."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_unescape(value: str) -> str:
+    """Invert :func:`_prom_escape` (the round-trip the tests exercise)."""
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, "")
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
 def _prom_labels(labels, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -65,13 +89,23 @@ def export_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
                 lines.append(f"# TYPE {name} histogram")
             cumulative = metric.cumulative_counts()
             bucket_edges = [f"{bound:g}" for bound in metric.bounds] + ["+Inf"]
-            for edge, count in zip(bucket_edges, cumulative):
+            for index, (edge, count) in enumerate(zip(bucket_edges, cumulative)):
                 le = 'le="%s"' % edge
-                lines.append(
-                    f"{name}_bucket{_prom_labels(metric.labels, le)} {count}"
-                )
+                line = f"{name}_bucket{_prom_labels(metric.labels, le)} {count}"
+                exemplar = metric.exemplars.get(index)
+                if exemplar is not None:
+                    # OpenMetrics-style exemplar suffix: the id is a
+                    # flight-recorder event seq, linking this bucket's
+                    # most recent sample to the events in flight then.
+                    seq, sample = exemplar
+                    line += f' # {{flightrec_seq="{seq}"}} {sample:g}'
+                lines.append(line)
             lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
             lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+            if metric.count == 0:
+                # An empty histogram has no meaningful quantiles: emit
+                # none rather than NaN lines dashboards would choke on.
+                continue
             # Pre-computed quantile lines (summary-style), so dashboards
             # get p50/p95/p99 without a histogram_quantile() round trip.
             for quantile in (0.5, 0.95, 0.99):
@@ -99,6 +133,11 @@ def _metric_to_dict(metric) -> dict:
             count=metric.count,
             sum=metric.sum,
         )
+        if metric.exemplars:
+            record["exemplars"] = {
+                str(index): {"seq": seq, "value": value}
+                for index, (seq, value) in sorted(metric.exemplars.items())
+            }
     else:
         record["value"] = metric.value
     return record

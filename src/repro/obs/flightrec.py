@@ -1,0 +1,516 @@
+"""The flight recorder: an always-on ring buffer of structured events.
+
+Aggregate metrics answer "how much"; they cannot answer "what happened
+just before the breaker opened".  The flight recorder fills that gap the
+way an aircraft FDR does: every instrumented layer notes compact
+structured events — chunk verdict summaries, fault firings, breaker
+transitions, queue-depth samples, backpressure sheds, livelock wakeups —
+into a fixed-size ring that the hot path writes with near-zero overhead
+(one attribute check, one tuple build, one list store).  When something
+goes wrong the faults layer triggers a **post-mortem dump**: the ring's
+retained window plus a snapshot of the metrics registry, as JSONL, so
+the last N events before a breaker-open/watchdog stall are preserved as
+an artifact even though the process keeps running.
+
+Design rules:
+
+* **bounded** — the ring is a preallocated list; a week-long run retains
+  exactly ``capacity`` events and evicts the oldest, never growing;
+* **compact** — an event is a plain tuple ``(seq, kind, label, data)``;
+  field names are attached only on the read side (:data:`KIND_FIELDS`),
+  so recording does no dict building;
+* **attributable** — ``note()`` returns the event's monotonically
+  increasing ``seq``; the wall-clock profiler stores these ids as
+  histogram exemplars, linking "this chunk was slow" to "these events
+  were in flight at the time";
+* **reconcilable** — a dump's first line snapshots the registry, so a
+  replay can check that the recorded events and the metric counters tell
+  the same story (``repro flightrec replay`` does exactly that).
+
+The process-wide default recorder follows the registry/tracer lifecycle:
+:func:`get_flightrec` / :func:`set_flightrec` / :func:`reset_flightrec`.
+Recording is deliberately *not* named ``record`` — that verb belongs to
+the span tracer (and reprolint RL003 checks its stage names).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, IO, Iterator, List, Optional, Tuple, Union
+
+from repro.obs import names
+from repro.obs.registry import MetricsRegistry, get_registry
+
+
+class Events:
+    """Canonical event kinds (one per instrumented boundary)."""
+
+    #: One chunk finished the workflow; data = (packets, forwarded,
+    #: dropped, slow_path).
+    CHUNK = "chunk"
+    #: A chunk was shed after bounded backpressure gave up; data =
+    #: (packets_shed,).
+    SHED = "shed"
+    #: A GPU launch failed and was retried; label = device, data =
+    #: (attempt,).
+    GPU_RETRY = "gpu_retry"
+    #: A chunk was shaded on the master's CPU because the GPU path
+    #: failed; data = (packets,).
+    GPU_FALLBACK = "gpu_fallback"
+    #: An injected fault fired; label = fault site.
+    FAULT = "fault"
+    #: A circuit breaker changed state; label = device, data absent —
+    #: the new state rides in ``label`` as ``<device>:<state>``.
+    BREAKER = "breaker"
+    #: The watchdog declared a stall (no progress across its threshold).
+    WATCHDOG = "watchdog"
+    #: Master input queue depth after a put/get; label = "master",
+    #: data = (depth,).
+    QUEUE = "queue"
+    #: A worker fetched a chunk through the I/O engine; label =
+    #: "<nic>:<queue>", data = (packets,).
+    RX = "rx"
+    #: Livelock controller transition; label = "wakeup" or "drain".
+    LIVELOCK = "livelock"
+    #: A post-mortem dump was written; label = the trigger reason.
+    DUMP = "dump"
+
+
+#: Read-side field names per kind (the write side stores bare tuples).
+KIND_FIELDS: Dict[str, Tuple[str, ...]] = {
+    Events.CHUNK: ("packets", "forwarded", "dropped", "slow_path"),
+    Events.SHED: ("packets",),
+    Events.GPU_RETRY: ("attempt",),
+    Events.GPU_FALLBACK: ("packets",),
+    Events.FAULT: (),
+    Events.BREAKER: (),
+    Events.WATCHDOG: (),
+    Events.QUEUE: ("depth",),
+    Events.RX: ("packets",),
+    Events.LIVELOCK: (),
+    Events.DUMP: (),
+}
+
+#: Default ring capacity: generous enough that a full chaos scenario
+#: (thousands of events) is retained end to end, small enough that the
+#: preallocated list is trivial (~0.5 MB of pointers).
+DEFAULT_CAPACITY = 65536
+
+
+class FlightEvent:
+    """One recorded event, hydrated with field names (read side only)."""
+
+    __slots__ = ("seq", "kind", "label", "data")
+
+    def __init__(self, seq: int, kind: str, label: str,
+                 data: Tuple[float, ...]) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.label = label
+        self.data = data
+
+    @property
+    def fields(self) -> Dict[str, float]:
+        return dict(zip(KIND_FIELDS.get(self.kind, ()), self.data))
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "type": "event", "seq": self.seq, "kind": self.kind,
+        }
+        if self.label:
+            record["label"] = self.label
+        record.update(self.fields)
+        # Extra positional data beyond the schema keeps raw indices so
+        # nothing is silently lost.
+        schema = KIND_FIELDS.get(self.kind, ())
+        for index in range(len(schema), len(self.data)):
+            record[f"data{index}"] = self.data[index]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlightEvent({self.to_dict()!r})"
+
+
+class FlightRecorder:
+    """The fixed-size event ring plus its dump machinery.
+
+    ``note()`` is the hot path: with recording disabled it is a single
+    attribute check; enabled, it is one tuple build and one list store
+    (plus one counter add for the ``flightrec.events`` metric).
+    """
+
+    def __init__(self, enabled: bool = True,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: List[Optional[Tuple]] = [None] * capacity
+        self._seq = 0
+        #: Post-mortem arming: dumps go here when set (None = disarmed).
+        self.postmortem_dir: Optional[Path] = None
+        #: Remaining automatic dumps (a wedged breaker flapping all run
+        #: must not write thousands of files).
+        self.postmortem_budget = 0
+        self.dumps_written: List[Path] = []
+        registry = get_registry()
+        self._m_events = registry.counter(
+            names.FLIGHTREC_EVENTS, help="events written to the flight ring"
+        )
+        self._m_dumps = registry.counter(
+            names.FLIGHTREC_DUMPS, help="flight-recorder dumps written"
+        )
+
+    # -- recording ------------------------------------------------------
+
+    def note(self, kind: str, label: str = "", *data: float) -> int:
+        """Write one event; returns its id (0 when recording is off)."""
+        if not self.enabled:
+            return 0
+        seq = self._seq = self._seq + 1
+        self._ring[seq % self.capacity] = (seq, kind, label, data)
+        self._m_events.inc()
+        return seq
+
+    @property
+    def seq(self) -> int:
+        """Id of the most recent event (0 when nothing recorded)."""
+        return self._seq
+
+    @property
+    def retained(self) -> int:
+        return min(self._seq, self.capacity)
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return max(0, self._seq - self.capacity)
+
+    def reset(self) -> None:
+        self._ring = [None] * self.capacity
+        self._seq = 0
+
+    # -- reading --------------------------------------------------------
+
+    def events(self) -> List[FlightEvent]:
+        """Retained events, oldest first."""
+        return list(self.iter_events())
+
+    def iter_events(self) -> Iterator[FlightEvent]:
+        start = max(1, self._seq - self.capacity + 1)
+        for seq in range(start, self._seq + 1):
+            raw = self._ring[seq % self.capacity]
+            if raw is not None and raw[0] == seq:
+                yield FlightEvent(*raw)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.iter_events():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- dumping --------------------------------------------------------
+
+    def to_jsonl(self, registry: Optional[MetricsRegistry] = None,
+                 reason: str = "manual") -> str:
+        """The dump format: one meta line, then one line per event.
+
+        The meta line snapshots the registry at dump time so a replay
+        can reconcile events against counters without the live process.
+        """
+        from repro.obs.exporters import _metric_to_dict
+
+        registry = registry if registry is not None else get_registry()
+        meta = {
+            "type": "flightrec_meta",
+            "reason": reason,
+            "seq": self._seq,
+            "retained": self.retained,
+            "evicted": self.evicted,
+            "capacity": self.capacity,
+            "metrics": [_metric_to_dict(m) for m in registry.collect()],
+        }
+        lines = [json.dumps(meta, sort_keys=True)]
+        lines.extend(
+            json.dumps(event.to_dict(), sort_keys=True)
+            for event in self.iter_events()
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, target: Union[str, Path, IO[str]],
+             registry: Optional[MetricsRegistry] = None,
+             reason: str = "manual") -> None:
+        """Write the JSONL dump to a path or open text stream."""
+        text = self.to_jsonl(registry, reason=reason)
+        if hasattr(target, "write"):
+            target.write(text)
+        else:
+            Path(target).write_text(text)
+
+    def arm_postmortem(self, directory: Union[str, Path],
+                       budget: int = 4) -> None:
+        """Enable automatic dumps into ``directory`` (created if needed).
+
+        ``budget`` bounds how many automatic dumps one process writes;
+        manual :meth:`dump` calls are never budgeted.
+        """
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        self.postmortem_dir = path
+        self.postmortem_budget = budget
+
+    def postmortem(self, reason: str,
+                   registry: Optional[MetricsRegistry] = None
+                   ) -> Optional[Path]:
+        """Fault-layer trigger: dump the ring if armed and in budget.
+
+        Always notes a DUMP event (so the trigger itself is on the
+        record even when disarmed); returns the written path or None.
+        The filename carries the trigger reason and the event id — not a
+        timestamp, so chaos replays stay deterministic.
+        """
+        self.note(Events.DUMP, reason)
+        if self.postmortem_dir is None or self.postmortem_budget <= 0:
+            return None
+        self.postmortem_budget -= 1
+        path = self.postmortem_dir / f"flightrec-{reason}-{self._seq}.jsonl"
+        self.dump(path, registry, reason=reason)
+        self._m_dumps.inc()
+        self.dumps_written.append(path)
+        return path
+
+
+#: The process-wide default recorder.
+_default_flightrec = FlightRecorder()
+
+
+def get_flightrec() -> FlightRecorder:
+    """The current default recorder (what instrumented code notes to)."""
+    return _default_flightrec
+
+
+def set_flightrec(recorder: FlightRecorder) -> FlightRecorder:
+    """Install a recorder as the default; returns the previous one."""
+    global _default_flightrec
+    previous = _default_flightrec
+    _default_flightrec = recorder
+    return previous
+
+
+def reset_flightrec() -> FlightRecorder:
+    """Replace the default recorder with a fresh enabled one (returned).
+
+    Like ``reset_registry``: objects built before the reset keep their
+    old handles; instrumented constructors re-resolve.
+    """
+    recorder = FlightRecorder()
+    set_flightrec(recorder)
+    return recorder
+
+
+# ----------------------------------------------------------------------
+# Dump loading and replay (the read side of the artifact).
+# ----------------------------------------------------------------------
+
+
+class DumpReport:
+    """A parsed dump plus the reconciliation verdicts replay prints."""
+
+    def __init__(self, meta: Dict[str, object],
+                 events: List[Dict[str, object]]) -> None:
+        self.meta = meta
+        self.events = events
+
+    # -- views over the snapshot ---------------------------------------
+
+    def metric_total(self, name: str) -> float:
+        """Sum of a snapshot metric across label sets."""
+        total = 0.0
+        for metric in self.meta.get("metrics", []):
+            if metric.get("name") == name and "value" in metric:
+                total += metric["value"]
+        return total
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Snapshot ``faults.injected`` counters, keyed by site."""
+        counts: Dict[str, int] = {}
+        for metric in self.meta.get("metrics", []):
+            if metric.get("name") == names.FAULTS_INJECTED:
+                site = dict(metric.get("labels", {})).get("site", "")
+                counts[site] = counts.get(site, 0) + int(metric["value"])
+        return counts
+
+    def event_counts(self, kind: str, by_label: bool = False
+                     ) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            if event.get("kind") != kind:
+                continue
+            key = event.get("label", "") if by_label else kind
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def verdict_totals(self) -> Dict[str, int]:
+        """Summed chunk verdict fields across every CHUNK event."""
+        totals = {"packets": 0, "forwarded": 0, "dropped": 0, "slow_path": 0}
+        for event in self.events:
+            if event.get("kind") == Events.CHUNK:
+                for key in totals:
+                    totals[key] += int(event.get(key, 0))
+        return totals
+
+    # -- reconciliation -------------------------------------------------
+
+    def reconcile(self) -> List[Tuple[str, float, float, bool]]:
+        """(check, events, metrics, ok) rows for every closable identity.
+
+        Only meaningful when the dump evicted nothing — an aged-out ring
+        undercounts events by design, so replay reports eviction instead
+        of failing the checks.
+        """
+        rows: List[Tuple[str, float, float, bool]] = []
+        fired = self.event_counts(Events.FAULT, by_label=True)
+        snapshots = self.fault_counts()
+        # Union of sites: a fault event with no counter (or the reverse)
+        # is itself a mismatch, not a site to skip.
+        for site in sorted(set(fired) | set(snapshots)):
+            recorded = fired.get(site, 0)
+            snapshot = snapshots.get(site, 0)
+            rows.append((f"fault {site}", recorded, snapshot,
+                         recorded == snapshot))
+        verdicts = self.verdict_totals()
+        for check, metric in (
+            ("forwarded", names.ROUTER_FORWARDED_PACKETS),
+            ("dropped", names.ROUTER_DROPPED_PACKETS),
+            ("slow_path", names.ROUTER_SLOW_PATH_PACKETS),
+        ):
+            snapshot = self.metric_total(metric)
+            rows.append((f"verdict {check}", verdicts[check], snapshot,
+                         verdicts[check] == snapshot))
+        shed = sum(
+            int(e.get("packets", 0)) for e in self.events
+            if e.get("kind") == Events.SHED
+        )
+        rows.append(("backpressure shed", shed,
+                     self.metric_total(names.ROUTER_BACKPRESSURE_DROPS),
+                     shed == self.metric_total(
+                         names.ROUTER_BACKPRESSURE_DROPS)))
+        return rows
+
+    @property
+    def reconciled(self) -> bool:
+        if int(self.meta.get("evicted", 0)):
+            return False
+        return all(ok for _, _, _, ok in self.reconcile())
+
+
+def load_dump(path: Union[str, Path]) -> DumpReport:
+    """Parse a JSONL dump back into a :class:`DumpReport`."""
+    meta: Dict[str, object] = {}
+    events: List[Dict[str, object]] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "flightrec_meta":
+                meta = record
+            elif record.get("type") == "event":
+                events.append(record)
+    if not meta:
+        raise ValueError(f"{path}: no flightrec_meta line — not a dump")
+    return DumpReport(meta, events)
+
+
+# ----------------------------------------------------------------------
+# CLI: ``python -m repro flightrec dump|replay``.
+# ----------------------------------------------------------------------
+
+
+def _dump_main(args) -> int:
+    """Run an instrumented burst and write its flight-recorder dump."""
+    import sys
+
+    from repro.report import _traced_run
+
+    _traced_run(args)
+    recorder = get_flightrec()
+    if args.out == "-":
+        recorder.dump(sys.stdout, reason="cli")
+    else:
+        recorder.dump(args.out, reason="cli")
+        print(f"wrote {recorder.retained} events to {args.out}")
+    return 0
+
+
+def _replay_main(args) -> int:
+    """Render a dump as a timeline and reconcile it against its snapshot."""
+    report = load_dump(args.path)
+    meta = report.meta
+    print(f"flight recorder dump: reason={meta.get('reason')} "
+          f"seq={meta.get('seq')} retained={meta.get('retained')} "
+          f"evicted={meta.get('evicted')}")
+    counts = {}
+    for event in report.events:
+        counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+    print("events by kind: " + ", ".join(
+        f"{kind}={count}" for kind, count in sorted(counts.items())
+    ) or "none")
+    verdicts = report.verdict_totals()
+    print(f"chunk verdicts: {verdicts['packets']} packets -> "
+          f"{verdicts['forwarded']} forwarded, {verdicts['dropped']} "
+          f"dropped, {verdicts['slow_path']} slow-path")
+    if args.tail:
+        print(f"\nlast {args.tail} events:")
+        for event in report.events[-args.tail:]:
+            fields = {k: v for k, v in event.items()
+                      if k not in ("type", "seq", "kind", "label")}
+            label = f" {event['label']}" if event.get("label") else ""
+            detail = (" " + " ".join(f"{k}={v}" for k, v in fields.items())
+                      if fields else "")
+            print(f"  #{event['seq']:<8} {event['kind']:<12}{label}{detail}")
+    print("\nreconciliation (events vs metrics snapshot):")
+    failures = 0
+    for check, recorded, snapshot, ok in report.reconcile():
+        marker = "ok" if ok else "MISMATCH"
+        if not ok:
+            failures += 1
+        print(f"  {check:<28} {recorded:>10g} {snapshot:>10g} {marker:>9}")
+    if int(meta.get("evicted", 0)):
+        print(f"  ({meta['evicted']} events evicted from the ring: "
+              "counts undercount by design)")
+        return 0
+    print("reconciled" if failures == 0 else f"{failures} check(s) failed")
+    return 1 if failures else 0
+
+
+def flightrec_main(argv=None) -> int:
+    """Entry point for ``python -m repro flightrec``."""
+    import argparse
+
+    from repro.report import _run_parser
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro flightrec",
+        description="Dump or replay the flight recorder's event ring.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_opts = _run_parser("python -m repro flightrec dump",
+                           "Run an instrumented burst and dump the ring.")
+    dump = sub.add_parser(
+        "dump", parents=[run_opts], add_help=False,
+        help="run an instrumented burst and dump the event ring as JSONL")
+    dump.add_argument("--out", default="-",
+                      help="output path ('-' = stdout, the default)")
+    replay = sub.add_parser(
+        "replay", help="render and reconcile a previously written dump")
+    replay.add_argument("path", help="dump file written by `flightrec dump` "
+                        "or a post-mortem trigger")
+    replay.add_argument("--tail", type=int, default=12,
+                        help="events to print from the end (default: 12)")
+    args = parser.parse_args(argv)
+    if args.command == "dump":
+        return _dump_main(args)
+    return _replay_main(args)

@@ -70,6 +70,11 @@ SIM_SOJOURN_NS = "sim.sojourn_ns"
 GEN_FRAMES = "gen.frames"
 LOG_RECORDS = "log.records"
 
+# -- obs second generation: flight recorder and wall-clock profiler ----
+FLIGHTREC_EVENTS = "flightrec.events"
+FLIGHTREC_DUMPS = "flightrec.dumps"
+PROF_STAGE_WALL_NS = "prof.stage_wall_ns"
+
 # -- perf: benchmark registry and the scorecard (docs/PERF.md) ---------
 BENCH_RUNS = "bench.runs"
 BENCH_FIGURES = "bench.figures"

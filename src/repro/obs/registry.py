@@ -35,6 +35,13 @@ LATENCY_NS_BUCKETS: Tuple[float, ...] = (
     1e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2e5, 4e5, 8e5, 1.6e6, 1e7,
 )
 
+#: Default buckets for *wall-clock* stage timings, in nanoseconds
+#: (1 us .. 1 s).  Deliberately wider than the simulated-latency buckets:
+#: real Python wall time spans interpreter noise up to whole-run stalls.
+WALL_NS_BUCKETS: Tuple[float, ...] = (
+    1e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8, 1e9,
+)
+
 
 def _freeze_labels(labels: Dict[str, str]) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -112,13 +119,22 @@ class Histogram:
         self.counts: List[int] = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        #: Per-bucket exemplars: bucket index -> (exemplar id, value) of
+        #: the most recent attributed sample to land there.  Links a
+        #: histogram outlier back to a flight-recorder event id.
+        self.exemplars: Dict[int, Tuple[int, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[int] = None) -> None:
         """Record one sample: it lands in the first bucket whose upper
-        bound is >= the value (Prometheus ``le`` convention)."""
-        self.counts[bisect_left(self.bounds, value)] += 1
+        bound is >= the value (Prometheus ``le`` convention).  An
+        ``exemplar`` id (e.g. a flight-recorder event seq) is retained
+        per bucket, latest-wins."""
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
         self.count += 1
         self.sum += value
+        if exemplar:
+            self.exemplars[index] = (exemplar, value)
 
     def bucket_index(self, value: float) -> int:
         """Which bucket a value falls in (len(bounds) means +Inf)."""
@@ -134,11 +150,30 @@ class Histogram:
         falls in (the ``histogram_quantile`` convention): the first
         bucket's lower edge is 0 for non-negative bounds, and a rank in
         the +Inf bucket clamps to the last finite bound.
+
+        Edge cases are explicit: an empty histogram is ``NaN`` for every
+        ``p``; ``p=0`` is the lower edge of the first occupied bucket
+        and ``p=100`` the upper edge of the last, so the extremes never
+        depend on interpolation arithmetic; both clamp to the last
+        finite bound when only the +Inf bucket is occupied.
         """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"histogram {self.name}: percentile {p} not in [0, 100]")
         if self.count == 0:
             return math.nan
+        if p == 100.0:
+            if self.counts[-1]:
+                return self.bounds[-1]
+            for index in range(len(self.bounds) - 1, -1, -1):
+                if self.counts[index]:
+                    return self.bounds[index]
+        if p == 0.0:
+            lower = min(0.0, self.bounds[0])
+            for bound, bucket_count in zip(self.bounds, self.counts):
+                if bucket_count:
+                    return lower
+                lower = bound
+            return self.bounds[-1]
         rank = p / 100.0 * self.count
         cumulative = 0
         lower = min(0.0, self.bounds[0])

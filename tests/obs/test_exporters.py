@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.obs.exporters import export_jsonl, export_prometheus, stage_table
+from repro.obs.exporters import (
+    _prom_escape,
+    _prom_unescape,
+    export_jsonl,
+    export_prometheus,
+    stage_table,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Stages, Tracer
 
@@ -39,6 +45,80 @@ class TestPrometheus:
 
     def test_empty_registry_exports_empty(self):
         assert export_prometheus(MetricsRegistry()) == ""
+
+
+class TestLabelEscaping:
+    """The three characters the exposition-format spec names."""
+
+    CASES = (
+        'plain',
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        'all\\three" at\nonce',
+        '\\n is not a newline',
+        'trailing backslash\\',
+    )
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_escape_round_trips(self, value):
+        assert _prom_unescape(_prom_escape(value)) == value
+
+    def test_escaped_output_is_single_line(self):
+        for value in self.CASES:
+            assert "\n" not in _prom_escape(value)
+            assert '"' not in _prom_escape(value).replace('\\"', "")
+
+    def test_exported_labels_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("io.rx_packets", queue='q"0\n\\x').inc(1)
+        text = export_prometheus(registry)
+        line = next(l for l in text.splitlines() if l.startswith("io_rx"))
+        assert line == 'io_rx_packets{queue="q\\"0\\n\\\\x"} 1.0'
+        # And the quoted value parses back to the original.
+        quoted = line[line.index('="') + 2:line.index('"}')]
+        assert _prom_unescape(quoted) == 'q"0\n\\x'
+
+
+class TestExemplars:
+    def test_bucket_lines_carry_flightrec_exemplars(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10.0, 100.0))
+        histogram.observe(5.0, exemplar=41)
+        histogram.observe(50.0, exemplar=42)
+        text = export_prometheus(registry)
+        assert 'h_bucket{le="10"} 1 # {flightrec_seq="41"} 5' in text
+        assert 'h_bucket{le="100"} 2 # {flightrec_seq="42"} 50' in text
+        # No exemplar ever landed in the +Inf bucket.
+        inf_line = next(
+            line for line in text.splitlines() if 'le="+Inf"' in line
+        )
+        assert inf_line == 'h_bucket{le="+Inf"} 2'
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10.0,))
+        histogram.observe(3.0, exemplar=7)
+        histogram.observe(5.0, exemplar=9)
+        text = export_prometheus(registry)
+        assert 'flightrec_seq="9"' in text
+        assert 'flightrec_seq="7"' not in text
+
+    def test_jsonl_metric_carries_exemplars(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(10.0,))
+        histogram.observe(5.0, exemplar=13)
+        records = [
+            json.loads(line)
+            for line in export_jsonl(Tracer(), registry).splitlines()
+        ]
+        metric = next(r for r in records if r.get("name") == "h")
+        assert metric["exemplars"] == {"0": {"seq": 13, "value": 5.0}}
+
+    def test_observations_without_exemplars_export_plainly(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(10.0,)).observe(5.0)
+        assert "flightrec_seq" not in export_prometheus(registry)
 
 
 class TestJsonl:

@@ -1,0 +1,242 @@
+"""Flight recorder: ring semantics, dump format, post-mortems, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.flightrec import (
+    DEFAULT_CAPACITY,
+    Events,
+    FlightEvent,
+    FlightRecorder,
+    flightrec_main,
+    get_flightrec,
+    load_dump,
+    reset_flightrec,
+    set_flightrec,
+)
+from repro.obs.registry import get_registry, reset_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    reset_registry()
+    reset_flightrec()
+    yield
+    reset_registry()
+    reset_flightrec()
+
+
+class TestRing:
+    def test_note_returns_monotone_seq(self):
+        recorder = FlightRecorder()
+        assert recorder.note(Events.RX, "0:0", 32) == 1
+        assert recorder.note(Events.CHUNK, "", 32, 30, 1, 1) == 2
+        assert recorder.seq == 2
+        assert recorder.retained == 2
+        assert recorder.evicted == 0
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = FlightRecorder(enabled=False)
+        assert recorder.note(Events.FAULT, "gpu.launch") == 0
+        assert recorder.seq == 0
+        assert recorder.events() == []
+
+    def test_wraparound_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.note(Events.QUEUE, "master", index)
+        assert recorder.seq == 10
+        assert recorder.retained == 4
+        assert recorder.evicted == 6
+        # Oldest first, and only the newest four survive.
+        assert [e.seq for e in recorder.events()] == [7, 8, 9, 10]
+        assert [e.fields["depth"] for e in recorder.events()] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity_is_generous(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_reset_clears_the_ring(self):
+        recorder = FlightRecorder()
+        recorder.note(Events.SHED, "", 12)
+        recorder.reset()
+        assert recorder.seq == 0
+        assert recorder.events() == []
+
+    def test_events_metric_counts_notes(self):
+        recorder = reset_flightrec()
+        recorder.note(Events.RX, "0:0", 8)
+        recorder.note(Events.RX, "0:1", 8)
+        assert get_registry().counter("flightrec.events").value == 2
+
+
+class TestEventHydration:
+    def test_kind_fields_attach_on_read(self):
+        recorder = FlightRecorder()
+        recorder.note(Events.CHUNK, "", 64, 60, 3, 1)
+        event = recorder.events()[0]
+        assert event.fields == {
+            "packets": 64, "forwarded": 60, "dropped": 3, "slow_path": 1,
+        }
+
+    def test_extra_positional_data_is_not_lost(self):
+        event = FlightEvent(1, Events.SHED, "", (12, 99))
+        record = event.to_dict()
+        assert record["packets"] == 12
+        assert record["data1"] == 99
+
+    def test_label_only_kinds_serialize_compactly(self):
+        event = FlightEvent(3, Events.FAULT, "gpu.launch", ())
+        record = event.to_dict()
+        assert record == {
+            "type": "event", "seq": 3, "kind": "fault", "label": "gpu.launch",
+        }
+
+    def test_counts_by_kind(self):
+        recorder = FlightRecorder()
+        recorder.note(Events.RX, "0:0", 8)
+        recorder.note(Events.RX, "0:1", 8)
+        recorder.note(Events.CHUNK, "", 16, 16, 0, 0)
+        assert recorder.counts_by_kind() == {"rx": 2, "chunk": 1}
+
+
+class TestDumpFormat:
+    def test_meta_line_snapshots_the_registry(self):
+        recorder = reset_flightrec()
+        get_registry().counter("router.forwarded_packets").inc(5)
+        recorder.note(Events.CHUNK, "", 5, 5, 0, 0)
+        lines = recorder.to_jsonl(reason="test").splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "flightrec_meta"
+        assert meta["reason"] == "test"
+        assert meta["seq"] == 1
+        assert meta["evicted"] == 0
+        names = {m["name"] for m in meta["metrics"]}
+        assert "router.forwarded_packets" in names
+
+    def test_every_line_parses(self):
+        recorder = FlightRecorder()
+        for index in range(5):
+            recorder.note(Events.QUEUE, "master", index)
+        for line in recorder.to_jsonl().splitlines():
+            json.loads(line)
+
+    def test_dump_to_stream_and_path_agree(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.note(Events.RX, "0:0", 8)
+        stream = io.StringIO()
+        recorder.dump(stream)
+        path = tmp_path / "fr.jsonl"
+        recorder.dump(path)
+        assert stream.getvalue() == path.read_text()
+
+    def test_round_trip_through_load_dump(self, tmp_path):
+        recorder = reset_flightrec()
+        recorder.note(Events.FAULT, "gpu.launch")
+        recorder.note(Events.CHUNK, "", 32, 30, 2, 0)
+        path = tmp_path / "fr.jsonl"
+        recorder.dump(path, reason="round-trip")
+        report = load_dump(path)
+        assert report.meta["reason"] == "round-trip"
+        assert len(report.events) == 2
+        assert report.event_counts(Events.FAULT, by_label=True) == {
+            "gpu.launch": 1,
+        }
+        assert report.verdict_totals() == {
+            "packets": 32, "forwarded": 30, "dropped": 2, "slow_path": 0,
+        }
+
+    def test_load_dump_rejects_non_dumps(self, tmp_path):
+        path = tmp_path / "not-a-dump.jsonl"
+        path.write_text('{"type": "event", "seq": 1, "kind": "rx"}\n')
+        with pytest.raises(ValueError):
+            load_dump(path)
+
+
+class TestPostmortem:
+    def test_disarmed_trigger_notes_but_writes_nothing(self, tmp_path):
+        recorder = FlightRecorder()
+        assert recorder.postmortem("breaker-open") is None
+        assert recorder.counts_by_kind() == {"dump": 1}
+        assert recorder.dumps_written == []
+
+    def test_armed_trigger_writes_a_deterministic_file(self, tmp_path):
+        recorder = reset_flightrec()
+        recorder.arm_postmortem(tmp_path / "dumps", budget=4)
+        recorder.note(Events.FAULT, "gpu.launch")
+        path = recorder.postmortem("breaker-open")
+        # Filename carries the reason and event id, never a timestamp.
+        assert path is not None
+        assert path.name == "flightrec-breaker-open-2.jsonl"
+        assert path.exists()
+        report = load_dump(path)
+        assert report.meta["reason"] == "breaker-open"
+        # The DUMP event itself is on the record.
+        assert report.event_counts(Events.DUMP) == {"dump": 1}
+        assert get_registry().counter("flightrec.dumps").value == 1
+
+    def test_budget_bounds_automatic_dumps(self, tmp_path):
+        recorder = reset_flightrec()
+        recorder.arm_postmortem(tmp_path, budget=2)
+        written = [recorder.postmortem("watchdog") for _ in range(5)]
+        assert sum(1 for path in written if path is not None) == 2
+        assert len(recorder.dumps_written) == 2
+        # Every trigger still lands on the record, budgeted or not.
+        assert recorder.counts_by_kind()["dump"] == 5
+
+
+class TestLifecycle:
+    def test_set_returns_previous(self):
+        original = get_flightrec()
+        replacement = FlightRecorder()
+        assert set_flightrec(replacement) is original
+        assert get_flightrec() is replacement
+        set_flightrec(original)
+
+    def test_reset_installs_a_fresh_enabled_recorder(self):
+        stale = get_flightrec()
+        stale.note(Events.RX, "0:0", 8)
+        fresh = reset_flightrec()
+        assert fresh is not stale
+        assert fresh is get_flightrec()
+        assert fresh.enabled
+        assert fresh.seq == 0
+
+
+class TestCli:
+    def test_dump_then_replay_reconciles(self, tmp_path, capsys):
+        path = tmp_path / "fr.jsonl"
+        assert flightrec_main(
+            ["dump", "--packets", "256", "--out", str(path)]
+        ) == 0
+        report = load_dump(path)
+        assert report.reconciled
+        assert flightrec_main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reconciled" in out
+        assert "chunk verdicts" in out
+
+    def test_dump_to_stdout(self, capsys):
+        assert flightrec_main(["dump", "--packets", "128"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "flightrec_meta"
+        assert meta["reason"] == "cli"
+
+    def test_replay_flags_a_doctored_dump(self, tmp_path, capsys):
+        path = tmp_path / "fr.jsonl"
+        flightrec_main(["dump", "--packets", "128", "--out", str(path)])
+        capsys.readouterr()
+        # Forge an extra fault event the metrics snapshot never saw.
+        with path.open("a") as fh:
+            fh.write(json.dumps({
+                "type": "event", "seq": 10**9, "kind": "fault",
+                "label": "gpu.launch",
+            }) + "\n")
+        assert flightrec_main(["replay", str(path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out

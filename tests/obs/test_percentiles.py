@@ -54,6 +54,52 @@ class TestPercentile:
         assert histogram.percentile(99) == 100.0
 
 
+class TestPercentileEdges:
+    """The explicit p=0 / p=100 / empty / single-sample branches."""
+
+    def test_every_percentile_of_empty_is_nan(self):
+        histogram = _histogram()
+        for p in (0, 50, 100):
+            assert math.isnan(histogram.percentile(p))
+
+    def test_p0_is_the_lower_edge_of_the_first_occupied_bucket(self):
+        histogram = _histogram(buckets=(10.0, 100.0))
+        histogram.observe(50.0)  # lands in (10, 100]
+        assert histogram.percentile(0) == 10.0
+
+    def test_p0_of_the_first_bucket_is_zero_for_nonnegative_bounds(self):
+        histogram = _histogram()
+        histogram.observe(5.0)
+        assert histogram.percentile(0) == 0.0
+
+    def test_p0_respects_negative_first_bounds(self):
+        histogram = _histogram(buckets=(-10.0, 10.0))
+        histogram.observe(-5.0)
+        assert histogram.percentile(0) == -10.0
+
+    def test_p100_is_the_upper_edge_of_the_last_occupied_bucket(self):
+        histogram = _histogram(buckets=(10.0, 100.0, 1000.0))
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        assert histogram.percentile(100) == 100.0
+
+    def test_extremes_clamp_when_only_overflow_is_occupied(self):
+        histogram = _histogram()
+        histogram.observe(5000.0)
+        assert histogram.percentile(0) == 100.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_single_sample_brackets_its_bucket(self):
+        histogram = _histogram()
+        histogram.observe(5.0)
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == pytest.approx(5.0)
+        assert histogram.percentile(100) == 10.0
+        # Monotone across the full range even with one sample.
+        estimates = [histogram.percentile(p) for p in (0, 25, 50, 75, 100)]
+        assert estimates == sorted(estimates)
+
+
 class TestPrometheusQuantiles:
     def test_quantile_lines_emitted(self):
         registry = MetricsRegistry()

@@ -1,0 +1,117 @@
+"""The ``repro top`` dashboard: panel rendering and the CLI entry point."""
+
+import pytest
+
+from repro.obs import names
+from repro.obs.flightrec import Events, reset_flightrec
+from repro.obs.profiler import reset_profiler
+from repro.obs.registry import get_registry, reset_registry
+from repro.obs.top import TopView, _ns, _si, top_main
+from repro.obs.trace import Stages, reset_tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    reset_registry()
+    reset_tracer()
+    reset_flightrec()
+    reset_profiler()
+    yield
+    reset_registry()
+    reset_tracer()
+    reset_flightrec()
+    reset_profiler()
+
+
+class TestFormatting:
+    def test_si_scales(self):
+        assert _si(950) == "950"
+        assert _si(1_234_567) == "1.23M"
+        assert _si(2_500_000_000) == "2.50G"
+
+    def test_ns_scales(self):
+        assert _ns(500) == "500ns"
+        assert _ns(4_200) == "4.2us"
+        assert _ns(3_000_000) == "3.00ms"
+        assert _ns(float("nan")) == "-"
+
+
+class TestTopView:
+    def test_empty_state_renders_placeholders(self):
+        screen = TopView().render()
+        assert "repro top" in screen
+        assert "no spans" in screen
+        assert "flightrec   seq 0" in screen
+
+    def test_conservation_check_reads_ok(self):
+        registry = get_registry()
+        registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(100)
+        registry.counter(names.ROUTER_FORWARDED_PACKETS).inc(90)
+        registry.counter(names.ROUTER_DROPPED_PACKETS).inc(8)
+        registry.counter(names.ROUTER_SLOW_PATH_PACKETS).inc(2)
+        screen = TopView().render(pps=1000.0)
+        assert "conservation ok" in screen
+        assert "VIOLATED" not in screen
+
+    def test_conservation_violation_is_loud(self):
+        registry = get_registry()
+        registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(100)
+        registry.counter(names.ROUTER_FORWARDED_PACKETS).inc(50)
+        assert "VIOLATED" in TopView().render()
+
+    def test_recorder_tail_shows_latest_events(self):
+        recorder = reset_flightrec()
+        for index in range(8):
+            recorder.note(Events.QUEUE, "master", index)
+        screen = TopView().render()
+        # Tail of five: seqs 4-8 visible, 1-3 scrolled off.
+        assert "#8" in screen
+        assert "#4" in screen
+        assert "#3      " not in screen
+
+    def test_breaker_panel_absent_without_devices(self):
+        assert "breakers" not in TopView().render()
+
+    def test_breaker_panel_reads_gauges(self):
+        registry = get_registry()
+        registry.gauge(names.FAULTS_DEGRADED_MODE, device="0").set(1)
+        registry.counter(names.FAULTS_BREAKER_OPENS, device="0").inc(2)
+        screen = TopView().render()
+        assert "gpu0 OPEN (opens 2)" in screen
+
+
+class TestTopMain:
+    def test_once_prints_a_full_snapshot(self, capsys):
+        assert top_main(["--once", "--packets", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "ipv4 forwarding" in out
+        assert "conservation ok" in out
+        assert "pre_shade" in out
+        assert "flightrec" in out
+        # CI mode is plain text: no ANSI clear sequences.
+        assert "\x1b[2J" not in out
+
+    def test_once_with_a_chaos_scenario(self, capsys):
+        assert top_main(
+            ["--once", "--scenario", "breaker", "--packets", "256"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos scenario 'breaker'" in out
+        assert "faults" in out
+        assert "gpu.launch" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            top_main(["--once", "--scenario", "nope"])
+
+    def test_nonpositive_packets_rejected(self):
+        with pytest.raises(SystemExit):
+            top_main(["--once", "--packets", "0"])
+
+    def test_iterations_bound_the_run(self, capsys):
+        assert top_main(
+            ["--iterations", "2", "--interval", "0", "--packets", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Two refreshes, each clearing the screen.
+        assert out.count("\x1b[2J") == 2
