@@ -1,0 +1,43 @@
+"""Adversarial workloads: goodput and p99 under flood, per scenario.
+
+The overload-control acceptance bar (docs/RESILIENCE.md, "Overload
+control"): under heavy-tail, SYN-flood, and spoofed-source DDoS traffic
+the established goodput must not collapse, the windowed p99 must sit
+inside the SLO budget (headroom > 1), the bounded flow table must churn
+at its cap rather than grow past it, and every run's drop accounting
+must close exactly.  Runs through the perf registry and emits
+``BENCH_workloads.json``.
+"""
+
+
+from conftest import assert_within_tolerance, print_payload, series_by
+
+
+def test_flood_workloads(benchmark, bench_payload):
+    payload = benchmark.pedantic(
+        lambda: bench_payload("workloads"), rounds=1, iterations=1
+    )
+    print_payload(
+        payload,
+        ("scenario", "goodput", "p99_us", "slo_headroom", "shed_share",
+         "table_occupancy"),
+    )
+    rows = series_by(payload)
+    for row in payload["series"]:
+        assert row["conservation_ok"], (
+            f"{row['scenario']}: drop accounting must close exactly"
+        )
+        assert row["goodput"] >= 0.9, (
+            f"{row['scenario']}: goodput collapsed to {row['goodput']:.1%}"
+        )
+        assert row["slo_headroom"] > 1.0, (
+            f"{row['scenario']}: p99 blew the SLO budget"
+        )
+    # The floods actually shed; the healthy mix does not.
+    assert rows["heavy-tail"]["shed_share"] == 0.0
+    assert rows["syn-flood"]["shed_share"] > 0.1
+    assert rows["ddos"]["shed_share"] > 0.1
+    # The ddos run drives the bounded table exactly to its cap.
+    assert rows["ddos"]["table_occupancy"] == 1.0
+    assert payload["headline"]["min_goodput"] >= 0.9
+    assert_within_tolerance(payload)

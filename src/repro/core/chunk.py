@@ -177,6 +177,8 @@ class Chunk:
         "gpu_output",
         "app_state",
         "arrival_ns",
+        "service_ns",
+        "enqueue_depth",
         "_frame_store",
         "_offsets",
         "_lengths",
@@ -235,6 +237,12 @@ class Chunk:
         self.app_state = app_state
         #: Simulated clock bookkeeping for latency accounting.
         self.arrival_ns = arrival_ns
+        #: Modelled service time accumulated across the shading stages
+        #: (fed to the overload controller's p99 window on finish).
+        self.service_ns = 0.0
+        #: Chunks already queued at the master when this one was handed
+        #: off — the queue-wait component of the latency estimate.
+        self.enqueue_depth = 0
         if verdicts is not None:
             if len(verdicts) != len(frames):
                 raise ValueError("verdicts must parallel frames")

@@ -20,10 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.calib.constants import FRAMEWORK
+from repro.calib.constants import CPU, FRAMEWORK
 from repro.core.application import RouterApplication
 from repro.core.chunk import Chunk
 from repro.core.config import RouterConfig
+from repro.core.overload import OverloadController
 from repro.core.queues import MasterInputQueue, WorkerOutputQueue
 from repro.faults.errors import DMAError, GPULaunchError
 from repro.faults.plan import FaultInjector
@@ -114,9 +115,14 @@ class PacketShader:
         slow_path: Optional[SlowPathHandler] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        overload: Optional[OverloadController] = None,
     ) -> None:
         self.app = app
         self.config = config or RouterConfig()
+        #: Optional overload controller: when present it owns the chunk
+        #: capacity (SLO-aware adaptive sizing) and consumes per-chunk
+        #: latency observations and queue-rejection signals.
+        self.overload = overload
         #: Diverted packets go here ("passes them onto Linux TCP/IP
         #: stack", Section 6.2.1); its ICMP responses leave through the
         #: ingress port, back toward the source.
@@ -220,6 +226,12 @@ class PacketShader:
     # Ingress.
     # ------------------------------------------------------------------
 
+    def effective_chunk_capacity(self) -> int:
+        """The chunk cap in force: adaptive when overload control is on."""
+        if self.overload is not None:
+            return self.overload.chunk_capacity
+        return self.config.chunk_capacity
+
     def node_of_port(self, port: int) -> int:
         """Which NUMA node hosts a NIC port (ports split evenly)."""
         ports_per_node = self.config.system.total_ports // self.config.system.num_nodes
@@ -264,7 +276,7 @@ class PacketShader:
             worker = self._worker_of_frame(frame, node)
             per_worker.setdefault(worker.worker_id, []).append(frame)
         chunks = []
-        cap = self.config.chunk_capacity
+        cap = self.effective_chunk_capacity()
         for worker in node.workers:
             share = per_worker.get(worker.worker_id, [])
             for start in range(0, len(share), cap):
@@ -340,10 +352,12 @@ class PacketShader:
                     )
                     # The backoff wait is real (modelled) time on the
                     # shading path.
+                    wait_ns = policy.backoff_ns(attempt + 1, salt=node.node_id)
+                    chunk.service_ns += wait_ns
                     self.tracer.record(
                         Stages.GPU,
                         packets=0,
-                        ns=policy.backoff_ns(attempt + 1),
+                        ns=wait_ns,
                         retry=attempt + 1,
                     )
                     continue
@@ -356,6 +370,7 @@ class PacketShader:
             self.stats.gpu_launches += 1
             self._m_gpu_launches.inc()
             chunk.gpu_output = result.output
+            chunk.service_ns += result.total_ns
             self.tracer.record(
                 Stages.GPU,
                 packets=len(chunk),
@@ -386,6 +401,7 @@ class PacketShader:
             self.app.cpu_cycles_per_packet(frame_len)
             - self.app.worker_cycles_per_packet(frame_len),
         )
+        chunk.service_ns += extra * len(chunk) * CPU.cycle_ns
         self.tracer.record(
             Stages.GPU_FALLBACK, packets=len(chunk), cycles=extra * len(chunk)
         )
@@ -417,6 +433,10 @@ class PacketShader:
             Events.CHUNK, "", len(chunk), forwarded, dropped, slow
         )
         self.watchdog.note_progress()
+        if self.overload is not None:
+            self.overload.observe_chunk(
+                len(chunk), chunk.service_ns, chunk.enqueue_depth
+            )
         if self.slow_path is not None:
             frames = chunk.frames
             diverted = [bytes(frames[i]) for i in chunk.slow_path_indices()]
@@ -472,20 +492,24 @@ class PacketShader:
                 continue
             with self.profiler.track(Stages.PRE_SHADE):
                 chunk.gpu_input = self.app.pre_shade(chunk)
-            self.tracer.record(
-                Stages.PRE_SHADE,
-                packets=len(chunk),
-                cycles=self._worker_stage_cycles(
-                    chunk, FRAMEWORK.pre_shading_cycles
-                ),
+            pre_cycles = self._worker_stage_cycles(
+                chunk, FRAMEWORK.pre_shading_cycles
             )
+            chunk.service_ns += pre_cycles * CPU.cycle_ns
+            self.tracer.record(
+                Stages.PRE_SHADE, packets=len(chunk), cycles=pre_cycles
+            )
+            chunk.enqueue_depth = len(node.input_queue)
             for _ in range(self.MAX_BACKPRESSURE_RETRIES):
                 if node.input_queue.put(chunk):
                     break
                 # Backpressure: drain the master before retrying.
+                if self.overload is not None:
+                    self.overload.note_reject()
                 self.watchdog.note_stall()
                 self._shade_node(node)
                 self._drain_outputs(node, egress)
+                chunk.enqueue_depth = len(node.input_queue)
             else:
                 # The queue stayed wedged across every retry round:
                 # shed the chunk with explicit accounting rather than
@@ -505,12 +529,14 @@ class PacketShader:
         if degraded:
             self.stats.degraded_chunks += 1
             self._m_degraded_chunks.inc()
+        cpu_cycles = self.app.cpu_cycles_per_packet(
+            self._frame_len(chunk)
+        ) * len(chunk)
+        chunk.service_ns += cpu_cycles * CPU.cycle_ns
         self.tracer.record(
             Stages.CPU_PROCESS,
             packets=len(chunk),
-            cycles=self.app.cpu_cycles_per_packet(
-                self._frame_len(chunk)
-            ) * len(chunk),
+            cycles=cpu_cycles,
             degraded=degraded,
         )
         self._finish_chunk(chunk, egress)
@@ -545,12 +571,12 @@ class PacketShader:
                     break
                 with self.profiler.track(Stages.POST_SHADE):
                     self.app.post_shade(chunk, chunk.gpu_output)
+                post_cycles = self._worker_stage_cycles(
+                    chunk, FRAMEWORK.post_shading_cycles
+                )
+                chunk.service_ns += post_cycles * CPU.cycle_ns
                 self.tracer.record(
-                    Stages.POST_SHADE,
-                    packets=len(chunk),
-                    cycles=self._worker_stage_cycles(
-                        chunk, FRAMEWORK.post_shading_cycles
-                    ),
+                    Stages.POST_SHADE, packets=len(chunk), cycles=post_cycles
                 )
                 self._finish_chunk(chunk, egress)
 

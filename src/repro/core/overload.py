@@ -1,0 +1,347 @@
+"""The overload controller: SLO-aware graceful degradation under flood.
+
+PacketShader's chunk knob trades latency for throughput (the NaNet
+observation: bigger batches amortize per-launch cost but every packet in
+the batch waits for the whole batch).  Today the router exploits only
+one end of that trade-off; under offered load beyond capacity it
+backpressure-drops indiscriminately and lets reactive flow installation
+grow without bound.  This module closes the loop with three mechanisms,
+all deterministic and clockless (pressure and latency are modelled
+quantities, so chaos runs replay exactly):
+
+* **priority-aware RX shedding** — a ladder at the ring boundary.
+  Frames are classified ``established`` (5-tuple in the bounded
+  established-flow cache), ``new_flow`` (first sighting), or ``attack``
+  (TCP SYN without an established flow, or any new flow during a
+  new-flow storm).  As RX pressure rises, attack-classified traffic is
+  shed first, then new flows; established flows are never shed at the
+  ring — their loss, if any, comes from ordinary bounded backpressure.
+* **SLO-aware adaptive chunk sizing** — grow the chunk capacity
+  (multiplicatively, up to a cap) while pressure is high and the p99 of
+  modelled chunk latency sits under the budget; shrink it the moment
+  p99 exceeds the budget.  AIMD in spirit: throughput when latency
+  allows, latency when it does not.
+* **admission freeze** — above a pressure watermark the established
+  cache stops learning, so a flood cannot thrash out the flows it is
+  trying to starve (the state-protection analogue of SYN cookies).
+
+Every shed is attributed: ``overload.shed_packets`` counters per class,
+one ``RX_SHED`` flight-recorder event per (fetch, class), and the chaos
+report's ingress identity ``injected == rx_dropped + rx_shed +
+received``.  The bounded flow table (``openflow/flowtable.py``) emits
+the matching ``overload.flow_*`` counters and ``FLOW_EVICT`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import Events, get_flightrec, get_registry, names
+
+#: Traffic classes, in shedding order (attack goes first).
+CLASS_ATTACK = "attack"
+CLASS_NEW_FLOW = "new_flow"
+CLASS_ESTABLISHED = "established"
+
+_ETHERTYPE_IPV4 = 0x0800
+_PROTO_TCP = 6
+_FLAG_SYN = 0x02
+_FLAG_ACK = 0x10
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The operator-facing knobs (docs/RESILIENCE.md, "Overload control").
+
+    The latency budget applies to the modelled per-chunk latency
+    (queue-wait estimate plus accumulated service time) — the same
+    nanoseconds the span tracer charges, so ``p99_budget_ns`` means the
+    same thing in ``repro trace`` output and here.
+    """
+
+    #: p99 modelled chunk latency the adaptive sizing must respect.
+    p99_budget_ns: float = 400_000.0
+    #: Chunk capacity bounds for the adaptive resizer.
+    min_chunk_capacity: int = 16
+    max_chunk_capacity: int = 256
+    #: Chunk observations between resize decisions.
+    latency_window: int = 32
+    #: Pressure at which attack-classified traffic is shed (and new
+    #: flows too, during a new-flow storm).
+    shed_watermark: float = 0.25
+    #: Pressure at which new-flow traffic is shed unconditionally.
+    new_flow_watermark: float = 0.55
+    #: Pressure above which the established cache stops learning.
+    admit_watermark: float = 0.25
+    #: Bound on the established-flow cache (FIFO eviction past it).
+    established_cache: int = 4096
+    #: Fraction of never-seen flows in recent traffic that declares a
+    #: new-flow storm (spoofed-source floods sit near 1.0).
+    storm_threshold: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.p99_budget_ns <= 0:
+            raise ValueError("p99_budget_ns must be positive")
+        if not 1 <= self.min_chunk_capacity <= self.max_chunk_capacity:
+            raise ValueError("need 1 <= min_chunk_capacity <= max")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        for mark in (self.shed_watermark, self.new_flow_watermark,
+                     self.admit_watermark, self.storm_threshold):
+            if not 0.0 <= mark <= 1.0:
+                raise ValueError("watermarks must be in [0, 1]")
+        if self.established_cache < 1:
+            raise ValueError("established_cache must be >= 1")
+
+
+class OverloadController:
+    """Shared overload state wired through engine, framework, and tables.
+
+    One instance serves one router stack: the I/O engine calls
+    :meth:`admit` at every RX fetch, the framework calls
+    :meth:`observe_chunk` as chunks finish and :meth:`note_reject` when
+    the master queue refuses a hand-off, and everyone reads
+    :meth:`chunk_capacity` / :meth:`pressure`.
+    """
+
+    def __init__(self, config: Optional[SLOConfig] = None,
+                 initial_capacity: int = 0) -> None:
+        self.config = config or SLOConfig()
+        cap = initial_capacity or self.config.max_chunk_capacity // 4
+        self._capacity = max(
+            self.config.min_chunk_capacity,
+            min(self.config.max_chunk_capacity, cap),
+        )
+        self._pressure = 0.0
+        self._novelty = 0.0
+        self._latencies: List[float] = []
+        self._service_ewma = 0.0
+        self._last_p99 = 0.0
+        #: Insertion-ordered established cache (dict order is FIFO).
+        self._established: Dict[Tuple, bool] = {}
+        self.shed_by_class: Dict[str, int] = {}
+        self.admitted = 0
+        self.resizes = 0
+        self._recorder = get_flightrec()
+        registry = get_registry()
+        self._m_shed = {
+            cls: registry.counter(
+                names.OVERLOAD_SHED_PACKETS,
+                help="packets shed at the RX ring by the overload ladder",
+                traffic_class=cls,
+            )
+            for cls in (CLASS_ATTACK, CLASS_NEW_FLOW, CLASS_ESTABLISHED)
+        }
+        self._g_capacity = registry.gauge(
+            names.OVERLOAD_CHUNK_CAPACITY,
+            help="current adaptive chunk capacity",
+        )
+        self._g_capacity.set(self._capacity)
+        self._m_resizes = {
+            direction: registry.counter(
+                names.OVERLOAD_RESIZES,
+                help="adaptive chunk capacity changes",
+                direction=direction,
+            )
+            for direction in ("grow", "shrink")
+        }
+        self._g_p99 = registry.gauge(
+            names.OVERLOAD_P99_NS,
+            help="latest windowed p99 of modelled chunk latency",
+        )
+        self._g_pressure = registry.gauge(
+            names.OVERLOAD_PRESSURE,
+            help="RX pressure level in [0, 1]",
+        )
+
+    # ------------------------------------------------------------------
+    # Signals in.
+    # ------------------------------------------------------------------
+
+    def note_reject(self) -> None:
+        """The master input queue refused a hand-off (backpressure)."""
+        self._set_pressure(min(1.0, self._pressure + 0.1))
+
+    def _set_pressure(self, value: float) -> None:
+        self._pressure = value
+        self._g_pressure.set(round(value, 6))
+
+    @property
+    def pressure(self) -> float:
+        return self._pressure
+
+    @property
+    def p99_ns(self) -> float:
+        """Latest windowed p99 (0.0 before the first full window)."""
+        return self._last_p99
+
+    @property
+    def established_flows(self) -> int:
+        return len(self._established)
+
+    @property
+    def rx_shed(self) -> int:
+        """Total packets shed at the RX ring, all classes."""
+        return sum(self.shed_by_class.values())
+
+    def rx_keep_polling(self) -> bool:
+        """Should RX loops stay in polling mode (skip interrupt re-arm)?
+
+        Under pressure an interrupt per wakeup is livelock fuel; the
+        paper's scheme already polls while packets are pending, and the
+        controller extends that through short empty windows of a flood.
+        """
+        return self._pressure >= self.config.shed_watermark
+
+    # ------------------------------------------------------------------
+    # RX admission (the shedding ladder).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _classify_frame(frame: bytes) -> Tuple[Optional[Tuple], bool]:
+        """(flow key or None, is_syn) from raw bytes — no full parse.
+
+        The RX ring boundary sees every packet of a flood; this reads
+        exactly the five header fields the ladder needs.
+        """
+        if len(frame) < 34 or frame[12] != 0x08 or frame[13] != 0x00:
+            return None, False
+        ihl = (frame[14] & 0x0F) * 4
+        proto = frame[23]
+        l4 = 14 + ihl
+        if len(frame) < l4 + 4:
+            return None, False
+        key = (
+            bytes(frame[26:30]), bytes(frame[30:34]),
+            bytes(frame[l4:l4 + 4]), proto,
+        )
+        is_syn = (
+            proto == _PROTO_TCP
+            and len(frame) > l4 + 13
+            and bool(frame[l4 + 13] & _FLAG_SYN)
+            and not frame[l4 + 13] & _FLAG_ACK
+        )
+        return key, is_syn
+
+    def classify(self, frame: bytes) -> str:
+        """The ladder's traffic class for one frame (no learning)."""
+        key, is_syn = self._classify_frame(frame)
+        if key is not None and key in self._established:
+            return CLASS_ESTABLISHED
+        if is_syn:
+            return CLASS_ATTACK
+        return CLASS_NEW_FLOW
+
+    def admit(self, frames: List[bytes], backlog: int,
+              ring_size: int) -> List[bytes]:
+        """Run one RX fetch through the shedding ladder.
+
+        ``backlog`` is the ring occupancy left after the fetch — the
+        pressure signal.  Returns the admitted frames in arrival order;
+        everything shed is attributed (per-class counters plus one
+        ``RX_SHED`` event per class) before this returns, so the drop
+        accounting identity closes at the boundary where the loss
+        happened.
+        """
+        cfg = self.config
+        occupancy = min(1.0, backlog / ring_size) if ring_size else 0.0
+        self._set_pressure(max(occupancy, self._pressure * 0.85))
+        shed_attack = self._pressure >= cfg.shed_watermark
+        shed_new = self._pressure >= cfg.new_flow_watermark or (
+            shed_attack and self._novelty >= cfg.storm_threshold
+        )
+        learn = self._pressure < cfg.admit_watermark
+        kept: List[bytes] = []
+        shed: Dict[str, int] = {}
+        fresh = 0
+        # Per-packet by design: admission is the one place every frame
+        # of a flood must be looked at, and it reads five fields.
+        for frame in frames:  # reprolint: ignore[RL006]
+            key, is_syn = self._classify_frame(frame)
+            established = key is not None and key in self._established
+            if established:
+                cls = CLASS_ESTABLISHED
+            elif is_syn:
+                cls = CLASS_ATTACK
+            else:
+                cls = CLASS_NEW_FLOW
+            if not established:
+                fresh += 1
+            if (cls == CLASS_ATTACK and shed_attack) or (
+                cls == CLASS_NEW_FLOW and shed_new
+            ):
+                shed[cls] = shed.get(cls, 0) + 1
+                continue
+            if cls == CLASS_NEW_FLOW and learn and key is not None:
+                if len(self._established) >= cfg.established_cache:
+                    self._established.pop(next(iter(self._established)))
+                self._established[key] = True
+            kept.append(frame)
+        if frames:
+            self._novelty = 0.7 * self._novelty + 0.3 * (
+                fresh / len(frames)
+            )
+        for cls in sorted(shed):
+            count = shed[cls]
+            self.shed_by_class[cls] = self.shed_by_class.get(cls, 0) + count
+            self._m_shed[cls].inc(count)
+            self._recorder.note(Events.RX_SHED, cls, count)
+        self.admitted += len(kept)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Adaptive chunk sizing.
+    # ------------------------------------------------------------------
+
+    @property
+    def chunk_capacity(self) -> int:
+        """The capacity the framework and testbed should chunk with."""
+        return self._capacity
+
+    def observe_chunk(self, packets: int, service_ns: float,
+                      enqueue_depth: int) -> None:
+        """Feed one finished chunk's modelled latency into the window.
+
+        Latency = the chunk's own accumulated service time plus a
+        queue-wait estimate (chunks ahead at enqueue x the EWMA of
+        recent service times).  Every ``latency_window`` observations
+        the windowed p99 drives one AIMD decision.
+        """
+        if packets < 1:
+            return
+        if self._service_ewma:
+            self._service_ewma = (
+                0.8 * self._service_ewma + 0.2 * service_ns
+            )
+        else:
+            self._service_ewma = service_ns
+        latency = service_ns + enqueue_depth * self._service_ewma
+        self._latencies.append(latency)
+        if len(self._latencies) < self.config.latency_window:
+            return
+        window = sorted(self._latencies)
+        self._latencies.clear()
+        rank = max(0, -(-len(window) * 99 // 100) - 1)
+        p99 = window[rank]
+        self._last_p99 = p99
+        self._g_p99.set(round(p99, 3))
+        cfg = self.config
+        if p99 > cfg.p99_budget_ns:
+            self._resize(max(cfg.min_chunk_capacity, self._capacity // 2),
+                         "shrink")
+        elif (
+            self._pressure >= cfg.shed_watermark
+            and p99 <= 0.7 * cfg.p99_budget_ns
+        ):
+            self._resize(min(cfg.max_chunk_capacity, self._capacity * 2),
+                         "grow")
+
+    def _resize(self, new_capacity: int, direction: str) -> None:
+        if new_capacity == self._capacity:
+            return
+        self._capacity = new_capacity
+        self.resizes += 1
+        self._g_capacity.set(new_capacity)
+        self._m_resizes[direction].inc()
+        self._recorder.note(Events.CHUNK_RESIZE, direction, new_capacity)

@@ -24,6 +24,7 @@ not seconds, so chaos tests replay exactly.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass
 
 from repro.obs import Events, get_flightrec, get_registry, names
@@ -34,25 +35,42 @@ class RetryPolicy:
     """Retry-with-backoff for GPU launches.
 
     ``backoff_ns(attempt)`` is the modelled wait before retry *attempt*
-    (1-based): ``base * multiplier**(attempt-1)``, the classic
-    exponential schedule.  The framework charges it to the GPU span so
+    (1-based): ``base * multiplier**(attempt-1)`` scaled by a seeded
+    jitter factor in ``[1, 1 + jitter]`` — additive-only, so the wait is
+    never below the exponential schedule.  Jitter decorrelates retries
+    across devices (``salt`` carries the caller's identity, e.g. the
+    node id) the way randomised backoff breaks retry synchronisation in
+    distributed systems, yet stays fully deterministic: the factor is a
+    pure function of ``(jitter_seed, attempt, salt)``, so chaos runs
+    replay exactly.  The framework charges the wait to the GPU span so
     degraded latency is attributable in ``python -m repro trace``.
     """
 
     max_retries: int = 2
     backoff_base_ns: float = 5_000.0
     backoff_multiplier: float = 4.0
+    #: Jitter amplitude: 0.1 means up to +10% on top of the schedule.
+    jitter: float = 0.1
+    jitter_seed: int = 1
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if self.backoff_base_ns < 0 or self.backoff_multiplier < 1.0:
             raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
 
-    def backoff_ns(self, attempt: int) -> float:
+    def backoff_ns(self, attempt: int, salt: int = 0) -> float:
         if attempt < 1:
             raise ValueError("attempts are 1-based")
-        return self.backoff_base_ns * self.backoff_multiplier ** (attempt - 1)
+        base = self.backoff_base_ns * self.backoff_multiplier ** (attempt - 1)
+        if not self.jitter:
+            return base
+        # String seeds use random.Random's sha512 path: stable across
+        # processes (no dependence on PYTHONHASHSEED string hashing).
+        rng = random.Random(f"backoff:{self.jitter_seed}:{attempt}:{salt}")
+        return base * (1.0 + self.jitter * rng.random())
 
 
 class BreakerState(enum.Enum):

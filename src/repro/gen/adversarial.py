@@ -1,0 +1,507 @@
+"""Adversarial and Internet-realistic traffic generators.
+
+The paper's evaluation (Fig 11/12) offers uniform synthetic traffic —
+every frame an independent random destination.  "Benchmarking NFV
+Software Dataplanes" shows dataplane rankings change qualitatively under
+realistic and adversarial inputs, so this module generates the traffic
+that actually stresses a software router's weak points:
+
+* **heavy-tailed flow mixes** — Zipf-ranked flows (a few elephants,
+  a long tail of mice), the empirical shape of Internet traffic;
+* **self-similar burst schedules** — heavy-tailed burst sizes layered on
+  :mod:`repro.gen.arrivals`, so queues see the excursions Poisson
+  smoothing hides;
+* **SYN floods** — TCP SYN frames with spoofed sources, engineered to
+  defeat flow caches (every packet is a never-seen flow);
+* **spoofed-source DDoS** — UDP frames with a unique forged source per
+  packet, the reactive-install killer that explodes flow tables;
+* **pcap replay** — captures ingested via :mod:`repro.net.pcap` become
+  injection schedules, so real traces run through the same harness.
+
+Everything is seed-deterministic: a schedule is a pure function of
+``(profile, packets, seed)``, packet counts are conserved exactly, and
+the flow-key sets let the overload controller and the chaos runner agree
+on which traffic is "established".
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.gen.arrivals import burst_sizes
+from repro.net.packet import build_tcp_ipv4, build_udp_ipv4
+from repro.net.tcp import FLAG_SYN
+from repro.obs import get_logger, get_registry, names
+
+log = get_logger("gen.adversarial")
+
+#: The wire identity of one flow: (src_ip, dst_ip, src_port, dst_port,
+#: proto) — the same tuple the overload controller's RX classifier keys
+#: its established-flow cache with.
+FlowId = Tuple[int, int, int, int, int]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+def _flow_id_of(src_ip: int, dst_ip: int, src_port: int, dst_port: int,
+                proto: int) -> FlowId:
+    return (src_ip, dst_ip, src_port, dst_port, proto)
+
+
+# ----------------------------------------------------------------------
+# Heavy-tailed flow mix (Zipf-ranked flows).
+# ----------------------------------------------------------------------
+
+
+class ZipfFlowMix:
+    """A population of flows whose packet counts follow a Zipf law.
+
+    Rank ``r`` (1-based) carries weight ``r ** -exponent``; sampling is
+    exact inverse-CDF over the cumulative weights, so the empirical
+    exponent converges on the configured one.  Flow identities (5-tuple)
+    are a pure function of ``(seed, rank)``, so two mixes with the same
+    seed describe the same population — millions of concurrent flows are
+    just a larger rank space, not more state per packet.
+    """
+
+    def __init__(
+        self,
+        num_flows: int = 10_000,
+        exponent: float = 1.2,
+        seed: int = 1,
+        frame_len: int = 64,
+        dst_pool: Optional[List[int]] = None,
+    ) -> None:
+        if num_flows < 1:
+            raise ValueError("num_flows must be >= 1")
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        self.num_flows = num_flows
+        self.exponent = exponent
+        self.seed = seed
+        self.frame_len = frame_len
+        #: Optional destination addresses to draw from (e.g. addresses
+        #: the run's FIB actually routes); None means random 32-bit.
+        self.dst_pool = list(dst_pool) if dst_pool else None
+        # String seeds go through random.Random's sha512 path, so the
+        # stream is stable across processes (PYTHONHASHSEED-proof).
+        self.rng = random.Random(f"zipf:{seed}")
+        self._cumulative = list(itertools.accumulate(
+            (rank + 1) ** -exponent for rank in range(num_flows)
+        ))
+        self._total = self._cumulative[-1]
+        self._m_frames = get_registry().counter(
+            names.GEN_FRAMES, help="frames built by the generator",
+            family="adversarial",
+        )
+
+    def flow_of_rank(self, rank: int) -> FlowId:
+        """The deterministic 5-tuple of rank ``rank`` (0-based)."""
+        rng = random.Random(f"zipf-flow:{self.seed}:{rank}")
+        src = rng.getrandbits(32)
+        dst = rng.getrandbits(32)
+        if self.dst_pool:
+            dst = self.dst_pool[dst % len(self.dst_pool)]
+        return _flow_id_of(
+            src_ip=src,
+            dst_ip=dst,
+            src_port=rng.randint(1024, 65535),
+            dst_port=rng.randint(1, 65535),
+            proto=PROTO_UDP,
+        )
+
+    def sample_ranks(self, count: int) -> List[int]:
+        """Draw ``count`` flow ranks from the Zipf distribution."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [
+            bisect.bisect_left(
+                self._cumulative, self.rng.random() * self._total
+            )
+            for _ in range(count)
+        ]
+
+    def frames(self, count: int) -> List[bytearray]:
+        """``count`` frames, flows drawn by Zipf rank."""
+        out = []
+        for rank in self.sample_ranks(count):
+            src, dst, sport, dport, _ = self.flow_of_rank(rank)
+            out.append(build_udp_ipv4(
+                src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+                frame_len=self.frame_len,
+            ))
+        self._m_frames.inc(len(out))
+        return out
+
+
+def fit_zipf_exponent(ranks: List[int], top: int = 50) -> float:
+    """Least-squares slope of log(freq) vs log(rank) over the top ranks.
+
+    The property tests use this to check a sampled mix hits its
+    configured exponent within tolerance.
+    """
+    counts: Dict[int, int] = {}
+    for rank in ranks:
+        counts[rank] = counts.get(rank, 0) + 1
+    ordered = sorted(counts.values(), reverse=True)[:top]
+    if len(ordered) < 2:
+        raise ValueError("need at least two distinct ranks to fit")
+    xs = [math.log(i + 1) for i in range(len(ordered))]
+    ys = [math.log(c) for c in ordered]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = (
+        sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        / sum((x - mean_x) ** 2 for x in xs)
+    )
+    return -slope
+
+
+# ----------------------------------------------------------------------
+# Attack traffic.
+# ----------------------------------------------------------------------
+
+
+def syn_flood(
+    packets: int,
+    seed: int = 1,
+    victim_ip: int = 0x0A00002A,
+    victim_port: int = 80,
+    frame_len: int = 64,
+) -> List[bytearray]:
+    """A TCP SYN flood: every frame a spoofed, never-repeated source.
+
+    Each packet opens a "connection" that will never complete — the
+    classic state-exhaustion attack.  Because every 5-tuple is unique,
+    no flow cache ever gets a second hit.
+    """
+    if packets < 0:
+        raise ValueError("packets must be non-negative")
+    rng = random.Random(f"syn-flood:{seed}")
+    frames = [
+        build_tcp_ipv4(
+            src_ip=rng.getrandbits(32),
+            dst_ip=victim_ip,
+            src_port=rng.randint(1024, 65535),
+            dst_port=victim_port,
+            frame_len=frame_len,
+            flags=FLAG_SYN,
+            seq=rng.getrandbits(32),
+        )
+        for _ in range(packets)
+    ]
+    get_registry().counter(
+        names.GEN_FRAMES, help="frames built by the generator",
+        family="adversarial",
+    ).inc(len(frames))
+    return frames
+
+
+def spoofed_udp_flood(
+    packets: int,
+    seed: int = 1,
+    num_victims: int = 4,
+    frame_len: int = 64,
+) -> List[bytearray]:
+    """A spoofed-source UDP flood: unique forged 5-tuple per packet.
+
+    Aimed at reactive flow installation — every packet is a table miss,
+    a controller punt, and an install attempt, so an unbounded exact
+    table grows by one entry per packet.
+    """
+    if packets < 0 or num_victims < 1:
+        raise ValueError("packets must be >= 0 and num_victims >= 1")
+    rng = random.Random(f"udp-flood:{seed}")
+    victims = [0x0A000100 + v for v in range(num_victims)]
+    frames = [
+        build_udp_ipv4(
+            src_ip=rng.getrandbits(32),
+            dst_ip=victims[i % num_victims],
+            src_port=rng.randint(1024, 65535),
+            dst_port=rng.randint(1, 65535),
+            frame_len=frame_len,
+        )
+        for i in range(packets)
+    ]
+    get_registry().counter(
+        names.GEN_FRAMES, help="frames built by the generator",
+        family="adversarial",
+    ).inc(len(frames))
+    return frames
+
+
+# ----------------------------------------------------------------------
+# Established (legitimate) background traffic.
+# ----------------------------------------------------------------------
+
+
+class EstablishedFlows:
+    """A fixed set of long-lived flows emitting steady traffic.
+
+    The goodput the overload controller must protect: the flow set is
+    known up front, so chaos runs can count exactly how many established
+    frames made it to the wire.
+    """
+
+    def __init__(
+        self,
+        num_flows: int = 32,
+        seed: int = 1,
+        frame_len: int = 64,
+        dst_pool: Optional[List[int]] = None,
+    ) -> None:
+        if num_flows < 1:
+            raise ValueError("num_flows must be >= 1")
+        rng = random.Random(f"established:{seed}")
+        self.flows: List[FlowId] = []
+        for i in range(num_flows):
+            dst = rng.getrandbits(32)
+            if dst_pool:
+                dst = dst_pool[dst % len(dst_pool)]
+            self.flows.append(_flow_id_of(
+                src_ip=0xC0A80000 + i,
+                dst_ip=dst,
+                src_port=rng.randint(1024, 65535),
+                dst_port=rng.randint(1, 65535),
+                proto=PROTO_UDP,
+            ))
+        self.frame_len = frame_len
+        self._cursor = 0
+
+    @property
+    def flow_set(self) -> FrozenSet[FlowId]:
+        return frozenset(self.flows)
+
+    def frames(self, count: int) -> List[bytearray]:
+        """``count`` frames round-robin across the flow set."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        out = []
+        for _ in range(count):
+            src, dst, sport, dport, _ = self.flows[
+                self._cursor % len(self.flows)
+            ]
+            self._cursor += 1
+            out.append(build_udp_ipv4(
+                src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+                frame_len=self.frame_len,
+            ))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Schedules: what the chaos runner and the workloads benchmark inject.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TrafficSchedule:
+    """An injection plan: bursts of frames plus the protected flow set.
+
+    ``sum(len(b) for b in bursts)`` equals the requested packet count
+    exactly (conservation starts at the generator).  ``established``
+    names the flows whose goodput the overload controller must preserve;
+    ``established_packets`` is how many of the scheduled frames belong
+    to them.
+    """
+
+    name: str
+    bursts: List[List[bytearray]]
+    established: FrozenSet[FlowId] = frozenset()
+    established_packets: int = 0
+    attack_packets: int = 0
+
+    @property
+    def total_packets(self) -> int:
+        return sum(len(burst) for burst in self.bursts)
+
+
+def _interleave(*groups: List[bytearray]) -> List[bytearray]:
+    """Deterministically interleave frame lists (round-robin merge)."""
+    out: List[bytearray] = []
+    cursors = [0] * len(groups)
+    remaining = sum(len(g) for g in groups)
+    while remaining:
+        for i, group in enumerate(groups):
+            if cursors[i] < len(group):
+                out.append(group[cursors[i]])
+                cursors[i] += 1
+                remaining -= 1
+    return out
+
+
+def uniform_schedule(packets: int, seed: int = 1,
+                     burst: int = 256) -> TrafficSchedule:
+    """The historical chaos traffic: uniform random-destination IPv4."""
+    from repro.gen.packetgen import PacketGenerator
+
+    frames = PacketGenerator(seed).ipv4_burst(packets)
+    bursts = [frames[i:i + burst] for i in range(0, len(frames), burst)]
+    return TrafficSchedule(name="uniform", bursts=bursts)
+
+
+def heavy_tail_schedule(
+    packets: int,
+    seed: int = 1,
+    burst: int = 256,
+    num_flows: int = 2_000,
+    exponent: float = 1.2,
+    dst_pool: Optional[List[int]] = None,
+) -> TrafficSchedule:
+    """Zipf flow mix delivered in self-similar (heavy-tailed) bursts.
+
+    A short uniform warmup lets the controller learn the mix's top
+    flows, then the remainder arrives in Pareto-sized bursts — the
+    traffic shape that makes adaptive chunk sizing earn its keep.
+    """
+    mix = ZipfFlowMix(num_flows=num_flows, exponent=exponent, seed=seed,
+                      dst_pool=dst_pool)
+    warmup = min(packets, burst)
+    flood = packets - warmup
+    bursts = []
+    if warmup:
+        bursts.append(mix.frames(warmup))
+    if flood:
+        num_bursts = max(1, flood // burst)
+        for size in burst_sizes(num_bursts, flood, seed=seed):
+            if size:
+                bursts.append(mix.frames(size))
+    schedule = TrafficSchedule(name="heavy-tail", bursts=bursts)
+    log.debug("heavy-tail schedule: %d bursts, %d packets",
+              len(bursts), schedule.total_packets)
+    return schedule
+
+
+def _flood_schedule(
+    name: str,
+    packets: int,
+    seed: int,
+    burst: int,
+    attack_frames: Callable[[int, int], List[bytearray]],
+    established_share: float = 0.25,
+    num_established: int = 32,
+    dst_pool: Optional[List[int]] = None,
+) -> TrafficSchedule:
+    """Warmup of legitimate flows, then attack bursts with background.
+
+    Phase 1 (one burst) carries only established traffic so admission
+    control learns the protected set under low pressure; phase 2 mixes
+    steady established background into large attack bursts — the attack
+    arrives in ring-filling slabs (four times the nominal burst) so RX
+    occupancy actually climbs.
+    """
+    legit = EstablishedFlows(num_flows=num_established, seed=seed,
+                             dst_pool=dst_pool)
+    warmup = min(packets, burst)
+    rest = packets - warmup
+    established_rest = int(rest * established_share)
+    attack_total = rest - established_rest
+    bursts = []
+    if warmup:
+        bursts.append(legit.frames(warmup))
+    attack = attack_frames(attack_total, seed)
+    background = legit.frames(established_rest)
+    slab = burst * 4
+    cursor_a = cursor_b = 0
+    while cursor_a < len(attack) or cursor_b < len(background):
+        take_a = attack[cursor_a:cursor_a + slab]
+        share = max(1, int(slab * established_share)) if background else 0
+        take_b = background[cursor_b:cursor_b + share]
+        cursor_a += len(take_a)
+        cursor_b += len(take_b)
+        bursts.append(_interleave(take_b, take_a))
+    return TrafficSchedule(
+        name=name,
+        bursts=[b for b in bursts if b],
+        established=legit.flow_set,
+        established_packets=warmup + established_rest,
+        attack_packets=attack_total,
+    )
+
+
+def syn_flood_schedule(
+    packets: int, seed: int = 1, burst: int = 256,
+    dst_pool: Optional[List[int]] = None,
+) -> TrafficSchedule:
+    """SYN flood over established background (attack-classified shed)."""
+    return _flood_schedule(
+        "syn-flood", packets, seed, burst,
+        lambda count, s: syn_flood(count, seed=s),
+        dst_pool=dst_pool,
+    )
+
+
+def ddos_schedule(
+    packets: int, seed: int = 1, burst: int = 256,
+    dst_pool: Optional[List[int]] = None,
+) -> TrafficSchedule:
+    """Spoofed-source UDP DDoS over established background."""
+    return _flood_schedule(
+        "ddos", packets, seed, burst,
+        lambda count, s: spoofed_udp_flood(count, seed=s),
+        established_share=0.2,
+        dst_pool=dst_pool,
+    )
+
+
+def pcap_schedule(path: str, burst: int = 256,
+                  name: Optional[str] = None) -> TrafficSchedule:
+    """Replay a capture as an injection schedule (trace ingest).
+
+    Pairs with :func:`repro.net.pcap.write_pcap` /
+    :meth:`repro.gen.packetgen.PacketGenerator.replay_pcap`: any capture
+    — a previous run's sink, a trimmed real trace — becomes a schedule
+    the chaos runner and benchmarks can inject.
+    """
+    from repro.gen.packetgen import PacketGenerator
+
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    frames = PacketGenerator.replay_pcap(path)
+    bursts = [frames[i:i + burst] for i in range(0, len(frames), burst)]
+    return TrafficSchedule(name=name or "pcap-replay", bursts=bursts)
+
+
+#: Named profiles.  The chaos scenarios and the workloads benchmark
+#: select traffic by these keys; every builder takes
+#: ``(packets, seed, burst, dst_pool)``.
+TRAFFIC_PROFILES: Dict[str, Callable[..., TrafficSchedule]] = {
+    "uniform": lambda packets, seed, burst, dst_pool=None: (
+        uniform_schedule(packets, seed, burst)
+    ),
+    "heavy-tail": heavy_tail_schedule,
+    "syn-flood": syn_flood_schedule,
+    "ddos": ddos_schedule,
+}
+
+
+def build_schedule(
+    profile: str,
+    packets: int,
+    seed: int = 1,
+    burst: int = 256,
+    dst_pool: Optional[List[int]] = None,
+) -> TrafficSchedule:
+    """Build a named profile's schedule for ``(packets, seed, burst)``.
+
+    ``dst_pool`` optionally pins destination addresses to ones the run's
+    FIB routes (ignored by the uniform profile, which reproduces the
+    historical chaos traffic byte for byte).
+    """
+    try:
+        builder = TRAFFIC_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic profile {profile!r} "
+            f"(choose from {', '.join(sorted(TRAFFIC_PROFILES))})"
+        ) from None
+    if packets < 0 or burst < 1:
+        raise ValueError("packets must be >= 0 and burst >= 1")
+    return builder(packets, seed, burst, dst_pool=dst_pool)

@@ -1,15 +1,19 @@
-"""Arrival processes for the latency experiment (Figure 12).
+"""Arrival processes for the latency experiment (Figure 12) and floods.
 
 The throughput experiments offer backlogged traffic (constant
 interarrivals at line rate); the latency sweep offers a range of loads.
 Poisson arrivals model the generator's randomised send process and excite
-the queueing behaviour the figure shows.
+the queueing behaviour the figure shows.  The self-similar processes
+below feed the adversarial workloads (:mod:`repro.gen.adversarial`):
+Internet traffic is bursty at every timescale (Leland et al.), which
+Poisson smoothing hides — an overload controller tested only against
+Poisson arrivals never sees the queue excursions that break its SLO.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from typing import Iterator, List
 
 
 def constant_interarrivals_ns(rate_pps: float) -> Iterator[float]:
@@ -29,3 +33,75 @@ def poisson_interarrivals_ns(rate_pps: float, seed: int = 1) -> Iterator[float]:
     mean_ns = 1e9 / rate_pps
     while True:
         yield rng.expovariate(1.0) * mean_ns
+
+
+def pareto_on_off_interarrivals_ns(
+    rate_pps: float,
+    seed: int = 1,
+    alpha: float = 1.5,
+    burst_scale: float = 16.0,
+) -> Iterator[float]:
+    """Self-similar arrivals: Pareto-distributed ON bursts and OFF gaps.
+
+    The classic construction (Willinger et al.): an ON period emits a
+    heavy-tailed run of back-to-back packets, then a heavy-tailed OFF
+    gap follows.  ``alpha`` in (1, 2) gives infinite-variance periods —
+    the regime where superposed sources produce long-range-dependent
+    aggregate traffic.  The long-run mean rate still equals
+    ``rate_pps``: ON packets are spaced one tenth of the mean gap apart
+    and the OFF gap absorbs the balance of the burst's time budget.
+    """
+    if rate_pps <= 0:
+        raise ValueError("rate must be positive")
+    if not 1.0 < alpha < 2.0:
+        raise ValueError("alpha must be in (1, 2) for self-similarity")
+    if burst_scale < 1.0:
+        raise ValueError("burst_scale must be >= 1")
+    rng = random.Random(seed)
+    mean_ns = 1e9 / rate_pps
+    on_gap = mean_ns / 10.0
+    # Pareto(alpha) has mean alpha/(alpha-1); normalise so the mean
+    # burst length is ``burst_scale`` packets.
+    mean_pareto = alpha / (alpha - 1.0)
+    while True:
+        burst = max(1, round(rng.paretovariate(alpha)
+                             * burst_scale / mean_pareto))
+        for _ in range(burst - 1):
+            yield on_gap
+        # The OFF gap returns the long-run average to ``rate_pps``:
+        # the burst consumed (burst-1) * on_gap of its
+        # burst * mean_ns time budget.
+        off_scale = max(0.0, burst * mean_ns - (burst - 1) * on_gap)
+        yield off_scale * (rng.paretovariate(alpha) / mean_pareto)
+
+
+def burst_sizes(
+    count: int,
+    total_packets: int,
+    seed: int = 1,
+    alpha: float = 1.5,
+) -> List[int]:
+    """Split ``total_packets`` into ``count`` heavy-tailed burst sizes.
+
+    Exact conservation: the sizes are non-negative and sum to
+    ``total_packets`` (largest-remainder apportionment of Pareto
+    weights), so injection loops can use them directly without losing
+    or inventing packets.
+    """
+    if count < 1 or total_packets < 0:
+        raise ValueError("count must be >= 1 and total_packets >= 0")
+    rng = random.Random(seed)
+    weights = [rng.paretovariate(alpha) for _ in range(count)]
+    scale = total_packets / sum(weights)
+    sizes = [int(w * scale) for w in weights]
+    shortfall = total_packets - sum(sizes)
+    # Hand the remainder out by descending fractional part (ties broken
+    # by index, keeping the split deterministic).
+    order = sorted(
+        range(count),
+        key=lambda i: (weights[i] * scale) - sizes[i],
+        reverse=True,
+    )
+    for i in order[:shortfall]:
+        sizes[i] += 1
+    return sizes

@@ -66,6 +66,7 @@ class PacketIOEngine:
         self,
         drivers: Dict[int, OptimizedDriver],
         fault_injector=None,
+        overload=None,
     ) -> None:
         if not drivers:
             raise ValueError("engine needs at least one driver")
@@ -74,6 +75,10 @@ class PacketIOEngine:
         #: corruption on the host read side of the RX DMA (frames that
         #: were fine on the wire but arrive damaged in the huge buffer).
         self.fault_injector = fault_injector
+        #: Optional :class:`repro.core.overload.OverloadController`: every
+        #: RX fetch runs through its priority shedding ladder, and under
+        #: pressure the livelock scheme stays in polling mode.
+        self.overload = overload
         self._interfaces: Dict[Tuple[int, int], VirtualInterface] = {}
         self._by_thread: Dict[int, List[VirtualInterface]] = {}
         self._rr_cursor: Dict[int, int] = {}
@@ -144,8 +149,15 @@ class PacketIOEngine:
             elif interface.livelock.state is PollState.WAKING:
                 interface.livelock.resume()
             frames = driver.fetch_batch(interface.queue_id, cap)
-            remaining = len(driver.buffers[interface.queue_id])
-            interface.livelock.on_fetch(len(frames), remaining)
+            buffer = driver.buffers[interface.queue_id]
+            remaining = len(buffer)
+            keep_polling = (
+                self.overload is not None
+                and self.overload.rx_keep_polling()
+            )
+            interface.livelock.on_fetch(
+                len(frames), remaining, keep_polling=keep_polling
+            )
             if frames and self.fault_injector is not None:
                 # Chaos-only path: per-frame corruption hooks fire off
                 # the hot path (the injector is None in production runs).
@@ -153,6 +165,16 @@ class PacketIOEngine:
                     bytes(self.fault_injector.corrupt_frame(f)[0])
                     for f in frames
                 ]
+            if frames and self.overload is not None:
+                # The shedding ladder runs before the RX event is noted,
+                # so RX event sums stay equal to what the router
+                # receives.  Pressure is the ring occupancy at poll
+                # time: what was fetched plus what is still waiting.
+                frames = self.overload.admit(
+                    frames,
+                    backlog=remaining + len(frames),
+                    ring_size=buffer.ring_size,
+                )
             if frames:
                 self._rr_cursor[thread] = (start + step + 1) % len(interfaces)
                 self._m_rx_packets.inc(len(frames))

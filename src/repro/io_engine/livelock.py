@@ -41,6 +41,8 @@ class LivelockAvoider:
     wakeups: int = 0
     drains: int = 0
     polls: int = 0
+    #: Drains deferred because overload pressure kept the loop polling.
+    pressure_holds: int = 0
     #: Interrupt/poll transitions are exactly what a livelock post-mortem
     #: needs on its timeline, so the controller notes them directly.
     recorder: FlightRecorder = field(
@@ -73,12 +75,24 @@ class LivelockAvoider:
             raise RuntimeError(f"resume from state {self.state}")
         self.state = PollState.POLLING
 
-    def on_fetch(self, packets_fetched: int, queue_remaining: int) -> None:
+    def on_fetch(
+        self,
+        packets_fetched: int,
+        queue_remaining: int,
+        *,
+        keep_polling: bool = False,
+    ) -> None:
         """Account one fetch; switch to BLOCKED when the queue drains.
 
         ``queue_remaining`` is the RX queue depth after the fetch.  The
         paper's rule: "when it drains all the packets in the RX queue,
-        the thread blocks and enables the RX interrupt".
+        the thread blocks and enables the RX interrupt".  With
+        ``keep_polling`` (the overload controller under pressure) a
+        drained queue stays in POLLING with the interrupt masked: during
+        a flood the next burst is imminent, and taking an interrupt per
+        micro-drain is exactly the receive livelock the scheme exists to
+        avoid.  The invariant is untouched — the interrupt stays
+        disabled while POLLING.
         """
         if self.state is not PollState.POLLING:
             raise RuntimeError(f"fetch in state {self.state}")
@@ -86,6 +100,10 @@ class LivelockAvoider:
             raise ValueError("counts must be non-negative")
         self.polls += 1
         if queue_remaining == 0:
+            if keep_polling:
+                self.pressure_holds += 1
+                self.recorder.note(Events.LIVELOCK, "hold")
+                return
             self.state = PollState.BLOCKED
             self.interrupt_enabled = True
             self.drains += 1

@@ -194,6 +194,47 @@ def build_udp_ipv4(
     return bytearray(eth.pack() + ip.pack() + udp.pack() + payload)
 
 
+def build_tcp_ipv4(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    frame_len: int = MIN_FRAME_LEN,
+    src_mac: int = 0x001B21000001,
+    dst_mac: int = 0x001B21000002,
+    ttl: int = 64,
+    flags: int = 0x10,
+    seq: int = 0,
+    payload: bytes = b"",
+) -> bytearray:
+    """Build an Ethernet + IPv4 + TCP frame of exactly ``frame_len`` bytes.
+
+    The adversarial generators use this for SYN floods (``flags=0x02``)
+    and for established-flow segments (the default ACK flag); the router
+    never terminates TCP, so the checksum is left zero like the
+    generator hardware would for a synthetic load.
+    """
+    headers = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN
+    if frame_len < headers:
+        raise ValueError(f"frame_len {frame_len} below minimum {headers}")
+    payload_len = frame_len - headers
+    if len(payload) > payload_len:
+        raise ValueError(f"payload {len(payload)}B exceeds room {payload_len}B")
+    payload = payload + bytes(payload_len - len(payload))
+    ip = IPv4Header(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=PROTO_TCP,
+        ttl=ttl,
+        total_length=IPV4_HEADER_LEN + TCP_HEADER_LEN + payload_len,
+    )
+    tcp = TCPHeader(
+        src_port=src_port, dst_port=dst_port, seq=seq, flags=flags
+    )
+    eth = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4)
+    return bytearray(eth.pack() + ip.pack() + tcp.pack() + payload)
+
+
 def build_udp_ipv6(
     src_ip: int,
     dst_ip: int,

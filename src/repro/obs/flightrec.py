@@ -75,6 +75,16 @@ class Events:
     LIVELOCK = "livelock"
     #: A post-mortem dump was written; label = the trigger reason.
     DUMP = "dump"
+    #: The overload controller shed packets at the RX ring before they
+    #: entered the router; label = traffic class ("attack" / "new_flow" /
+    #: "established"), data = (packets,).
+    RX_SHED = "rx_shed"
+    #: The overload controller resized the chunk capacity; label =
+    #: "grow" or "shrink", data = (new_capacity,).
+    CHUNK_RESIZE = "chunk_resize"
+    #: The bounded flow table evicted or refused entries; label =
+    #: "evict" or "reject", data = (count,).
+    FLOW_EVICT = "flow_evict"
 
 
 #: Read-side field names per kind (the write side stores bare tuples).
@@ -90,6 +100,9 @@ KIND_FIELDS: Dict[str, Tuple[str, ...]] = {
     Events.RX: ("packets",),
     Events.LIVELOCK: (),
     Events.DUMP: (),
+    Events.RX_SHED: ("packets",),
+    Events.CHUNK_RESIZE: ("capacity",),
+    Events.FLOW_EVICT: ("count",),
 }
 
 #: Default ring capacity: generous enough that a full chaos scenario
@@ -396,6 +409,25 @@ class DumpReport:
                      self.metric_total(names.ROUTER_BACKPRESSURE_DROPS),
                      shed == self.metric_total(
                          names.ROUTER_BACKPRESSURE_DROPS)))
+        # Overload-control identities: RX sheds and flow-table evictions
+        # recorded as events must match their attribution counters.
+        rx_shed = sum(
+            int(e.get("packets", 0)) for e in self.events
+            if e.get("kind") == Events.RX_SHED
+        )
+        rows.append(("rx shed", rx_shed,
+                     self.metric_total(names.OVERLOAD_SHED_PACKETS),
+                     rx_shed == self.metric_total(
+                         names.OVERLOAD_SHED_PACKETS)))
+        evicted = sum(
+            int(e.get("count", 0)) for e in self.events
+            if e.get("kind") == Events.FLOW_EVICT
+            and e.get("label") == "evict"
+        )
+        rows.append(("flow evictions", evicted,
+                     self.metric_total(names.OVERLOAD_FLOW_EVICTIONS),
+                     evicted == self.metric_total(
+                         names.OVERLOAD_FLOW_EVICTIONS)))
         return rows
 
     @property

@@ -65,6 +65,15 @@ FAULTS_BREAKER_OPENS = "faults.breaker_opens"
 FAULTS_BREAKER_PROBES = "faults.breaker_probes"
 FAULTS_WATCHDOG_STALLS = "faults.watchdog_stalls"
 
+# -- overload control: shedding, adaptive chunking, flow-table guards --
+OVERLOAD_SHED_PACKETS = "overload.shed_packets"
+OVERLOAD_CHUNK_CAPACITY = "overload.chunk_capacity"
+OVERLOAD_RESIZES = "overload.resizes"
+OVERLOAD_P99_NS = "overload.p99_ns"
+OVERLOAD_PRESSURE = "overload.pressure"
+OVERLOAD_FLOW_EVICTIONS = "overload.flow_evictions"
+OVERLOAD_FLOW_REJECTED_INSERTS = "overload.flow_rejected_inserts"
+
 # -- sim / gen / obs housekeeping --------------------------------------
 SIM_SOJOURN_NS = "sim.sojourn_ns"
 GEN_FRAMES = "gen.frames"

@@ -12,9 +12,11 @@ IP fields ("bitmask is also available for IP addresses", Section 6.2.3).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.obs import Events, get_flightrec, get_registry, names
 from repro.openflow.flowkey import FlowKey
 
 
@@ -54,16 +56,50 @@ class ExactMatchTable:
 
     Bucket-chained rather than a plain dict so the lookup exposes its
     probe count — the memory-access number the cost models charge.
+
+    Optionally bounded: ``max_entries`` caps the table (FIFO eviction of
+    the oldest flow past it) and ``per_source_cap`` limits the entries
+    any one ``nw_src`` may hold (the insertion guard that stops a
+    spoofed-source flood from owning the whole table — each forged
+    source is unique, so the guard bites the flood, not real traffic).
+    Zero means unbounded; the defaults preserve historic behaviour.
+    Every eviction and rejected insert is counted, metered
+    (``overload.flow_*``), and noted as a ``FLOW_EVICT`` event.
     """
 
-    def __init__(self, num_buckets: int = 1 << 16) -> None:
+    def __init__(
+        self,
+        num_buckets: int = 1 << 16,
+        max_entries: int = 0,
+        per_source_cap: int = 0,
+    ) -> None:
         if num_buckets <= 0:
             raise ValueError("num_buckets must be positive")
+        if max_entries < 0 or per_source_cap < 0:
+            raise ValueError("bounds must be non-negative (0 = unbounded)")
         self.num_buckets = num_buckets
+        self.max_entries = max_entries
+        self.per_source_cap = per_source_cap
         self._buckets: List[List[Tuple[FlowKey, object, FlowStats]]] = [
             [] for _ in range(num_buckets)
         ]
         self._count = 0
+        #: Insertion order for FIFO eviction (slots may go stale when a
+        #: flow is removed explicitly; eviction skips those).
+        self._fifo: Deque[FlowKey] = deque()
+        self._per_source: Dict[int, int] = {}
+        self.evictions = 0
+        self.rejected_inserts = 0
+        self._recorder = get_flightrec()
+        registry = get_registry()
+        self._m_evictions = registry.counter(
+            names.OVERLOAD_FLOW_EVICTIONS,
+            help="exact-match flows FIFO-evicted at the table bound",
+        )
+        self._m_rejected = registry.counter(
+            names.OVERLOAD_FLOW_REJECTED_INSERTS,
+            help="exact-match inserts refused by the per-source guard",
+        )
 
     def __len__(self) -> int:
         return self._count
@@ -73,25 +109,65 @@ class ExactMatchTable:
             key_hash = fnv1a_hash(key.pack())
         return key_hash % self.num_buckets
 
-    def add(self, key: FlowKey, actions: object) -> None:
-        """Insert or replace the entry for an exact key."""
+    def add(self, key: FlowKey, actions: object) -> bool:
+        """Insert or replace the entry for an exact key.
+
+        Returns True if the key is in the table afterwards; False when
+        the per-source guard refused a new insert.  At ``max_entries``
+        the oldest flow is evicted to make room (replacements of an
+        existing key never evict).
+        """
         bucket = self._buckets[self._bucket_of(key)]
         for index, (existing, _, stats) in enumerate(bucket):
             if existing == key:
                 bucket[index] = (key, actions, stats)
-                return
+                return True
+        if (
+            self.per_source_cap
+            and self._per_source.get(key.nw_src, 0) >= self.per_source_cap
+        ):
+            self.rejected_inserts += 1
+            self._m_rejected.inc()
+            self._recorder.note(Events.FLOW_EVICT, "reject", 1)
+            return False
+        if self.max_entries and self._count >= self.max_entries:
+            self._evict_oldest()
         bucket.append((key, actions, FlowStats()))
         self._count += 1
+        self._fifo.append(key)
+        self._per_source[key.nw_src] = (
+            self._per_source.get(key.nw_src, 0) + 1
+        )
+        return True
 
-    def remove(self, key: FlowKey) -> bool:
-        """Delete an entry; True if it existed."""
+    def _evict_oldest(self) -> None:
+        """Drop the oldest live flow (skipping stale FIFO slots)."""
+        while self._fifo:
+            victim = self._fifo.popleft()
+            if self._unlink(victim):
+                self.evictions += 1
+                self._m_evictions.inc()
+                self._recorder.note(Events.FLOW_EVICT, "evict", 1)
+                return
+
+    def _unlink(self, key: FlowKey) -> bool:
+        """Remove a key from its bucket and the per-source ledger."""
         bucket = self._buckets[self._bucket_of(key)]
         for index, (existing, _, _) in enumerate(bucket):
             if existing == key:
                 del bucket[index]
                 self._count -= 1
+                held = self._per_source.get(key.nw_src, 0) - 1
+                if held > 0:
+                    self._per_source[key.nw_src] = held
+                else:
+                    self._per_source.pop(key.nw_src, None)
                 return True
         return False
+
+    def remove(self, key: FlowKey) -> bool:
+        """Delete an entry; True if it existed."""
+        return self._unlink(key)
 
     def lookup(
         self, key: FlowKey, key_hash: Optional[int] = None, frame_len: int = 0

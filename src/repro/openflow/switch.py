@@ -50,8 +50,20 @@ class LookupCost:
 class OpenFlowSwitch:
     """An OpenFlow 0.8.9 switch data path."""
 
-    def __init__(self, num_buckets: int = 1 << 16) -> None:
-        self.exact = ExactMatchTable(num_buckets)
+    def __init__(
+        self,
+        num_buckets: int = 1 << 16,
+        max_exact_entries: int = 0,
+        per_source_cap: int = 0,
+    ) -> None:
+        #: Optionally bounded (overload control): ``max_exact_entries``
+        #: caps the exact table with FIFO eviction, ``per_source_cap``
+        #: guards against one source filling it.  Zero means unbounded.
+        self.exact = ExactMatchTable(
+            num_buckets,
+            max_entries=max_exact_entries,
+            per_source_cap=per_source_cap,
+        )
         self.wildcard = WildcardTable()
         self.counters = SwitchCounters()
         #: Packets queued for the controller (table misses).
@@ -74,15 +86,21 @@ class OpenFlowSwitch:
         idle_timeout_ns: float = 0.0,
         hard_timeout_ns: float = 0.0,
         now_ns: float = 0.0,
-    ) -> None:
-        """Install an exact flow; zero timeouts mean a permanent entry."""
-        self.exact.add(key, actions)
+    ) -> bool:
+        """Install an exact flow; zero timeouts mean a permanent entry.
+
+        Returns False when the bounded table's per-source guard refused
+        the insert (the flow stays controller-bound).
+        """
+        if not self.exact.add(key, actions):
+            return False
         if idle_timeout_ns or hard_timeout_ns:
             self._timeouts[key] = (idle_timeout_ns, hard_timeout_ns)
             stats = self._exact_stats(key)
             if stats is not None:
                 stats.installed_ns = now_ns
                 stats.last_used_ns = now_ns
+        return True
 
     def _exact_stats(self, key: FlowKey):
         bucket = self.exact._buckets[self.exact._bucket_of(key)]

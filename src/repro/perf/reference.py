@@ -293,6 +293,32 @@ _ref(FigureRef(
 ))
 
 _ref(FigureRef(
+    figure="workloads",
+    source="extension",
+    series=(
+        # Established goodput must not collapse under any flood.
+        SeriesRef(
+            key="goodput",
+            points=(("heavy-tail", 1.0), ("syn-flood", 1.0), ("ddos", 1.0)),
+            rel_tol=0.10,
+        ),
+    ),
+    anchors=(
+        # The overload-control acceptance bar (docs/RESILIENCE.md):
+        # goodput protected, p99 inside the SLO budget (headroom > 1),
+        # and the bounded flow table churning right at its cap.
+        AnchorRef(key="min_goodput", expected=1.0, rel_tol=0.10),
+        AnchorRef(key="min_slo_headroom", expected=1.2, rel_tol=0.20),
+        AnchorRef(key="ddos_table_occupancy", expected=1.0, rel_tol=0.01),
+        # Regression reference: the healthy heavy-tail mix's p99.
+        AnchorRef(key="heavy_tail_p99_us", expected=222.3, rel_tol=0.25),
+    ),
+    note="regression references for the overload-control subsystem; "
+         "goodput and occupancy bars are the chaos-suite acceptance "
+         "criteria",
+))
+
+_ref(FigureRef(
     figure="extensions",
     source="extension",
     anchors=(

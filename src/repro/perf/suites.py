@@ -624,6 +624,68 @@ def produce_ablations(quick: bool = False) -> BenchResult:
     )
 
 
+@bench("workloads", "adversarial workloads: goodput and p99 under flood",
+       kind="extension", x_key="scenario",
+       units={"goodput": "ratio", "p99_us": "us", "slo_headroom": "ratio",
+              "shed_share": "ratio", "table_occupancy": "ratio"})
+def produce_workloads(quick: bool = False) -> BenchResult:
+    """The overload-control figure: each flood scenario scored on both
+    axes the SLO cares about — established goodput (throughput the
+    ladder must protect) and windowed p99 vs the budget (latency the
+    adaptive chunking must respect).  Scenario runs are deterministic
+    from their seed, so quick and full modes agree exactly.
+    """
+    from repro.faults.scenarios import run_scenario
+    from repro.obs import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry())
+    try:
+        series = []
+        for name in ("heavy-tail", "syn-flood", "ddos"):
+            report = run_scenario(name, seed=1)
+            goodput = (
+                report.established_goodput
+                if report.established_packets
+                else report.forwarded / report.injected
+            )
+            series.append({
+                "scenario": name,
+                "goodput": goodput,
+                "p99_us": report.p99_ns / 1000.0,
+                "slo_headroom": report.slo_budget_ns / report.p99_ns,
+                "shed_share": report.rx_shed / report.injected,
+                "table_occupancy": (
+                    report.flow_table_len / report.flow_table_cap
+                    if report.flow_table_cap else None
+                ),
+                "conservation_ok": report.conservation_ok,
+            })
+    finally:
+        set_registry(previous)
+    headroom = {row["scenario"]: row["slo_headroom"] for row in series}
+    min_headroom = min(headroom.values())
+    return BenchResult(
+        series=series,
+        headline={
+            "min_goodput": min(row["goodput"] for row in series),
+            "min_slo_headroom": min_headroom,
+            "heavy_tail_p99_us": next(
+                row["p99_us"] for row in series
+                if row["scenario"] == "heavy-tail"
+            ),
+            "ddos_table_occupancy": next(
+                row["table_occupancy"] for row in series
+                if row["scenario"] == "ddos"
+            ),
+            "total_shed_share": sum(row["shed_share"] for row in series)
+            / len(series),
+        },
+        # The binding axis: latency headroom when the AIMD loop is the
+        # constraint, shedding when the ladder is doing the work.
+        bottleneck="slo_p99" if min_headroom < 1.5 else "rx_shedding",
+    )
+
+
 @bench("extensions", "huge buffers, composition, and VLB scaling",
        kind="extension", x_key="nodes",
        units={"direct_gbps": "Gbps", "classic_gbps": "Gbps"})

@@ -248,8 +248,11 @@ def chaos_main(argv=None) -> int:
     )
     parser.add_argument(
         "--scenario", default="all",
-        choices=("all", *sorted(SCENARIOS)),
-        help="scenario to run (default: all)",
+        help="scenario to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the available scenarios and exit",
     )
     parser.add_argument(
         "--seed", type=int, default=1, help="fault plan seed (default: 1)",
@@ -265,13 +268,32 @@ def chaos_main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.packets <= 0:
         parser.error("packets must be positive")
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            traits = [f"traffic={scenario.traffic}", f"app={scenario.app}"]
+            if scenario.plan.rules:
+                traits.append(f"faults={len(scenario.plan.rules)}")
+            if scenario.overload:
+                traits.append("overload-control")
+            print(f"{name:<16} {' '.join(traits)}")
+        return 0
+    if args.scenario != "all" and args.scenario not in SCENARIOS:
+        # Distinct exit code: 2 = unknown scenario (vs 1 = scenario ran
+        # and an invariant failed), so CI can tell a typo from a bug.
+        print(
+            f"unknown scenario {args.scenario!r} "
+            f"(choose from {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
     names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
     failures = 0
     if not args.as_json:
         print(f"chaos run: seed={args.seed}, {args.packets} packets/scenario")
         print(f"  {'scenario':<16} {'in':>6} {'fwd':>6} {'drop':>6} "
-              f"{'slow':>5} {'faults':>6} {'retry':>5} {'degr':>5} "
-              f"{'conserved':>9}")
+              f"{'slow':>5} {'shed':>5} {'faults':>6} {'retry':>5} "
+              f"{'degr':>5} {'conserved':>9}")
         print("-" * 78)
     for name in names:
         reset_registry()
@@ -286,7 +308,8 @@ def chaos_main(argv=None) -> int:
             continue
         fired = sum(report.faults_fired.values())
         print(f"  {name:<16} {report.received:>6} {report.forwarded:>6} "
-              f"{report.dropped:>6} {report.slow_path:>5} {fired:>6} "
+              f"{report.dropped:>6} {report.slow_path:>5} "
+              f"{report.rx_shed:>5} {fired:>6} "
               f"{report.gpu_retries:>5} {report.degraded_chunks:>5} "
               f"{'ok' if report.conservation_ok else 'VIOLATED':>9}")
     if not args.as_json:

@@ -28,6 +28,7 @@ from repro.core.chunk import Chunk
 from repro.core.config import RouterConfig
 from repro.core.framework import PacketShader
 from repro.core.application import RouterApplication
+from repro.core.overload import OverloadController
 from repro.core.slowpath import SlowPathHandler
 from repro.faults.plan import FaultInjector
 from repro.faults.recovery import RetryPolicy
@@ -63,14 +64,17 @@ class Testbed:
         slow_path: Optional[SlowPathHandler] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        overload: Optional[OverloadController] = None,
     ) -> None:
         if num_ports < 1:
             raise ValueError("need at least one port")
         self.config = config or RouterConfig()
         self.fault_injector = fault_injector
+        self.overload = overload
         self.router = PacketShader(
             app, self.config, slow_path=slow_path,
             fault_injector=fault_injector, retry_policy=retry_policy,
+            overload=overload,
         )
         self.node = self.router.nodes[0]
         workers = len(self.node.workers)
@@ -85,7 +89,7 @@ class Testbed:
             )
             for port in range(num_ports)
         }
-        self.engine = PacketIOEngine(self.drivers)
+        self.engine = PacketIOEngine(self.drivers, overload=overload)
         for port in range(num_ports):
             for queue in range(workers):
                 self.engine.attach(port, queue, thread=queue)
@@ -132,7 +136,8 @@ class Testbed:
             thread = worker.worker_id - self.node.workers[0].worker_id
             while True:
                 frames = self.engine.recv_chunk(
-                    thread, max_packets=self.config.chunk_capacity
+                    thread,
+                    max_packets=self.router.effective_chunk_capacity(),
                 )
                 if not frames:
                     break

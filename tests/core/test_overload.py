@@ -1,0 +1,238 @@
+"""OverloadController: shedding ladder, AIMD sizing, pressure signals."""
+
+import pytest
+
+from repro.core.overload import (
+    CLASS_ATTACK,
+    CLASS_ESTABLISHED,
+    CLASS_NEW_FLOW,
+    OverloadController,
+    SLOConfig,
+)
+from repro.net.packet import build_tcp_ipv4, build_udp_ipv4
+from repro.net.tcp import FLAG_SYN
+from repro.obs import get_registry, reset_registry, reset_tracer
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    reset_registry()
+    reset_tracer()
+    yield
+    reset_registry()
+    reset_tracer()
+
+
+def syn_frame(i=0):
+    return bytes(build_tcp_ipv4(
+        src_ip=0x01000000 + i, dst_ip=0x0A000001,
+        src_port=2000 + i, dst_port=80, flags=FLAG_SYN,
+    ))
+
+
+def udp_frame(i=0):
+    return bytes(build_udp_ipv4(
+        src_ip=0x02000000 + i, dst_ip=0x0A000002,
+        src_port=3000 + i, dst_port=53,
+    ))
+
+
+class TestClassification:
+    def test_syn_without_established_flow_is_attack(self):
+        controller = OverloadController()
+        assert controller.classify(syn_frame()) == CLASS_ATTACK
+
+    def test_first_sighting_is_new_flow(self):
+        controller = OverloadController()
+        assert controller.classify(udp_frame()) == CLASS_NEW_FLOW
+
+    def test_learned_flow_is_established(self):
+        controller = OverloadController()
+        frame = udp_frame()
+        controller.admit([frame], backlog=0, ring_size=4096)
+        assert controller.classify(frame) == CLASS_ESTABLISHED
+
+    def test_non_ip_is_new_flow_never_attack(self):
+        controller = OverloadController()
+        assert controller.classify(b"\x00" * 60) == CLASS_NEW_FLOW
+
+
+class TestSheddingLadder:
+    def test_no_shedding_below_watermark(self):
+        controller = OverloadController()
+        frames = [syn_frame(i) for i in range(8)]
+        kept = controller.admit(frames, backlog=0, ring_size=4096)
+        assert [bytes(f) for f in kept] == frames
+        assert controller.rx_shed == 0
+
+    def test_attack_shed_first_established_kept(self):
+        controller = OverloadController()
+        legit = udp_frame()
+        controller.admit([legit], backlog=0, ring_size=4096)
+        frames = [syn_frame(i) for i in range(8)] + [legit]
+        kept = controller.admit(frames, backlog=2048, ring_size=4096)
+        assert [bytes(f) for f in kept] == [legit]
+        assert controller.shed_by_class == {CLASS_ATTACK: 8}
+
+    def test_new_flows_survive_moderate_pressure(self):
+        """Between the watermarks only attack traffic is shed (the
+        novelty EWMA starts at zero, so no storm is declared yet)."""
+        controller = OverloadController()
+        frames = [syn_frame(1), udp_frame(1)]
+        kept = controller.admit(frames, backlog=1600, ring_size=4096)
+        assert [bytes(f) for f in kept] == [udp_frame(1)]
+
+    def test_new_flows_shed_above_new_flow_watermark(self):
+        controller = OverloadController()
+        kept = controller.admit(
+            [udp_frame(i) for i in range(8)],
+            backlog=4000, ring_size=4096,
+        )
+        assert kept == []
+        assert controller.shed_by_class == {CLASS_NEW_FLOW: 8}
+
+    def test_storm_escalates_new_flow_shedding(self):
+        """A spoofed flood (all fresh flows) sheds new flows at the
+        attack watermark, before the unconditional one."""
+        controller = OverloadController()
+        # Build novelty: several fetches of never-seen flows at low
+        # pressure (learning frozen above the admit watermark is fine;
+        # novelty tracks freshness regardless).
+        for round_id in range(6):
+            controller.admit(
+                [udp_frame(1000 + 10 * round_id + i) for i in range(8)],
+                backlog=1400, ring_size=4096,
+            )
+        kept = controller.admit(
+            [udp_frame(2000 + i) for i in range(8)],
+            backlog=1400, ring_size=4096,
+        )
+        assert kept == []
+        assert controller.shed_by_class[CLASS_NEW_FLOW] > 0
+
+    def test_admission_freeze_protects_cache(self):
+        """Above the admit watermark the established cache stops
+        learning — a flood cannot thrash out the protected flows."""
+        controller = OverloadController()
+        controller.admit([udp_frame(0)], backlog=0, ring_size=4096)
+        before = controller.established_flows
+        cfg = controller.config
+        # Pressure between admit and new-flow watermarks: frames pass
+        # the ladder (non-SYN, no storm yet) but must not be learned.
+        backlog = int(4096 * (cfg.admit_watermark + 0.05))
+        controller.admit([udp_frame(50)], backlog=backlog, ring_size=4096)
+        assert controller.established_flows == before
+
+    def test_established_cache_is_bounded(self):
+        cfg = SLOConfig(established_cache=4)
+        controller = OverloadController(cfg)
+        for i in range(10):
+            controller.admit([udp_frame(i)], backlog=0, ring_size=4096)
+        assert controller.established_flows == 4
+
+    def test_shed_counters_mirror_metrics(self):
+        controller = OverloadController()
+        controller.admit(
+            [syn_frame(i) for i in range(5)],
+            backlog=2048, ring_size=4096,
+        )
+        counter = get_registry().counter(
+            "overload.shed_packets", traffic_class=CLASS_ATTACK
+        )
+        assert counter.value == 5 == controller.rx_shed
+
+
+class TestPressure:
+    def test_pressure_decays_between_fetches(self):
+        controller = OverloadController()
+        controller.admit([udp_frame()], backlog=4096, ring_size=4096)
+        high = controller.pressure
+        controller.admit([udp_frame()], backlog=0, ring_size=4096)
+        assert controller.pressure < high
+
+    def test_reject_bumps_pressure(self):
+        controller = OverloadController()
+        assert controller.pressure == 0.0
+        controller.note_reject()
+        assert controller.pressure == pytest.approx(0.1)
+
+    def test_keep_polling_tracks_watermark(self):
+        controller = OverloadController()
+        assert not controller.rx_keep_polling()
+        controller.admit([udp_frame()], backlog=4096, ring_size=4096)
+        assert controller.rx_keep_polling()
+
+
+class TestAdaptiveSizing:
+    def test_initial_capacity_clamped(self):
+        cfg = SLOConfig(min_chunk_capacity=32, max_chunk_capacity=128)
+        assert OverloadController(cfg).chunk_capacity == 32
+        assert OverloadController(cfg, initial_capacity=4).chunk_capacity == 32
+        assert (
+            OverloadController(cfg, initial_capacity=999).chunk_capacity
+            == 128
+        )
+
+    def test_shrinks_when_p99_over_budget(self):
+        cfg = SLOConfig(p99_budget_ns=1000.0, latency_window=4)
+        controller = OverloadController(cfg)
+        start = controller.chunk_capacity
+        for _ in range(4):
+            controller.observe_chunk(64, service_ns=5000.0, enqueue_depth=0)
+        assert controller.chunk_capacity == start // 2
+        assert controller.p99_ns > cfg.p99_budget_ns
+        assert controller.resizes == 1
+
+    def test_grows_under_pressure_with_latency_headroom(self):
+        cfg = SLOConfig(p99_budget_ns=1_000_000.0, latency_window=4)
+        controller = OverloadController(cfg)
+        controller.admit([udp_frame()], backlog=4096, ring_size=4096)
+        start = controller.chunk_capacity
+        for _ in range(4):
+            controller.observe_chunk(64, service_ns=100.0, enqueue_depth=0)
+        assert controller.chunk_capacity == start * 2
+
+    def test_no_growth_without_pressure(self):
+        cfg = SLOConfig(p99_budget_ns=1_000_000.0, latency_window=4)
+        controller = OverloadController(cfg)
+        start = controller.chunk_capacity
+        for _ in range(4):
+            controller.observe_chunk(64, service_ns=100.0, enqueue_depth=0)
+        assert controller.chunk_capacity == start
+
+    def test_capacity_never_leaves_bounds(self):
+        cfg = SLOConfig(
+            p99_budget_ns=1000.0, latency_window=1,
+            min_chunk_capacity=16, max_chunk_capacity=256,
+        )
+        controller = OverloadController(cfg)
+        for _ in range(20):
+            controller.observe_chunk(64, service_ns=1e6, enqueue_depth=10)
+        assert controller.chunk_capacity == 16
+
+    def test_queue_wait_counts_toward_latency(self):
+        """Identical service, deeper queue: latency must be higher."""
+        cfg = SLOConfig(p99_budget_ns=10_000.0, latency_window=2)
+        shallow = OverloadController(cfg)
+        deep = OverloadController(cfg)
+        for _ in range(2):
+            shallow.observe_chunk(64, service_ns=4000.0, enqueue_depth=0)
+            deep.observe_chunk(64, service_ns=4000.0, enqueue_depth=8)
+        assert deep.p99_ns > shallow.p99_ns
+        assert deep.p99_ns == pytest.approx(4000.0 + 8 * 4000.0)
+
+
+class TestSLOConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            SLOConfig(p99_budget_ns=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(min_chunk_capacity=0)
+        with pytest.raises(ValueError):
+            SLOConfig(min_chunk_capacity=512, max_chunk_capacity=256)
+        with pytest.raises(ValueError):
+            SLOConfig(latency_window=0)
+        with pytest.raises(ValueError):
+            SLOConfig(shed_watermark=1.5)
+        with pytest.raises(ValueError):
+            SLOConfig(established_cache=0)

@@ -5,7 +5,8 @@ The two load-bearing assertions of the resilience work
 
 * **packet conservation** — ``received == forwarded + dropped +
   slow_path`` holds *exactly* in every scenario, and ingress accounting
-  closes (``injected == rx_dropped + received``);
+  closes with shedding attributed
+  (``injected == rx_dropped + rx_shed + received``);
 * **graceful degradation** — with the breaker open the router still
   forwards, correctly, and its modelled capacity is within 10% of the
   Figure 11 CPU-only baseline (it degrades to the paper's CPU-only
@@ -54,9 +55,9 @@ class TestScenarioConservation:
         assert report.received == (
             report.forwarded + report.dropped + report.slow_path
         ), f"{name} seed {seed}: router accounting leaked packets"
-        assert report.injected == report.rx_dropped + report.received, (
-            f"{name} seed {seed}: ingress accounting leaked packets"
-        )
+        assert report.injected == (
+            report.rx_dropped + report.rx_shed + report.received
+        ), f"{name} seed {seed}: ingress accounting leaked packets"
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_deterministic_replay(self, name):

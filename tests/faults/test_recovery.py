@@ -17,10 +17,37 @@ def fresh_obs():
 
 class TestRetryPolicy:
     def test_backoff_is_exponential(self):
-        policy = RetryPolicy(backoff_base_ns=1000.0, backoff_multiplier=2.0)
+        policy = RetryPolicy(
+            backoff_base_ns=1000.0, backoff_multiplier=2.0, jitter=0.0
+        )
         assert policy.backoff_ns(1) == 1000.0
         assert policy.backoff_ns(2) == 2000.0
         assert policy.backoff_ns(3) == 4000.0
+
+    def test_jitter_is_additive_and_bounded(self):
+        """Jittered waits sit in [schedule, schedule * (1 + jitter)]."""
+        policy = RetryPolicy(
+            backoff_base_ns=1000.0, backoff_multiplier=2.0, jitter=0.1
+        )
+        for attempt in range(1, 6):
+            base = 1000.0 * 2.0 ** (attempt - 1)
+            wait = policy.backoff_ns(attempt, salt=3)
+            assert base <= wait <= base * 1.1
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.25, jitter_seed=7)
+        again = RetryPolicy(jitter=0.25, jitter_seed=7)
+        for attempt in (1, 2, 3):
+            for salt in (0, 1, 9):
+                assert policy.backoff_ns(attempt, salt) == again.backoff_ns(
+                    attempt, salt
+                )
+
+    def test_jitter_decorrelates_salts(self):
+        """Different salts (node ids) must not retry in lockstep."""
+        policy = RetryPolicy(jitter=0.5)
+        waits = {policy.backoff_ns(1, salt) for salt in range(8)}
+        assert len(waits) == 8
 
     def test_attempts_are_one_based(self):
         with pytest.raises(ValueError):
@@ -31,6 +58,8 @@ class TestRetryPolicy:
             RetryPolicy(max_retries=-1)
         with pytest.raises(ValueError):
             RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
 
 
 class TestCircuitBreaker:

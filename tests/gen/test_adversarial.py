@@ -1,0 +1,154 @@
+"""Adversarial traffic generators: determinism, conservation, shape."""
+
+import pytest
+
+from repro.gen.adversarial import (
+    EstablishedFlows,
+    ZipfFlowMix,
+    build_schedule,
+    ddos_schedule,
+    fit_zipf_exponent,
+    heavy_tail_schedule,
+    pcap_schedule,
+    spoofed_udp_flood,
+    syn_flood,
+    syn_flood_schedule,
+)
+from repro.net.packet import parse_packet
+
+
+def _frames_of(schedule):
+    return [bytes(f) for burst in schedule.bursts for f in burst]
+
+
+class TestZipfFlowMix:
+    def test_flow_identity_is_pure_function_of_seed_and_rank(self):
+        a = ZipfFlowMix(num_flows=100, seed=7)
+        b = ZipfFlowMix(num_flows=100, seed=7)
+        assert [a.flow_of_rank(r) for r in range(20)] == [
+            b.flow_of_rank(r) for r in range(20)
+        ]
+        assert a.flow_of_rank(0) != ZipfFlowMix(seed=8).flow_of_rank(0)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        assert (
+            ZipfFlowMix(num_flows=500, seed=3).sample_ranks(200)
+            == ZipfFlowMix(num_flows=500, seed=3).sample_ranks(200)
+        )
+
+    def test_empirical_exponent_within_tolerance(self):
+        """The sampled mix recovers its configured Zipf exponent."""
+        exponent = 1.2
+        mix = ZipfFlowMix(num_flows=5_000, exponent=exponent, seed=1)
+        ranks = mix.sample_ranks(50_000)
+        fitted = fit_zipf_exponent(ranks, top=30)
+        assert fitted == pytest.approx(exponent, rel=0.15)
+
+    def test_dst_pool_pins_destinations(self):
+        pool = [0x0A000000, 0x0B000000]
+        mix = ZipfFlowMix(num_flows=50, seed=2, dst_pool=pool)
+        for frame in mix.frames(64):
+            assert parse_packet(frame).l3.dst in pool
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfFlowMix(num_flows=0)
+        with pytest.raises(ValueError):
+            ZipfFlowMix(exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfFlowMix().sample_ranks(-1)
+
+
+class TestAttackGenerators:
+    def test_syn_flood_every_source_unique(self):
+        frames = syn_flood(512, seed=1)
+        tuples = set()
+        for frame in frames:
+            tup = parse_packet(frame).five_tuple()
+            assert tup.protocol == 6
+            tuples.add((tup.src_ip, tup.src_port))
+        assert len(tuples) == 512  # no flow cache gets a second hit
+
+    def test_syn_flood_deterministic(self):
+        assert [bytes(f) for f in syn_flood(64, seed=5)] == [
+            bytes(f) for f in syn_flood(64, seed=5)
+        ]
+
+    def test_udp_flood_unique_five_tuples(self):
+        frames = spoofed_udp_flood(512, seed=1)
+        tuples = set()
+        for frame in frames:
+            tup = parse_packet(frame).five_tuple()
+            assert tup.protocol == 17
+            tuples.add((tup.src_ip, tup.dst_ip, tup.src_port, tup.dst_port))
+        assert len(tuples) == 512
+
+    def test_established_flows_round_robin(self):
+        legit = EstablishedFlows(num_flows=4, seed=1)
+        frames = legit.frames(8)
+        flows = [
+            parse_packet(f).five_tuple() for f in frames
+        ]
+        ids = [
+            (t.src_ip, t.dst_ip, t.src_port, t.dst_port, t.protocol)
+            for t in flows
+        ]
+        assert ids[:4] == ids[4:]
+        assert set(ids) == set(legit.flow_set)
+
+
+class TestSchedules:
+    @pytest.mark.parametrize(
+        "profile", ["uniform", "heavy-tail", "syn-flood", "ddos"]
+    )
+    @pytest.mark.parametrize("packets", [0, 1, 255, 1024])
+    def test_exact_packet_count_conservation(self, profile, packets):
+        schedule = build_schedule(profile, packets, seed=1, burst=256)
+        assert schedule.total_packets == packets
+
+    @pytest.mark.parametrize(
+        "profile", ["heavy-tail", "syn-flood", "ddos"]
+    )
+    def test_schedules_deterministic_per_seed(self, profile):
+        first = _frames_of(build_schedule(profile, 600, seed=4))
+        second = _frames_of(build_schedule(profile, 600, seed=4))
+        assert first == second
+        assert first != _frames_of(build_schedule(profile, 600, seed=5))
+
+    def test_flood_schedule_accounting_splits_exactly(self):
+        schedule = syn_flood_schedule(1024, seed=1, burst=128)
+        assert (
+            schedule.established_packets + schedule.attack_packets == 1024
+        )
+        assert schedule.established  # the protected set is named
+
+    def test_ddos_attack_frames_miss_the_established_set(self):
+        schedule = ddos_schedule(1024, seed=2, burst=128)
+        established = schedule.established
+        hits = 0
+        for frame in _frames_of(schedule):
+            tup = parse_packet(frame).five_tuple()
+            flow = (tup.src_ip, tup.dst_ip, tup.src_port, tup.dst_port,
+                    tup.protocol)
+            hits += flow in established
+        assert hits == schedule.established_packets
+
+    def test_heavy_tail_bursts_are_heavy_tailed(self):
+        schedule = heavy_tail_schedule(4096, seed=1, burst=256)
+        sizes = sorted(len(b) for b in schedule.bursts)
+        # A Pareto split is skewed: the biggest burst dwarfs the median.
+        assert sizes[-1] >= 2 * sizes[len(sizes) // 2]
+
+    def test_pcap_replay_round_trips(self, tmp_path):
+        from repro.net.pcap import write_pcap
+
+        frames = [bytes(f) for f in spoofed_udp_flood(40, seed=3)]
+        path = tmp_path / "flood.pcap"
+        write_pcap(str(path), frames)
+        schedule = pcap_schedule(str(path), burst=16)
+        assert schedule.total_packets == 40
+        assert _frames_of(schedule) == frames
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule("nope", 10)

@@ -5,7 +5,12 @@ import statistics
 
 import pytest
 
-from repro.gen.arrivals import constant_interarrivals_ns, poisson_interarrivals_ns
+from repro.gen.arrivals import (
+    burst_sizes,
+    constant_interarrivals_ns,
+    pareto_on_off_interarrivals_ns,
+    poisson_interarrivals_ns,
+)
 
 
 class TestConstant:
@@ -36,3 +41,62 @@ class TestPoisson:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             next(poisson_interarrivals_ns(-1))
+
+
+class TestParetoOnOff:
+    def test_deterministic_per_seed(self):
+        a = list(itertools.islice(
+            pareto_on_off_interarrivals_ns(1e6, seed=3), 100
+        ))
+        b = list(itertools.islice(
+            pareto_on_off_interarrivals_ns(1e6, seed=3), 100
+        ))
+        assert a == b
+
+    def test_long_run_rate_approximates_target(self):
+        gaps = list(itertools.islice(
+            pareto_on_off_interarrivals_ns(1e6, seed=1), 200000
+        ))
+        # Heavy tails converge slowly; the mean gap should still land
+        # in the right decade around 1000 ns.
+        assert 300.0 < statistics.mean(gaps) < 3000.0
+
+    def test_burstier_than_poisson(self):
+        """Self-similarity shows up as gap variance far above the mean."""
+        gaps = list(itertools.islice(
+            pareto_on_off_interarrivals_ns(1e6, seed=2), 50000
+        ))
+        assert statistics.stdev(gaps) > 2 * statistics.mean(gaps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(pareto_on_off_interarrivals_ns(0))
+        with pytest.raises(ValueError):
+            next(pareto_on_off_interarrivals_ns(1e6, alpha=2.5))
+        with pytest.raises(ValueError):
+            next(pareto_on_off_interarrivals_ns(1e6, burst_scale=0.5))
+
+
+class TestBurstSizes:
+    @pytest.mark.parametrize("count,total", [
+        (1, 0), (1, 7), (8, 1000), (37, 1001), (64, 63),
+    ])
+    def test_exact_conservation(self, count, total):
+        sizes = burst_sizes(count, total, seed=1)
+        assert len(sizes) == count
+        assert sum(sizes) == total
+        assert all(size >= 0 for size in sizes)
+
+    def test_deterministic_per_seed(self):
+        assert burst_sizes(16, 4096, seed=9) == burst_sizes(16, 4096, seed=9)
+        assert burst_sizes(16, 4096, seed=9) != burst_sizes(16, 4096, seed=10)
+
+    def test_heavy_tailed_split(self):
+        sizes = sorted(burst_sizes(64, 65536, seed=1))
+        assert sizes[-1] >= 3 * sizes[len(sizes) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_sizes(0, 10)
+        with pytest.raises(ValueError):
+            burst_sizes(4, -1)

@@ -87,6 +87,85 @@ class TestExactMatch:
     def test_validation(self):
         with pytest.raises(ValueError):
             ExactMatchTable(num_buckets=0)
+        with pytest.raises(ValueError):
+            ExactMatchTable(max_entries=-1)
+        with pytest.raises(ValueError):
+            ExactMatchTable(per_source_cap=-1)
+
+
+class TestBoundedExactMatch:
+    """The flow-table bound the ddos scenario leans on."""
+
+    def test_fifo_eviction_holds_table_at_cap(self):
+        table = ExactMatchTable(max_entries=4)
+        for i in range(10):
+            assert table.add(key(tp_src=i), i)
+        assert len(table) == 4
+        assert table.evictions == 6
+        # Oldest went first: only the newest four remain.
+        for i in range(6):
+            assert table.lookup(key(tp_src=i))[0] is None
+        for i in range(6, 10):
+            assert table.lookup(key(tp_src=i))[0] == i
+
+    def test_replace_never_evicts(self):
+        table = ExactMatchTable(max_entries=2)
+        table.add(key(tp_src=1), "a")
+        table.add(key(tp_src=2), "b")
+        assert table.add(key(tp_src=1), "a2")
+        assert table.evictions == 0
+        assert len(table) == 2
+        assert table.lookup(key(tp_src=1))[0] == "a2"
+
+    def test_per_source_guard_rejects_hoarders(self):
+        table = ExactMatchTable(per_source_cap=2)
+        src = 0x0A0A0A0A
+        assert table.add(key(nw_src=src, tp_src=1), 1)
+        assert table.add(key(nw_src=src, tp_src=2), 2)
+        assert not table.add(key(nw_src=src, tp_src=3), 3)
+        assert table.rejected_inserts == 1
+        assert len(table) == 2
+        # Other sources are unaffected by one source's cap.
+        assert table.add(key(nw_src=src + 1, tp_src=1), 4)
+
+    def test_remove_releases_per_source_budget(self):
+        table = ExactMatchTable(per_source_cap=1)
+        table.add(key(tp_src=1), 1)
+        assert not table.add(key(tp_src=2), 2)
+        assert table.remove(key(tp_src=1))
+        assert table.add(key(tp_src=2), 2)
+
+    def test_eviction_skips_slots_stale_from_remove(self):
+        table = ExactMatchTable(max_entries=3)
+        for i in range(3):
+            table.add(key(tp_src=i), i)
+        table.remove(key(tp_src=0))  # leaves a stale FIFO slot
+        table.add(key(tp_src=10), 10)
+        table.add(key(tp_src=11), 11)  # must evict tp_src=1, not crash
+        assert len(table) == 3
+        assert table.lookup(key(tp_src=1))[0] is None
+        assert table.lookup(key(tp_src=2))[0] == 2
+
+    def test_eviction_metrics_and_counters_agree(self):
+        from repro.obs import get_registry
+
+        table = ExactMatchTable(max_entries=1)
+        table.add(key(tp_src=1), 1)
+        table.add(key(tp_src=2), 2)  # evicts tp_src=1
+        table.add(key(tp_src=3), 3)  # evicts tp_src=2
+        registry = get_registry()
+        assert (
+            registry.counter("overload.flow_evictions").value
+            >= table.evictions
+            >= 2
+        )
+
+    def test_unbounded_by_default(self):
+        table = ExactMatchTable()
+        for i in range(100):
+            table.add(key(tp_src=i), i)
+        assert len(table) == 100
+        assert table.evictions == 0
 
 
 class TestWildcard:
