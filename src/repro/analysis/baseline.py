@@ -69,6 +69,37 @@ class Baseline:
     def save(self, path: Union[str, Path]) -> None:
         Path(path).write_text(self.to_json())
 
+    # -- staleness ------------------------------------------------------
+
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> List[Tuple[Fingerprint, int]]:
+        """Grandfathered counts the tree no longer uses.
+
+        Returns ``(fingerprint, excess)`` for every entry whose count
+        exceeds the matching findings in the current run — debt that was
+        paid down but never struck from the ledger.  A stale entry is a
+        hazard, not mere clutter: it would silently absorb the *next*
+        regression of the same fingerprint.
+        """
+        actual = Baseline.from_findings(findings).counts
+        stale: List[Tuple[Fingerprint, int]] = []
+        for key, count in sorted(self.counts.items()):
+            excess = count - actual.get(key, 0)
+            if excess > 0:
+                stale.append((key, excess))
+        return stale
+
+    def pruned(self, findings: Sequence[Finding]) -> "Baseline":
+        """A copy with every count clamped to the current run's actual
+        occurrences (stale entries dropped, live debt kept)."""
+        actual = Baseline.from_findings(findings).counts
+        kept = {
+            key: min(count, actual.get(key, 0))
+            for key, count in self.counts.items()
+        }
+        return Baseline({key: count for key, count in kept.items() if count})
+
     # -- application ----------------------------------------------------
 
     def apply(self, findings: Sequence[Finding]) -> List[Finding]:

@@ -1,0 +1,117 @@
+"""The per-file lint result cache (``.reprolint-cache.json``).
+
+Every rule in the gen-2 engine is cross-file — the semantic phase is
+built over the whole project — so the only invalidation unit that is
+*sound* is the project itself: results are replayed only when every
+file's content hash, and the rule set, match the cached run exactly.
+The cache is still stored per file (relpath -> content hash + the
+findings anchored in that file), so a partial-match future (re-running
+only rules whose inputs changed) has the layout it needs, and so
+``--changed-only`` can filter a replayed run the same way it filters a
+live one.
+
+What this buys today: a cached re-run skips parsing and every rule —
+it costs one read + hash pass over the tree (the common local loop:
+lint, edit nothing, lint again, e.g. after switching branches back).
+Suppressions live in the file content, so they are covered by the
+hash; the baseline is applied *after* replay, so editing the baseline
+never serves stale verdicts.  The file is git-ignored: it is a local
+accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+#: Bump when the cached layout or finding semantics change.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_PATH = ".reprolint-cache.json"
+
+
+class ResultCache:
+    """Load/match/store lint results keyed by a project content digest."""
+
+    def __init__(self, path: Union[str, Path] = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(path)
+        self._data: Optional[dict] = None
+
+    @staticmethod
+    def digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()[:20]
+
+    def _load(self) -> dict:
+        if self._data is None:
+            try:
+                data = json.loads(self.path.read_text())
+            except (OSError, ValueError):
+                data = {}
+            if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+                data = {}
+            self._data = data
+        return self._data
+
+    def match(
+        self, hashes: Dict[str, str], rule_ids: Sequence[str]
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """Replay ``(findings, suppressed)`` when the cached run covers
+        exactly these files, hashes, and rules; else ``None``."""
+        data = self._load()
+        if not data:
+            return None
+        if data.get("rule_ids") != list(rule_ids):
+            return None
+        files = data.get("files")
+        if not isinstance(files, dict) or set(files) != set(hashes):
+            return None
+        for relpath, entry in files.items():
+            if entry.get("sha") != hashes[relpath]:
+                return None
+        findings: List[Finding] = []
+        try:
+            for entry in files.values():
+                for record in entry.get("findings", ()):
+                    findings.append(Finding.from_dict(record))
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, int(data.get("suppressed", 0))
+
+    def store(
+        self,
+        hashes: Dict[str, str],
+        rule_ids: Sequence[str],
+        findings: Sequence[Finding],
+        suppressed: int,
+    ) -> None:
+        """Record a completed run; serialized immediately (the caller
+        mutates baseline flags on these findings afterwards)."""
+        files: Dict[str, dict] = {
+            relpath: {"sha": sha, "findings": []}
+            for relpath, sha in sorted(hashes.items())
+        }
+        for finding in findings:
+            entry = files.setdefault(
+                finding.path, {"sha": "", "findings": []}
+            )
+            record = finding.to_dict()
+            record.pop("baselined", None)
+            entry["findings"].append(record)
+        self._data = {
+            "version": CACHE_VERSION,
+            "tool": "reprolint",
+            "rule_ids": list(rule_ids),
+            "suppressed": suppressed,
+            "files": files,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(self._data, indent=None, sort_keys=True) + "\n"
+            )
+        except OSError:
+            # A read-only tree degrades to uncached runs, not a crash.
+            pass

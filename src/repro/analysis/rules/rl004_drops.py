@@ -70,6 +70,10 @@ def _has_accounting(nodes: Iterable[ast.AST]) -> bool:
 class DropConservationRule(Rule):
     rule_id = "RL004"
     title = "discarded packets carry an adjacent drop-counter increment"
+    #: RL011 re-runs these checks with call-graph awareness (accounting
+    #: one resolved call away clears the site); keeping both in the
+    #: default set would double-report every true positive.
+    superseded_by = "RL011"
 
     def check(self, project) -> Iterable[Finding]:
         for module in project.modules:

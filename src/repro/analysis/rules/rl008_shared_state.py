@@ -1,0 +1,287 @@
+"""RL008: no silently process-local mutable state on the fork horizon.
+
+The sharding roadmap splits the data plane into per-NUMA-node worker
+processes over ``multiprocessing.shared_memory`` (PAPER.md Fig 8,
+ROADMAP).  After ``fork()``, every module-level mutable object becomes
+an independent copy per process: a counter dict the master increments
+is frozen at its fork-time value in every worker, a flow cache appended
+in one worker is invisible to the rest — and nothing crashes, the
+numbers are just quietly wrong.  This is the static shape of that bug,
+caught before the sharding PR instead of debugged as flaky chaos
+failures after.
+
+What is flagged, in any module a ``core``/``io_engine``/``net`` module
+can reach through imports (the set a forked worker actually maps):
+
+* a module-level name bound to a mutable container (dict/list/set/
+  bytearray literal or constructor, ``defaultdict``/``deque``/
+  ``Counter``...) that some project function *mutates in place* or
+  rebinds without owning it;
+* a mutable class-body attribute that methods mutate through
+  ``self``/``cls`` without ever rebinding it per instance — shared
+  across instances today, silently per-process tomorrow.
+
+What is exempt — the sanctioned ownership patterns:
+
+* read-only module constants (never written after import: identical in
+  every process, divergence impossible);
+* the *accessor-owned singleton*: every write is a whole-object rebind
+  inside a function declaring ``global`` (``set_registry``/
+  ``reset_registry`` in :mod:`repro.obs.registry`) — the swap point the
+  sharding PR will make process-aware;
+* anything else must carry ``# reprolint: ignore[RL008]`` with a
+  justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.semantics.dataflow import CONTAINER_MUTATORS
+
+#: Path components whose modules are the fork roots: the sharded data
+#: plane's own layers.
+SHARD_ROOT_PARTS = frozenset({"core", "io_engine", "net"})
+
+#: Constructor names producing mutable containers.
+_MUTABLE_CTORS = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+})
+
+#: In-place mutator methods beyond the dataflow set.
+_MUTATORS = CONTAINER_MUTATORS | frozenset({
+    "pop", "popleft", "popitem", "remove", "discard", "clear",
+    "sort", "reverse", "__setitem__",
+})
+
+
+def _is_mutable_init(value: Optional[ast.expr]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name is not None and name.split(".")[-1] in _MUTABLE_CTORS
+    return False
+
+
+class _Write:
+    """One write to a tracked global: where, and whether it was a
+    whole-object rebind under a ``global`` declaration."""
+
+    __slots__ = ("relpath", "lineno", "sanctioned_rebind")
+
+    def __init__(self, relpath: str, lineno: int,
+                 sanctioned_rebind: bool) -> None:
+        self.relpath = relpath
+        self.lineno = lineno
+        self.sanctioned_rebind = sanctioned_rebind
+
+
+@register
+class SharedMutableStateRule(Rule):
+    rule_id = "RL008"
+    title = "fork-visible module/class state must be owned, not ambient"
+
+    def check(self, project) -> Iterable[Finding]:
+        sem = project.semantics
+        reachable = sem.modules_reachable_from_parts(SHARD_ROOT_PARTS)
+        if not reachable:
+            return
+
+        # Candidate globals: mutable-initialized, defined in a module a
+        # forked data-plane worker would map.
+        candidates: Dict[str, Tuple[object, object]] = {}
+        for name in reachable:
+            symbols = sem.symbols.modules[name]
+            for gdef in symbols.globals.values():
+                if _is_mutable_init(gdef.value):
+                    candidates[f"{symbols.name}.{gdef.name}"] = (
+                        symbols, gdef
+                    )
+
+        writes = self._collect_writes(sem, candidates)
+        for qualified in sorted(candidates):
+            symbols, gdef = candidates[qualified]
+            sites = writes.get(qualified, [])
+            if not sites:
+                continue  # written never after import: a constant
+            if all(site.sanctioned_rebind for site in sites):
+                continue  # accessor-owned singleton pattern
+            first = min(
+                (s for s in sites if not s.sanctioned_rebind),
+                key=lambda s: (s.relpath, s.lineno),
+            )
+            yield symbols.source.finding(
+                self.rule_id, gdef.lineno,
+                f"module-level mutable '{gdef.name}' is mutated at runtime "
+                f"({first.relpath}:{first.lineno}) and would silently "
+                "diverge per process after fork",
+                hint="own it behind a rebind-only accessor (the "
+                     "obs.registry pattern), move it into an instance the "
+                     "framework owns, or suppress with a justification",
+            )
+
+        yield from self._check_class_attrs(sem, reachable)
+
+    # -- global writes --------------------------------------------------
+
+    def _collect_writes(
+        self, sem, candidates: Dict[str, Tuple[object, object]]
+    ) -> Dict[str, List[_Write]]:
+        writes: Dict[str, List[_Write]] = {}
+
+        def resolve(symbols, name: str) -> Optional[str]:
+            qualified = sem.symbols.resolve(symbols, name)
+            return qualified if qualified in candidates else None
+
+        for symbols, _, _, fn in sem.functions():
+            df = sem.dataflow(symbols, fn)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            qualified = resolve(symbols, target.id)
+                            if qualified and target.id in df.global_decls:
+                                writes.setdefault(qualified, []).append(
+                                    _Write(symbols.source.relpath,
+                                           node.lineno, True)
+                                )
+                        elif isinstance(target, ast.Subscript):
+                            target_name = self._store_root(target)
+                            if target_name:
+                                qualified = resolve(symbols, target_name)
+                                if qualified and not self._is_local(
+                                    df, target_name
+                                ):
+                                    writes.setdefault(qualified, []).append(
+                                        _Write(symbols.source.relpath,
+                                               node.lineno, False)
+                                    )
+                elif isinstance(node, ast.AugAssign):
+                    root = self._store_root(node.target)
+                    if root:
+                        qualified = resolve(symbols, root)
+                        if qualified and not self._is_local(df, root):
+                            writes.setdefault(qualified, []).append(
+                                _Write(symbols.source.relpath,
+                                       node.lineno,
+                                       isinstance(node.target, ast.Name)
+                                       and root in df.global_decls)
+                            )
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ) and node.func.attr in _MUTATORS:
+                    root = self._store_root(node.func.value)
+                    if root:
+                        qualified = resolve(symbols, root)
+                        if qualified and not self._is_local(df, root):
+                            writes.setdefault(qualified, []).append(
+                                _Write(symbols.source.relpath,
+                                       node.lineno, False)
+                            )
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        root = self._store_root(target)
+                        if root:
+                            qualified = resolve(symbols, root)
+                            if qualified and not self._is_local(df, root):
+                                writes.setdefault(qualified, []).append(
+                                    _Write(symbols.source.relpath,
+                                           node.lineno, False)
+                                )
+        return writes
+
+    @staticmethod
+    def _store_root(expr: ast.AST) -> Optional[str]:
+        """The leading bare name of a store target (``N[k]``, ``N.x``,
+        plain ``N``); None when the base is not a bare name."""
+        while isinstance(expr, (ast.Subscript, ast.Attribute)):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    @staticmethod
+    def _is_local(df, name: str) -> bool:
+        """The name is shadowed by a parameter or a local binding (so
+        the write touches the local, not the module global)."""
+        if name in df.global_decls:
+            return False
+        return name in df.params or name in df.assigns
+
+    # -- class attributes ------------------------------------------------
+
+    def _check_class_attrs(self, sem, reachable) -> Iterable[Finding]:
+        for name in sorted(reachable):
+            symbols = sem.symbols.modules[name]
+            for info in symbols.classes.values():
+                mutable_attrs = {
+                    attr: stmt
+                    for attr, (stmt, value) in info.class_attrs.items()
+                    if _is_mutable_init(value)
+                }
+                if not mutable_attrs:
+                    continue
+                rebound, mutated = self._attr_writes(info)
+                for attr in sorted(mutable_attrs):
+                    if attr in rebound or attr not in mutated:
+                        continue
+                    stmt = mutable_attrs[attr]
+                    yield symbols.source.finding(
+                        self.rule_id, stmt.lineno,
+                        f"class attribute '{info.name}.{attr}' is a shared "
+                        "mutable default mutated through instances "
+                        f"({symbols.source.relpath}:{mutated[attr]})",
+                        hint="initialize it per instance in __init__; a "
+                             "class-level container is shared by every "
+                             "instance and frozen per process after fork",
+                    )
+
+    @staticmethod
+    def _attr_writes(info) -> Tuple[set, Dict[str, int]]:
+        """(attrs ever rebound per instance, attrs mutated in place ->
+        first mutation line) across the class's methods."""
+        rebound: set = set()
+        mutated: Dict[str, int] = {}
+
+        def self_attr(expr: ast.AST) -> Optional[str]:
+            if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name
+            ) and expr.value.id in ("self", "cls"):
+                return expr.attr
+            return None
+
+        for method in info.methods.values():
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        attr = self_attr(target)
+                        if attr is not None:
+                            rebound.add(attr)
+                        elif isinstance(target, ast.Subscript):
+                            attr = self_attr(target.value)
+                            if attr is not None:
+                                mutated.setdefault(attr, node.lineno)
+                elif isinstance(node, ast.AugAssign):
+                    attr = self_attr(node.target)
+                    if attr is not None:
+                        mutated.setdefault(attr, node.lineno)
+                    elif isinstance(node.target, ast.Subscript):
+                        attr = self_attr(node.target.value)
+                        if attr is not None:
+                            mutated.setdefault(attr, node.lineno)
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ) and node.func.attr in _MUTATORS:
+                    attr = self_attr(node.func.value)
+                    if attr is not None:
+                        mutated.setdefault(attr, node.lineno)
+        return rebound, mutated

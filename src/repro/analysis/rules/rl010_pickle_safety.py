@@ -1,0 +1,216 @@
+"""RL010: what crosses a process boundary must survive pickling.
+
+Today the master/worker queues are in-process lists and will carry
+anything.  The sharding PR replaces them with
+``multiprocessing.Queue``/``ProcessPoolExecutor.submit`` — and then
+every payload is pickled.  A ``Chunk`` whose ``frames`` are
+``memoryview`` slices raises ``TypeError: cannot pickle 'memoryview'``
+on the very first ``put``; an object holding an open file, or a lambda
+handed to ``submit``, dies the same way.  Finding those payloads now is
+a type walk; finding them later is a production stack trace.
+
+The rule looks at every ``*.put(...)`` / ``*.put_nowait(...)`` /
+``*.submit(...)`` call site, types the payload with the semantic
+engine's :class:`~repro.analysis.semantics.dataflow.Typer` (constructor
+calls, annotations, loop-element binding — and the receiving queue
+method's own parameter annotation), then transitively scans the payload
+class's instance attributes for unpicklable freight: buffer views,
+``open()`` handles, lambdas, or nested project classes carrying any of
+those.  Classes defining ``__reduce__``/``__getstate__`` are trusted to
+know what they are doing.  An unresolvable payload type is *not* a
+finding — unknown means silent, so the rule only speaks when it can
+name the offending attribute chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.semantics.dataflow import buffer_root, build_dataflow
+from repro.analysis.semantics.symbols import ClassInfo
+
+#: Methods that will serialize their payload once queues go multiprocess.
+CROSSING_METHODS = frozenset({"put", "put_nowait", "submit"})
+
+#: Defining any of these means the class controls its own pickled form.
+_PICKLE_HOOKS = frozenset({"__reduce__", "__reduce_ex__", "__getstate__"})
+
+_MAX_DEPTH = 4
+
+
+def _attr_value_reason(method, value: ast.expr) -> Optional[str]:
+    """Why a ``self.attr = value`` binding is unpicklable, if it is."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda"
+    df = build_dataflow(method, set())
+    for sub in ast.walk(value):
+        if buffer_root(df, sub, set()) is not None:
+            return "a memoryview/buffer view"
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name == "open":
+                return "an open file handle"
+            if isinstance(sub.func, ast.Attribute) and sub.func.attr in (
+                "socket", "create_connection"
+            ):
+                return "an open socket"
+    return None
+
+
+def unpicklable_reasons(
+    table, info: ClassInfo, _depth: int = 0, _seen: Optional[Set[str]] = None
+) -> List[Tuple[str, str]]:
+    """``(attribute chain, reason)`` pairs making instances of ``info``
+    fail pickling, found by transitively scanning ``self.attr``
+    assignments (depth-limited, cycle-safe)."""
+    seen = _seen if _seen is not None else set()
+    if info.qualname in seen or _depth > _MAX_DEPTH:
+        return []
+    seen.add(info.qualname)
+    if _PICKLE_HOOKS & set(info.methods):
+        return []
+
+    reasons: List[Tuple[str, str]] = []
+    for method in info.methods.values():
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                reason = _attr_value_reason(method, value)
+                if reason is not None:
+                    reasons.append((f".{target.attr}", reason))
+                    continue
+                # Nested project class: recurse into its attributes.
+                if isinstance(value, ast.Call):
+                    name = dotted_name(value.func)
+                    nested = table.lookup_class(
+                        table.resolve(info.module, name) if name else None
+                    )
+                    if nested is not None:
+                        for chain, why in unpicklable_reasons(
+                            table, nested, _depth + 1, seen
+                        ):
+                            reasons.append((f".{target.attr}{chain}", why))
+    # Deterministic order, first mention of each attribute chain wins.
+    out: List[Tuple[str, str]] = []
+    listed: Set[str] = set()
+    for chain, why in sorted(reasons):
+        if chain not in listed:
+            listed.add(chain)
+            out.append((chain, why))
+    return out
+
+
+@register
+class PickleSafetyRule(Rule):
+    rule_id = "RL010"
+    title = "queue/executor payloads must survive the process boundary"
+
+    def check(self, project) -> Iterable[Finding]:
+        sem = project.semantics
+        for symbols, qualified, info, fn in sem.functions():
+            typer = None
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in CROSSING_METHODS
+                    and node.args
+                ):
+                    continue
+                if typer is None:
+                    typer = sem.typer(symbols, info, fn)
+                payload_args = list(node.args)
+                if node.func.attr == "submit":
+                    callee = payload_args.pop(0)
+                    if isinstance(callee, ast.Lambda):
+                        yield symbols.source.finding(
+                            self.rule_id, node.lineno,
+                            f"{qualified} submits a lambda across the "
+                            "executor boundary; lambdas cannot be pickled",
+                            hint="pass a module-level function (pickle "
+                                 "ships it by qualified name)",
+                        )
+                for arg in payload_args:
+                    if isinstance(arg, ast.Lambda):
+                        yield symbols.source.finding(
+                            self.rule_id, node.lineno,
+                            f"{qualified} puts a lambda on a queue; "
+                            "lambdas cannot be pickled",
+                            hint="pass a module-level function instead",
+                        )
+                        continue
+                    for finding in self._check_payload(
+                        sem, symbols, typer, qualified, node, arg
+                    ):
+                        yield finding
+
+    def _check_payload(
+        self, sem, symbols, typer, qualified: str,
+        call: ast.Call, arg: ast.expr,
+    ) -> Iterable[Finding]:
+        classes = typer.infer(arg)
+        if not classes:
+            # Receiver-side fallback: the queue's own ``put`` annotation
+            # (``def put(self, chunk: Chunk)``) types the payload.
+            classes = self._receiver_param_classes(sem, typer, call, arg)
+        arg_text = _safe_unparse(arg)
+        for info in classes:
+            reasons = unpicklable_reasons(sem.symbols, info)
+            if not reasons:
+                continue
+            detail = "; ".join(
+                f"{info.name}{chain} holds {why}" for chain, why in reasons
+            )
+            yield symbols.source.finding(
+                self.rule_id, call.lineno,
+                f"{qualified} sends '{arg_text}' (a {info.name}) across a "
+                f"queue/executor boundary, but {detail} — pickling it "
+                "will fail once queues go multiprocess",
+                hint="serialize to owned bytes first (bytes(view)), or "
+                     "give the class __getstate__/__reduce__ that rebuilds "
+                     "views from the shared segment on the far side",
+            )
+            return  # one finding per call site is enough signal
+
+    @staticmethod
+    def _receiver_param_classes(
+        sem, typer, call: ast.Call, arg: ast.expr
+    ) -> List[ClassInfo]:
+        receiver_classes = typer.infer(call.func.value)
+        position = call.args.index(arg)
+        classes: List[ClassInfo] = []
+        for recv in receiver_classes:
+            method = recv.methods.get(call.func.attr)
+            if method is None:
+                continue
+            params = [a for a in method.args.args if a.arg != "self"]
+            if position < len(params):
+                classes.extend(sem.symbols.annotation_classes(
+                    recv.module, params[position].annotation
+                ))
+        return classes
+
+
+def _safe_unparse(expr: ast.AST) -> str:
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover
+        return "<payload>"

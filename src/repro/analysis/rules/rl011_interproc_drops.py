@@ -1,0 +1,154 @@
+"""RL011: drop conservation, now one call deep.
+
+RL004 demanded the drop-counter increment *in the same block or
+function* as the discard — a deliberate gen-1 crutch, because without a
+call graph "the helper does the counting" was indistinguishable from
+"nobody does the counting".  The crutch had a cost both ways: factoring
+``self._account_drop()`` out of a shedding guard produced a false
+positive, and a helper that *looked* like accounting but wasn't stayed
+invisible.
+
+The gen-2 engine resolves call edges
+(:class:`repro.analysis.semantics.graph.CallGraph`), so this rule keeps
+RL004's detection exactly — same guards, same bare ``.drop()``
+verdicts, same infra scope — but before reporting it follows each
+resolved call one level into its body and accepts accounting found
+there.  One level is the RacerD trade: it legitimizes the common
+"extract the bookkeeping into a helper" refactor without chasing
+arbitrarily deep chains whose relevance the analysis could not defend.
+
+RL004 carries ``superseded_by = "RL011"`` — it stays registered (for
+``--rules RL004`` and SARIF metadata) but leaves the default set, so a
+defect is reported once, by the smarter rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.astutil import chain_text, function_body_walk
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule, register
+from repro.analysis.rules.rl004_drops import (
+    GUARD_RE,
+    INFRA_PARTS,
+    _has_accounting,
+    _is_discard_terminator,
+)
+
+
+def _calls_in(nodes: Iterable[ast.AST]) -> List[ast.Call]:
+    calls: List[ast.Call] = []
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                calls.append(sub)
+    return calls
+
+
+@register
+class InterprocDropConservationRule(Rule):
+    rule_id = "RL011"
+    title = "drop accounting may live one resolved call away from the discard"
+
+    def check(self, project) -> Iterable[Finding]:
+        sem = project.semantics
+        for module in project.modules:
+            symbols = sem.module(module)
+            infra = any(part in INFRA_PARTS for part in module.parts)
+            for qualified, info, fn in self._functions_of(sem, symbols):
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.If):
+                        finding = self._check_guard(
+                            sem, module, symbols, info, node
+                        )
+                        if finding is not None:
+                            yield finding
+                if infra:
+                    yield from self._check_verdict_drops(
+                        sem, module, symbols, info, qualified, fn
+                    )
+
+    @staticmethod
+    def _functions_of(sem, symbols):
+        if symbols is None:
+            return
+        from repro.analysis.semantics.graph import iter_functions
+        yield from iter_functions(symbols)
+
+    # -- interprocedural accounting --------------------------------------
+
+    def _accounted(
+        self, sem, symbols, info, nodes: Iterable[ast.AST]
+    ) -> bool:
+        """RL004's in-place check, then one resolved call level down."""
+        nodes = list(nodes)
+        if _has_accounting(nodes):
+            return True
+        if symbols is None:
+            return False
+        for call in _calls_in(nodes):
+            callee = sem.calls.resolve_call(symbols, info, call.func)
+            body = sem.calls.function(callee)
+            if body is not None and _has_accounting(body.body):
+                return True
+        return False
+
+    # -- the two RL004 shapes, upgraded ----------------------------------
+
+    def _check_guard(
+        self, sem, module, symbols, info, node: ast.If
+    ) -> Optional[Finding]:
+        if not GUARD_RE.search(chain_text(node.test)):
+            return None
+        terminator = next(
+            (stmt for stmt in node.body if _is_discard_terminator(stmt)), None
+        )
+        if terminator is None:
+            return None
+        if self._accounted(sem, symbols, info, node.body):
+            return None
+        return module.finding(
+            self.rule_id, terminator.lineno,
+            "load-shedding guard discards packets without a drop-counter "
+            "increment in the guard or any function it calls",
+            hint="increment a *drop*/*reject* counter inside the guard (or "
+                 "in a helper the guard calls) before bailing out",
+        )
+
+    def _check_verdict_drops(
+        self, sem, module, symbols, info, qualified: str, fn
+    ) -> Iterable[Finding]:
+        if fn.name == "drop":
+            return  # the verdict primitive itself
+        drop_calls = [
+            node
+            for node in function_body_walk(fn)
+            if isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "drop"
+            and not node.value.args
+        ]
+        if not drop_calls:
+            return
+        if self._accounted(sem, symbols, info, fn.body):
+            return
+        # A drop-only helper is fine when every caller accounts for it.
+        callers = sem.calls.callers_of(qualified)
+        if callers and all(
+            _has_accounting(body.body)
+            for body in (sem.calls.function(c) for c in callers)
+            if body is not None
+        ):
+            return
+        for call in drop_calls:
+            yield module.finding(
+                self.rule_id, call.lineno,
+                f"verdict .drop() in infrastructure function '{fn.name}' "
+                "without drop accounting in the function, its callees, or "
+                "its callers",
+                hint="mirror the drop into a counter (stats and registry) "
+                     "next to the verdict, as _shed_chunk does",
+            )

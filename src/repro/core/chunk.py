@@ -257,6 +257,54 @@ class Chunk:
         return len(self.frames)
 
     # ------------------------------------------------------------------
+    # Process-boundary serialization.
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the chunk for a process-boundary queue handoff.
+
+        The ``memoryview`` frame slices cannot be pickled; the packed
+        backing store travels as owned bytes instead and the slices are
+        rebuilt against a fresh store on the far side (same SoA layout,
+        zero aliasing back into the sender's buffer).
+        """
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("frames", "_frame_store", "_batch")
+        }
+        if self._packed:
+            state["_store_bytes"] = bytes(self._frame_store)
+            state["_loose_frames"] = None
+        else:
+            # replace_frame() detached some frames from the store; ship
+            # each frame individually and stay unpacked on arrival.
+            # Serialization boundary, not a data-plane loop.
+            state["_store_bytes"] = None
+            state["_loose_frames"] = [bytes(f) for f in self.frames]  # reprolint: ignore[RL006]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        store_bytes = state.pop("_store_bytes")
+        loose = state.pop("_loose_frames")
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._batch = None
+        if store_bytes is not None:
+            store = bytearray(store_bytes)
+            view = memoryview(store)
+            self._frame_store = store
+            self.frames = [
+                view[offset:offset + length]
+                for offset, length in zip(
+                    self._offsets.tolist(), self._lengths.tolist()
+                )
+            ]
+        else:
+            self._frame_store = bytearray()
+            self.frames = [bytearray(f) for f in loose]
+
+    # ------------------------------------------------------------------
     # The structure-of-arrays view.
     # ------------------------------------------------------------------
 

@@ -419,7 +419,10 @@ class PacketShader:
         instead of four per-packet walks.
         """
         for port, frames in chunk.split_by_port().items():
-            egress.setdefault(port, []).extend(frames)
+            # Egress frames outlive the chunk: hand the caller owned
+            # copies, not views into the packed store a later
+            # replace_frame() would repack underneath them (RL009).
+            egress.setdefault(port, []).extend(map(bytearray, frames))
         forwarded, dropped, slow = chunk.disposition_counts()
         self.stats.forwarded += forwarded
         self.stats.dropped += dropped

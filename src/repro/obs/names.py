@@ -84,6 +84,13 @@ FLIGHTREC_EVENTS = "flightrec.events"
 FLIGHTREC_DUMPS = "flightrec.dumps"
 PROF_STAGE_WALL_NS = "prof.stage_wall_ns"
 
+# -- lint: reprolint self-metrics (docs/STATIC_ANALYSIS.md) ------------
+LINT_RUNS = "lint.runs"
+LINT_CACHE_HITS = "lint.cache_hits"
+LINT_FILES_CHECKED = "lint.files_checked"
+LINT_FINDINGS = "lint.findings"
+LINT_WALL_NS = "lint.wall_ns"
+
 # -- perf: benchmark registry and the scorecard (docs/PERF.md) ---------
 BENCH_RUNS = "bench.runs"
 BENCH_FIGURES = "bench.figures"

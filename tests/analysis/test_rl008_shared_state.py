@@ -1,0 +1,168 @@
+"""RL008: fork-visible mutable module/class state must be owned."""
+
+from tests.analysis.conftest import messages, rule_ids
+
+
+class TestModuleGlobals:
+    def test_mutated_global_in_core_flagged(self, lint):
+        result = lint({
+            "core/pipeline.py": """
+                FLOW_CACHE = {}
+
+                def note_flow(key, entry):
+                    FLOW_CACHE[key] = entry
+            """,
+        }, rules=["RL008"])
+        assert rule_ids(result) == ["RL008"]
+        assert "FLOW_CACHE" in messages(result)
+
+    def test_readonly_constant_dict_is_silent(self, lint):
+        result = lint({
+            "core/codes.py": """
+                CODES = {"forward": 0, "drop": 1}
+
+                def code_of(name):
+                    return CODES[name]
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+
+    def test_accessor_rebind_singleton_is_sanctioned(self, lint):
+        # The obs.registry pattern: every write is a whole-object rebind
+        # under a ``global`` declaration — per-process by design.
+        result = lint({
+            "core/registry.py": """
+                _default = dict()
+
+                def set_default(registry):
+                    global _default
+                    _default = registry
+
+                def reset_default():
+                    global _default
+                    _default = dict()
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+
+    def test_mutation_through_import_is_seen(self, lint):
+        # The writer lives in another module; resolution must follow
+        # the import to connect the write back to the definition.
+        result = lint({
+            "core/state.py": "TABLE = {}\n",
+            "core/worker.py": """
+                from core.state import TABLE
+
+                def learn(key):
+                    TABLE[key] = True
+            """,
+        }, rules=["RL008"])
+        assert rule_ids(result) == ["RL008"]
+        assert result.findings[0].path == "core/state.py"
+        assert "core/worker.py" in messages(result)
+
+    def test_outside_fork_reachability_is_silent(self, lint):
+        # Same shape, but in a tools/ module nothing in core imports.
+        result = lint({
+            "tools/tally.py": """
+                COUNTS = {}
+
+                def bump(key):
+                    COUNTS[key] = COUNTS.get(key, 0) + 1
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+
+    def test_local_shadow_is_not_a_global_write(self, lint):
+        result = lint({
+            "core/pipeline.py": """
+                TABLE = {}
+
+                def scoped():
+                    TABLE = {}
+                    TABLE["x"] = 1
+                    return TABLE
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+
+
+class TestClassAttributes:
+    def test_shared_class_container_mutated_via_self(self, lint):
+        result = lint({
+            "core/worker.py": """
+                class Worker:
+                    backlog = []
+
+                    def enqueue(self, item):
+                        self.backlog.append(item)
+            """,
+        }, rules=["RL008"])
+        assert rule_ids(result) == ["RL008"]
+        assert "Worker.backlog" in messages(result)
+
+    def test_rebound_per_instance_is_fine(self, lint):
+        result = lint({
+            "core/worker.py": """
+                class Worker:
+                    backlog = []
+
+                    def __init__(self):
+                        self.backlog = []
+
+                    def enqueue(self, item):
+                        self.backlog.append(item)
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+
+    def test_immutable_class_attr_is_fine(self, lint):
+        result = lint({
+            "core/worker.py": """
+                class Worker:
+                    MAX_DEPTH = 64
+
+                    def full(self, n):
+                        return n >= self.MAX_DEPTH
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+
+
+class TestSeededBug:
+    def test_seeded_per_process_counter_divergence(self, lint):
+        """The sharding bug this rule exists for: a module-level stats
+        dict the master and workers would each mutate in their own
+        process copy, silently splitting the tally after fork."""
+        result = lint({
+            "core/stats.py": """
+                ROUTER_STATS = {"forwarded": 0, "dropped": 0}
+
+                def account(disposition):
+                    ROUTER_STATS[disposition] += 1
+            """,
+            "core/framework.py": """
+                from core.stats import account
+
+                def finish(chunk):
+                    account("forwarded")
+            """,
+        }, rules=["RL008"])
+        assert rule_ids(result) == ["RL008"]
+        finding = result.findings[0]
+        assert finding.path == "core/stats.py"
+        assert "ROUTER_STATS" in finding.message
+        assert "fork" in finding.message
+
+    def test_suppression_with_justification_clears_it(self, lint):
+        result = lint({
+            "core/stats.py": """
+                # Aggregated by the collector on merge, never read raw.
+                ROUTER_STATS = {"forwarded": 0}  # reprolint: ignore[RL008]
+
+                def account(d):
+                    ROUTER_STATS[d] += 1
+            """,
+        }, rules=["RL008"])
+        assert result.findings == []
+        assert result.suppressed == 1

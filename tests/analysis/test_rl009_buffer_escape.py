@@ -1,0 +1,130 @@
+"""RL009: borrowed packet-buffer views must not outlive the call."""
+
+from tests.analysis.conftest import messages, rule_ids
+
+
+class TestEscapes:
+    def test_stashing_frame_on_self_flagged(self, lint):
+        result = lint({
+            "apps/sniffer.py": """
+                class Sniffer:
+                    def observe(self, chunk):
+                        self.last_frame = chunk.frames[0]
+            """,
+        }, rules=["RL009"])
+        assert rule_ids(result) == ["RL009"]
+        assert "chunk.frames[0]" in messages(result)
+        assert "self.last_frame" in messages(result)
+
+    def test_appending_view_to_long_lived_container_flagged(self, lint):
+        result = lint({
+            "apps/mirror.py": """
+                class Mirror:
+                    def tap(self, chunk):
+                        for frame in chunk.frames:
+                            self.taps.append(frame)
+            """,
+        }, rules=["RL009"])
+        assert rule_ids(result) == ["RL009"]
+
+    def test_module_global_stash_flagged(self, lint):
+        result = lint({
+            "net/capture.py": """
+                LAST_BATCH = None
+
+                def capture(chunk):
+                    global LAST_BATCH
+                    LAST_BATCH = chunk.batch()
+            """,
+        }, rules=["RL009"])
+        assert rule_ids(result) == ["RL009"]
+
+    def test_taint_survives_rebinding_chain(self, lint):
+        result = lint({
+            "apps/deep.py": """
+                class Deep:
+                    def peek(self, chunk):
+                        view = chunk.frames[0]
+                        header = view[0:14]
+                        self.header = header
+            """,
+        }, rules=["RL009"])
+        assert rule_ids(result) == ["RL009"]
+
+
+class TestOwnership:
+    def test_owner_slicing_its_own_store_is_silent(self, lint):
+        # Chunk.__init__'s own pattern: LOCAL-rooted storage.
+        result = lint({
+            "core/chunk.py": """
+                class Chunk:
+                    def __init__(self, frames):
+                        store = bytearray().join(frames)
+                        view = memoryview(store)
+                        self._frame_store = store
+                        self.frames = [view[0:8]]
+            """,
+        }, rules=["RL009"])
+        assert result.findings == []
+
+    def test_copy_before_keep_is_silent(self, lint):
+        result = lint({
+            "apps/sniffer.py": """
+                class Sniffer:
+                    def observe(self, chunk):
+                        self.last_frame = bytes(chunk.frames[0])
+                        self.all = [bytearray(f) for f in chunk.frames]
+            """,
+        }, rules=["RL009"])
+        assert result.findings == []
+
+    def test_transient_local_use_is_silent(self, lint):
+        result = lint({
+            "apps/csum.py": """
+                def checksum(chunk):
+                    total = 0
+                    for frame in chunk.frames:
+                        total += frame[0]
+                    return total
+            """,
+        }, rules=["RL009"])
+        assert result.findings == []
+
+
+class TestSeededBug:
+    def test_seeded_dangling_view_across_replace_frame(self, lint):
+        """The replace_frame() hazard: an IPsec-style app stashes the
+        pre-encap view, the framework repacks the store, and the stash
+        now reads dead bytes.  Static shape: param-rooted view bound to
+        an attribute."""
+        result = lint({
+            "apps/ipsec.py": """
+                class EspTunnel:
+                    def pre_shade(self, chunk):
+                        originals = {}
+                        for index in chunk.pending_indices():
+                            originals[index] = chunk.frames[index]
+                        self.originals = originals
+
+                    def post_shade(self, chunk):
+                        for index, frame in self.originals.items():
+                            chunk.replace_frame(index, self.encap(frame))
+            """,
+        }, rules=["RL009"])
+        assert rule_ids(result) == ["RL009"]
+        finding = result.findings[0]
+        assert finding.path == "apps/ipsec.py"
+        assert "self.originals" in finding.message
+
+    def test_suppression_with_justification_clears_it(self, lint):
+        result = lint({
+            "apps/sniffer.py": """
+                class Sniffer:
+                    def observe(self, chunk):
+                        # Consumed before post_shade returns; no repack
+                        # can happen while this alias is live.
+                        self.scratch = chunk.frames[0]  # reprolint: ignore[RL009]
+            """,
+        }, rules=["RL009"])
+        assert result.findings == []
+        assert result.suppressed == 1

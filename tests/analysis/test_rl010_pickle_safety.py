@@ -1,0 +1,182 @@
+"""RL010: queue/executor payloads must survive the process boundary."""
+
+from tests.analysis.conftest import messages, rule_ids
+
+#: A chunk-like class whose instances hold memoryview frames.
+VIEWY_CHUNK = """
+    class Chunk:
+        def __init__(self, frames):
+            store = bytearray().join(frames)
+            view = memoryview(store)
+            self.frames = [view[0:8]]
+"""
+
+
+class TestUnpicklablePayloads:
+    def test_ctor_typed_payload_with_memoryview_flagged(self, lint):
+        result = lint({
+            "core/chunk.py": VIEWY_CHUNK,
+            "core/feed.py": """
+                from core.chunk import Chunk
+
+                def feed(queue, frames):
+                    chunk = Chunk(frames)
+                    queue.put(chunk)
+            """,
+        }, rules=["RL010"])
+        assert rule_ids(result) == ["RL010"]
+        assert "memoryview" in messages(result)
+        assert result.findings[0].path == "core/feed.py"
+
+    def test_receiver_annotation_types_the_payload(self, lint):
+        # The sender has no local type info; the queue's own
+        # ``put(self, chunk: Chunk)`` annotation supplies it.
+        result = lint({
+            "core/chunk.py": VIEWY_CHUNK,
+            "core/queues.py": """
+                from core.chunk import Chunk
+
+                class InputQueue:
+                    def __init__(self):
+                        self._items = []
+
+                    def put(self, chunk: Chunk) -> bool:
+                        self._items.append(chunk)
+                        return True
+            """,
+            "core/feed.py": """
+                from core.queues import InputQueue
+
+                def feed(payload):
+                    queue = InputQueue()
+                    queue.put(payload)
+            """,
+        }, rules=["RL010"])
+        assert [f.path for f in result.findings] == ["core/feed.py"]
+
+    def test_lambda_submit_flagged(self, lint):
+        result = lint({
+            "core/dispatch.py": """
+                def dispatch(executor, chunk):
+                    executor.submit(lambda: chunk)
+            """,
+        }, rules=["RL010"])
+        assert rule_ids(result) == ["RL010"]
+        assert "lambda" in messages(result)
+
+    def test_open_handle_attribute_flagged(self, lint):
+        result = lint({
+            "core/writer.py": """
+                class SpoolJob:
+                    def __init__(self, path):
+                        self.sink = open(path, "wb")
+
+                def spool(queue, path):
+                    job = SpoolJob(path)
+                    queue.put(job)
+            """,
+        }, rules=["RL010"])
+        assert rule_ids(result) == ["RL010"]
+        assert "open file handle" in messages(result)
+
+    def test_nested_class_freight_found_transitively(self, lint):
+        result = lint({
+            "core/chunk.py": VIEWY_CHUNK,
+            "core/envelope.py": """
+                from core.chunk import Chunk
+
+                class Envelope:
+                    def __init__(self, frames):
+                        self.chunk = Chunk(frames)
+
+                def send(queue, frames):
+                    envelope = Envelope(frames)
+                    queue.put(envelope)
+            """,
+        }, rules=["RL010"])
+        assert rule_ids(result) == ["RL010"]
+        assert ".chunk.frames" in messages(result)
+
+
+class TestSafePayloads:
+    def test_plain_data_payload_is_silent(self, lint):
+        result = lint({
+            "core/feed.py": """
+                class Record:
+                    def __init__(self, port, count):
+                        self.port = port
+                        self.count = count
+
+                def feed(queue, port):
+                    queue.put(Record(port, 0))
+            """,
+        }, rules=["RL010"])
+        assert result.findings == []
+
+    def test_getstate_hook_is_trusted(self, lint):
+        result = lint({
+            "core/chunk.py": """
+                class Chunk:
+                    def __init__(self, frames):
+                        store = bytearray().join(frames)
+                        view = memoryview(store)
+                        self.frames = [view[0:8]]
+
+                    def __getstate__(self):
+                        return {"frames": [bytes(f) for f in self.frames]}
+
+                    def __setstate__(self, state):
+                        self.frames = state["frames"]
+
+                def feed(queue, frames):
+                    queue.put(Chunk(frames))
+            """,
+        }, rules=["RL010"])
+        assert result.findings == []
+
+    def test_unknown_payload_type_is_silent(self, lint):
+        # No type information -> no claim (unknown is not a finding).
+        result = lint({
+            "core/feed.py": """
+                def feed(queue, mystery):
+                    queue.put(mystery)
+            """,
+        }, rules=["RL010"])
+        assert result.findings == []
+
+
+class TestSeededBug:
+    def test_seeded_chunk_over_future_mp_queue(self, lint):
+        """The exact crash the sharding PR would hit on day one: the
+        framework hands a view-carrying Chunk to worker.output_queue.put
+        — fine in-process, TypeError the moment the queue pickles."""
+        result = lint({
+            "core/chunk.py": VIEWY_CHUNK,
+            "core/queues.py": """
+                from core.chunk import Chunk
+
+                class WorkerOutputQueue:
+                    def __init__(self):
+                        self._items = []
+
+                    def put(self, chunk: Chunk) -> None:
+                        self._items.append(chunk)
+            """,
+            "core/framework.py": """
+                from core.chunk import Chunk
+                from core.queues import WorkerOutputQueue
+
+                class Shader:
+                    def __init__(self):
+                        self.out = WorkerOutputQueue()
+
+                    def shade(self, frames):
+                        chunk = Chunk(frames)
+                        self.out.put(chunk)
+            """,
+        }, rules=["RL010"])
+        assert rule_ids(result) == ["RL010"]
+        finding = result.findings[0]
+        assert finding.path == "core/framework.py"
+        assert "Chunk" in finding.message
+        assert "pickling" in finding.message

@@ -42,3 +42,49 @@ class TestVerdicts:
     def test_verdicts_must_parallel_frames(self):
         with pytest.raises(ValueError):
             Chunk(frames=[bytearray(64)], verdicts=[PacketVerdict(), PacketVerdict()])
+
+
+class TestPickle:
+    """Process-boundary serialization (the sharded data plane pickles
+    chunks across multiprocessing queues — RL010's runtime contract)."""
+
+    def test_round_trip_packed_chunk(self):
+        import pickle
+
+        chunk = Chunk(
+            frames=[bytearray(b"\xaa" * 60), bytearray(b"\xbb" * 64)],
+            worker_id=3, in_port=2, queue_id=1,
+        )
+        chunk.verdicts[0].forward_to(7)
+        clone = pickle.loads(pickle.dumps(chunk))
+        assert [bytes(f) for f in clone.frames] == [
+            bytes(f) for f in chunk.frames
+        ]
+        assert clone.worker_id == 3 and clone.in_port == 2
+        assert clone.verdicts[0].out_port == 7
+        assert clone.batch().lengths.tolist() == [60, 64]
+
+    def test_round_trip_does_not_alias_sender_storage(self):
+        import pickle
+
+        chunk = Chunk(frames=[bytearray(b"\x00" * 32)])
+        clone = pickle.loads(pickle.dumps(chunk))
+        chunk.frames[0][0] = 0xFF
+        assert clone.frames[0][0] == 0  # owned copy, not a shared view
+
+    def test_round_trip_after_replace_frame(self):
+        import pickle
+
+        chunk = Chunk(frames=[bytearray(b"\x01" * 16), bytearray(b"\x02" * 16)])
+        chunk.replace_frame(1, bytearray(b"\x99" * 24))
+        clone = pickle.loads(pickle.dumps(chunk))
+        assert bytes(clone.frames[1]) == b"\x99" * 24
+        assert len(clone.frames[0]) == 16
+
+    def test_clone_frames_stay_mutable(self):
+        import pickle
+
+        chunk = Chunk(frames=[bytearray(b"\x00" * 16)])
+        clone = pickle.loads(pickle.dumps(chunk))
+        clone.frames[0][0] = 0x42  # TTL-rewrite style in-place edit
+        assert clone.frames[0][0] == 0x42
