@@ -179,6 +179,7 @@ class Chunk:
         "arrival_ns",
         "service_ns",
         "enqueue_depth",
+        "trace_ctx",
         "_frame_store",
         "_offsets",
         "_lengths",
@@ -243,6 +244,13 @@ class Chunk:
         #: Chunks already queued at the master when this one was handed
         #: off — the queue-wait component of the latency estimate.
         self.enqueue_depth = 0
+        #: Flight-recorder trace context ``(writer_id, origin_seq)``:
+        #: which worker's ring recorded the RX that birthed this chunk,
+        #: and that event's seq.  Stamped at the RX edge, carried across
+        #: queue (and pickle) boundaries, and echoed into the CHUNK
+        #: completion event so a merged cross-process stream can link a
+        #: verdict back to its ingress.  ``None`` until stamped.
+        self.trace_ctx: Optional[Tuple[int, int]] = None
         if verdicts is not None:
             if len(verdicts) != len(frames):
                 raise ValueError("verdicts must parallel frames")

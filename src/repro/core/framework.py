@@ -277,16 +277,20 @@ class PacketShader:
             per_worker.setdefault(worker.worker_id, []).append(frame)
         chunks = []
         cap = self.effective_chunk_capacity()
+        # Chunks built here (process_frames, no I/O engine) anchor
+        # their trace context at the recorder's current seq: the most
+        # recent event in flight when the batch entered the router.
+        ctx = (self.flightrec.writer_id, self.flightrec.seq)
         for worker in node.workers:
             share = per_worker.get(worker.worker_id, [])
             for start in range(0, len(share), cap):
-                chunks.append(
-                    Chunk(
-                        frames=share[start:start + cap],
-                        worker_id=worker.worker_id,
-                        in_port=in_port,
-                    )
+                chunk = Chunk(
+                    frames=share[start:start + cap],
+                    worker_id=worker.worker_id,
+                    in_port=in_port,
                 )
+                chunk.trace_ctx = ctx
+                chunks.append(chunk)
         return chunks
 
     # ------------------------------------------------------------------
@@ -432,8 +436,10 @@ class PacketShader:
         self._m_dropped.inc(dropped)
         self._m_slow_path.inc(slow)
         self._m_chunks.inc()
+        ctx = chunk.trace_ctx or (self.flightrec.writer_id, 0)
         self.flightrec.note(
-            Events.CHUNK, "", len(chunk), forwarded, dropped, slow
+            Events.CHUNK, "", len(chunk), forwarded, dropped, slow,
+            ctx[0], ctx[1],
         )
         self.watchdog.note_progress()
         if self.overload is not None:

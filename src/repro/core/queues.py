@@ -80,7 +80,10 @@ class MasterInputQueue:
         self.enqueued += 1
         self._m_enqueued.inc()
         self._g_depth.set(len(self._queue))
-        self._recorder.note(Events.QUEUE, "master", len(self._queue))
+        ctx = chunk.trace_ctx or (self._recorder.writer_id, 0)
+        self._recorder.note(
+            Events.QUEUE, "master", len(self._queue), ctx[0], ctx[1]
+        )
         return True
 
     def get_batch(self, max_chunks: int) -> List[Chunk]:

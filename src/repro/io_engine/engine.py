@@ -83,6 +83,10 @@ class PacketIOEngine:
         self._by_thread: Dict[int, List[VirtualInterface]] = {}
         self._rr_cursor: Dict[int, int] = {}
         self._recorder = get_flightrec()
+        #: Seq of the most recent RX event this engine noted — the
+        #: trace-context anchor the testbed stamps onto the chunk built
+        #: from that fetch (``Chunk.trace_ctx``).
+        self.last_rx_seq = 0
         self._profiler = get_profiler()
         registry = get_registry()
         self._m_rx_packets = registry.counter(
@@ -180,7 +184,7 @@ class PacketIOEngine:
                 self._m_rx_packets.inc(len(frames))
                 self._m_rx_chunks.inc()
                 self._h_chunk_size.observe(len(frames))
-                self._recorder.note(
+                self.last_rx_seq = self._recorder.note(
                     Events.RX,
                     f"{interface.nic_id}:{interface.queue_id}",
                     len(frames),

@@ -24,8 +24,13 @@ same measurement machinery, permanently resident:
   of compact structured events with post-mortem JSONL dumps;
 * :mod:`repro.obs.profiler` — the wall-clock stage profiler, the one
   sanctioned wall-clock reader below the CLI (reprolint RL007);
-* :mod:`repro.obs.top` — the live ``repro top`` dashboard (imported
-  lazily by the CLI, not from here).
+* :mod:`repro.obs.shm` — shared-memory metric slabs: the per-writer-
+  process registry backend plus the aggregator that merges slabs back
+  into one registry snapshot (the sharded data plane's substrate);
+* :mod:`repro.obs.multiproc` — worker-fleet lifecycle over the slabs
+  (imported lazily by the CLI and tests, not from here);
+* :mod:`repro.obs.top` — the live ``repro top`` dashboard, including
+  the multi-worker panes (imported lazily by the CLI, not from here).
 
 See ``docs/OBSERVABILITY.md`` for the API guide and conventions.
 """
@@ -45,6 +50,7 @@ from repro.obs.flightrec import (
     FlightRecorder,
     get_flightrec,
     load_dump,
+    merge_dumps,
     reset_flightrec,
     set_flightrec,
 )
@@ -67,6 +73,14 @@ from repro.obs.registry import (
     reset_registry,
     set_registry,
 )
+from repro.obs.shm import (
+    MetricSlab,
+    ShmMetricsRegistry,
+    aggregate_slabs,
+    merge_into,
+    read_slab,
+    slab_name,
+)
 from repro.obs.trace import (
     PIPELINE_ORDER,
     Span,
@@ -88,8 +102,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_NS_BUCKETS",
+    "MetricSlab",
     "MetricsRegistry",
     "PIPELINE_ORDER",
+    "ShmMetricsRegistry",
     "Span",
     "StageAttribution",
     "StageCost",
@@ -97,6 +113,7 @@ __all__ = [
     "Stages",
     "Tracer",
     "WALL_NS_BUCKETS",
+    "aggregate_slabs",
     "analyze",
     "attribute",
     "enable_console",
@@ -109,7 +126,10 @@ __all__ = [
     "get_tracer",
     "limiting_stage",
     "load_dump",
+    "merge_dumps",
+    "merge_into",
     "names",
+    "read_slab",
     "reset_flightrec",
     "reset_profiler",
     "reset_registry",
@@ -118,5 +138,6 @@ __all__ = [
     "set_profiler",
     "set_registry",
     "set_tracer",
+    "slab_name",
     "stage_table",
 ]

@@ -36,8 +36,9 @@ the span tracer (and reprolint RL003 checks its stage names).
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
-from typing import Dict, IO, Iterator, List, Optional, Tuple, Union
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.obs import names
 from repro.obs.registry import MetricsRegistry, get_registry
@@ -47,7 +48,9 @@ class Events:
     """Canonical event kinds (one per instrumented boundary)."""
 
     #: One chunk finished the workflow; data = (packets, forwarded,
-    #: dropped, slow_path).
+    #: dropped, slow_path, ctx_writer, ctx_seq) — the trailing pair is
+    #: the chunk's trace context: the writer and RX-event seq it was
+    #: born from (``Chunk.trace_ctx``).
     CHUNK = "chunk"
     #: A chunk was shed after bounded backpressure gave up; data =
     #: (packets_shed,).
@@ -66,7 +69,8 @@ class Events:
     #: The watchdog declared a stall (no progress across its threshold).
     WATCHDOG = "watchdog"
     #: Master input queue depth after a put/get; label = "master",
-    #: data = (depth,).
+    #: data = (depth, ctx_writer, ctx_seq) — the enqueued chunk's trace
+    #: context crosses the queue boundary with it.
     QUEUE = "queue"
     #: A worker fetched a chunk through the I/O engine; label =
     #: "<nic>:<queue>", data = (packets,).
@@ -89,14 +93,15 @@ class Events:
 
 #: Read-side field names per kind (the write side stores bare tuples).
 KIND_FIELDS: Dict[str, Tuple[str, ...]] = {
-    Events.CHUNK: ("packets", "forwarded", "dropped", "slow_path"),
+    Events.CHUNK: ("packets", "forwarded", "dropped", "slow_path",
+                   "ctx_writer", "ctx_seq"),
     Events.SHED: ("packets",),
     Events.GPU_RETRY: ("attempt",),
     Events.GPU_FALLBACK: ("packets",),
     Events.FAULT: (),
     Events.BREAKER: (),
     Events.WATCHDOG: (),
-    Events.QUEUE: ("depth",),
+    Events.QUEUE: ("depth", "ctx_writer", "ctx_seq"),
     Events.RX: ("packets",),
     Events.LIVELOCK: (),
     Events.DUMP: (),
@@ -112,16 +117,25 @@ DEFAULT_CAPACITY = 65536
 
 
 class FlightEvent:
-    """One recorded event, hydrated with field names (read side only)."""
+    """One recorded event, hydrated with field names (read side only).
 
-    __slots__ = ("seq", "kind", "label", "data")
+    ``epoch_ns`` is the gen-3 merge stamp: ``perf_counter_ns()`` at
+    ``note()`` time (CLOCK_MONOTONIC on Linux — system-wide, so stamps
+    from different worker processes are directly comparable).  Events
+    constructed without one (old dumps, hand-built fixtures) serialize
+    without a ``t_ns`` field, keeping gen-2 dumps byte-compatible.
+    """
+
+    __slots__ = ("seq", "kind", "label", "data", "epoch_ns")
 
     def __init__(self, seq: int, kind: str, label: str,
-                 data: Tuple[float, ...]) -> None:
+                 data: Tuple[float, ...],
+                 epoch_ns: Optional[int] = None) -> None:
         self.seq = seq
         self.kind = kind
         self.label = label
         self.data = data
+        self.epoch_ns = epoch_ns
 
     @property
     def fields(self) -> Dict[str, float]:
@@ -133,6 +147,8 @@ class FlightEvent:
         }
         if self.label:
             record["label"] = self.label
+        if self.epoch_ns is not None:
+            record["t_ns"] = self.epoch_ns
         record.update(self.fields)
         # Extra positional data beyond the schema keeps raw indices so
         # nothing is silently lost.
@@ -154,11 +170,18 @@ class FlightRecorder:
     """
 
     def __init__(self, enabled: bool = True,
-                 capacity: int = DEFAULT_CAPACITY) -> None:
+                 capacity: int = DEFAULT_CAPACITY,
+                 writer_id: int = 0) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if writer_id < 0:
+            raise ValueError("writer_id must be >= 0")
         self.enabled = enabled
         self.capacity = capacity
+        #: Which worker process owns this ring (0 = the single-process
+        #: default).  Stamped into dumps so the k-way merge can order
+        #: and attribute events across workers.
+        self.writer_id = writer_id
         self._ring: List[Optional[Tuple]] = [None] * capacity
         self._seq = 0
         #: Post-mortem arming: dumps go here when set (None = disarmed).
@@ -178,11 +201,19 @@ class FlightRecorder:
     # -- recording ------------------------------------------------------
 
     def note(self, kind: str, label: str = "", *data: float) -> int:
-        """Write one event; returns its id (0 when recording is off)."""
+        """Write one event; returns its id (0 when recording is off).
+
+        Each event carries a ``perf_counter_ns`` epoch stamp — the
+        cross-process merge key (see :func:`merge_dumps`).  The stamp
+        is one clock read on top of the tuple build; the obs layer is
+        exempt from the sim-clock determinism rule (RL001 scope).
+        """
         if not self.enabled:
             return 0
         seq = self._seq = self._seq + 1
-        self._ring[seq % self.capacity] = (seq, kind, label, data)
+        self._ring[seq % self.capacity] = (
+            seq, kind, label, data, time.perf_counter_ns()
+        )
         self._m_events.inc()
         return seq
 
@@ -231,18 +262,28 @@ class FlightRecorder:
 
         The meta line snapshots the registry at dump time so a replay
         can reconcile events against counters without the live process.
+        The snapshot goes through :meth:`MetricsRegistry.snapshot`, so
+        a dump taken while another thread observes is never torn, and
+        the ring's eviction count is published as the
+        ``obs.ring_dropped_slots`` gauge before the snapshot is taken.
         """
         from repro.obs.exporters import _metric_to_dict
 
         registry = registry if registry is not None else get_registry()
+        registry.gauge(
+            names.OBS_RING_DROPPED_SLOTS,
+            help="flight-ring events evicted by newer ones at dump time",
+        ).set(self.evicted)
+        snapshot = registry.snapshot()
         meta = {
             "type": "flightrec_meta",
             "reason": reason,
+            "writer": self.writer_id,
             "seq": self._seq,
             "retained": self.retained,
             "evicted": self.evicted,
             "capacity": self.capacity,
-            "metrics": [_metric_to_dict(m) for m in registry.collect()],
+            "metrics": [_metric_to_dict(m) for m in snapshot.collect()],
         }
         lines = [json.dumps(meta, sort_keys=True)]
         lines.extend(
@@ -281,13 +322,18 @@ class FlightRecorder:
         Always notes a DUMP event (so the trigger itself is on the
         record even when disarmed); returns the written path or None.
         The filename carries the trigger reason and the event id — not a
-        timestamp, so chaos replays stay deterministic.
+        timestamp, so chaos replays stay deterministic.  A nonzero
+        ``writer_id`` is qualified into the name (``flightrec-w3-...``)
+        so per-worker post-mortems landing in a shared directory never
+        collide; writer 0 keeps the historical unqualified form.
         """
         self.note(Events.DUMP, reason)
         if self.postmortem_dir is None or self.postmortem_budget <= 0:
             return None
         self.postmortem_budget -= 1
-        path = self.postmortem_dir / f"flightrec-{reason}-{self._seq}.jsonl"
+        stem = (f"flightrec-w{self.writer_id}-{reason}-{self._seq}"
+                if self.writer_id else f"flightrec-{reason}-{self._seq}")
+        path = self.postmortem_dir / f"{stem}.jsonl"
         self.dump(path, registry, reason=reason)
         self._m_dumps.inc()
         self.dumps_written.append(path)
@@ -364,14 +410,26 @@ class DumpReport:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
-    def verdict_totals(self) -> Dict[str, int]:
-        """Summed chunk verdict fields across every CHUNK event."""
+    def verdict_totals(self, writer: Optional[int] = None) -> Dict[str, int]:
+        """Summed chunk verdict fields across every CHUNK event.
+
+        ``writer`` narrows the sum to one worker's events in a merged
+        dump (events without a ``writer`` field count as writer 0).
+        """
         totals = {"packets": 0, "forwarded": 0, "dropped": 0, "slow_path": 0}
         for event in self.events:
-            if event.get("kind") == Events.CHUNK:
-                for key in totals:
-                    totals[key] += int(event.get(key, 0))
+            if event.get("kind") != Events.CHUNK:
+                continue
+            if writer is not None and int(event.get("writer", 0)) != writer:
+                continue
+            for key in totals:
+                totals[key] += int(event.get(key, 0))
         return totals
+
+    @property
+    def writers(self) -> List[Dict[str, object]]:
+        """Per-writer meta records (empty for a single-process dump)."""
+        return list(self.meta.get("writers", []))
 
     # -- reconciliation -------------------------------------------------
 
@@ -428,6 +486,45 @@ class DumpReport:
                      self.metric_total(names.OVERLOAD_FLOW_EVICTIONS),
                      evicted == self.metric_total(
                          names.OVERLOAD_FLOW_EVICTIONS)))
+        rows.extend(self._reconcile_writers())
+        return rows
+
+    @staticmethod
+    def _writer_total(wmeta: Dict[str, object], name: str) -> float:
+        total = 0.0
+        for metric in wmeta.get("metrics", []):
+            if metric.get("name") == name and "value" in metric:
+                total += metric["value"]
+        return total
+
+    def _reconcile_writers(self) -> List[Tuple[str, float, float, bool]]:
+        """Merged-view rows: per-worker identities, then the conservation
+        cross-check the sharded data plane hinges on — each worker's own
+        counters must match its share of the merged event stream, and
+        the per-worker sums must equal the aggregate counters."""
+        writers = self.writers
+        if not writers:
+            return []
+        rows: List[Tuple[str, float, float, bool]] = []
+        verdict_metrics = (
+            ("forwarded", names.ROUTER_FORWARDED_PACKETS),
+            ("dropped", names.ROUTER_DROPPED_PACKETS),
+            ("slow_path", names.ROUTER_SLOW_PATH_PACKETS),
+        )
+        for wmeta in writers:
+            wid = int(wmeta.get("writer", 0))
+            verdicts = self.verdict_totals(writer=wid)
+            for check, metric in verdict_metrics:
+                snapshot = self._writer_total(wmeta, metric)
+                rows.append((f"w{wid} {check}", verdicts[check], snapshot,
+                             verdicts[check] == snapshot))
+        for check, metric in (
+            ("received", names.ROUTER_RECEIVED_PACKETS),
+        ) + verdict_metrics:
+            per_worker = sum(self._writer_total(w, metric) for w in writers)
+            aggregate = self.metric_total(metric)
+            rows.append((f"sum {check}", per_worker, aggregate,
+                         per_worker == aggregate))
         return rows
 
     @property
@@ -438,7 +535,7 @@ class DumpReport:
 
 
 def load_dump(path: Union[str, Path]) -> DumpReport:
-    """Parse a JSONL dump back into a :class:`DumpReport`."""
+    """Parse a JSONL dump (single-writer or merged) into a report."""
     meta: Dict[str, object] = {}
     events: List[Dict[str, object]] = []
     with Path(path).open() as fh:
@@ -447,13 +544,116 @@ def load_dump(path: Union[str, Path]) -> DumpReport:
             if not line:
                 continue
             record = json.loads(line)
-            if record.get("type") == "flightrec_meta":
+            if record.get("type") in ("flightrec_meta",
+                                      "flightrec_merged_meta"):
                 meta = record
             elif record.get("type") == "event":
                 events.append(record)
     if not meta:
         raise ValueError(f"{path}: no flightrec_meta line — not a dump")
     return DumpReport(meta, events)
+
+
+# ----------------------------------------------------------------------
+# Gen-3: the deterministic k-way merge of per-worker dumps.
+# ----------------------------------------------------------------------
+
+
+def _metric_dict_key(metric: Dict[str, object]) -> Tuple:
+    return (
+        str(metric.get("name", "")),
+        tuple(sorted((metric.get("labels") or {}).items())),
+    )
+
+
+def _merge_metric_dicts(
+    metric_lists: Iterable[List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Sum per-writer snapshot metrics into one aggregate list.
+
+    Same semantics as :func:`repro.obs.shm.merge_into`, but over the
+    serialized exporter dicts a dump carries: counters/gauges/histogram
+    buckets add; histogram bounds must agree.  Exemplars are dropped —
+    their seqs reference per-writer rings and would be ambiguous in an
+    aggregate.
+    """
+    merged: Dict[Tuple, Dict[str, object]] = {}
+    for metrics in metric_lists:
+        for metric in metrics:
+            key = _metric_dict_key(metric)
+            current = merged.get(key)
+            if current is None:
+                current = json.loads(json.dumps(metric))
+                current.pop("exemplars", None)
+                merged[key] = current
+                continue
+            if "value" in metric:
+                current["value"] = current.get("value", 0) + metric["value"]
+            else:
+                if current.get("buckets") != metric.get("buckets"):
+                    raise ValueError(
+                        f"histogram {metric.get('name')}: bucket bounds "
+                        "differ between writers; cannot merge"
+                    )
+                current["counts"] = [
+                    a + b for a, b in zip(current["counts"], metric["counts"])
+                ]
+                current["count"] = current.get("count", 0) + metric.get("count", 0)
+                current["sum"] = current.get("sum", 0.0) + metric.get("sum", 0.0)
+    return [merged[key] for key in sorted(merged)]
+
+
+def merge_dumps(paths: Iterable[Union[str, Path]]) -> str:
+    """Merge per-worker dumps into one causally-ordered JSONL stream.
+
+    The merge key is ``(t_ns, writer, seq)``: epoch stamps are
+    ``perf_counter_ns`` (CLOCK_MONOTONIC — system-wide on Linux, so
+    stamps from sibling worker processes share one timeline), with
+    ``(writer, seq)`` breaking exact ties deterministically.  Events
+    from gen-2 dumps without stamps sort first, still ordered by their
+    own seqs.  Each merged event gains a ``writer`` field; the meta
+    line aggregates every writer's metric snapshot (the view the
+    extended reconciler checks per-worker sums against) and embeds the
+    per-writer metas verbatim.
+    """
+    reports: List[DumpReport] = []
+    for path in paths:
+        reports.append(load_dump(path))
+    # Writer order (and with it the whole merged stream) is independent
+    # of the order the dump files were passed in.
+    reports.sort(key=lambda r: int(r.meta.get("writer", 0)))
+    merged_events: List[Tuple[Tuple, Dict[str, object]]] = []
+    for report in reports:
+        wid = int(report.meta.get("writer", 0))
+        for event in report.events:
+            event = dict(event)
+            event["writer"] = int(event.get("writer", wid))
+            sort_key = (
+                int(event.get("t_ns", 0)), event["writer"],
+                int(event.get("seq", 0)),
+            )
+            merged_events.append((sort_key, event))
+    merged_events.sort(key=lambda pair: pair[0])
+    get_registry().counter(
+        names.OBS_MERGE_EVENTS,
+        help="events flowed through flightrec k-way merges",
+    ).inc(len(merged_events))
+    meta = {
+        "type": "flightrec_merged_meta",
+        "reason": "merge",
+        "writers": [report.meta for report in reports],
+        "seq": sum(int(r.meta.get("seq", 0)) for r in reports),
+        "retained": sum(int(r.meta.get("retained", 0)) for r in reports),
+        "evicted": sum(int(r.meta.get("evicted", 0)) for r in reports),
+        "metrics": _merge_metric_dicts(
+            r.meta.get("metrics", []) for r in reports
+        ),
+    }
+    lines = [json.dumps(meta, sort_keys=True)]
+    lines.extend(
+        json.dumps(event, sort_keys=True) for _, event in merged_events
+    )
+    return "\n".join(lines) + "\n"
 
 
 # ----------------------------------------------------------------------
@@ -477,6 +677,21 @@ def _dump_main(args) -> int:
     return 0
 
 
+def _merge_main(args) -> int:
+    """Merge per-worker dumps; write the merged stream (see merge_dumps)."""
+    import sys
+
+    text = merge_dumps(args.paths)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text)
+        events = text.count("\n") - 1
+        print(f"merged {len(args.paths)} dumps "
+              f"({events} events) into {args.out}")
+    return 0
+
+
 def _replay_main(args) -> int:
     """Render a dump as a timeline and reconcile it against its snapshot."""
     report = load_dump(args.path)
@@ -484,6 +699,11 @@ def _replay_main(args) -> int:
     print(f"flight recorder dump: reason={meta.get('reason')} "
           f"seq={meta.get('seq')} retained={meta.get('retained')} "
           f"evicted={meta.get('evicted')}")
+    if report.writers:
+        print(f"merged from {len(report.writers)} writers: "
+              + ", ".join(f"w{int(w.get('writer', 0))}"
+                          f"({int(w.get('retained', 0))} events)"
+                          for w in report.writers))
     counts = {}
     for event in report.events:
         counts[event["kind"]] = counts.get(event["kind"], 0) + 1
@@ -498,11 +718,14 @@ def _replay_main(args) -> int:
         print(f"\nlast {args.tail} events:")
         for event in report.events[-args.tail:]:
             fields = {k: v for k, v in event.items()
-                      if k not in ("type", "seq", "kind", "label")}
+                      if k not in ("type", "seq", "kind", "label",
+                                   "t_ns", "writer")}
             label = f" {event['label']}" if event.get("label") else ""
             detail = (" " + " ".join(f"{k}={v}" for k, v in fields.items())
                       if fields else "")
-            print(f"  #{event['seq']:<8} {event['kind']:<12}{label}{detail}")
+            wtag = f" w{event['writer']}" if "writer" in event else ""
+            print(f"  #{event['seq']:<8}{wtag} "
+                  f"{event['kind']:<12}{label}{detail}")
     print("\nreconciliation (events vs metrics snapshot):")
     failures = 0
     for check, recorded, snapshot, ok in report.reconcile():
@@ -542,7 +765,16 @@ def flightrec_main(argv=None) -> int:
                         "or a post-mortem trigger")
     replay.add_argument("--tail", type=int, default=12,
                         help="events to print from the end (default: 12)")
+    merge = sub.add_parser(
+        "merge", help="k-way merge per-worker dumps into one causally "
+        "ordered stream (replayable like any dump)")
+    merge.add_argument("paths", nargs="+",
+                       help="per-worker dump files to merge")
+    merge.add_argument("--out", default="-",
+                       help="output path ('-' = stdout, the default)")
     args = parser.parse_args(argv)
     if args.command == "dump":
         return _dump_main(args)
+    if args.command == "merge":
+        return _merge_main(args)
     return _replay_main(args)

@@ -84,6 +84,12 @@ FLIGHTREC_EVENTS = "flightrec.events"
 FLIGHTREC_DUMPS = "flightrec.dumps"
 PROF_STAGE_WALL_NS = "prof.stage_wall_ns"
 
+# -- obs third generation: shared-memory slabs + cross-process merge ---
+OBS_AGG_WALL_NS = "obs.agg_wall_ns"
+OBS_SLAB_BYTES = "obs.slab_bytes"
+OBS_MERGE_EVENTS = "obs.merge_events"
+OBS_RING_DROPPED_SLOTS = "obs.ring_dropped_slots"
+
 # -- lint: reprolint self-metrics (docs/STATIC_ANALYSIS.md) ------------
 LINT_RUNS = "lint.runs"
 LINT_CACHE_HITS = "lint.cache_hits"

@@ -255,6 +255,42 @@ class MetricsRegistry:
             if n == name and hasattr(m, "value")
         )
 
+    def snapshot(self) -> "MetricsRegistry":
+        """A consistent point-in-time copy of every instrument.
+
+        Exporters and dump writers read through snapshots so a writer
+        mutating instruments concurrently (another thread, or a shared-
+        memory slab owner in another process) can never produce a
+        *torn* view: the copied histogram's ``count`` is recomputed as
+        the sum of its copied bucket counts, so the invariant
+        ``count == sum(counts)`` holds by construction even if the
+        source was read mid-``observe``.  ``sum`` may trail the bucket
+        counts by at most the in-flight sample — a bounded skew, never
+        an inconsistent one.
+        """
+        copy = MetricsRegistry()
+        for key, metric in self._metrics.items():
+            name, labels = key
+            if isinstance(metric, Histogram):
+                counts = [int(c) for c in metric.counts]
+                clone = Histogram(
+                    name, list(metric.bounds), help=metric.help, labels=labels
+                )
+                clone.counts = counts
+                clone.count = sum(counts)
+                clone.sum = float(metric.sum)
+                clone.exemplars = dict(metric.exemplars)
+            elif isinstance(metric, Gauge):
+                clone = Gauge(name, help=metric.help, labels=labels)
+                clone.value = float(metric.value)
+            elif isinstance(metric, Counter):
+                clone = Counter(name, help=metric.help, labels=labels)
+                clone.value = float(metric.value)
+            else:  # pragma: no cover - no other instrument kinds exist
+                continue
+            copy._metrics[key] = clone
+        return copy
+
     def __len__(self) -> int:
         return len(self._metrics)
 

@@ -8,6 +8,17 @@ breaker state per device, drop attribution, and the tail of the flight
 recorder's event ring.  ``--once`` prints a single plain snapshot and
 exits — the CI-safe mode.
 
+``--workers N`` switches to the multi-worker dashboard: N real OS
+processes run the workload over shared-memory metric slabs
+(:mod:`repro.obs.multiproc`) while this process renders one pane per
+worker — throughput, stage clocks, queue depth, breaker state — plus an
+aggregate row, all read live from the slabs.  ``--json`` prints one
+machine-readable snapshot (per-worker + aggregate + the ingress
+conservation identity) instead of a screen and exits nonzero if the
+identities are violated — the CI hook.  ``--dump-dir`` collects each
+worker's flight-recorder dump on exit, ready for
+``python -m repro flightrec merge``.
+
 Keybindings: ``q`` + Enter quits (plain line-buffered stdin — no
 terminal mode fiddling); Ctrl-C always works.  ``--scenario`` watches a
 chaos scenario instead of the clean forwarding path, with a fresh seed
@@ -218,6 +229,160 @@ class TopView:
 
 
 # ----------------------------------------------------------------------
+# Multi-worker summaries.  Everything below reads *registries only* — no
+# tracer, profiler, or recorder objects — so it works identically on the
+# live in-process registry and on snapshots read out of another
+# process's shared-memory slab, where no such objects exist on this side
+# of the fork.
+# ----------------------------------------------------------------------
+
+
+def wall_stage_stats(registry: MetricsRegistry) -> Dict[str, Dict[str, float]]:
+    """Profiler-style stage stats recovered from ``prof.stage_wall_ns``.
+
+    The profiler's own ``stage_stats()`` needs the profiler object; this
+    recovers the same shape from the histograms it left in any registry.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    for metric in registry.collect():
+        if metric.name != names.PROF_STAGE_WALL_NS:
+            continue
+        if not hasattr(metric, "percentile") or metric.count == 0:
+            continue
+        stage = dict(metric.labels).get("stage", "?")
+        stats[stage] = {
+            "count": float(metric.count),
+            "sum_ns": float(metric.sum),
+            "mean_ns": float(metric.mean),
+            "p50_ns": float(metric.percentile(50)),
+            "p99_ns": float(metric.percentile(99)),
+        }
+    return stats
+
+
+def ingress_identity(registry: MetricsRegistry) -> Dict[str, object]:
+    """The shard-merge conservation identity, from counters alone.
+
+    Every frame the driver sees is either dropped at ingress or written
+    to the RX buffer, and everything written is either shed by overload
+    control or received by the router — so on a drained system
+    ``injected == rx_dropped + rx_shed + received``.  Workloads that
+    bypass the driver (``--app`` forwarding feeds the router directly)
+    have ``injected == 0``; the identity then falls back to the
+    router's own verdict conservation.
+    """
+    rx = registry.total(names.IO_DRIVER_RX_PACKETS)
+    drops = registry.total(names.IO_DRIVER_RX_DROPS)
+    shed = registry.total(names.OVERLOAD_SHED_PACKETS)
+    received = registry.total(names.ROUTER_RECEIVED_PACKETS)
+    forwarded = registry.total(names.ROUTER_FORWARDED_PACKETS)
+    dropped = registry.total(names.ROUTER_DROPPED_PACKETS)
+    slow = registry.total(names.ROUTER_SLOW_PATH_PACKETS)
+    conserved = received == forwarded + dropped + slow
+    injected = rx + drops
+    ok = conserved and (injected == 0 or rx == shed + received)
+    return {
+        "injected": int(injected),
+        "rx_dropped": int(drops),
+        "rx_shed": int(shed),
+        "received": int(received),
+        "ok": bool(ok),
+    }
+
+
+def registry_summary(registry: MetricsRegistry) -> Dict[str, object]:
+    """One worker's machine-readable panel, from its registry alone."""
+    received = registry.total(names.ROUTER_RECEIVED_PACKETS)
+    forwarded = registry.total(names.ROUTER_FORWARDED_PACKETS)
+    dropped = registry.total(names.ROUTER_DROPPED_PACKETS)
+    slow = registry.total(names.ROUTER_SLOW_PATH_PACKETS)
+    breakers_open = sum(
+        1 for _, value in _labeled(registry, names.FAULTS_DEGRADED_MODE)
+        if value
+    )
+    return {
+        "received": int(received),
+        "forwarded": int(forwarded),
+        "dropped": int(dropped),
+        "slow_path": int(slow),
+        "shed": int(registry.total(names.OVERLOAD_SHED_PACKETS)),
+        "backpressure_drops": int(
+            registry.total(names.ROUTER_BACKPRESSURE_DROPS)
+        ),
+        "rx_packets": int(registry.total(names.IO_DRIVER_RX_PACKETS)),
+        "rx_drops": int(registry.total(names.IO_DRIVER_RX_DROPS)),
+        "queue_depth": int(registry.value(names.CORE_MASTER_INPUT_DEPTH)),
+        "breakers_open": breakers_open,
+        "conservation_ok": bool(received == forwarded + dropped + slow),
+        "stages": wall_stage_stats(registry),
+    }
+
+
+def fleet_snapshot(
+    per_worker: Dict[int, MetricsRegistry], aggregate: MetricsRegistry,
+) -> Dict[str, object]:
+    """The ``--json`` payload: per-worker panes, aggregate, identity."""
+    return {
+        "schema": 1,
+        "workers": {
+            str(wid): registry_summary(registry)
+            for wid, registry in sorted(per_worker.items())
+        },
+        "aggregate": registry_summary(aggregate),
+        "identity": ingress_identity(aggregate),
+    }
+
+
+def _fleet_row(tag: str, summary: Dict[str, object]) -> str:
+    received = int(summary["received"])
+
+    def pct(key: str) -> str:
+        return f"{int(summary[key]) / received:.1%}" if received else "-"
+
+    stages: Dict[str, Dict[str, float]] = summary["stages"]
+    worst = max(
+        stages.items(), key=lambda kv: kv[1]["p99_ns"], default=None,
+    )
+    worst_txt = f"{worst[0]} {_ns(worst[1]['p99_ns'])}" if worst else "-"
+    brk = "OPEN" if summary["breakers_open"] else "-"
+    return (
+        f"{tag:<6} {_si(received):>8} {pct('forwarded'):>7}"
+        f" {pct('dropped'):>7} {pct('slow_path'):>7}"
+        f" {_si(int(summary['shed'])):>7} {int(summary['queue_depth']):>6}"
+        f" {worst_txt:>18} {brk:>5}"
+    )
+
+
+def render_fleet(
+    per_worker: Dict[int, MetricsRegistry],
+    aggregate: MetricsRegistry,
+    title: str = "repro top — workers",
+    pps: float = 0.0,
+) -> str:
+    """One screen: a pane row per worker plus the aggregate row."""
+    width = 78
+    lines = [f"{title}  —  q + Enter or Ctrl-C to quit", "=" * width]
+    lines.append(
+        f"{'':<6} {'rx':>8} {'fwd':>7} {'drop':>7} {'slow':>7}"
+        f" {'shed':>7} {'depth':>6} {'slowest p99':>18} {'brk':>5}"
+    )
+    for wid, registry in sorted(per_worker.items()):
+        lines.append(_fleet_row(f"w{wid}", registry_summary(registry)))
+    lines.append("-" * width)
+    lines.append(_fleet_row("all", registry_summary(aggregate)))
+    identity = ingress_identity(aggregate)
+    lines.append(
+        f"identity    injected {_si(identity['injected'])}"
+        f" = rx_drop {_si(identity['rx_dropped'])}"
+        f" + shed {_si(identity['rx_shed'])}"
+        f" + received {_si(identity['received'])}"
+        f"   {'ok' if identity['ok'] else 'VIOLATED'}"
+        + (f"   {_si(pps)} pkt/s" if pps else "")
+    )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
 # Workload steppers: what the dashboard watches.
 # ----------------------------------------------------------------------
 
@@ -263,6 +428,83 @@ class _ChaosRunner:
         self._run(self.scenario, seed=self.seed, packets=self.packets)
         self.seed += 1
         return self.packets
+
+
+def _fleet_main(args) -> int:
+    """``--workers N``: supervise a fleet and render/report it.
+
+    Exit status is nonzero when any worker fails or the merged ingress
+    identity is violated — the CI smoke job asserts on this alone.
+    """
+    import json
+
+    from repro.obs.multiproc import WorkerFleet, WorkerSpec
+
+    one_shot = args.once or args.json
+    iterations = args.iterations or (1 if one_shot else 0)
+    spec = WorkerSpec(
+        app=args.app,
+        scenario=args.scenario,
+        packets=args.packets,
+        seed=args.seed,
+        iterations=iterations,
+        interval=0.0 if one_shot else args.interval,
+    )
+    title = (
+        f"repro top — {args.workers} workers — "
+        f"{args.scenario or args.app + ' forwarding'}"
+    )
+    fleet = WorkerFleet(args.workers, spec, dump_dir=args.dump_dir)
+    try:
+        fleet.start()
+        if iterations:
+            fleet.join(timeout=120.0)
+        else:
+            last_received = 0.0
+            last_ns = StageProfiler.now_ns()
+            try:
+                while fleet.alive():
+                    aggregate = fleet.aggregate()
+                    now = StageProfiler.now_ns()
+                    received = aggregate.total(names.ROUTER_RECEIVED_PACKETS)
+                    pps = (
+                        (received - last_received) * 1e9
+                        / max(1, now - last_ns)
+                    )
+                    last_received, last_ns = received, now
+                    screen = render_fleet(
+                        fleet.per_worker(), aggregate, title=title, pps=pps,
+                    )
+                    sys.stdout.write(ANSI_CLEAR + screen)
+                    sys.stdout.flush()
+                    if _quit_requested():
+                        break
+                    time.sleep(args.interval)
+            except KeyboardInterrupt:
+                sys.stdout.write("\n")
+        fleet.request_stop()
+        fleet.join(timeout=10.0)
+        # Snapshots are plain registries (copied out of the slabs), so
+        # they stay valid after the segments are unlinked below.
+        per_worker = fleet.per_worker()
+        aggregate = fleet.aggregate()
+        exitcodes = fleet.exitcodes()
+    finally:
+        fleet.request_stop()
+        fleet.join(timeout=10.0)
+        fleet.close()
+    identity = ingress_identity(aggregate)
+    status = 0
+    if not identity["ok"] or any(code != 0 for code in exitcodes):
+        status = 1
+    if args.json:
+        snapshot = fleet_snapshot(per_worker, aggregate)
+        snapshot["exitcodes"] = exitcodes
+        snapshot["dumps"] = [str(path) for path in fleet.dump_paths()]
+        sys.stdout.write(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    else:
+        sys.stdout.write(render_fleet(per_worker, aggregate, title=title))
+    return status
 
 
 def _quit_requested() -> bool:
@@ -323,9 +565,27 @@ def top_main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=1, help="workload seed (default: 1)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="run N worker processes over shared-memory metric slabs and "
+        "render the multi-worker dashboard (default: 0 = in-process)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print one machine-readable snapshot (per-worker panes, "
+        "aggregate, ingress identity) instead of a screen; exits nonzero "
+        "if the conservation identities are violated",
+    )
+    parser.add_argument(
+        "--dump-dir", default=None,
+        help="directory for per-worker flight-recorder dumps on exit "
+        "(input for `python -m repro flightrec merge`)",
+    )
     args = parser.parse_args(argv)
     if args.packets <= 0:
         parser.error("packets must be positive")
+    if args.workers < 0:
+        parser.error("workers must be >= 0")
     if args.scenario is not None:
         from repro.faults.scenarios import SCENARIOS
 
@@ -334,6 +594,8 @@ def top_main(argv=None) -> int:
                 f"unknown scenario {args.scenario!r} "
                 f"(choose from {', '.join(sorted(SCENARIOS))})"
             )
+    if args.workers:
+        return _fleet_main(args)
     reset_registry()
     reset_tracer()
     reset_flightrec()
@@ -343,7 +605,8 @@ def top_main(argv=None) -> int:
     else:
         runner = _ForwardRunner(args.app, args.packets, args.seed)
     view = TopView()
-    iterations = 1 if args.once else args.iterations
+    one_shot = args.once or args.json
+    iterations = 1 if one_shot else args.iterations
     count = 0
     try:
         while True:
@@ -351,11 +614,14 @@ def top_main(argv=None) -> int:
             packets = runner.step()
             elapsed = max(1, StageProfiler.now_ns() - start)
             pps = packets * 1e9 / elapsed
-            screen = view.render(pps, title=runner.title)
-            if args.once:
-                sys.stdout.write(screen)
+            if args.json:
+                pass  # one JSON document at the end, no screens
+            elif args.once:
+                sys.stdout.write(view.render(pps, title=runner.title))
             else:
-                sys.stdout.write(ANSI_CLEAR + screen)
+                sys.stdout.write(
+                    ANSI_CLEAR + view.render(pps, title=runner.title)
+                )
                 sys.stdout.flush()
             count += 1
             if iterations and count >= iterations:
@@ -365,4 +631,19 @@ def top_main(argv=None) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         sys.stdout.write("\n")
+    if args.dump_dir:
+        from pathlib import Path
+
+        dump_dir = Path(args.dump_dir)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        get_flightrec().dump(
+            dump_dir / "flightrec-w0.jsonl", reason="worker-0",
+        )
+    if args.json:
+        import json
+
+        registry = get_registry()
+        snapshot = fleet_snapshot({0: registry}, registry)
+        sys.stdout.write(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        return 0 if snapshot["identity"]["ok"] else 1
     return 0

@@ -141,12 +141,19 @@ class Testbed:
                 )
                 if not frames:
                     break
-                chunks.append(
-                    Chunk(
-                        frames=list(map(bytearray, frames)),
-                        worker_id=worker.worker_id,
-                    )
+                chunk = Chunk(
+                    frames=list(map(bytearray, frames)),
+                    worker_id=worker.worker_id,
                 )
+                # Link the chunk to the RX event that birthed it: the
+                # CHUNK completion event echoes this context, so a
+                # merged cross-process stream can trace verdict back
+                # to ingress (docs/OBSERVABILITY.md, trace context).
+                chunk.trace_ctx = (
+                    self.router.flightrec.writer_id,
+                    self.engine.last_rx_seq,
+                )
+                chunks.append(chunk)
         return chunks
 
     def run_once(self) -> Dict[int, List[bytes]]:

@@ -57,8 +57,10 @@ class TestFaultEventsMirrorCounters:
         shed = 0
         for event in recorder.iter_events():
             if event.kind == Events.CHUNK:
-                for key, value in event.fields.items():
-                    verdicts[key] += int(value)
+                # CHUNK events also carry trace-context fields
+                # (ctx_writer/ctx_seq); only the verdict keys sum.
+                for key in verdicts:
+                    verdicts[key] += int(event.fields.get(key, 0))
             elif event.kind == Events.SHED:
                 shed += int(event.fields["packets"])
         assert verdicts["packets"] == report.received

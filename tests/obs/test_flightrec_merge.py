@@ -1,0 +1,175 @@
+"""Cross-process flight-recorder merge: ordering, meta, reconciliation.
+
+Unit-level pins for ``merge_dumps`` / the ``flightrec merge`` CLI: the
+k-way merge is deterministic on ``(t_ns, writer, seq)``, the merged
+meta sums per-writer snapshots exactly, per-writer reconcile rows
+appear in merged replays, and the self-telemetry counter ticks.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import names
+from repro.obs.flightrec import (
+    Events,
+    FlightRecorder,
+    flightrec_main,
+    load_dump,
+    merge_dumps,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+def _dump_pair(tmp_path, interleave=True):
+    """Two writers noting events in a known global order."""
+    a = FlightRecorder(writer_id=0)
+    b = FlightRecorder(writer_id=1)
+    a.note(Events.RX, "", 10)          # global order: a#1
+    if interleave:
+        b.note(Events.RX, "", 20)      # b#1
+        a.note(Events.RX, "", 3)       # a#2
+        b.note(Events.RX, "", 4)       # b#2
+    paths = []
+    for recorder, registry in ((a, MetricsRegistry()),
+                               (b, MetricsRegistry())):
+        registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(
+            5 * (recorder.writer_id + 1)
+        )
+        path = tmp_path / f"flightrec-w{recorder.writer_id}.jsonl"
+        recorder.dump(path, registry=registry,
+                      reason=f"worker-{recorder.writer_id}")
+        paths.append(path)
+    return paths
+
+
+class TestMergeOrdering:
+    def test_events_come_out_in_global_note_order(self, tmp_path):
+        merged = [
+            json.loads(line)
+            for line in merge_dumps(_dump_pair(tmp_path)).splitlines()
+        ]
+        events = [e for e in merged if e["type"] == "event"]
+        assert [(e["writer"], e["seq"]) for e in events] == [
+            (0, 1), (1, 1), (0, 2), (1, 2),
+        ]
+        stamps = [e["t_ns"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_merge_is_deterministic_in_input_order(self, tmp_path):
+        paths = _dump_pair(tmp_path)
+        assert merge_dumps(paths) == merge_dumps(list(reversed(paths)))
+
+    def test_writer_is_stamped_on_every_event(self, tmp_path):
+        report = load_dump_text(merge_dumps(_dump_pair(tmp_path)), tmp_path)
+        assert {e["writer"] for e in report.events} == {0, 1}
+
+
+def load_dump_text(text, tmp_path):
+    path = tmp_path / "merged.jsonl"
+    path.write_text(text)
+    return load_dump(path)
+
+
+class TestMergedMeta:
+    def test_meta_sums_the_writers(self, tmp_path):
+        report = load_dump_text(merge_dumps(_dump_pair(tmp_path)), tmp_path)
+        meta = report.meta
+        assert meta["type"] == "flightrec_merged_meta"
+        assert [int(w["writer"]) for w in report.writers] == [0, 1]
+        assert meta["seq"] == sum(w["seq"] for w in report.writers)
+        assert meta["retained"] == 4
+        # Merged metrics: counters sum across writers (5 + 10).
+        received = [
+            m for m in meta["metrics"]
+            if m["name"] == names.ROUTER_RECEIVED_PACKETS
+        ]
+        assert [m["value"] for m in received] == [15]
+
+    def test_merge_counts_the_events_it_flowed(self, tmp_path):
+        paths = _dump_pair(tmp_path)
+        before = get_registry().total(names.OBS_MERGE_EVENTS)
+        merge_dumps(paths)
+        assert get_registry().total(names.OBS_MERGE_EVENTS) == before + 4
+
+    def test_dump_publishes_ring_eviction_gauge(self, tmp_path):
+        recorder = FlightRecorder(writer_id=0, capacity=2)
+        for _ in range(5):
+            recorder.note(Events.RX, "", 1)
+        registry = MetricsRegistry()
+        recorder.dump(tmp_path / "d.jsonl", registry=registry)
+        assert registry.value(names.OBS_RING_DROPPED_SLOTS) == 3
+
+
+class TestMergedReconcile:
+    def _consistent_dumps(self, tmp_path):
+        paths = []
+        for wid, (fwd, drop) in enumerate(((7, 1), (4, 2))):
+            recorder = FlightRecorder(writer_id=wid)
+            packets = fwd + drop
+            recorder.note(Events.CHUNK, "", packets, fwd, drop, 0, wid, 0)
+            registry = MetricsRegistry()
+            registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(packets)
+            registry.counter(names.ROUTER_FORWARDED_PACKETS).inc(fwd)
+            registry.counter(names.ROUTER_DROPPED_PACKETS).inc(drop)
+            path = tmp_path / f"w{wid}.jsonl"
+            recorder.dump(path, registry=registry, reason=f"worker-{wid}")
+            paths.append(path)
+        return paths
+
+    def test_per_writer_rows_appear_and_pass(self, tmp_path):
+        report = load_dump_text(
+            merge_dumps(self._consistent_dumps(tmp_path)), tmp_path
+        )
+        rows = {check: ok for check, _, _, ok in report.reconcile()}
+        for expected in ("w0 forwarded", "w1 forwarded", "sum received",
+                         "sum forwarded", "sum dropped"):
+            assert expected in rows and rows[expected]
+        assert report.reconciled
+
+    def test_a_lying_worker_fails_its_own_row_only(self, tmp_path):
+        paths = self._consistent_dumps(tmp_path)
+        # Corrupt w1's snapshot: counter says 40 forwarded, events say 4.
+        lines = paths[1].read_text().splitlines()
+        meta = json.loads(lines[0])
+        for metric in meta["metrics"]:
+            if metric["name"] == names.ROUTER_FORWARDED_PACKETS:
+                metric["value"] = 40.0
+        paths[1].write_text(
+            "\n".join([json.dumps(meta, sort_keys=True)] + lines[1:]) + "\n"
+        )
+        report = load_dump_text(merge_dumps(paths), tmp_path)
+        rows = {check: ok for check, _, _, ok in report.reconcile()}
+        assert rows["w0 forwarded"]
+        assert not rows["w1 forwarded"]
+        assert not report.reconciled
+
+
+class TestMergeCli:
+    def test_merge_then_replay_exits_zero(self, tmp_path, capsys):
+        paths = _dump_pair(tmp_path)
+        out = tmp_path / "merged.jsonl"
+        assert flightrec_main(
+            ["merge", str(paths[0]), str(paths[1]), "--out", str(out)]
+        ) == 0
+        assert flightrec_main(["replay", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "merged from 2 writers" in text
+        assert "MISMATCH" not in text
+
+    def test_merge_to_stdout(self, tmp_path, capsys):
+        paths = _dump_pair(tmp_path, interleave=False)
+        assert flightrec_main(["merge", str(paths[0]), str(paths[1])]) == 0
+        out = capsys.readouterr().out
+        assert '"type": "flightrec_merged_meta"' in out

@@ -1,0 +1,176 @@
+"""Two real worker processes over shared-memory observability.
+
+The shard-readiness acceptance test: a :class:`WorkerFleet` of two OS
+processes runs a chaos scenario, and the parent's merged view must (a)
+equal the per-worker sums exactly, (b) satisfy the ingress conservation
+identity ``injected == rx_dropped + rx_shed + received``, and (c) yield
+per-worker flight-recorder dumps whose k-way merge replays and
+reconciles cleanly.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.obs import names
+from repro.obs.flightrec import load_dump, merge_dumps
+from repro.obs.registry import Counter, Gauge, Histogram, reset_registry
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fleet integration tests use the fork start method",
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    # aggregate_slabs / merge_dumps record self-telemetry on the
+    # parent's default registry; keep runs independent.
+    reset_registry()
+    yield
+    reset_registry()
+
+
+@pytest.fixture(scope="module")
+def fleet_run(tmp_path_factory):
+    """One 2-worker ddos run, shared by the assertions below."""
+    from repro.obs.multiproc import WorkerFleet, WorkerSpec
+
+    dump_dir = tmp_path_factory.mktemp("dumps")
+    spec = WorkerSpec(scenario="ddos", packets=512, seed=3, iterations=1)
+    with WorkerFleet(
+        2, spec, dump_dir=str(dump_dir), start_method="fork"
+    ) as fleet:
+        fleet.start()
+        fleet.join(timeout=120.0)
+        result = {
+            "exitcodes": fleet.exitcodes(),
+            "per_worker": fleet.per_worker(),
+            "aggregate": fleet.aggregate(),
+            "dumps": fleet.dump_paths(),
+        }
+    return result
+
+
+def _counter_totals(registry):
+    out = {}
+    for metric in registry.collect():
+        if isinstance(metric, Histogram) or isinstance(metric, Gauge):
+            continue
+        if isinstance(metric, Counter):
+            out[(metric.name, tuple(metric.labels))] = metric.value
+    return out
+
+
+class TestFleetAggregation:
+    def test_both_workers_exit_cleanly(self, fleet_run):
+        assert fleet_run["exitcodes"] == [0, 0]
+        assert sorted(fleet_run["per_worker"]) == [0, 1]
+
+    def test_aggregate_equals_per_worker_sums_exactly(self, fleet_run):
+        summed = {}
+        for registry in fleet_run["per_worker"].values():
+            for key, value in _counter_totals(registry).items():
+                summed[key] = summed.get(key, 0.0) + value
+        assert _counter_totals(fleet_run["aggregate"]) == summed
+
+    def test_merged_ingress_identity_holds(self, fleet_run):
+        aggregate = fleet_run["aggregate"]
+        rx = aggregate.total(names.IO_DRIVER_RX_PACKETS)
+        drops = aggregate.total(names.IO_DRIVER_RX_DROPS)
+        shed = aggregate.total(names.OVERLOAD_SHED_PACKETS)
+        received = aggregate.total(names.ROUTER_RECEIVED_PACKETS)
+        # Every injected frame: 512 per worker, dropped at ingress or
+        # shed or received — nothing created, nothing lost in the merge.
+        assert rx + drops == 2 * 512
+        assert rx == shed + received
+
+    def test_merged_verdicts_conserve(self, fleet_run):
+        aggregate = fleet_run["aggregate"]
+        assert aggregate.total(names.ROUTER_RECEIVED_PACKETS) == (
+            aggregate.total(names.ROUTER_FORWARDED_PACKETS)
+            + aggregate.total(names.ROUTER_DROPPED_PACKETS)
+            + aggregate.total(names.ROUTER_SLOW_PATH_PACKETS)
+        )
+
+    def test_workers_saw_distinct_traffic(self, fleet_run):
+        # Per-worker seeds differ, as distinct RSS queues would; byte-
+        # identical shards would hide real merge bugs.
+        dumps = [p.read_text() for p in fleet_run["dumps"]]
+        assert len(dumps) == 2 and dumps[0] != dumps[1]
+
+
+class TestFleetDumpMerge:
+    def test_merge_replays_and_reconciles(self, fleet_run, tmp_path):
+        merged = tmp_path / "merged.jsonl"
+        merged.write_text(merge_dumps(fleet_run["dumps"]))
+        report = load_dump(merged)
+        assert report.meta["type"] == "flightrec_merged_meta"
+        assert [int(w["writer"]) for w in report.writers] == [0, 1]
+        assert report.reconciled, report.reconcile()
+
+    def test_merged_events_are_causally_ordered(self, fleet_run, tmp_path):
+        merged = tmp_path / "merged.jsonl"
+        merged.write_text(merge_dumps(fleet_run["dumps"]))
+        stamps = [
+            json.loads(line)["t_ns"]
+            for line in merged.read_text().splitlines()
+            if json.loads(line).get("type") == "event"
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_per_writer_sums_match_the_aggregate(self, fleet_run, tmp_path):
+        merged = tmp_path / "merged.jsonl"
+        merged.write_text(merge_dumps(fleet_run["dumps"]))
+        report = load_dump(merged)
+        totals = [
+            report.verdict_totals(writer=int(w["writer"]))
+            for w in report.writers
+        ]
+        whole = report.verdict_totals()
+        for key in whole:
+            assert sum(t[key] for t in totals) == whole[key]
+
+
+class TestFleetValidation:
+    def test_rejects_zero_workers(self):
+        from repro.obs.multiproc import WorkerFleet, WorkerSpec
+
+        with pytest.raises(ValueError, match="workers"):
+            WorkerFleet(0, WorkerSpec())
+
+
+class TestTopFleetCli:
+    def test_workers_json_one_shot(self, capsys, tmp_path):
+        from repro.obs.top import top_main
+
+        status = top_main([
+            "--workers", "2", "--json", "--scenario", "ddos",
+            "--packets", "256", "--seed", "5",
+            "--dump-dir", str(tmp_path / "dumps"),
+        ])
+        assert status == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert sorted(snapshot["workers"]) == ["0", "1"]
+        assert snapshot["identity"]["ok"] is True
+        assert snapshot["identity"]["injected"] == 2 * 256
+        assert snapshot["exitcodes"] == [0, 0]
+        assert len(snapshot["dumps"]) == 2
+        worker_rx = sum(
+            pane["rx_packets"] + pane["rx_drops"]
+            for pane in snapshot["workers"].values()
+        )
+        assert worker_rx == snapshot["identity"]["injected"]
+
+    def test_workers_once_renders_panes(self, capsys):
+        from repro.obs.top import top_main
+
+        status = top_main([
+            "--workers", "2", "--once", "--scenario", "ddos",
+            "--packets", "256",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "w0" in out and "w1" in out and "identity" in out
+        assert "VIOLATED" not in out

@@ -1,0 +1,350 @@
+"""Shared-memory metric slabs: layout, codec, and merge algebra.
+
+The property suite pins the aggregation contract the sharded data plane
+relies on: merging per-writer slabs is associative, commutative, and —
+for counters and histograms — *exact* against a single process applying
+the same updates.  (Gauges merge with sum semantics by design and are
+excluded from the exactness comparison; a depth gauge's final value is
+not additive across sequential runs.)
+"""
+
+import itertools
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from multiprocessing import shared_memory
+
+from repro.obs import names
+from repro.obs.registry import (
+    WALL_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.shm import (
+    MAX_KEY_BYTES,
+    MetricSlab,
+    ShmCounter,
+    ShmGauge,
+    ShmHistogram,
+    ShmMetricsRegistry,
+    aggregate_slabs,
+    decode_key,
+    encode_key,
+    merge_into,
+    read_slab,
+    slab_name,
+)
+
+_seq = itertools.count()
+
+
+def _segment() -> str:
+    """A segment name unique across test runs and parametrized cases."""
+    return f"repro-shmtest-{os.getpid():x}-{next(_seq)}"
+
+
+@contextmanager
+def _slabs(n, **kwargs):
+    slabs = [
+        MetricSlab.create(_segment(), writer_id=i, **kwargs) for i in range(n)
+    ]
+    try:
+        yield slabs
+    finally:
+        for slab in slabs:
+            slab.unlink()
+            slab.close()
+
+
+# ----------------------------------------------------------------------
+# Key codec
+# ----------------------------------------------------------------------
+
+_texts = st.text(
+    alphabet=st.sampled_from("ab.|=\\_0"), min_size=1, max_size=8,
+)
+
+
+class TestKeyCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        name=_texts,
+        labels=st.dictionaries(_texts, _texts, max_size=3),
+    )
+    def test_round_trip(self, name, labels):
+        frozen = tuple(sorted(labels.items()))
+        assert decode_key(encode_key(name, frozen)) == (name, frozen)
+
+    def test_separators_survive(self):
+        frozen = (("k|1", "v=2"), ("k\\3", "|=\\"))
+        assert decode_key(encode_key("a|b=c", frozen)) == ("a|b=c", frozen)
+
+    def test_oversized_key_is_rejected(self):
+        with pytest.raises(ValueError, match="too long"):
+            encode_key("x" * (MAX_KEY_BYTES + 1), ())
+
+    def test_slab_name_is_per_writer(self):
+        assert slab_name("sess", 3) == "sess-w3"
+
+
+# ----------------------------------------------------------------------
+# Slab lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestSlabLifecycle:
+    def test_attach_sees_writer_updates(self):
+        with _slabs(1) as (slab,):
+            registry = ShmMetricsRegistry(slab)
+            registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(7)
+            reader = MetricSlab.attach(slab.name)
+            try:
+                view = read_slab(reader)
+                assert view.total(names.ROUTER_RECEIVED_PACKETS) == 7
+                # Live view: later writes are visible to the same reader.
+                registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(5)
+                assert read_slab(reader).total(
+                    names.ROUTER_RECEIVED_PACKETS
+                ) == 12
+            finally:
+                reader.close()
+
+    def test_reattached_registry_finds_existing_cells(self):
+        # A restarted writer re-binds the same slots instead of leaking
+        # new ones: counts survive the registry object.
+        with _slabs(1) as (slab,):
+            ShmMetricsRegistry(slab).counter(
+                names.ROUTER_RECEIVED_PACKETS
+            ).inc(3)
+            again = ShmMetricsRegistry(slab)
+            counter = again.counter(names.ROUTER_RECEIVED_PACKETS)
+            assert counter.value == 3
+            assert len(slab) == 2  # obs.slab_bytes + the counter, once
+
+    def test_attach_to_foreign_segment_is_rejected(self):
+        shm = shared_memory.SharedMemory(
+            name=_segment(), create=True, size=4096
+        )
+        try:
+            with pytest.raises(ValueError, match="not a metrics slab"):
+                MetricSlab.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_directory_capacity_is_enforced(self):
+        with _slabs(1, dir_capacity=2, data_capacity=64) as (slab,):
+            slab.allocate(1, b"a", 1)
+            slab.allocate(1, b"b", 1)
+            with pytest.raises(RuntimeError, match="directory full"):
+                slab.allocate(1, b"c", 1)
+
+    def test_allocate_is_idempotent_per_key(self):
+        with _slabs(1) as (slab,):
+            first = slab.allocate(1, b"a", 1)
+            first[0] = 9.0
+            second = slab.allocate(1, b"a", 1)
+            assert second[0] == 9.0
+            assert len(slab) == 1
+
+
+# ----------------------------------------------------------------------
+# The registry facade over a slab
+# ----------------------------------------------------------------------
+
+
+class TestShmRegistryFacade:
+    def test_off_catalog_names_are_rejected(self):
+        with _slabs(1) as (slab,):
+            registry = ShmMetricsRegistry(slab)
+            with pytest.raises(ValueError, match="names catalog"):
+                registry.counter("not.a_catalog_name")
+
+    def test_instruments_pass_isinstance_checks(self):
+        # Exporters and the analyzer dispatch on the plain classes.
+        with _slabs(1) as (slab,):
+            registry = ShmMetricsRegistry(slab)
+            counter = registry.counter(names.ROUTER_RECEIVED_PACKETS)
+            gauge = registry.gauge(names.CORE_MASTER_INPUT_DEPTH)
+            histogram = registry.histogram(
+                names.PROF_STAGE_WALL_NS,
+                buckets=WALL_NS_BUCKETS, stage="rx",
+            )
+            assert isinstance(counter, Counter)
+            assert isinstance(gauge, Gauge)
+            assert isinstance(histogram, Histogram)
+            assert (type(counter), type(gauge), type(histogram)) == (
+                ShmCounter, ShmGauge, ShmHistogram,
+            )
+
+    def test_histogram_derivations_read_shared_slots(self):
+        with _slabs(1) as (slab,):
+            registry = ShmMetricsRegistry(slab)
+            histogram = registry.histogram(
+                names.PROF_STAGE_WALL_NS,
+                buckets=[10.0, 100.0, 1000.0], stage="rx",
+            )
+            for value in (5, 50, 50, 500, 5000):
+                histogram.observe(value)
+            assert histogram.count == 5
+            assert histogram.sum == 5605
+            assert histogram.counts == [1, 2, 1, 1]
+            assert histogram.mean == pytest.approx(1121.0)
+            assert histogram.percentile(50) <= 100.0
+
+    def test_negative_counter_increment_raises(self):
+        with _slabs(1) as (slab,):
+            registry = ShmMetricsRegistry(slab)
+            with pytest.raises(ValueError, match="negative"):
+                registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(-1)
+
+    def test_read_slab_repairs_torn_histograms(self):
+        # Simulate a read racing the two stores of observe(): the bucket
+        # increment landed, the sum store hasn't.  The decoded snapshot
+        # must still satisfy count == sum(counts).
+        with _slabs(1) as (slab,):
+            registry = ShmMetricsRegistry(slab)
+            histogram = registry.histogram(
+                names.PROF_STAGE_WALL_NS,
+                buckets=[10.0, 100.0], stage="rx",
+            )
+            histogram.observe(50)
+            histogram._counts_view[0] += 1  # torn: mid-observe state
+            decoded = next(
+                m for m in read_slab(slab).collect()
+                if isinstance(m, Histogram)
+            )
+            assert decoded.count == sum(decoded.counts) == 2
+
+
+# ----------------------------------------------------------------------
+# Merge algebra (the aggregation contract)
+# ----------------------------------------------------------------------
+
+_COUNTERS = (
+    names.ROUTER_RECEIVED_PACKETS,
+    names.ROUTER_FORWARDED_PACKETS,
+    names.IO_DRIVER_RX_PACKETS,
+)
+_STAGES = ("rx", "gpu", "tx")
+
+#: One writer's update stream: counter bumps and histogram samples.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("ctr"),
+            st.sampled_from(_COUNTERS),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        st.tuples(
+            st.just("obs"),
+            st.sampled_from(_STAGES),
+            st.integers(min_value=0, max_value=10**7),
+        ),
+    ),
+    max_size=30,
+)
+
+
+def _apply(registry, ops) -> None:
+    for kind, which, value in ops:
+        if kind == "ctr":
+            registry.counter(which).inc(value)
+        else:
+            registry.histogram(
+                names.PROF_STAGE_WALL_NS,
+                buckets=WALL_NS_BUCKETS, stage=which,
+            ).observe(value)
+
+
+def _flatten(registry, include_gauges=True):
+    out = {}
+    for metric in registry.collect():
+        key = (metric.name, tuple(metric.labels))
+        if isinstance(metric, Histogram):
+            out[key] = (tuple(metric.counts), metric.count, metric.sum)
+        elif isinstance(metric, Gauge):
+            if include_gauges:
+                out[key] = metric.value
+        else:
+            out[key] = metric.value
+    return out
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=15, deadline=None)
+    @given(ops_a=_ops, ops_b=_ops)
+    def test_merge_is_commutative(self, ops_a, ops_b):
+        with _slabs(2) as (sa, sb):
+            _apply(ShmMetricsRegistry(sa), ops_a)
+            _apply(ShmMetricsRegistry(sb), ops_b)
+            ab = aggregate_slabs([sa, sb])
+            ba = aggregate_slabs([sb, sa])
+            assert _flatten(ab) == _flatten(ba)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops_a=_ops, ops_b=_ops, ops_c=_ops)
+    def test_merge_is_associative(self, ops_a, ops_b, ops_c):
+        with _slabs(3) as (sa, sb, sc):
+            _apply(ShmMetricsRegistry(sa), ops_a)
+            _apply(ShmMetricsRegistry(sb), ops_b)
+            _apply(ShmMetricsRegistry(sc), ops_c)
+            left = merge_into(
+                aggregate_slabs([sa, sb]), read_slab(sc)
+            )
+            right = merge_into(
+                read_slab(sa), aggregate_slabs([sb, sc])
+            )
+            assert _flatten(left) == _flatten(right)
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops_a=_ops, ops_b=_ops)
+    def test_merge_is_exact_vs_single_process(self, ops_a, ops_b):
+        # Splitting an update stream across two writers and merging must
+        # equal one process applying everything (counters + histograms;
+        # gauges are additive-by-design and not comparable this way).
+        single = MetricsRegistry()
+        _apply(single, ops_a)
+        _apply(single, ops_b)
+        with _slabs(2) as (sa, sb):
+            _apply(ShmMetricsRegistry(sa), ops_a)
+            _apply(ShmMetricsRegistry(sb), ops_b)
+            merged = aggregate_slabs([sa, sb])
+        assert _flatten(merged, include_gauges=False) == _flatten(
+            single, include_gauges=False
+        )
+
+    def test_bucket_mismatch_refuses_to_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram(
+            names.PROF_STAGE_WALL_NS, buckets=[1.0, 2.0], stage="rx"
+        ).observe(1)
+        b.histogram(
+            names.PROF_STAGE_WALL_NS, buckets=[1.0, 3.0], stage="rx"
+        ).observe(1)
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_into(a, b)
+
+    def test_gauges_merge_with_sum_semantics(self):
+        # Fleet-total depth; boolean flags count asserting writers.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge(names.CORE_MASTER_INPUT_DEPTH).set(4)
+        b.gauge(names.CORE_MASTER_INPUT_DEPTH).set(6)
+        merged = merge_into(merge_into(MetricsRegistry(), a), b)
+        assert merged.value(names.CORE_MASTER_INPUT_DEPTH) == 10
+
+    def test_aggregation_records_self_telemetry(self):
+        from repro.obs.registry import get_registry, reset_registry
+
+        reset_registry()
+        try:
+            with _slabs(2) as slabs:
+                aggregate_slabs(slabs)
+            telemetry = get_registry().get(names.OBS_AGG_WALL_NS)
+            assert telemetry is not None and telemetry.count == 1
+        finally:
+            reset_registry()

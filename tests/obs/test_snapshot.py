@@ -1,0 +1,115 @@
+"""``MetricsRegistry.snapshot()``: the consistent-copy contract.
+
+Exporters and flight-recorder dumps read through snapshots so a writer
+mutating instruments concurrently — another thread, or a shared-memory
+slab owner in another process — can never produce a torn view.  These
+are the regression tests for that contract: independence of the copy,
+``count == sum(counts)`` repair on torn histograms, and the invariant
+holding under a live writer thread.
+"""
+
+import threading
+
+from repro.obs import names
+from repro.obs.registry import Histogram, MetricsRegistry, WALL_NS_BUCKETS
+
+
+def _build() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(10)
+    registry.gauge(names.CORE_MASTER_INPUT_DEPTH).set(4)
+    registry.histogram(
+        names.PROF_STAGE_WALL_NS, buckets=[10.0, 100.0], stage="rx"
+    ).observe(50, exemplar=7)
+    return registry
+
+
+class TestSnapshotIsACopy:
+    def test_later_writes_do_not_leak_into_the_snapshot(self):
+        registry = _build()
+        snapshot = registry.snapshot()
+        registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(90)
+        registry.gauge(names.CORE_MASTER_INPUT_DEPTH).set(0)
+        registry.histogram(
+            names.PROF_STAGE_WALL_NS, buckets=[10.0, 100.0], stage="rx"
+        ).observe(5)
+        assert snapshot.total(names.ROUTER_RECEIVED_PACKETS) == 10
+        assert snapshot.value(names.CORE_MASTER_INPUT_DEPTH) == 4
+        copied = snapshot.get(names.PROF_STAGE_WALL_NS, stage="rx")
+        assert copied.counts == [0, 1, 0] and copied.count == 1
+
+    def test_snapshot_mutation_leaves_the_source_alone(self):
+        registry = _build()
+        snapshot = registry.snapshot()
+        snapshot.counter(names.ROUTER_RECEIVED_PACKETS).inc(5)
+        snapshot.get(names.PROF_STAGE_WALL_NS, stage="rx").observe(5)
+        assert registry.total(names.ROUTER_RECEIVED_PACKETS) == 10
+        assert registry.get(names.PROF_STAGE_WALL_NS, stage="rx").count == 1
+
+    def test_labels_and_exemplars_survive(self):
+        snapshot = _build().snapshot()
+        copied = snapshot.get(names.PROF_STAGE_WALL_NS, stage="rx")
+        assert dict(copied.labels) == {"stage": "rx"}
+        assert copied.exemplars == {1: (7, 50.0)}
+
+
+class TestTornStateRepair:
+    def test_histogram_count_is_recomputed_from_buckets(self):
+        # A torn read of a shared histogram can see the bucket store
+        # land before the count/sum stores; snapshot() must repair it.
+        registry = _build()
+        histogram = registry.get(names.PROF_STAGE_WALL_NS, stage="rx")
+        histogram.counts[0] += 1  # mid-observe: count not yet bumped
+        copied = registry.snapshot().get(names.PROF_STAGE_WALL_NS, stage="rx")
+        assert copied.count == sum(copied.counts) == 2
+
+    def test_shm_registries_snapshot_through_the_same_path(self):
+        import itertools
+        import os
+
+        from repro.obs.shm import MetricSlab, ShmMetricsRegistry
+
+        name = f"repro-snaptest-{os.getpid():x}-{next(itertools.count())}"
+        slab = MetricSlab.create(name)
+        try:
+            registry = ShmMetricsRegistry(slab)
+            registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(3)
+            snapshot = registry.snapshot()
+            registry.counter(names.ROUTER_RECEIVED_PACKETS).inc(4)
+            assert snapshot.total(names.ROUTER_RECEIVED_PACKETS) == 3
+            assert not hasattr(
+                snapshot.get(names.ROUTER_RECEIVED_PACKETS), "_cell"
+            )
+        finally:
+            slab.unlink()
+            slab.close()
+
+
+class TestSnapshotUnderLiveWriter:
+    def test_invariant_holds_while_a_writer_hammers(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            names.PROF_STAGE_WALL_NS, buckets=list(WALL_NS_BUCKETS),
+            stage="rx",
+        )
+        counter = registry.counter(names.ROUTER_RECEIVED_PACKETS)
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                histogram.observe(value % 10**7)
+                counter.inc()
+                value += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(300):
+                snapshot = registry.snapshot()
+                for metric in snapshot.collect():
+                    if isinstance(metric, Histogram):
+                        assert metric.count == sum(metric.counts)
+        finally:
+            stop.set()
+            thread.join()
