@@ -1,4 +1,4 @@
-"""Entry point: ``python -m repro [trace|metrics|chaos|lint|bench|flightrec|top]``.
+"""Entry point: ``python -m repro [trace|metrics|chaos|lint|bench|flightrec|top|run]``.
 
 With no subcommand, prints the headline report; ``trace`` prints a
 per-stage cost breakdown of a traced forwarding burst; ``metrics``
@@ -10,7 +10,8 @@ scorecard — every figure/table reproduction through the schema'd
 pipeline, scored against the paper (docs/PERF.md); ``flightrec``
 dumps or replays the flight recorder's event ring; ``top`` is the live
 dashboard over the metrics registry, profiler, and flight recorder
-(docs/OBSERVABILITY.md).
+(docs/OBSERVABILITY.md); ``run`` drives the sharded multi-process data
+plane (docs/SHARDING.md).
 """
 
 import sys
@@ -20,6 +21,7 @@ from repro.obs.flightrec import flightrec_main
 from repro.obs.top import top_main
 from repro.perf.cli import bench_main
 from repro.report import chaos_main, main, metrics_main, trace_main
+from repro.shard.cli import run_main
 
 _COMMANDS = {
     "trace": trace_main,
@@ -29,6 +31,7 @@ _COMMANDS = {
     "bench": bench_main,
     "flightrec": flightrec_main,
     "top": top_main,
+    "run": run_main,
 }
 
 argv = sys.argv[1:]

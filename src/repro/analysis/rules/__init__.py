@@ -81,4 +81,5 @@ from repro.analysis.rules import (  # noqa: E402,F401
     rl009_buffer_escape,
     rl010_pickle_safety,
     rl011_interproc_drops,
+    rl012_shm_lifecycle,
 )

@@ -100,7 +100,7 @@ class IPsecGateway(RouterApplication):
             name=spec.name,
             compute_cycles=spec.compute_cycles,
             stream_bytes=spec.stream_bytes,
-            fn=lambda batch=inners: self._encrypt_batch(batch),
+            fn=self._encrypt_batch,
         )
         bytes_in, bytes_out = self.gpu_bytes_per_packet(frame_len)
         return GPUWorkItem(
@@ -108,7 +108,13 @@ class IPsecGateway(RouterApplication):
             threads=max(1, int(len(chunk) * threads_per_packet)),
             bytes_in=int(bytes_in * len(chunk)),
             bytes_out=int(bytes_out * len(chunk)),
+            args=(inners,),
         )
+
+    def kernel_fn(self, name: str):
+        if name == "ipsec_aes_sha1":
+            return self._encrypt_batch
+        return None
 
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:
@@ -243,7 +249,7 @@ class IPsecDecapGateway(RouterApplication):
             name=spec.name,
             compute_cycles=spec.compute_cycles,
             stream_bytes=spec.stream_bytes,
-            fn=lambda batch=outers: self._decrypt_batch(batch),
+            fn=self._decrypt_batch,
         )
         bytes_in, bytes_out = self.gpu_bytes_per_packet(frame_len)
         return GPUWorkItem(
@@ -251,7 +257,13 @@ class IPsecDecapGateway(RouterApplication):
             threads=max(1, int(len(chunk) * threads_per_packet)),
             bytes_in=int(bytes_in * len(chunk)),
             bytes_out=int(bytes_out * len(chunk)),
+            args=(outers,),
         )
+
+    def kernel_fn(self, name: str):
+        if name == "ipsec_decap_aes_sha1":
+            return self._decrypt_batch
+        return None
 
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:

@@ -202,14 +202,23 @@ class IPv4Forwarder(RouterApplication):
             name="ipv4_dir24_8",
             compute_cycles=GPU_KERNELS.ipv4_compute_cycles,
             mem_accesses=GPU_KERNELS.ipv4_mem_accesses,
-            fn=lambda addrs=dsts: table.lookup_batch(addrs),
+            fn=table.lookup_batch,
         )
+        # The gathered addresses ride in ``args`` — the H2D copy — so
+        # the work item can cross a process boundary with the callable
+        # stripped (rebound from kernel_fn on the master's side).
         return GPUWorkItem(
             spec=spec,
             threads=len(chunk),
             bytes_in=4 * len(chunk),
             bytes_out=4 * len(chunk),
+            args=(dsts,),
         )
+
+    def kernel_fn(self, name: str):
+        if name == "ipv4_dir24_8":
+            return self.table.lookup_batch
+        return None
 
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:

@@ -149,14 +149,22 @@ class IPv6Forwarder(RouterApplication):
             name="ipv6_bsearch",
             compute_cycles=GPU_KERNELS.ipv6_compute_cycles,
             mem_accesses=GPU_KERNELS.ipv6_mem_accesses,
-            fn=lambda addrs=dsts: table.lookup_batch(addrs),
+            fn=table.lookup_batch,
         )
+        # Addresses in ``args``: the H2D copy, and the picklable wire
+        # form of the work (the callable rebinds master-side).
         return GPUWorkItem(
             spec=spec,
             threads=len(chunk),
             bytes_in=16 * len(chunk),
             bytes_out=4 * len(chunk),
+            args=(dsts,),
         )
+
+    def kernel_fn(self, name: str):
+        if name == "ipv6_bsearch":
+            return self.table.lookup_batch
+        return None
 
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:

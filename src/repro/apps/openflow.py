@@ -112,15 +112,21 @@ class OpenFlowApp(RouterApplication):
             name=spec.name,
             compute_cycles=spec.compute_cycles,
             mem_accesses=spec.mem_accesses,
-            fn=lambda ks=keys: self._gpu_classify(ks),
+            fn=self._gpu_classify,
         )
         work = GPUWorkItem(
             spec=spec,
             threads=len(chunk),
             bytes_in=31 * len(chunk),  # packed ten-field keys
             bytes_out=8 * len(chunk),  # hash + wildcard result index
+            args=(keys,),
         )
         return work
+
+    def kernel_fn(self, name: str):
+        if name == "openflow_hash_wildcard":
+            return self._gpu_classify
+        return None
 
     def post_shade(self, chunk: Chunk, gpu_output) -> None:
         if gpu_output is None:

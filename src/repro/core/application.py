@@ -17,8 +17,8 @@ post-shader)" (Section 5.1).  Concrete applications in
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple
 
 from repro.core.chunk import Chunk
 from repro.hw.gpu import GPUDevice, KernelSpec
@@ -44,6 +44,20 @@ class GPUWorkItem:
         return device.launch(
             self.spec, self.threads, self.bytes_in, self.bytes_out, self.args
         )
+
+    def __getstate__(self) -> dict:
+        """Pickle for a process-boundary handoff (docs/SHARDING.md).
+
+        Only the kernel's *description* and its gathered input arrays
+        travel — the H2D copy the real router makes.  The callable is
+        device-resident state (it closes over the application's tables),
+        so it is stripped here and rebound on the master's side by
+        :meth:`RouterApplication.bind_kernel`.
+        """
+        state = dict(self.__dict__)
+        if self.spec.fn is not None:
+            state["spec"] = replace(self.spec, fn=None)
+        return state
 
 
 class RouterApplication(abc.ABC):
@@ -81,6 +95,34 @@ class RouterApplication(abc.ABC):
     @abc.abstractmethod
     def cpu_process(self, chunk: Chunk) -> None:
         """CPU-only mode: the whole pipeline on the worker, no GPU."""
+
+    # ------------------------------------------------------------------
+    # Cross-process shading (docs/SHARDING.md).
+    # ------------------------------------------------------------------
+
+    def kernel_fn(self, name: str) -> Optional[Callable]:
+        """The device-resident implementation of a kernel, by name.
+
+        The sharded plane's master rebinds stripped work items against
+        *its* application instance — the analogue of kernel code and
+        lookup tables living in GPU memory rather than travelling with
+        every chunk.  Applications whose kernels may run in a remote
+        master override this; the default None means the app's work
+        items cannot cross a process boundary.
+        """
+        return None
+
+    def bind_kernel(self, work: GPUWorkItem) -> GPUWorkItem:
+        """Master-side rehydration of a work item's stripped callable."""
+        if work.spec.fn is None:
+            fn = self.kernel_fn(work.spec.name)
+            if fn is None:
+                raise KeyError(
+                    f"app {self.name!r} has no kernel {work.spec.name!r} "
+                    f"to rebind"
+                )
+            work.spec = replace(work.spec, fn=fn)
+        return work
 
     # ------------------------------------------------------------------
     # Cost hooks (consumed by repro.core.solver).

@@ -24,7 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.net.frames import FrameBatch
+from repro.net.frames import FrameBatch, pack_frames
 
 
 class Disposition(enum.Enum):
@@ -185,6 +185,7 @@ class Chunk:
         "_lengths",
         "_packed",
         "_batch",
+        "_shm",
     )
 
     def __init__(
@@ -198,6 +199,7 @@ class Chunk:
         gpu_output: object = None,
         app_state: object = None,
         arrival_ns: float = 0.0,
+        store_into: Optional[memoryview] = None,
     ) -> None:
         #: Raw frames (mutable: the fast path rewrites TTLs and checksums).
         #: Stored structure-of-arrays: the incoming frames are packed
@@ -205,12 +207,10 @@ class Chunk:
         #: list entry is a writable ``memoryview`` slice of it, so the
         #: per-packet view and the vectorized :meth:`batch` view share
         #: storage — a batched TTL rewrite is immediately visible here.
-        count = len(frames)
-        store = bytearray().join(frames)
-        lengths = np.fromiter(map(len, frames), dtype=np.int64, count=count)
-        offsets = np.zeros(count, dtype=np.int64)
-        if count > 1:
-            np.cumsum(lengths[:-1], out=offsets[1:])
+        #: With ``store_into`` the pack lands in the caller's buffer
+        #: (a shared-memory chunk-pool slot) instead of a fresh
+        #: bytearray — the RX edge is then the chunk's only byte copy.
+        store, offsets, lengths = pack_frames(frames, out=store_into)
         view = memoryview(store)
         self.frames: List[memoryview] = [
             view[offset:offset + length]
@@ -221,6 +221,10 @@ class Chunk:
         self._lengths = lengths
         self._packed = True
         self._batch: Optional[FrameBatch] = None
+        #: Shared-memory descriptor when the store is a chunk-pool slot
+        #: (:mod:`repro.shard.pool` binds it); None for heap-backed
+        #: chunks.
+        self._shm = None
         #: RX provenance: which worker fetched it, from which port/queue.
         self.worker_id = worker_id
         self.in_port = in_port
@@ -271,23 +275,35 @@ class Chunk:
     def __getstate__(self) -> dict:
         """Pickle the chunk for a process-boundary queue handoff.
 
-        The ``memoryview`` frame slices cannot be pickled; the packed
-        backing store travels as owned bytes instead and the slices are
-        rebuilt against a fresh store on the far side (same SoA layout,
-        zero aliasing back into the sender's buffer).
+        Three wire forms, cheapest first:
+
+        * **shm descriptor** — the store is a chunk-pool slot: only the
+          :class:`~repro.shard.pool.ChunkShmRef` travels (plus the
+          offset/length columns); the frame bytes are never copied.
+        * **owned bytes** — heap-backed packed chunks ship the store as
+          one ``bytes`` blob (the pre-shard fallback path).
+        * **loose frames** — ``replace_frame()`` detached some frames;
+          each ships individually and the chunk stays unpacked.
         """
         state = {
             slot: getattr(self, slot)
             for slot in self.__slots__
             if slot not in ("frames", "_frame_store", "_batch")
         }
-        if self._packed:
+        if self._shm is not None and self._packed:
+            # Zero-copy: the descriptor already in state["_shm"] names
+            # the packed bytes; nothing else to ship.
+            state["_store_bytes"] = None
+            state["_loose_frames"] = None
+        elif self._packed:
+            state["_shm"] = None
             state["_store_bytes"] = bytes(self._frame_store)
             state["_loose_frames"] = None
         else:
             # replace_frame() detached some frames from the store; ship
             # each frame individually and stay unpacked on arrival.
             # Serialization boundary, not a data-plane loop.
+            state["_shm"] = None
             state["_store_bytes"] = None
             state["_loose_frames"] = [bytes(f) for f in self.frames]  # reprolint: ignore[RL006]
         return state
@@ -298,7 +314,21 @@ class Chunk:
         for slot, value in state.items():
             setattr(self, slot, value)
         self._batch = None
-        if store_bytes is not None:
+        if self._shm is not None:
+            # Map the descriptor back onto the shared slot: the rebuilt
+            # frames alias the sender's bytes (validated by generation
+            # and epoch, raising StaleChunkError on a recycled slot).
+            from repro.shard.pool import resolve_ref
+
+            view = resolve_ref(self._shm)
+            self._frame_store = view
+            self.frames = [
+                view[offset:offset + length]
+                for offset, length in zip(
+                    self._offsets.tolist(), self._lengths.tolist()
+                )
+            ]
+        elif store_bytes is not None:
             store = bytearray(store_bytes)
             view = memoryview(store)
             self._frame_store = store
@@ -344,12 +374,61 @@ class Chunk:
 
         Rebinding a frame (rather than mutating it in place) detaches it
         from the packed buffer, so the cached batch view is invalidated.
+        On a shm-backed chunk the slot's epoch counter is bumped too, so
+        any descriptor of the old store still in flight in another
+        process fails validation instead of reading a half-true frame
+        list (the cross-process invalidation of docs/SHARDING.md).
         Always use this instead of assigning ``chunk.frames[index]``
         directly.
         """
         self.frames[index] = frame
         self._packed = False
         self._batch = None
+        if self._shm is not None:
+            from repro.shard.pool import note_frame_replaced
+
+            self._shm = note_frame_replaced(self._shm)
+
+    # ------------------------------------------------------------------
+    # Shared-memory backing (bound by repro.shard.pool).
+    # ------------------------------------------------------------------
+
+    @property
+    def shm_ref(self):
+        """The chunk-pool descriptor of the store (None if heap-backed)."""
+        return self._shm
+
+    @property
+    def is_packed(self) -> bool:
+        """True while every frame is still a slice of the packed store."""
+        return self._packed
+
+    def packed_nbytes(self) -> int:
+        """Total packed bytes of the store (valid while packed)."""
+        return int(self._lengths.sum()) if len(self._lengths) else 0
+
+    def repack_into(self, buffer: memoryview) -> int:
+        """Repack the live frames into ``buffer`` (a fresh pool slot).
+
+        The copy-on-grow escape: after ``replace_frame`` detached
+        frames, one packing copy restores the SoA invariants against a
+        caller-supplied store.  Offset/length columns are recomputed
+        (replacement frames may differ in size); returns the packed
+        byte count.  The caller re-binds the shm descriptor.
+        """
+        store, offsets, lengths = pack_frames(self.frames, out=buffer)
+        view = memoryview(store)
+        self._frame_store = store
+        self._offsets = offsets
+        self._lengths = lengths
+        self.frames = [
+            view[offset:offset + length]
+            for offset, length in zip(offsets.tolist(), lengths.tolist())
+        ]
+        self._packed = True
+        self._batch = None
+        self._shm = None
+        return self.packed_nbytes()
 
     # ------------------------------------------------------------------
     # The per-packet compatibility view.

@@ -116,9 +116,17 @@ class PacketShader:
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
         overload: Optional[OverloadController] = None,
+        transport=None,
     ) -> None:
         self.app = app
         self.config = config or RouterConfig()
+        #: Optional remote shading transport (docs/SHARDING.md): when a
+        #: :class:`~repro.core.queues.RemoteMasterClient` is installed,
+        #: pre-shaded chunks go to a master in another OS process
+        #: instead of this router's in-process master loop; shaded
+        #: results come back through :meth:`flush_transport` /
+        #: the drain step of :meth:`process_chunks`.
+        self.transport = transport
         #: Optional overload controller: when present it owns the chunk
         #: capacity (SLO-aware adaptive sizing) and consumes per-chunk
         #: latency observations and queue-rejection signals.
@@ -508,6 +516,15 @@ class PacketShader:
             self.tracer.record(
                 Stages.PRE_SHADE, packets=len(chunk), cycles=pre_cycles
             )
+            if self.transport is not None:
+                # Remote master: the submit may hand back already-shaded
+                # chunks while waiting for in-flight headroom — the
+                # cross-process equivalent of the backpressure drain.
+                chunk.enqueue_depth = self.transport.in_flight
+                for shaded in self.transport.submit(chunk):
+                    self._post_shade_chunk(shaded, egress)
+                    self.transport.recycle(shaded)
+                continue
             chunk.enqueue_depth = len(node.input_queue)
             for _ in range(self.MAX_BACKPRESSURE_RETRIES):
                 if node.input_queue.put(chunk):
@@ -525,9 +542,29 @@ class PacketShader:
                 # spin forever.
                 self._shed_chunk(chunk, egress)
         if self.config.use_gpu:
-            self._shade_node(node)
-            self._drain_outputs(node, egress)
+            if self.transport is not None:
+                # Pick up whatever the remote master has scattered so
+                # far (chunk pipelining: never block mid-burst).
+                for shaded in self.transport.drain(block=False):
+                    self._post_shade_chunk(shaded, egress)
+                    self.transport.recycle(shaded)
+            else:
+                self._shade_node(node)
+                self._drain_outputs(node, egress)
         return egress
+
+    def flush_transport(self, egress: Dict[int, List[bytearray]]) -> None:
+        """Block until every in-flight remote chunk is post-shaded.
+
+        The end-of-run barrier of the sharded plane: after the last
+        burst a worker drains its private result queue to zero before
+        reporting totals, so the conservation identities close.
+        """
+        if self.transport is None:
+            return
+        for shaded in self.transport.drain(block=True):
+            self._post_shade_chunk(shaded, egress)
+            self.transport.recycle(shaded)
 
     def _cpu_process_chunk(
         self, chunk: Chunk, egress: Dict[int, List[bytearray]], degraded: bool
@@ -571,6 +608,21 @@ class PacketShader:
         chunk.gpu_input = None
         self._finish_chunk(chunk, egress)
 
+    def _post_shade_chunk(
+        self, chunk: Chunk, egress: Dict[int, List[bytearray]]
+    ) -> None:
+        """One shaded chunk's worker-side completion: post-shade + finish."""
+        with self.profiler.track(Stages.POST_SHADE):
+            self.app.post_shade(chunk, chunk.gpu_output)
+        post_cycles = self._worker_stage_cycles(
+            chunk, FRAMEWORK.post_shading_cycles
+        )
+        chunk.service_ns += post_cycles * CPU.cycle_ns
+        self.tracer.record(
+            Stages.POST_SHADE, packets=len(chunk), cycles=post_cycles
+        )
+        self._finish_chunk(chunk, egress)
+
     def _drain_outputs(self, node: _Node, egress: Dict[int, List[bytearray]]) -> None:
         """Workers pick up shaded chunks and post-shade them."""
         for worker in node.workers:
@@ -578,16 +630,7 @@ class PacketShader:
                 chunk = worker.output_queue.get()
                 if chunk is None:
                     break
-                with self.profiler.track(Stages.POST_SHADE):
-                    self.app.post_shade(chunk, chunk.gpu_output)
-                post_cycles = self._worker_stage_cycles(
-                    chunk, FRAMEWORK.post_shading_cycles
-                )
-                chunk.service_ns += post_cycles * CPU.cycle_ns
-                self.tracer.record(
-                    Stages.POST_SHADE, packets=len(chunk), cycles=post_cycles
-                )
-                self._finish_chunk(chunk, egress)
+                self._post_shade_chunk(chunk, egress)
 
     # ------------------------------------------------------------------
     # Cost attribution helpers (the modelled per-stage spans).

@@ -11,12 +11,21 @@ Two queue kinds with deliberately different sharing:
 
 Both are bounded (backpressure, not unbounded memory) and count the
 handoffs so the cost models can charge the per-chunk queue cycles.
+
+:class:`RemoteMasterClient` is the *cross-process* form of the same
+handoff (docs/SHARDING.md): when the master lives in another OS process
+the worker submits chunks over a ``multiprocessing`` queue pair instead
+— the chunk pickles to a shared-memory descriptor, so the handoff ships
+offsets, not frame bytes.  The framework treats it as a drop-in shading
+transport (:class:`repro.core.framework.PacketShader`'s ``transport``
+parameter).
 """
 
 from __future__ import annotations
 
+import queue as _stdlib_queue
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Iterator, List, Optional
 
 from repro.core.chunk import Chunk
 from repro.faults.plan import FaultInjector, Sites
@@ -148,4 +157,97 @@ class WorkerOutputQueue:
             return None
         chunk = self._queue.popleft()
         self._g_depth.set(len(self._queue))
+        return chunk
+
+
+class RemoteMasterClient:
+    """Worker-side shading transport to a master in another process.
+
+    Wraps the worker's two ``multiprocessing`` queues: ``submit_queue``
+    (shared by every worker — the paper's fairness FIFO) and
+    ``result_queue`` (this worker's private scatter target).  A bounded
+    in-flight window plays the role of the master input queue's
+    capacity: once full, :meth:`submit` blocks on results instead of
+    growing the pipe without bound.
+
+    When a chunk pool is attached, every submitted chunk is first made
+    boundary-ready (:meth:`~repro.shard.pool.ShmChunkPool.ensure_packed`)
+    so the queue carries descriptors, and every drained chunk's slot is
+    recycled after post-shading via :meth:`recycle`.
+    """
+
+    def __init__(
+        self,
+        submit_queue,
+        result_queue,
+        worker_id: int,
+        max_in_flight: int = 64,
+        pool=None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.submit_queue = submit_queue
+        self.result_queue = result_queue
+        self.worker_id = worker_id
+        self.max_in_flight = max_in_flight
+        self.pool = pool
+        self.in_flight = 0
+        registry = get_registry()
+        self._m_enqueued = registry.counter(
+            names.SHARD_CHUNKS_SUBMITTED,
+            help="chunks handed to the remote master",
+        )
+        self._m_returned = registry.counter(
+            names.SHARD_CHUNKS_RETURNED,
+            help="shaded chunks received back from the remote master",
+        )
+
+    def submit(self, chunk: Chunk) -> Iterator[Chunk]:
+        """Hand one pre-shaded chunk to the remote master.
+
+        Yields any chunks drained while waiting for in-flight headroom
+        (the caller post-shades them immediately, exactly like the
+        in-process backpressure drain).
+        """
+        while self.in_flight >= self.max_in_flight:
+            drained = self._get(block=True)
+            if drained is not None:
+                yield drained
+        chunk.worker_id = self.worker_id
+        if self.pool is not None:
+            self.pool.ensure_packed(chunk)
+        self.submit_queue.put(chunk)
+        self.in_flight += 1
+        self._m_enqueued.inc()
+
+    def drain(self, block: bool = False) -> Iterator[Chunk]:
+        """Shaded chunks ready for post-shading (all of them if
+        ``block``, else whatever the master has scattered so far)."""
+        while self.in_flight:
+            chunk = self._get(block=block)
+            if chunk is None:
+                return
+            yield chunk
+
+    def recycle(self, chunk: Chunk) -> None:
+        """Return a finished chunk's pool slot (after egress copies)."""
+        if self.pool is not None:
+            self.pool.recycle(chunk)
+
+    def finish(self) -> None:
+        """Tell the master this worker is done submitting."""
+        self.submit_queue.put(("done", self.worker_id))
+
+    def _get(self, block: bool) -> Optional[Chunk]:
+        try:
+            chunk = self.result_queue.get(block=block, timeout=60.0 if block else None)
+        except _stdlib_queue.Empty:
+            if block:
+                raise RuntimeError(
+                    f"worker {self.worker_id}: remote master stopped "
+                    f"scattering with {self.in_flight} chunks in flight"
+                ) from None
+            return None
+        self.in_flight -= 1
+        self._m_returned.inc()
         return chunk

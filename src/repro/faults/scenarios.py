@@ -340,6 +340,7 @@ def run_scenario(
     packets: int = 2048,
     burst: int = 256,
     num_routes: int = 5_000,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> ChaosReport:
     """Run one named scenario through the full functional testbed.
 
@@ -347,6 +348,15 @@ def run_scenario(
     bursts, so RX rings, queues, and the GPU path all see realistic
     occupancy while faults fire and the shedding ladder classifies.
     Deterministic for a given ``(name, seed)``.
+
+    ``shard=(k, n)`` runs shard *k* of an *n*-way RSS decomposition
+    (docs/SHARDING.md): the identical full stream is generated, then
+    filtered to the flows :class:`~repro.io_engine.rss.ShardMap`
+    assigns to shard ``k`` before injection.  The union of all ``n``
+    shard runs injects exactly the unsharded stream, so summed shard
+    reports satisfy the same conservation identities — what the
+    sharded differential suite asserts.  Whole-stream extras
+    (established/attack traffic splits) are reported only unsharded.
     """
     from repro.apps.ipv4 import IPv4Forwarder
     from repro.core.solver import (
@@ -401,6 +411,18 @@ def run_scenario(
         ]
     else:
         bursts = schedule.bursts
+    if shard is not None:
+        shard_index, num_shards = shard
+        if not 0 <= shard_index < num_shards:
+            raise ValueError(f"shard {shard_index} out of {num_shards}")
+        from repro.io_engine.rss import ShardMap
+
+        # One map across all bursts: the round-robin fallback for
+        # unhashable frames stays globally deterministic, so every
+        # frame of the stream has exactly one owning shard.
+        shard_map = ShardMap(num_shards)
+        bursts = [shard_map.partition(group)[shard_index] for group in bursts]
+
     def _service_controller() -> None:
         """Drain packet-ins; packet-outs go out the switch TX directly.
 
@@ -465,7 +487,7 @@ def run_scenario(
         report.flow_rejected = switch.exact.rejected_inserts
         report.flow_table_len = len(switch.exact)
         report.flow_table_cap = switch.exact.max_entries
-    if schedule is not None and schedule.established:
+    if schedule is not None and schedule.established and shard is None:
         report.established_packets = schedule.established_packets
         report.attack_packets = schedule.attack_packets
         report.established_delivered = _count_established(

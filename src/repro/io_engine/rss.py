@@ -14,9 +14,9 @@ function of the tuple.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.net.packet import FiveTuple
+from repro.net.packet import FiveTuple, PacketParseError, parse_packet
 
 #: The de-facto standard 40-byte RSS secret key from the Microsoft RSS
 #: specification; drivers (including ixgbe) ship it as the default.
@@ -98,3 +98,70 @@ class RSSHasher:
     def queue_for(self, flow: FiveTuple) -> int:
         """Destination RX queue for a flow (hash LSBs through the RETA)."""
         return self.queue_map[self.hash_flow(flow) % len(self.queue_map)]
+
+
+class ShardMap:
+    """RSS flow steering lifted to worker *processes* (docs/SHARDING.md).
+
+    The sharded data plane assigns each flow to exactly one worker
+    process the same way the NIC assigns flows to RX queues: Toeplitz
+    hash of the 5-tuple, modulo the shard count.  Flow affinity is the
+    correctness keystone — every packet of a flow is pre-shaded,
+    shaded, and post-shaded by one worker, so per-flow state (flow
+    tables, reordering) never crosses a process boundary.
+
+    Frames that carry no 5-tuple (ARP, malformed L3, unknown
+    EtherTypes) cannot hash; they fall back to a deterministic
+    round-robin over shards via an internal counter, so chaos traffic
+    spreads evenly *and* a sequential re-partition of the same frame
+    stream lands every frame on the same shard — the property the
+    differential suite leans on.
+    """
+
+    def __init__(self, num_shards: int, key: bytes = MICROSOFT_RSS_KEY) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._hasher = RSSHasher(queue_map=range(num_shards), key=key)
+        #: Hash memo: 5-tuples repeat heavily (flows), the Toeplitz
+        #: inner loop is bit-serial; caching makes steering O(1) per
+        #: packet after a flow's first frame.
+        self._cache: Dict[Tuple[int, int, int, int, int, bool], int] = {}
+        #: Round-robin state for unhashable frames (see class docstring).
+        self.fallbacks = 0
+
+    def shard_of_flow(self, flow: FiveTuple) -> int:
+        """The owning shard of a flow (pure, memoised)."""
+        memo_key = (
+            flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port,
+            flow.protocol, flow.is_ipv6,
+        )
+        shard = self._cache.get(memo_key)
+        if shard is None:
+            shard = self._hasher.hash_flow(flow) % self.num_shards
+            self._cache[memo_key] = shard
+        return shard
+
+    def shard_of_frame(self, frame) -> int:
+        """The owning shard of a raw frame (round-robin if unhashable)."""
+        flow: Optional[FiveTuple]
+        try:
+            flow = parse_packet(bytes(frame)).five_tuple()
+        except PacketParseError:
+            flow = None
+        if flow is None:
+            shard = self.fallbacks % self.num_shards
+            self.fallbacks += 1
+            return shard
+        return self.shard_of_flow(flow)
+
+    def partition(self, frames: Sequence) -> List[List]:
+        """Split a frame stream into per-shard sub-streams.
+
+        Relative order within each shard matches arrival order — the
+        intra-flow ordering RSS guarantees (Section 5.3).
+        """
+        shards: List[List] = [[] for _ in range(self.num_shards)]
+        for frame in frames:  # reprolint: ignore[RL006]
+            shards[self.shard_of_frame(frame)].append(frame)
+        return shards

@@ -44,6 +44,43 @@ from repro.net.ipv4 import IPV4_HEADER_LEN
 
 FrameLike = Union[bytes, bytearray, memoryview]
 
+
+def frame_extents(frames: Sequence[FrameLike]):
+    """Per-frame ``(offsets, lengths)`` of the packed SoA layout."""
+    count = len(frames)
+    lengths = np.fromiter(map(len, frames), dtype=np.int64, count=count)
+    offsets = np.zeros(count, dtype=np.int64)
+    if count > 1:
+        np.cumsum(lengths[:-1], out=offsets[1:])
+    return offsets, lengths
+
+
+def pack_frames(frames: Sequence[FrameLike], out: Optional[memoryview] = None):
+    """Pack frames into one contiguous store: ``(store, offsets, lengths)``.
+
+    The single packing copy of the SoA data plane (chunk construction,
+    chunk repacking, shm slot adoption all route through here).  With
+    ``out`` the frames land in the caller-supplied buffer — e.g. a
+    shared-memory chunk-pool slot — and the returned store is a
+    writable ``memoryview`` slice of it; otherwise a fresh ``bytearray``
+    is allocated.  Raises ``ValueError`` if ``out`` is too small.
+    """
+    offsets, lengths = frame_extents(frames)
+    total = int(lengths.sum()) if len(frames) else 0
+    if out is None:
+        store = bytearray().join(frames)
+        return store, offsets, lengths
+    if total > len(out):
+        raise ValueError(
+            f"packed frames need {total}B, buffer holds {len(out)}B"
+        )
+    store = out[:total]
+    # The one edge copy into the caller's buffer (RX-edge pack, not a
+    # data-plane loop).
+    for offset, frame in zip(offsets.tolist(), frames):  # reprolint: ignore[RL006]
+        store[offset:offset + len(frame)] = frame
+    return store, offsets, lengths
+
 #: Byte weights of a big-endian 32-bit field (the dst-gather matmul).
 _BE32 = np.array([1 << 24, 1 << 16, 1 << 8, 1], dtype=np.uint32)
 

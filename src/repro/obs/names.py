@@ -90,6 +90,15 @@ OBS_SLAB_BYTES = "obs.slab_bytes"
 OBS_MERGE_EVENTS = "obs.merge_events"
 OBS_RING_DROPPED_SLOTS = "obs.ring_dropped_slots"
 
+# -- shard: the multi-process data plane (docs/SHARDING.md) ------------
+SHARD_CHUNKS_SUBMITTED = "shard.chunks_submitted"
+SHARD_CHUNKS_RETURNED = "shard.chunks_returned"
+SHARD_POOL_SLOTS_USED = "shard.pool_slots_used"
+SHARD_POOL_FALLBACKS = "shard.pool_fallbacks"
+SHARD_POOL_REPACKS = "shard.pool_repacks"
+SHARD_MASTER_BATCHES = "shard.master_batches"
+SHARD_MASTER_CHUNKS = "shard.master_chunks"
+
 # -- lint: reprolint self-metrics (docs/STATIC_ANALYSIS.md) ------------
 LINT_RUNS = "lint.runs"
 LINT_CACHE_HITS = "lint.cache_hits"

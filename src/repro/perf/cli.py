@@ -54,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "and append to the git-ignored bench-history.jsonl (simulated "
         "artifacts are untouched)",
     )
+    parser.add_argument(
+        "--workers", type=int, action="append", metavar="N",
+        help="with --wallclock: time the real sharded plane at this "
+        "worker count instead (repeatable, e.g. --workers 1 --workers 4); "
+        "measured scaling is host-dependent and goes to history only",
+    )
     return parser
 
 
@@ -89,11 +95,23 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             print(figure)
         return 0
 
+    if args.workers and not args.wallclock:
+        print("--workers only applies with --wallclock", file=sys.stderr)
+        return 2
+
     if args.wallclock:
         from repro.perf import wallclock
 
-        results = wallclock.run_wallclock()
-        print(wallclock.format_wallclock(results))
+        if args.workers:
+            counts = tuple(sorted(set(args.workers)))
+            if any(count < 1 for count in counts):
+                print("--workers must be >= 1", file=sys.stderr)
+                return 2
+            results = wallclock.run_scaling_wallclock(counts)
+            print(wallclock.format_scaling(results))
+        else:
+            results = wallclock.run_wallclock()
+            print(wallclock.format_wallclock(results))
         if not args.no_write:
             path = wallclock.append_wallclock_history(results)
             print(f"history appended: {path}")

@@ -319,6 +319,25 @@ _ref(FigureRef(
 ))
 
 _ref(FigureRef(
+    figure="scaling",
+    source="extension",
+    series=(
+        SeriesRef(key="ipv4_gbps", monotonic="increasing"),
+        SeriesRef(key="ipv6_gbps", monotonic="increasing"),
+    ),
+    anchors=(
+        # The sharding acceptance bar (docs/SHARDING.md): near-linear
+        # through four workers, I/O-capped by eight.
+        AnchorRef(key="ipv4_speedup_4w", expected=4.0, rel_tol=0.25),
+        AnchorRef(key="ipv6_speedup_4w", expected=4.0, rel_tol=0.25),
+        AnchorRef(key="ipv4_gbps_8w", expected=39.8, rel_tol=0.05),
+    ),
+    note="regression references for the multi-process shard plane; "
+         "the committed curve is the capacity model (wall-clock scaling "
+         "is host-dependent and history-only)",
+))
+
+_ref(FigureRef(
     figure="extensions",
     source="extension",
     anchors=(

@@ -686,6 +686,79 @@ def produce_workloads(quick: bool = False) -> BenchResult:
     )
 
 
+@bench("scaling", "sharded data-plane throughput vs worker processes",
+       kind="extension", x_key="workers",
+       units={"ipv4_gbps": "Gbps", "ipv6_gbps": "Gbps",
+              "ipv4_speedup": "ratio", "ipv6_speedup": "ratio"})
+def produce_scaling(quick: bool = False) -> BenchResult:
+    """Throughput vs shard count for the multi-process plane.
+
+    This is the *capacity model's* view of docs/SHARDING.md: each
+    worker process is one logical worker of one node, so the sweep sets
+    ``workers_per_node_gpu_mode`` and reads the pipeline solver — the
+    same model every Figure 11 number comes from.  The committed figure
+    is deterministic by design; measured wall-clock scaling depends on
+    how many cores the host actually has (CI runners may have one), so
+    it lives only in the git-ignored history via
+    ``python -m repro bench --wallclock --workers N``.
+
+    The expected shape: linear through 4 workers (the worker stage is
+    the bottleneck), then the I/O engine caps the curve at 8 — shading
+    scales out, the NICs do not.
+    """
+    from dataclasses import replace
+
+    from repro import app_throughput_report
+    from repro.apps.ipv4 import IPv4Forwarder
+    from repro.apps.ipv6 import IPv6Forwarder
+    from repro.calib.constants import SYSTEM
+    from repro.core.config import RouterConfig
+    from repro.gen.workloads import ipv4_workload, ipv6_workload
+
+    routes = 2_000 if quick else 5_000
+    apps = {
+        "ipv4": IPv4Forwarder(ipv4_workload(num_routes=routes).table),
+        "ipv6": IPv6Forwarder(ipv6_workload(num_routes=routes).table),
+    }
+    series = []
+    bottleneck_8w = ""
+    for workers in (1, 2, 4, 8):
+        config = RouterConfig(
+            use_gpu=True,
+            system=replace(
+                SYSTEM, num_nodes=1, workers_per_node_gpu_mode=workers
+            ),
+        )
+        row: Dict[str, object] = {"workers": workers}
+        for name, app in apps.items():
+            report = app_throughput_report(app, 64, use_gpu=True,
+                                           config=config)
+            row[f"{name}_gbps"] = report.gbps
+            row[f"{name}_bottleneck"] = report.bottleneck
+            if name == "ipv4" and workers == 8:
+                bottleneck_8w = report.bottleneck
+        series.append(row)
+    by_workers = {row["workers"]: row for row in series}
+    for row in series:
+        for name in apps:
+            row[f"{name}_speedup"] = (
+                row[f"{name}_gbps"] / by_workers[1][f"{name}_gbps"]
+            )
+    return BenchResult(
+        series=series,
+        headline={
+            "ipv4_speedup_4w": by_workers[4]["ipv4_speedup"],
+            "ipv6_speedup_4w": by_workers[4]["ipv6_speedup"],
+            "ipv4_speedup_8w": by_workers[8]["ipv4_speedup"],
+            "ipv4_gbps_8w": by_workers[8]["ipv4_gbps"],
+            "ipv4_gbps_1w": by_workers[1]["ipv4_gbps"],
+        },
+        # Where the linear region ends: shading scales out until the
+        # packet I/O engine becomes the ceiling.
+        bottleneck=bottleneck_8w,
+    )
+
+
 @bench("extensions", "huge buffers, composition, and VLB scaling",
        kind="extension", x_key="nodes",
        units={"direct_gbps": "Gbps", "classic_gbps": "Gbps"})

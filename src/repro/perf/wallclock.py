@@ -164,6 +164,47 @@ def bench_egress_distribution(
     }
 
 
+def run_scaling_wallclock(
+    worker_counts: Tuple[int, ...] = (1, 2),
+    app: str = "ipv4",
+    packets: int = 1024,
+    bursts: int = 4,
+) -> List[Dict[str, object]]:
+    """Measured wall-clock of the sharded plane vs worker count.
+
+    The committed ``BENCH_scaling.json`` curve is the capacity model
+    (deterministic, host-independent); this is the real thing — fork N
+    workers, push the same stream through shared-memory chunk queues,
+    time the whole run.  Speedup here depends on how many cores the
+    host has, which is exactly why it goes to the git-ignored history
+    and never into a committed artifact.
+    """
+    from repro.shard.plane import PlaneSpec, run_plane
+
+    results: List[Dict[str, object]] = []
+    base_s: float = 0.0
+    for workers in worker_counts:
+        spec = PlaneSpec(app=app, workers=workers, packets=packets,
+                         bursts=bursts, num_routes=2048)
+        start = time.perf_counter()
+        report = run_plane(spec)
+        elapsed = time.perf_counter() - start
+        if not base_s:
+            base_s = elapsed
+        results.append({
+            "bench": "plane_scaling",
+            "app": app,
+            "workers": workers,
+            "packets": packets * bursts,
+            "wall_s": round(elapsed, 4),
+            "kpps": round(packets * bursts / elapsed / 1e3, 2),
+            "speedup": round(base_s / elapsed, 2),
+            "conservation_ok": report.conservation_ok,
+            "shm_fallbacks": report.shm_fallbacks,
+        })
+    return results
+
+
 def run_wallclock() -> List[Dict[str, object]]:
     """Every microbenchmark, scalar-before-vs-vectorized-after."""
     results: List[Dict[str, object]] = []
@@ -188,6 +229,21 @@ def append_wallclock_history(
     with path.open("a") as fh:
         fh.write(json.dumps(line, sort_keys=True) + "\n")
     return path
+
+
+def format_scaling(results: List[Dict[str, object]]) -> str:
+    header = (
+        f"{'bench':<16} {'app':<6} {'workers':>7} {'wall':>9} "
+        f"{'kpps':>9} {'speedup':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in results:
+        lines.append(
+            f"{entry['bench']:<16} {entry['app']:<6} "
+            f"{entry['workers']:>7} {entry['wall_s']:>8.3f}s "
+            f"{entry['kpps']:>9.1f} {entry['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def format_wallclock(results: List[Dict[str, object]]) -> str:

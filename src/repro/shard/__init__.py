@@ -1,0 +1,32 @@
+"""The sharded data plane: real OS processes over shared-memory chunks.
+
+PacketShader scales by splitting each NUMA node into worker threads
+(own the RX/TX queues, run pre-/post-shading) and one master thread
+(batches GPU offload) — Figure 8/9.  Earlier PRs reproduced that split
+*inside* one Python process; this package makes it real: one worker
+**process** per shard running the io_engine + shading pipeline over its
+RSS-assigned flows, and a master process that gathers chunks, batches
+GPU work, and scatters results.
+
+Chunks cross the process boundary as small ``(segment, slot,
+generation, epoch, offsets)`` descriptors over ``multiprocessing``
+queues — the frame bytes live in a :class:`~repro.shard.pool.ShmChunkPool`
+slot and are never copied through the queue (docs/SHARDING.md).
+
+Public surface:
+
+* :class:`repro.shard.pool.ShmChunkPool` — fixed-slot shm chunk store
+  with generation-tagged recycling and per-slot epoch counters;
+* :class:`repro.shard.plane.ShardedDataPlane` — the worker/master
+  process topology (``python -m repro run --workers N``);
+* :func:`repro.shard.plane.run_plane` — one-call forwarding run
+  returning the merged summary.
+"""
+
+from repro.shard.pool import ChunkShmRef, ShmChunkPool, StaleChunkError
+
+__all__ = [
+    "ChunkShmRef",
+    "ShmChunkPool",
+    "StaleChunkError",
+]

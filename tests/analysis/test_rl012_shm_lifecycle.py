@@ -1,0 +1,176 @@
+"""RL012: shared-memory segments go through the managed helpers."""
+
+from pathlib import Path
+
+from tests.analysis.conftest import messages, rule_ids
+
+from repro.analysis.driver import lint_paths
+from repro.analysis.rules import get_rule
+
+
+class TestDetection:
+    def test_module_alias_construction_flagged(self, lint):
+        result = lint({
+            "core/cache.py": """
+                from multiprocessing import shared_memory
+
+                def grab(name):
+                    seg = shared_memory.SharedMemory(name=name)
+                    seg.close()
+                    return seg
+            """,
+        }, rules=["RL012"])
+        assert rule_ids(result) == ["RL012"]
+        assert "attaches" in messages(result)
+
+    def test_bare_class_import_flagged(self, lint):
+        result = lint({
+            "io_engine/staging.py": """
+                from multiprocessing.shared_memory import SharedMemory
+
+                def stage(nbytes):
+                    seg = SharedMemory(create=True, size=nbytes)
+                    seg.close()
+                    seg.unlink()
+                    return seg.name
+            """,
+        }, rules=["RL012"])
+        assert rule_ids(result) == ["RL012"]
+        assert "creates" in messages(result)
+
+    def test_fully_dotted_and_renamed_imports_flagged(self, lint):
+        result = lint({
+            "obs/extra.py": """
+                import multiprocessing.shared_memory
+                from multiprocessing import shared_memory as shmem
+
+                def a(name):
+                    s = multiprocessing.shared_memory.SharedMemory(name=name)
+                    s.close()
+
+                def b(name):
+                    s = shmem.SharedMemory(name=name)
+                    s.close()
+            """,
+        }, rules=["RL012"])
+        assert rule_ids(result) == ["RL012", "RL012"]
+
+    def test_missing_close_flagged_even_when_call_suppressed(self, lint):
+        # Suppressing the bare call doesn't waive the lifecycle pair:
+        # the leak finding anchors to the import line, out of reach of
+        # an inline ignore on the construction.
+        result = lint({
+            "core/leak.py": """
+                from multiprocessing import shared_memory
+
+                def leak(name):
+                    return shared_memory.SharedMemory(name=name)  # reprolint: ignore[RL012]
+            """,
+        }, rules=["RL012"])
+        assert rule_ids(result) == ["RL012"]
+        assert "never calls close()" in messages(result)
+
+    def test_create_without_unlink_flagged(self, lint):
+        result = lint({
+            "core/half.py": """
+                from multiprocessing import shared_memory
+
+                def make(nbytes):
+                    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+                    seg.close()
+                    return seg.name
+            """,
+        }, rules=["RL012"])
+        assert rule_ids(result) == ["RL012", "RL012"]
+        assert "never calls unlink()" in messages(result)
+
+    def test_attach_only_module_needs_no_unlink(self, lint):
+        # Attach-side handles must close() but only the creator unlinks.
+        result = lint({
+            "core/reader.py": """
+                from multiprocessing import shared_memory
+
+                def read(name):
+                    seg = shared_memory.SharedMemory(name=name)
+                    data = bytes(seg.buf)
+                    seg.close()
+                    return data
+            """,
+        }, rules=["RL012"])
+        assert rule_ids(result) == ["RL012"]
+        assert "unlink" not in messages(result)
+
+
+class TestExemptions:
+    def test_obs_shm_module_is_exempt(self, lint):
+        result = lint({
+            "obs/shm.py": """
+                from multiprocessing import shared_memory
+
+                def create(name, nbytes):
+                    return shared_memory.SharedMemory(
+                        name=name, create=True, size=nbytes
+                    )
+            """,
+        }, rules=["RL012"])
+        assert result.findings == []
+
+    def test_shard_pool_module_is_exempt(self, lint):
+        result = lint({
+            "shard/pool.py": """
+                from multiprocessing import shared_memory
+
+                def attach(name):
+                    return shared_memory.SharedMemory(name=name)
+            """,
+        }, rules=["RL012"])
+        assert result.findings == []
+
+    def test_unrelated_shared_memory_names_ignored(self, lint):
+        # A local class that happens to be called SharedMemory is not
+        # the stdlib one; without the import there is no finding.
+        result = lint({
+            "core/fake.py": """
+                class SharedMemory:
+                    pass
+
+                def make():
+                    return SharedMemory()
+            """,
+        }, rules=["RL012"])
+        assert result.findings == []
+
+    def test_import_without_construction_is_clean(self, lint):
+        result = lint({
+            "core/types.py": """
+                from multiprocessing import shared_memory
+
+                def describe(seg: "shared_memory.SharedMemory") -> str:
+                    return seg.name
+            """,
+        }, rules=["RL012"])
+        assert result.findings == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_the_bare_call(self, lint):
+        result = lint({
+            "core/ok.py": """
+                from multiprocessing import shared_memory
+
+                def grab(name):
+                    seg = shared_memory.SharedMemory(name=name)  # reprolint: ignore[RL012]
+                    seg.close()
+                    return seg
+            """,
+        }, rules=["RL012"])
+        assert result.findings == []
+
+
+class TestRepoTree:
+    def test_repo_tree_is_currently_clean(self):
+        """The funnel holds: only obs/shm.py and shard/pool.py touch
+        SharedMemory directly anywhere under src/."""
+        repo_root = Path(__file__).resolve().parents[2]
+        result = lint_paths([repo_root / "src"], rules=[get_rule("RL012")])
+        assert result.findings == []

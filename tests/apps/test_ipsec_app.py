@@ -59,7 +59,7 @@ class TestDataPath:
         gpu_chunk = chunk_of(frames)
         app = IPsecGateway(tx2)
         work = app.pre_shade(gpu_chunk)
-        app.post_shade(gpu_chunk, work.spec.fn())
+        app.post_shade(gpu_chunk, work.spec.fn(*work.args))
         assert [bytes(f) for f in cpu_chunk.frames] == [
             bytes(f) for f in gpu_chunk.frames
         ]

@@ -83,7 +83,7 @@ class TestDataPath:
         decap_a.cpu_process(cpu_clear)
         gpu_clear = chunk_of(tunnel_b.frames)
         work = decap_b.pre_shade(gpu_clear)
-        decap_b.post_shade(gpu_clear, work.spec.fn())
+        decap_b.post_shade(gpu_clear, work.spec.fn(*work.args))
         assert [bytes(f) for f in cpu_clear.frames] == [
             bytes(f) for f in gpu_clear.frames
         ]

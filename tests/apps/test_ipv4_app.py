@@ -108,7 +108,7 @@ class TestGPUPath:
         app.cpu_process(cpu_chunk)
         gpu_chunk = chunk_of(frames)
         work = app.pre_shade(gpu_chunk)
-        output = work.spec.fn()  # execute the kernel body directly
+        output = work.spec.fn(*work.args)  # execute the kernel body directly
         app.post_shade(gpu_chunk, output)
         assert [v.disposition for v in cpu_chunk.verdicts] == [
             v.disposition for v in gpu_chunk.verdicts
@@ -129,7 +129,7 @@ class TestFIBUpdate:
         work = app.pre_shade(chunk)  # captures the old table
         returned = app.swap_table(new)
         assert returned is old
-        app.post_shade(chunk, work.spec.fn())
+        app.post_shade(chunk, work.spec.fn(*work.args))
         assert chunk.verdicts[0].out_port == 1  # in-flight used old FIB
         fresh = chunk_of([build_udp_ipv4(1, 2, 3, 4)])
         app.cpu_process(fresh)

@@ -83,7 +83,7 @@ class TestGPUPath:
         app.cpu_process(cpu_chunk)
         gpu_chunk = chunk_of(frames)
         work = app.pre_shade(gpu_chunk)
-        app.post_shade(gpu_chunk, work.spec.fn())
+        app.post_shade(gpu_chunk, work.spec.fn(*work.args))
         assert [v.out_port for v in cpu_chunk.verdicts] == [
             v.out_port for v in gpu_chunk.verdicts
         ]

@@ -59,7 +59,7 @@ class TestDataPath:
         app.cpu_process(cpu_chunk)
         gpu_chunk = chunk_of(frames)
         work = app.pre_shade(gpu_chunk)
-        app.post_shade(gpu_chunk, work.spec.fn())
+        app.post_shade(gpu_chunk, work.spec.fn(*work.args))
         assert [v.disposition for v in cpu_chunk.verdicts] == [
             v.disposition for v in gpu_chunk.verdicts
         ]

@@ -1,0 +1,54 @@
+"""``python -m repro run``: exit codes and report wiring."""
+
+import json
+
+import pytest
+
+from repro.shard.cli import run_main
+
+SMALL = ["--packets", "128", "--bursts", "2", "--num-routes", "512"]
+
+
+class TestInProcess:
+    def test_text_report_exits_zero(self, capsys):
+        assert run_main(["--inprocess", "--workers", "2", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "conservation OK" in out
+        assert "worker 0" in out and "worker 1" in out
+
+    def test_json_report_is_parseable(self, capsys):
+        assert run_main(["--inprocess", "--json", *SMALL]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["conservation_ok"] is True
+        assert report["injected"] == 256
+        assert len(report["workers"]) == 2
+        totals = report["totals"]
+        assert totals["received"] == report["injected"]
+
+    def test_bad_worker_count_rejected(self, capsys):
+        assert run_main(["--workers", "0"]) == 2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_main(["--app", "nat"])
+
+
+class TestMultiProcess:
+    def test_forked_run_exits_zero(self, capsys):
+        assert run_main(["--workers", "2", "--json", *SMALL]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["conservation_ok"] is True
+        assert report["shm_fallbacks"] == 0
+        assert [w["exitcode"] for w in report["workers"]] == [0, 0]
+
+    def test_flightrec_dumps_land_per_worker(self, tmp_path, capsys):
+        assert run_main([
+            "--workers", "2", "--dump-dir", str(tmp_path), *SMALL,
+        ]) == 0
+        capsys.readouterr()
+        dumps = sorted(p.name for p in tmp_path.glob("flightrec-w*.jsonl"))
+        assert dumps == ["flightrec-w0.jsonl", "flightrec-w1.jsonl"]
+        for path in tmp_path.glob("flightrec-w*.jsonl"):
+            lines = path.read_text().splitlines()
+            assert lines  # each worker recorded events
+            json.loads(lines[0])

@@ -1,0 +1,146 @@
+"""The sharded data plane: differential equality and conservation.
+
+The multi-process plane must be *invisible* in the observable output:
+for every app and seed, running the same workload across N real worker
+processes (descriptors over queues, master-side GPU batching) produces
+exactly the verdict totals and per-port egress distribution of the
+sequential in-process decomposition — packet for packet, not
+approximately.  Chaos scenarios shard the same way: per-shard runs sum
+to the unsharded stream and every shard closes its own conservation
+identities.
+"""
+
+import pytest
+
+from repro.faults.scenarios import run_scenario
+from repro.io_engine.rss import ShardMap
+from repro.shard.plane import (
+    PlaneSpec,
+    run_plane,
+    run_plane_inprocess,
+    shard_bursts,
+)
+
+
+def small_spec(app="ipv4", seed=1, workers=2):
+    return PlaneSpec(
+        app=app, workers=workers, packets=192, bursts=2, seed=seed,
+        num_routes=1024,
+    )
+
+
+class TestShardMap:
+    def test_partition_preserves_arrival_order(self):
+        from repro.gen.workloads import ipv4_workload
+
+        burst = ipv4_workload(num_routes=64, seed=3).generator.ipv4_burst(128)
+        shard_map = ShardMap(2)
+        parts = shard_map.partition(burst)
+        index_of = {id(f): i for i, f in enumerate(burst)}
+        for shard in parts:
+            positions = [index_of[id(f)] for f in shard]
+            assert positions == sorted(positions)
+
+    def test_partition_is_a_partition(self):
+        from repro.gen.workloads import ipv4_workload
+
+        burst = ipv4_workload(num_routes=64, seed=3).generator.ipv4_burst(128)
+        parts = ShardMap(4).partition(burst)
+        assert sum(map(len, parts)) == len(burst)
+        assert len(parts) == 4
+
+    def test_partition_is_deterministic(self):
+        from repro.gen.workloads import ipv4_workload
+
+        def run():
+            gen = ipv4_workload(num_routes=64, seed=5).generator
+            return [
+                [bytes(f) for f in shard]
+                for shard in ShardMap(3).partition(gen.ipv4_burst(96))
+            ]
+
+        assert run() == run()
+
+    def test_unhashable_frames_round_robin(self):
+        shard_map = ShardMap(2)
+        junk = [bytearray(12) for _ in range(6)]  # too short to parse
+        parts = shard_map.partition(junk)
+        assert [len(p) for p in parts] == [3, 3]
+        assert shard_map.fallbacks == 6
+
+    def test_shard_bursts_union_is_the_full_stream(self):
+        spec = small_spec(seed=2)
+        per_shard = [shard_bursts(spec, wid) for wid in range(spec.workers)]
+        assert all(len(b) == spec.bursts for b in per_shard)
+        for burst_idx in range(spec.bursts):
+            total = sum(
+                len(per_shard[wid][burst_idx])
+                for wid in range(spec.workers)
+            )
+            assert total == spec.packets
+
+
+class TestDifferential:
+    """Multi-process == in-process, exactly, for every app and seed."""
+
+    @pytest.mark.parametrize("app", ["ipv4", "ipv6", "openflow"])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_two_workers_match_sequential_reference(self, app, seed):
+        spec = small_spec(app=app, seed=seed, workers=2)
+        multi = run_plane(spec)
+        single = run_plane_inprocess(spec)
+        assert all(w.exitcode == 0 for w in multi.workers)
+        assert multi.conservation_ok
+        assert multi.verdict_totals() == single.verdict_totals()
+        assert multi.egress_totals() == single.egress_totals()
+
+    def test_per_worker_totals_match_too(self):
+        spec = small_spec(app="ipv4", seed=1)
+        multi = run_plane(spec)
+        single = run_plane_inprocess(spec)
+        for m, s in zip(multi.workers, single.workers):
+            assert (m.received, m.forwarded, m.dropped, m.slow_path) == (
+                s.received, s.forwarded, s.dropped, s.slow_path
+            )
+            assert m.egress == s.egress
+
+    def test_no_byte_copies_crossed_the_boundary(self):
+        """Every chunk of a healthy run travels as a descriptor: the
+        pool-fallback count (chunks pickled as owned bytes) is zero."""
+        report = run_plane(small_spec(app="ipv4", seed=1))
+        assert report.shm_fallbacks == 0
+
+    def test_single_worker_plane_still_goes_through_queues(self):
+        spec = small_spec(app="ipv4", seed=1, workers=1)
+        multi = run_plane(spec)
+        single = run_plane_inprocess(spec)
+        assert multi.conservation_ok
+        assert multi.verdict_totals() == single.verdict_totals()
+
+    def test_master_actually_batched(self):
+        report = run_plane(small_spec(app="ipv4", seed=1))
+        assert report.master_chunks > 0
+        assert 0 < report.master_batches <= report.master_chunks
+
+
+class TestChaosSharded:
+    """Fault scenarios under the same RSS decomposition."""
+
+    def test_shard_injections_sum_to_the_full_run(self):
+        full = run_scenario("chaos", seed=1, packets=512)
+        shards = [
+            run_scenario("chaos", seed=1, packets=512, shard=(k, 2))
+            for k in range(2)
+        ]
+        assert sum(s.injected for s in shards) == full.injected
+
+    def test_every_shard_conserves(self):
+        for k in range(2):
+            report = run_scenario("chaos", seed=2, packets=512, shard=(k, 2))
+            assert report.conservation_ok
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            run_scenario("chaos", seed=1, packets=256, shard=(2, 2))
+        with pytest.raises(ValueError):
+            run_scenario("chaos", seed=1, packets=256, shard=(-1, 2))
