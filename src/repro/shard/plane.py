@@ -156,6 +156,25 @@ class PlaneReport:
         }
 
 
+def scatter_chunk(result_queue, chunk) -> None:
+    """Scatter one shaded chunk back to its worker's result queue.
+
+    ``multiprocessing.Queue.put`` serializes in a background feeder
+    thread, so the chunk must not be mutated after ``put()`` unless
+    its pickle form is independent of the mutated fields.  Shm-backed
+    packed chunks pickle as descriptors — for those (and only those)
+    the master drops its aliasing views into the shared slot, so the
+    worker can recycle the slot and the master's pool mapping can
+    close without a ``BufferError``.  Heap and loose-frame chunks are
+    serialized *from* ``frames``/``_frame_store``; clearing them here
+    would race the pickle and silently ship empty frames.
+    """
+    result_queue.put(chunk)
+    if chunk.shm_ref is not None and chunk.is_packed:
+        chunk.frames = []
+        chunk._frame_store = b""
+
+
 def _worker_config() -> RouterConfig:
     """Each worker process is exactly one logical worker of one node.
 
@@ -265,10 +284,8 @@ def _plane_worker_main(session: str, worker_id: int, spec: PlaneSpec,
     )
     router = PacketShader(app, config=_worker_config(), transport=transport)
     egress_counts: Dict[int, int] = {}
-    fallbacks = 0
     for burst in shard_bursts(spec, worker_id):
         chunks = _pool_chunks(router, pool, burst, worker_id)
-        fallbacks += sum(1 for c in chunks if c.shm_ref is None)
         for port, frames in router.process_chunks(chunks).items():
             egress_counts[port] = egress_counts.get(port, 0) + len(frames)
         # Release this burst's slot views before the next pack round
@@ -288,7 +305,10 @@ def _plane_worker_main(session: str, worker_id: int, spec: PlaneSpec,
         chunks=router.stats.chunks,
         gpu_launches=router.stats.gpu_launches,
         egress=egress_counts,
-        shm_fallbacks=fallbacks,
+        # The pool's own tally, so RX-edge heap builds and later
+        # ensure_packed escapes in submit() both count — the report
+        # agrees with the SHARD_POOL_FALLBACKS metric exactly.
+        shm_fallbacks=pool.fallback_count,
     ))
     if spec.dump_dir:
         recorder.dump(
@@ -385,7 +405,23 @@ class ShardedDataPlane:
         done: set = set()
         while len(done) < self.spec.workers:
             batch = []
-            item = self.submit_queue.get(timeout=self.MASTER_TIMEOUT)
+            try:
+                item = self.submit_queue.get(timeout=self.MASTER_TIMEOUT)
+            except _stdlib_queue.Empty:
+                dead = [
+                    f"{proc.name} (exitcode {proc.exitcode})"
+                    for proc in self.procs
+                    if proc.exitcode is not None
+                ]
+                detail = (
+                    f"dead worker(s): {', '.join(dead)}"
+                    if dead else "all workers still alive but silent"
+                )
+                raise RuntimeError(
+                    f"master: no chunk or done sentinel for "
+                    f"{self.MASTER_TIMEOUT:.0f}s with {len(done)}/"
+                    f"{self.spec.workers} workers done; {detail}"
+                ) from None
             while True:
                 if isinstance(item, tuple) and item and item[0] == "done":
                     done.add(item[1])
@@ -410,11 +446,7 @@ class ShardedDataPlane:
                     result = work.launch_on(device)
                     chunk.gpu_output = result.output
                     chunk.service_ns += result.total_ns
-                self.result_queues[chunk.worker_id].put(chunk)
-                # Drop the master's aliasing views before the worker
-                # recycles the slot.
-                chunk.frames = []
-                chunk._frame_store = b""
+                scatter_chunk(self.result_queues[chunk.worker_id], chunk)
 
     def collect(self) -> PlaneReport:
         """Join workers and assemble the merged report."""

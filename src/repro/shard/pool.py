@@ -204,6 +204,12 @@ class ShmChunkPool:
     def free_slots(self) -> int:
         return len(self._free)
 
+    @property
+    def fallback_count(self) -> int:
+        """Fallbacks this pool has counted: RX-edge heap builds plus
+        :meth:`ensure_packed` escapes (the boundary byte-copy tally)."""
+        return int(self._m_fallbacks.value)
+
     def _require_allocator(self) -> None:
         if not self.allocator:
             raise RuntimeError(
@@ -236,7 +242,11 @@ class ShmChunkPool:
             )
         header[_S_GENERATION] = ref.generation + 1
         header[_S_USED] = 0
-        self._free.append(ref.slot)
+        self._give_back(ref.slot)
+
+    def _give_back(self, slot: int) -> None:
+        """Return a slot to the free list, keeping the gauge honest."""
+        self._free.append(slot)
         self._g_slots_used.set(self.nslots - len(self._free))
 
     # -- chunk binding --------------------------------------------------
@@ -295,7 +305,7 @@ class ShmChunkPool:
         try:
             chunk = Chunk(frames, store_into=self.slot_view(slot), **kwargs)
         except ValueError:
-            self._free.append(slot)
+            self._give_back(slot)
             self._m_fallbacks.inc()
             return Chunk(frames, **kwargs)
         self._bind(chunk, slot, chunk.packed_nbytes())
@@ -322,7 +332,14 @@ class ShmChunkPool:
         slot = self.acquire() if self.allocator else None
         if slot is None or total > self.slot_bytes:
             if slot is not None:
-                self._free.append(slot)
+                self._give_back(slot)
+            if ref is not None and ref.segment == self.name and self.allocator:
+                # The chunk now pickles through the loose-frames path
+                # with _shm=None, so the clone that comes back makes
+                # recycle() a no-op — free the detached store's slot
+                # here or it leaks for the rest of the run.
+                self.release(ref)
+                chunk._shm = None
             self._m_fallbacks.inc()
             return False
         if ref is not None:

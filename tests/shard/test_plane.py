@@ -10,14 +10,23 @@ to the unsharded stream and every shard closes its own conservation
 identities.
 """
 
+import itertools
+import os
+import pickle
+from types import SimpleNamespace
+
 import pytest
 
+from repro.core.chunk import Chunk
 from repro.faults.scenarios import run_scenario
 from repro.io_engine.rss import ShardMap
+from repro.obs import names
 from repro.shard.plane import (
     PlaneSpec,
+    ShardedDataPlane,
     run_plane,
     run_plane_inprocess,
+    scatter_chunk,
     shard_bursts,
 )
 
@@ -121,6 +130,105 @@ class TestDifferential:
         report = run_plane(small_spec(app="ipv4", seed=1))
         assert report.master_chunks > 0
         assert 0 < report.master_batches <= report.master_chunks
+
+    def test_fallback_chunks_still_match_reference(self):
+        """A one-slot pool starves the RX edge, so most chunks cross
+        the boundary as heap byte copies — the totals must still match
+        the sequential reference exactly (the master must never mutate
+        a heap chunk after putting it on the scatter queue), and the
+        report's fallback tally must agree with the pool metric."""
+        spec = PlaneSpec(
+            app="ipv4", workers=2, packets=192, bursts=2, seed=1,
+            num_routes=1024, pool_slots=1,
+        )
+        with ShardedDataPlane(spec) as plane:
+            report = plane.run()
+            merged = plane.aggregate()
+        single = run_plane_inprocess(spec)
+        assert report.conservation_ok
+        assert report.verdict_totals() == single.verdict_totals()
+        assert report.egress_totals() == single.egress_totals()
+        assert report.shm_fallbacks > 0
+        assert report.shm_fallbacks == int(
+            merged.counter(names.SHARD_POOL_FALLBACKS).value
+        )
+
+
+class _FeederQueue:
+    """Stands in for mp.Queue's delayed feeder-thread pickle: put()
+    only parks the object; the test pickles it *afterwards*, exactly
+    when the real feeder thread would."""
+
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+
+class TestScatter:
+    """The master must never mutate a chunk after put() when its
+    pickle form reads the mutated fields (mp.Queue serializes in a
+    background feeder thread, after put() returns)."""
+
+    def test_heap_chunk_survives_post_put_pickle(self):
+        queue = _FeederQueue()
+        chunk = Chunk([bytearray(b"\xaa" * 64) for _ in range(3)])
+        scatter_chunk(queue, chunk)
+        clone = pickle.loads(pickle.dumps(queue.items[0]))
+        assert [bytes(f) for f in clone.frames] == [b"\xaa" * 64] * 3
+
+    def test_loose_frames_chunk_survives_post_put_pickle(self):
+        queue = _FeederQueue()
+        chunk = Chunk([bytearray(b"\xbb" * 64)])
+        chunk.replace_frame(0, bytearray(b"\xcc" * 80))
+        scatter_chunk(queue, chunk)
+        clone = pickle.loads(pickle.dumps(queue.items[0]))
+        assert bytes(clone.frames[0]) == b"\xcc" * 80
+
+    def test_shm_chunk_views_are_dropped_after_scatter(self):
+        from repro.shard.pool import ShmChunkPool
+
+        pool = ShmChunkPool.create(
+            f"rt-scatter-{os.getpid()}-{next(_SCATTER_SEQ)}",
+            slots=2, slot_bytes=4096, allocator=True,
+        )
+        try:
+            queue = _FeederQueue()
+            chunk = pool.build_chunk([bytearray(b"\xdd" * 64)])
+            scatter_chunk(queue, chunk)
+            # The master's aliasing views are gone (the worker can
+            # recycle the slot) but the wire form is the descriptor,
+            # so the clone still maps the payload.
+            assert chunk.frames == []
+            clone = pickle.loads(pickle.dumps(queue.items[0]))
+            assert bytes(clone.frames[0]) == b"\xdd" * 64
+            clone = None
+        finally:
+            pool.close()
+            pool.unlink()
+
+
+_SCATTER_SEQ = itertools.count()
+
+
+class TestMasterFailure:
+    def test_silent_queue_names_dead_workers(self):
+        """A worker dying mid-run must surface as a descriptive error
+        from the master loop, not a raw queue.Empty."""
+        spec = small_spec(app="ipv4", seed=1, workers=1)
+        with ShardedDataPlane(spec) as plane:
+            plane.MASTER_TIMEOUT = 0.2
+            plane.procs.append(SimpleNamespace(
+                name="repro-shard-0", exitcode=9,
+                is_alive=lambda: False,
+                join=lambda timeout=None: None,
+                terminate=lambda: None,
+            ))
+            with pytest.raises(
+                RuntimeError, match=r"repro-shard-0 \(exitcode 9\)"
+            ):
+                plane.serve_master()
 
 
 class TestChaosSharded:

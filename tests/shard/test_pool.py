@@ -219,6 +219,37 @@ class TestReplaceFrame:
         assert not pool.ensure_packed(chunk)
         assert chunk.shm_ref is None
 
+    def test_oversize_escape_releases_the_detached_slot(self, pool):
+        """When the copy-on-grow escape fails (no slot fits the grown
+        frames) the detached store's slot must come straight back: the
+        chunk leaves shm-less, so the clone returning from the master
+        makes recycle() a no-op and nothing else would ever free it."""
+        chunk = pool.build_chunk(frames_of(1, 64))
+        old = chunk.shm_ref
+        free_before = pool.free_slots
+        chunk.replace_frame(0, bytearray(pool.slot_bytes + 1))
+        assert not pool.ensure_packed(chunk)
+        assert chunk.shm_ref is None
+        assert pool.free_slots == free_before + 1
+        with pytest.raises(StaleChunkError, match="recycled"):
+            pool.view(old)
+
+    def test_fallback_give_backs_keep_the_used_gauge_honest(self, pool):
+        """Slots returned by the fallback paths (not just release())
+        must re-set SHARD_POOL_SLOTS_USED, or the gauge over-reports
+        until the next acquire."""
+        gauge = get_registry().gauge(names.SHARD_POOL_SLOTS_USED)
+        pool.build_chunk(frames_of(1, pool.slot_bytes + 1))  # oversize
+        assert gauge.value == 0
+        held = pool.build_chunk(frames_of(1, 64))
+        assert gauge.value == 1
+        grown = Chunk(frames_of(1, 64))
+        grown.replace_frame(0, bytearray(pool.slot_bytes + 1))
+        assert not pool.ensure_packed(grown)
+        assert gauge.value == 1
+        pool.recycle(held)
+        assert gauge.value == 0
+
     def test_recycle_ignores_foreign_chunks(self, pool):
         heap = Chunk(frames_of(1, 64))
         pool.recycle(heap)  # no-op, no raise
